@@ -1,0 +1,135 @@
+//! Criterion benchmarks for the full pipeline: chain transaction
+//! throughput, DE App contract calls, and whole architecture processes
+//! (host wall-time per simulated operation).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use duc_blockchain::{Blockchain, ContractId};
+use duc_contracts::{DistExchange, DistExchangeClient, PolicyEnvelope, DEX_CONTRACT_ID};
+use duc_core::prelude::*;
+use duc_core::scenario;
+use duc_policy::UsagePolicy;
+use duc_sim::SimTime;
+use duc_solid::Body;
+
+fn chain_with_dex() -> (Blockchain, duc_crypto::KeyPair, DistExchangeClient) {
+    let mut chain = Blockchain::builder().validators(4).build();
+    chain.deploy(ContractId::new(DEX_CONTRACT_ID), Box::new(DistExchange));
+    let admin = chain.create_funded_account(b"admin", u64::MAX as u128);
+    let dex = DistExchangeClient::new();
+    let init = dex.init_tx(&chain, &admin, 1, 1 << 40, duc_blockchain::Address::from_seed(b"t"));
+    chain.submit(init).expect("init");
+    chain.advance_to(SimTime::from_secs(2));
+    (chain, admin, dex)
+}
+
+fn bench_chain_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain");
+    group.sample_size(20);
+    // 100 pod registrations executed in one block.
+    group.bench_function("execute_block/100-registrations", |b| {
+        b.iter_batched(
+            || {
+                let (mut chain, admin, dex) = chain_with_dex();
+                let policy = UsagePolicy::default_for("urn:r", "urn:o");
+                for i in 0..100 {
+                    let tx = dex.register_pod_tx(
+                        &chain,
+                        &admin,
+                        &format!("https://o{i}.id/me"),
+                        &format!("https://o{i}.pod/"),
+                        PolicyEnvelope::plain(&policy),
+                    );
+                    chain.submit(tx).expect("mempool");
+                }
+                chain
+            },
+            |mut chain| {
+                chain.advance_to(SimTime::from_secs(60));
+                black_box(chain.height())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Read-only view call against a populated index.
+    let (mut chain, admin, dex) = chain_with_dex();
+    let policy = UsagePolicy::default_for("urn:r", "https://o.id/me");
+    let tx = dex.register_pod_tx(&chain, &admin, "https://o.id/me", "https://o.pod/", PolicyEnvelope::plain(&policy));
+    chain.submit(tx).expect("mempool");
+    for i in 0..200 {
+        let iri = format!("https://o.pod/r{i}");
+        let tx = dex.register_resource_tx(
+            &chain,
+            &admin,
+            &iri,
+            &iri,
+            "https://o.id/me",
+            vec![],
+            PolicyEnvelope::plain(&policy),
+        );
+        chain.submit(tx).expect("mempool");
+    }
+    let mut t = 2u64;
+    while chain.pending_count() > 0 {
+        t += 2;
+        chain.advance_to(SimTime::from_secs(t));
+    }
+    group.bench_function("view/lookup_resource-in-200", |b| {
+        b.iter(|| {
+            dex.lookup_resource(black_box(&chain), "https://o.pod/r100")
+                .expect("view")
+        })
+    });
+    group.finish();
+}
+
+fn bench_processes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("process-host-time");
+    group.sample_size(10);
+    group.bench_function("full_scenario", |b| {
+        b.iter_batched(
+            || scenario::build_world(WorldConfig::default()),
+            |mut world| scenario::run(&mut world).expect("scenario"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("monitoring_round/8-devices", |b| {
+        b.iter_batched(
+            || {
+                let mut world = World::new(WorldConfig::default());
+                world.add_owner("https://o.id/me", "https://o.pod/");
+                for i in 0..8 {
+                    world.add_device(format!("d{i}"), format!("https://c{i}.id/me"));
+                }
+                world.pod_initiation("https://o.id/me").expect("pod");
+                let iri = world.owner("https://o.id/me").pod_manager.pod().iri_of("data/x");
+                let policy = UsagePolicy::default_for(iri.clone(), "https://o.id/me");
+                let resource = world
+                    .resource_initiation(
+                        "https://o.id/me",
+                        "data/x",
+                        Body::Text("payload".into()),
+                        policy,
+                        vec![],
+                    )
+                    .expect("resource");
+                for i in 0..8 {
+                    let d = format!("d{i}");
+                    world.market_subscribe(&d).expect("sub");
+                    world.resource_indexing(&d, &resource).expect("idx");
+                    world.resource_access(&d, &resource).expect("access");
+                }
+                world
+            },
+            |mut world| {
+                world
+                    .policy_monitoring("https://o.id/me", "data/x")
+                    .expect("round")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_throughput, bench_processes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates the experiment tables of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p duc-bench --bin report --release -- all
+//! cargo run -p duc-bench --bin report --release -- e1 e6 e7
+//! ```
+
+use duc_bench::experiments;
+use duc_bench::Table;
+
+fn run(name: &str) -> Option<Vec<Table>> {
+    Some(match name {
+        "e1" => experiments::e1_pod_initiation(),
+        "e2" => experiments::e2_resource_initiation(),
+        "e3" => experiments::e3_indexing(),
+        "e4" => experiments::e4_access(),
+        "e5" => experiments::e5_propagation(),
+        "e6" => experiments::e6_monitoring(),
+        "e7" => experiments::e7_gas_table(),
+        "e8" => experiments::e8_robustness(),
+        "e9" => experiments::e9_privacy(),
+        "e10" => experiments::e10_baseline(),
+        "e11" => experiments::e11_enforcement(),
+        "e12" => experiments::e12_chain_scale(),
+        "all" => experiments::all(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<String> = if args.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        args
+    };
+    println!("# solid-usage-control experiment report");
+    println!("(deterministic simulation; see EXPERIMENTS.md for interpretation)");
+    for name in selected {
+        match run(&name) {
+            Some(tables) => {
+                for table in tables {
+                    print!("{table}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {name:?}; use e1..e12 or all");
+                std::process::exit(2);
+            }
+        }
+    }
+}

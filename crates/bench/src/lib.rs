@@ -1,0 +1,20 @@
+//! # duc-bench — the experiment harness
+//!
+//! One function per experiment of EXPERIMENTS.md (E1–E12). Each builds a
+//! fresh deterministic [`duc_core::World`], drives a workload, and returns
+//! printable rows; the `report` binary renders them as the tables in
+//! EXPERIMENTS.md:
+//!
+//! ```sh
+//! cargo run -p duc-bench --bin report --release -- all
+//! cargo run -p duc-bench --bin report --release -- e5 e6
+//! ```
+//!
+//! Criterion micro-benchmarks for the substrates (hashing, signatures,
+//! codec, policy engine, Turtle, chain throughput) live under `benches/`.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,1038 @@
+//! The proof-of-authority blockchain.
+//!
+//! Block production is clocked by the simulation: slot `k` opens at
+//! `genesis + k × interval` and belongs to validator `k mod n` (round
+//! robin). [`Blockchain::advance_to`] produces every due block; a crashed
+//! proposer simply misses its slot, which is exactly the liveness behaviour
+//! the robustness experiment (E8) measures.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use duc_crypto::{Digest, KeyPair};
+use duc_sim::{SimDuration, SimTime};
+
+use crate::block::{Block, BlockValidationError};
+use crate::contract::{CallCtx, Contract, ContractError, Event};
+use crate::gas::{GasMeter, GasSchedule};
+use crate::state::WorldState;
+use crate::tx::{Receipt, SignedTransaction, Transaction, TxKind, TxStatus};
+use crate::types::{Address, Amount, ContractId, TxId};
+
+/// Why a transaction was rejected at submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Signature or sender-address check failed.
+    InvalidSignature,
+    /// The nonce is below the account's current nonce (stale/replay).
+    NonceTooLow {
+        /// Expected minimum.
+        expected: u64,
+        /// Provided nonce.
+        got: u64,
+    },
+    /// The sender cannot cover the maximum gas fee.
+    CannotPayGas,
+    /// The mempool is at capacity.
+    MempoolFull,
+    /// A transaction with the same sender and nonce is already pending.
+    DuplicateNonce,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::InvalidSignature => f.write_str("invalid signature"),
+            SubmitError::NonceTooLow { expected, got } => {
+                write!(f, "nonce too low: expected >= {expected}, got {got}")
+            }
+            SubmitError::CannotPayGas => f.write_str("cannot pay gas"),
+            SubmitError::MempoolFull => f.write_str("mempool full"),
+            SubmitError::DuplicateNonce => f.write_str("duplicate (sender, nonce) pending"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One row of the gas ledger (who spent what on which method) — the raw
+/// data behind the affordability table (E7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GasRecord {
+    /// The called contract (`None` for plain transfers).
+    pub contract: Option<ContractId>,
+    /// The method name (`"transfer"` for transfers).
+    pub method: String,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Whether execution succeeded.
+    pub ok: bool,
+    /// Block height.
+    pub height: u64,
+}
+
+/// Configures and creates a [`Blockchain`].
+#[derive(Debug)]
+pub struct BlockchainBuilder {
+    validator_count: usize,
+    block_interval: SimDuration,
+    gas_schedule: GasSchedule,
+    max_block_gas: u64,
+    gas_price: Amount,
+    mempool_capacity: usize,
+}
+
+impl Default for BlockchainBuilder {
+    fn default() -> Self {
+        BlockchainBuilder {
+            validator_count: 4,
+            block_interval: SimDuration::from_secs(2),
+            gas_schedule: GasSchedule::default(),
+            max_block_gas: 30_000_000,
+            gas_price: 1,
+            mempool_capacity: 10_000,
+        }
+    }
+}
+
+impl BlockchainBuilder {
+    /// Number of PoA validators (keys derived deterministically).
+    pub fn validators(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one validator required");
+        self.validator_count = n;
+        self
+    }
+
+    /// Target block interval.
+    pub fn block_interval(mut self, interval: SimDuration) -> Self {
+        self.block_interval = interval;
+        self
+    }
+
+    /// Gas price list.
+    pub fn gas_schedule(mut self, schedule: GasSchedule) -> Self {
+        self.gas_schedule = schedule;
+        self
+    }
+
+    /// Per-block gas ceiling.
+    pub fn max_block_gas(mut self, gas: u64) -> Self {
+        self.max_block_gas = gas;
+        self
+    }
+
+    /// Native-token price per unit of gas.
+    pub fn gas_price(mut self, price: Amount) -> Self {
+        self.gas_price = price;
+        self
+    }
+
+    /// Mempool capacity.
+    pub fn mempool_capacity(mut self, cap: usize) -> Self {
+        self.mempool_capacity = cap;
+        self
+    }
+
+    /// Builds the chain (genesis at t = 0).
+    pub fn build(self) -> Blockchain {
+        let validators: Vec<KeyPair> = (0..self.validator_count)
+            .map(|i| KeyPair::from_seed(format!("duc/validator-{i}").as_bytes()))
+            .collect();
+        Blockchain {
+            validators,
+            down_validators: HashSet::new(),
+            block_interval: self.block_interval,
+            next_slot: 1,
+            current_time: SimTime::ZERO,
+            state: WorldState::new(),
+            blocks: Vec::new(),
+            mempool: BTreeMap::new(),
+            receipts: HashMap::new(),
+            event_log: Vec::new(),
+            contracts: HashMap::new(),
+            gas_schedule: self.gas_schedule,
+            gas_price: self.gas_price,
+            max_block_gas: self.max_block_gas,
+            mempool_capacity: self.mempool_capacity,
+            gas_ledger: Vec::new(),
+            slots_missed: 0,
+        }
+    }
+}
+
+/// The chain node (in this simulation, one logical replica of the PoA
+/// network — consensus among honest replicas is deterministic replay).
+pub struct Blockchain {
+    validators: Vec<KeyPair>,
+    down_validators: HashSet<usize>,
+    block_interval: SimDuration,
+    /// The next production slot (slot k opens at genesis + k × interval).
+    next_slot: u64,
+    /// The latest instant the chain has observed (view calls evaluate
+    /// time-dependent logic against this).
+    current_time: SimTime,
+    state: WorldState,
+    blocks: Vec<Block>,
+    mempool: BTreeMap<(Address, u64), SignedTransaction>,
+    receipts: HashMap<TxId, Receipt>,
+    event_log: Vec<(u64, Event)>,
+    contracts: HashMap<ContractId, Box<dyn Contract>>,
+    gas_schedule: GasSchedule,
+    gas_price: Amount,
+    max_block_gas: u64,
+    mempool_capacity: usize,
+    gas_ledger: Vec<GasRecord>,
+    slots_missed: u64,
+}
+
+impl std::fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Blockchain")
+            .field("height", &self.height())
+            .field("pending", &self.mempool.len())
+            .field("validators", &self.validators.len())
+            .field("contracts", &self.contracts.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Blockchain {
+    /// Starts a builder with defaults (4 validators, 2 s blocks).
+    pub fn builder() -> BlockchainBuilder {
+        BlockchainBuilder::default()
+    }
+
+    // ------------------------------------------------------------ accounts
+
+    /// Creates a key pair from `seed` and funds its account.
+    pub fn create_funded_account(&mut self, seed: &[u8], amount: Amount) -> KeyPair {
+        let key = KeyPair::from_seed(seed);
+        self.state.credit(Address::from_public_key(&key.public()), amount);
+        key
+    }
+
+    /// Current balance of an address.
+    pub fn balance(&self, addr: &Address) -> Amount {
+        self.state.balance(addr)
+    }
+
+    /// The next nonce `addr` should use (accounts for pending txs).
+    pub fn next_nonce(&self, addr: &Address) -> u64 {
+        let pending_max = self
+            .mempool
+            .range((*addr, 0)..=(*addr, u64::MAX))
+            .map(|((_, n), _)| *n + 1)
+            .max();
+        pending_max.unwrap_or(0).max(self.state.nonce(addr))
+    }
+
+    // ----------------------------------------------------------- contracts
+
+    /// Deploys a contract at genesis (before or between blocks).
+    pub fn deploy(&mut self, id: ContractId, contract: Box<dyn Contract>) {
+        self.contracts.insert(id, contract);
+    }
+
+    /// Whether a contract is deployed.
+    pub fn has_contract(&self, id: &ContractId) -> bool {
+        self.contracts.contains_key(id)
+    }
+
+    // -------------------------------------------------------- tx building
+
+    /// Builds a signed transfer using the account's next nonce.
+    ///
+    /// # Errors
+    /// Returns [`SubmitError::CannotPayGas`] when the balance cannot cover
+    /// amount + maximum fee.
+    pub fn build_transfer(
+        &self,
+        key: &KeyPair,
+        to: Address,
+        amount: Amount,
+    ) -> Result<SignedTransaction, SubmitError> {
+        let from = Address::from_public_key(&key.public());
+        // Intrinsic cost covers the base fee plus per-byte payload charges
+        // (a signed transfer encodes to ~120 bytes).
+        let gas_limit = self.gas_schedule.tx_base + 8_000;
+        if self.state.balance(&from) < amount + gas_limit as Amount * self.gas_price {
+            return Err(SubmitError::CannotPayGas);
+        }
+        Ok(Transaction {
+            from,
+            nonce: self.next_nonce(&from),
+            kind: TxKind::Transfer { to, amount },
+            gas_limit,
+        }
+        .sign(key))
+    }
+
+    /// Builds a signed contract call using the account's next nonce.
+    pub fn build_call(
+        &self,
+        key: &KeyPair,
+        contract: ContractId,
+        method: impl Into<String>,
+        args: Vec<u8>,
+        gas_limit: u64,
+    ) -> SignedTransaction {
+        let from = Address::from_public_key(&key.public());
+        Transaction {
+            from,
+            nonce: self.next_nonce(&from),
+            kind: TxKind::Call {
+                contract,
+                method: method.into(),
+                args,
+            },
+            gas_limit,
+        }
+        .sign(key)
+    }
+
+    // ----------------------------------------------------------- mempool
+
+    /// Submits a signed transaction to the mempool.
+    ///
+    /// # Errors
+    /// See [`SubmitError`] for the rejection conditions.
+    pub fn submit(&mut self, tx: SignedTransaction) -> Result<TxId, SubmitError> {
+        if !tx.verify() {
+            return Err(SubmitError::InvalidSignature);
+        }
+        let expected = self.state.nonce(&tx.tx.from);
+        if tx.tx.nonce < expected {
+            return Err(SubmitError::NonceTooLow {
+                expected,
+                got: tx.tx.nonce,
+            });
+        }
+        if self.state.balance(&tx.tx.from) < tx.tx.gas_limit as Amount * self.gas_price {
+            return Err(SubmitError::CannotPayGas);
+        }
+        if self.mempool.len() >= self.mempool_capacity {
+            return Err(SubmitError::MempoolFull);
+        }
+        let keypair_key = (tx.tx.from, tx.tx.nonce);
+        if self.mempool.contains_key(&keypair_key) {
+            return Err(SubmitError::DuplicateNonce);
+        }
+        let id = tx.id();
+        self.mempool.insert(keypair_key, tx);
+        Ok(id)
+    }
+
+    /// Number of pending transactions.
+    pub fn pending_count(&self) -> usize {
+        self.mempool.len()
+    }
+
+    // ------------------------------------------------------ block making
+
+    /// Produces every block whose slot opens at or before `now`.
+    /// Returns the number of blocks produced.
+    ///
+    /// Blocks are produced *on demand*: a slot with an empty mempool is
+    /// skipped without sealing an empty block (the behaviour of on-demand
+    /// sequencers; it also keeps long idle simulated periods cheap). Slot
+    /// accounting still advances, so proposer rotation and crash-fault
+    /// liveness behave like a fixed-cadence PoA network whenever there is
+    /// work to include.
+    pub fn advance_to(&mut self, now: SimTime) -> usize {
+        let mut produced = 0;
+        loop {
+            let slot_time = SimTime::ZERO + self.block_interval.saturating_mul(self.next_slot);
+            if slot_time > now {
+                break;
+            }
+            if self.mempool.is_empty() {
+                // Fast-forward the slot counter to the last empty slot
+                // before `now` (or before more work could exist).
+                let slots_until_now = now.as_nanos() / self.block_interval.as_nanos().max(1);
+                self.next_slot = self.next_slot.max(slots_until_now).saturating_add(1);
+                break;
+            }
+            let proposer_idx = (self.next_slot as usize) % self.validators.len();
+            self.next_slot += 1;
+            if self.down_validators.contains(&proposer_idx) {
+                self.slots_missed += 1;
+                continue;
+            }
+            self.produce_block(slot_time, proposer_idx);
+            produced += 1;
+        }
+        if now > self.current_time {
+            self.current_time = now;
+        }
+        produced
+    }
+
+    /// The latest instant the chain has observed.
+    pub fn current_time(&self) -> SimTime {
+        self.current_time
+    }
+
+    fn produce_block(&mut self, timestamp: SimTime, proposer_idx: usize) {
+        let height = self.blocks.len() as u64 + 1;
+        // Select executable transactions in deterministic order, respecting
+        // per-account nonce sequencing and the block gas ceiling.
+        let mut included = Vec::new();
+        let mut receipts = Vec::new();
+        let mut block_gas: u64 = 0;
+        let mut ready: Vec<(Address, u64)> = self.mempool.keys().cloned().collect();
+        ready.sort();
+        for key in ready {
+            let expected = self.state.nonce(&key.0);
+            if key.1 != expected {
+                continue; // future nonce stays pending; stale handled below
+            }
+            let tx = self.mempool.get(&key).expect("key from mempool").clone();
+            if block_gas + tx.tx.gas_limit > self.max_block_gas {
+                continue;
+            }
+            self.mempool.remove(&key);
+            // The ceiling reserves each transaction's full gas limit, as
+            // real block builders must (gas_used is unknown pre-execution).
+            block_gas += tx.tx.gas_limit;
+            let receipt = self.execute(tx.clone(), height, timestamp, proposer_idx);
+            for ev in &receipt.events {
+                self.event_log.push((height, ev.clone()));
+            }
+            receipts.push(receipt.clone());
+            self.receipts.insert(receipt.tx_id, receipt);
+            included.push(tx);
+        }
+        // Evict transactions whose nonce is now stale.
+        let stale: Vec<(Address, u64)> = self
+            .mempool
+            .keys()
+            .filter(|(addr, nonce)| *nonce < self.state.nonce(addr))
+            .cloned()
+            .collect();
+        for key in stale {
+            self.mempool.remove(&key);
+        }
+        let parent = self
+            .blocks
+            .last()
+            .map(|b| b.hash())
+            .unwrap_or(Digest::ZERO);
+        let block = Block::seal(
+            height,
+            parent,
+            self.state.commitment(),
+            timestamp,
+            included,
+            &self.validators[proposer_idx],
+        );
+        self.blocks.push(block);
+    }
+
+    fn execute(
+        &mut self,
+        signed: SignedTransaction,
+        height: u64,
+        timestamp: SimTime,
+        proposer_idx: usize,
+    ) -> Receipt {
+        let tx_id = signed.id();
+        let from = signed.tx.from;
+        let gas_limit = signed.tx.gas_limit;
+        let max_fee = gas_limit as Amount * self.gas_price;
+        // Reserve the maximum fee upfront (refund the unused part later).
+        if self.state.debit(&from, max_fee).is_err() {
+            return Receipt {
+                tx_id,
+                block_height: height,
+                status: TxStatus::Reverted("cannot pay gas".into()),
+                gas_used: 0,
+                events: Vec::new(),
+                return_data: Vec::new(),
+            };
+        }
+        self.state.bump_nonce(&from);
+
+        let mut meter = GasMeter::new(gas_limit, self.gas_schedule.clone());
+        let intrinsic = self
+            .gas_schedule
+            .tx_base
+            .saturating_add(self.gas_schedule.payload_byte * signed.encoded_size() as u64);
+        let intrinsic_result = meter.charge(intrinsic);
+
+        let (status, events, return_data, method_label, contract_label) = if intrinsic_result
+            .is_err()
+        {
+            (TxStatus::OutOfGas, Vec::new(), Vec::new(), "intrinsic".to_string(), None)
+        } else {
+            match signed.tx.kind.clone() {
+                TxKind::Transfer { to, amount } => {
+                    let status = match self.state.debit(&from, amount) {
+                        Ok(()) => {
+                            self.state.credit(to, amount);
+                            TxStatus::Ok
+                        }
+                        Err(e) => TxStatus::Reverted(e.to_string()),
+                    };
+                    (status, Vec::new(), Vec::new(), "transfer".to_string(), None)
+                }
+                TxKind::Call { contract, method, args } => {
+                    match self.contracts.get(&contract) {
+                        None => (
+                            TxStatus::Reverted(format!("no contract {contract}")),
+                            Vec::new(),
+                            Vec::new(),
+                            method,
+                            Some(contract),
+                        ),
+                        Some(code) => {
+                            // Execute on a scratch copy; commit only on success.
+                            let mut scratch = self.state.clone();
+                            let mut ctx = CallCtx::new(
+                                from,
+                                height,
+                                timestamp,
+                                contract.clone(),
+                                &mut scratch,
+                                &mut meter,
+                            );
+                            match code.call(&mut ctx, &method, &args) {
+                                Ok(ret) => {
+                                    let events = ctx.into_events();
+                                    self.state = scratch;
+                                    (TxStatus::Ok, events, ret, method, Some(contract))
+                                }
+                                Err(ContractError::OutOfGas) => (
+                                    TxStatus::OutOfGas,
+                                    Vec::new(),
+                                    Vec::new(),
+                                    method,
+                                    Some(contract),
+                                ),
+                                Err(e) => (
+                                    TxStatus::Reverted(e.to_string()),
+                                    Vec::new(),
+                                    Vec::new(),
+                                    method,
+                                    Some(contract),
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        let gas_used = meter.used().max(self.gas_schedule.tx_base);
+        // Refund unused fee; pay the consumed fee to the proposer.
+        let refund = (gas_limit - gas_used) as Amount * self.gas_price;
+        self.state.credit(from, refund);
+        let proposer_addr = Address::from_public_key(&self.validators[proposer_idx].public());
+        self.state.credit(proposer_addr, gas_used as Amount * self.gas_price);
+
+        self.gas_ledger.push(GasRecord {
+            contract: contract_label,
+            method: method_label,
+            gas_used,
+            ok: status.is_ok(),
+            height,
+        });
+
+        Receipt {
+            tx_id,
+            block_height: height,
+            status,
+            gas_used,
+            events,
+            return_data,
+        }
+    }
+
+    // -------------------------------------------------------------- reads
+
+    /// Chain height (number of blocks).
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// A block by height (1-based).
+    pub fn block(&self, height: u64) -> Option<&Block> {
+        if height == 0 {
+            return None;
+        }
+        self.blocks.get(height as usize - 1)
+    }
+
+    /// The receipt for a transaction, once included.
+    pub fn receipt(&self, id: &TxId) -> Option<&Receipt> {
+        self.receipts.get(id)
+    }
+
+    /// Events from blocks strictly above `height`, with their heights.
+    pub fn events_since(&self, height: u64) -> impl Iterator<Item = &(u64, Event)> {
+        self.event_log.iter().filter(move |(h, _)| *h > height)
+    }
+
+    /// Executes a read-only contract call against current state
+    /// (free, not part of consensus).
+    ///
+    /// # Errors
+    /// Propagates the contract's error.
+    pub fn call_view(
+        &self,
+        contract: &ContractId,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
+        let code = self
+            .contracts
+            .get(contract)
+            .ok_or_else(|| ContractError::Reverted(format!("no contract {contract}")))?;
+        let mut scratch = self.state.clone();
+        let mut meter = GasMeter::unmetered();
+        let now = self.current_time.max(
+            self.blocks
+                .last()
+                .map(|b| b.header.timestamp)
+                .unwrap_or(SimTime::ZERO),
+        );
+        let mut ctx = CallCtx::new(
+            Address::from_seed(b"duc/view"),
+            self.height(),
+            now,
+            contract.clone(),
+            &mut scratch,
+            &mut meter,
+        );
+        code.call(&mut ctx, method, args)
+    }
+
+    /// Validates the entire chain structure (signatures, roots, links).
+    ///
+    /// # Errors
+    /// The first [`BlockValidationError`] found.
+    pub fn validate_chain(&self) -> Result<(), BlockValidationError> {
+        let mut parent = Digest::ZERO;
+        for block in &self.blocks {
+            block.validate()?;
+            if block.header.parent != parent {
+                return Err(BlockValidationError::BrokenParentLink(block.header.height));
+            }
+            parent = block.hash();
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------- fault control
+
+    /// Marks validator `idx` crashed (misses its slots) or recovered.
+    pub fn set_validator_down(&mut self, idx: usize, down: bool) {
+        if down {
+            self.down_validators.insert(idx);
+        } else {
+            self.down_validators.remove(&idx);
+        }
+    }
+
+    /// Number of validators.
+    pub fn validator_count(&self) -> usize {
+        self.validators.len()
+    }
+
+    /// Slots skipped because their proposer was down.
+    pub fn slots_missed(&self) -> u64 {
+        self.slots_missed
+    }
+
+    // ----------------------------------------------------------- metrics
+
+    /// The gas ledger (per-call records) for the affordability reports.
+    pub fn gas_ledger(&self) -> &[GasRecord] {
+        &self.gas_ledger
+    }
+
+    /// Aggregates the gas ledger by `(contract, method)`:
+    /// `(calls, total gas, mean gas)`.
+    pub fn gas_by_method(&self) -> BTreeMap<(String, String), (u64, u64, u64)> {
+        let mut out: BTreeMap<(String, String), (u64, u64, u64)> = BTreeMap::new();
+        for rec in &self.gas_ledger {
+            let key = (
+                rec.contract
+                    .as_ref()
+                    .map(|c| c.as_str().to_string())
+                    .unwrap_or_else(|| "native".to_string()),
+                rec.method.clone(),
+            );
+            let entry = out.entry(key).or_insert((0, 0, 0));
+            entry.0 += 1;
+            entry.1 += rec.gas_used;
+        }
+        for (_, v) in out.iter_mut() {
+            v.2 = if v.0 > 0 { v.1 / v.0 } else { 0 };
+        }
+        out
+    }
+
+    /// Storage growth metrics: `(slots, bytes)` (experiment E12).
+    pub fn state_size(&self) -> (usize, usize) {
+        (self.state.storage_slot_count(), self.state.storage_byte_size())
+    }
+
+    /// The gas price.
+    pub fn gas_price(&self) -> Amount {
+        self.gas_price
+    }
+
+    /// The block interval.
+    pub fn block_interval(&self) -> SimDuration {
+        self.block_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duc_codec::{decode_from_slice, encode_to_vec};
+
+    struct Counter;
+
+    impl Contract for Counter {
+        fn call(
+            &self,
+            ctx: &mut CallCtx<'_>,
+            method: &str,
+            args: &[u8],
+        ) -> Result<Vec<u8>, ContractError> {
+            match method {
+                "incr" => {
+                    let (by,): (u64,) = decode_from_slice(args)?;
+                    let current: u64 = ctx.get(b"count")?.unwrap_or(0);
+                    ctx.set(b"count".to_vec(), &(current + by))?;
+                    ctx.emit("Incr", encode_to_vec(&(current + by,)))?;
+                    Ok(encode_to_vec(&(current + by,)))
+                }
+                "get" => {
+                    let current: u64 = ctx.get(b"count")?.unwrap_or(0);
+                    Ok(encode_to_vec(&(current,)))
+                }
+                "boom" => Err(ContractError::Reverted("boom".into())),
+                other => Err(ContractError::UnknownMethod(other.into())),
+            }
+        }
+    }
+
+    fn chain_with_counter() -> (Blockchain, KeyPair) {
+        let mut chain = Blockchain::builder()
+            .validators(3)
+            .block_interval(SimDuration::from_secs(2))
+            .build();
+        chain.deploy(ContractId::new("counter"), Box::new(Counter));
+        let alice = chain.create_funded_account(b"alice", 10_000_000);
+        (chain, alice)
+    }
+
+    #[test]
+    fn transfer_moves_funds_and_charges_fees() {
+        let (mut chain, alice) = chain_with_counter();
+        let bob = Address::from_seed(b"bob");
+        let tx = chain.build_transfer(&alice, bob, 1_000).unwrap();
+        chain.submit(tx).unwrap();
+        chain.advance_to(SimTime::from_secs(2));
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.balance(&bob), 1_000);
+        let alice_addr = Address::from_public_key(&alice.public());
+        assert!(chain.balance(&alice_addr) < 10_000_000 - 1_000, "fees charged");
+    }
+
+    #[test]
+    fn contract_call_executes_and_emits() {
+        let (mut chain, alice) = chain_with_counter();
+        let tx = chain.build_call(
+            &alice,
+            ContractId::new("counter"),
+            "incr",
+            encode_to_vec(&(7u64,)),
+            200_000,
+        );
+        let id = chain.submit(tx).unwrap();
+        chain.advance_to(SimTime::from_secs(2));
+        let receipt = chain.receipt(&id).expect("included");
+        assert!(receipt.status.is_ok());
+        assert_eq!(receipt.events.len(), 1);
+        assert!(receipt.gas_used > 21_000);
+        let out = chain
+            .call_view(&ContractId::new("counter"), "get", &[])
+            .unwrap();
+        let (v,): (u64,) = decode_from_slice(&out).unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn revert_rolls_back_state_but_charges_gas() {
+        let (mut chain, alice) = chain_with_counter();
+        let tx1 = chain.build_call(
+            &alice,
+            ContractId::new("counter"),
+            "incr",
+            encode_to_vec(&(1u64,)),
+            200_000,
+        );
+        chain.submit(tx1).unwrap();
+        chain.advance_to(SimTime::from_secs(2));
+        let tx2 = chain.build_call(&alice, ContractId::new("counter"), "boom", vec![], 200_000);
+        let id2 = chain.submit(tx2).unwrap();
+        chain.advance_to(SimTime::from_secs(4));
+        let receipt = chain.receipt(&id2).unwrap();
+        assert!(matches!(receipt.status, TxStatus::Reverted(_)));
+        assert!(receipt.gas_used > 0);
+        let out = chain.call_view(&ContractId::new("counter"), "get", &[]).unwrap();
+        let (v,): (u64,) = decode_from_slice(&out).unwrap();
+        assert_eq!(v, 1, "boom did not mutate state");
+    }
+
+    #[test]
+    fn out_of_gas_reverts() {
+        let (mut chain, alice) = chain_with_counter();
+        let tx = chain.build_call(
+            &alice,
+            ContractId::new("counter"),
+            "incr",
+            encode_to_vec(&(1u64,)),
+            22_000, // enough intrinsic, not enough for storage
+        );
+        let id = chain.submit(tx).unwrap();
+        chain.advance_to(SimTime::from_secs(2));
+        assert_eq!(chain.receipt(&id).unwrap().status, TxStatus::OutOfGas);
+        let out = chain.call_view(&ContractId::new("counter"), "get", &[]).unwrap();
+        let (v,): (u64,) = decode_from_slice(&out).unwrap();
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn submit_rejects_bad_transactions() {
+        let (mut chain, alice) = chain_with_counter();
+        // Tampered signature.
+        let mut tx = chain.build_call(&alice, ContractId::new("counter"), "get", vec![], 50_000);
+        tx.tx.gas_limit += 1;
+        assert_eq!(chain.submit(tx), Err(SubmitError::InvalidSignature));
+        // Stale nonce.
+        let t1 = chain.build_call(&alice, ContractId::new("counter"), "get", vec![], 50_000);
+        chain.submit(t1.clone()).unwrap();
+        chain.advance_to(SimTime::from_secs(2));
+        assert!(matches!(
+            chain.submit(t1),
+            Err(SubmitError::NonceTooLow { .. })
+        ));
+        // Unfunded sender.
+        let poor = KeyPair::from_seed(b"poor");
+        let tx = Transaction {
+            from: Address::from_public_key(&poor.public()),
+            nonce: 0,
+            kind: TxKind::Transfer {
+                to: Address::from_seed(b"x"),
+                amount: 1,
+            },
+            gas_limit: 50_000,
+        }
+        .sign(&poor);
+        assert_eq!(chain.submit(tx), Err(SubmitError::CannotPayGas));
+    }
+
+    #[test]
+    fn duplicate_nonce_rejected_in_mempool() {
+        let (mut chain, alice) = chain_with_counter();
+        let t1 = chain.build_call(&alice, ContractId::new("counter"), "get", vec![], 50_000);
+        // Build a second tx with the same nonce by constructing manually.
+        let t2 = Transaction {
+            nonce: t1.tx.nonce,
+            ..t1.tx.clone()
+        }
+        .sign(&alice);
+        chain.submit(t1).unwrap();
+        assert_eq!(chain.submit(t2), Err(SubmitError::DuplicateNonce));
+    }
+
+    #[test]
+    fn nonce_sequencing_across_blocks() {
+        let (mut chain, alice) = chain_with_counter();
+        for _ in 0..5 {
+            let tx = chain.build_call(
+                &alice,
+                ContractId::new("counter"),
+                "incr",
+                encode_to_vec(&(1u64,)),
+                200_000,
+            );
+            chain.submit(tx).unwrap();
+        }
+        chain.advance_to(SimTime::from_secs(2));
+        let out = chain.call_view(&ContractId::new("counter"), "get", &[]).unwrap();
+        let (v,): (u64,) = decode_from_slice(&out).unwrap();
+        assert_eq!(v, 5, "all five sequential-nonce txs executed in one block");
+    }
+
+    #[test]
+    fn blocks_produced_on_schedule() {
+        let (mut chain, alice) = chain_with_counter();
+        // No pending work → no blocks, but time advances.
+        assert_eq!(chain.advance_to(SimTime::from_secs(10)), 0);
+        assert_eq!(chain.current_time(), SimTime::from_secs(10));
+        assert_eq!(chain.height(), 0);
+        // Work arrives: it is included at the next slot boundary (t = 12 s).
+        let tx = chain.build_call(
+            &alice,
+            ContractId::new("counter"),
+            "incr",
+            encode_to_vec(&(1u64,)),
+            200_000,
+        );
+        chain.submit(tx).unwrap();
+        assert_eq!(chain.advance_to(SimTime::from_secs(11)), 0, "slot not due yet");
+        assert_eq!(chain.advance_to(SimTime::from_secs(12)), 1);
+        assert_eq!(chain.block(1).unwrap().header.timestamp, SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn long_idle_periods_are_cheap() {
+        let (mut chain, _) = chain_with_counter();
+        // A month of idle time must not seal a million empty blocks.
+        chain.advance_to(SimTime::ZERO + SimDuration::from_days(31));
+        assert_eq!(chain.height(), 0);
+        assert_eq!(chain.current_time(), SimTime::ZERO + SimDuration::from_days(31));
+    }
+
+    #[test]
+    fn crashed_proposer_misses_slot() {
+        let (mut chain, alice) = chain_with_counter();
+        // Validators rotate 1,2,0,1,2,0... (slot k → k mod 3).
+        chain.set_validator_down(1, true);
+        let tx = chain.build_call(
+            &alice,
+            ContractId::new("counter"),
+            "incr",
+            encode_to_vec(&(1u64,)),
+            200_000,
+        );
+        chain.submit(tx).unwrap();
+        // Slot 1 (t=2s) belongs to the crashed v1 → missed; slot 2 (t=4s)
+        // belongs to v2 → block.
+        chain.advance_to(SimTime::from_secs(4));
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.slots_missed(), 1);
+        assert_eq!(chain.block(1).unwrap().header.timestamp, SimTime::from_secs(4));
+        chain.set_validator_down(1, false);
+        let tx = chain.build_call(
+            &alice,
+            ContractId::new("counter"),
+            "incr",
+            encode_to_vec(&(1u64,)),
+            200_000,
+        );
+        chain.submit(tx).unwrap();
+        chain.advance_to(SimTime::from_secs(6));
+        assert_eq!(chain.height(), 2, "chain is live again");
+    }
+
+    #[test]
+    fn chain_validates_and_detects_tampering() {
+        let (mut chain, alice) = chain_with_counter();
+        for i in 0..3 {
+            let tx = chain.build_call(
+                &alice,
+                ContractId::new("counter"),
+                "incr",
+                encode_to_vec(&(i as u64,)),
+                200_000,
+            );
+            chain.submit(tx).unwrap();
+            chain.advance_to(SimTime::from_secs(2 * (i + 1)));
+        }
+        assert_eq!(chain.validate_chain(), Ok(()));
+        // Tamper with an old block.
+        chain.blocks[0].header.timestamp = SimTime::from_secs(999);
+        assert!(chain.validate_chain().is_err());
+    }
+
+    #[test]
+    fn events_since_filters_by_height() {
+        let (mut chain, alice) = chain_with_counter();
+        for i in 1..=3u64 {
+            let tx = chain.build_call(
+                &alice,
+                ContractId::new("counter"),
+                "incr",
+                encode_to_vec(&(i,)),
+                200_000,
+            );
+            chain.submit(tx).unwrap();
+            chain.advance_to(SimTime::from_secs(2 * i));
+        }
+        assert_eq!(chain.events_since(0).count(), 3);
+        assert_eq!(chain.events_since(2).count(), 1);
+        assert_eq!(chain.events_since(3).count(), 0);
+    }
+
+    #[test]
+    fn gas_ledger_aggregates_by_method() {
+        let (mut chain, alice) = chain_with_counter();
+        for i in 0..4u64 {
+            let tx = chain.build_call(
+                &alice,
+                ContractId::new("counter"),
+                "incr",
+                encode_to_vec(&(i,)),
+                200_000,
+            );
+            chain.submit(tx).unwrap();
+        }
+        chain.advance_to(SimTime::from_secs(2));
+        let agg = chain.gas_by_method();
+        let (calls, total, mean) = agg[&("counter".to_string(), "incr".to_string())];
+        assert_eq!(calls, 4);
+        assert!(total > 0 && mean > 0 && mean <= total);
+    }
+
+    #[test]
+    fn block_gas_ceiling_defers_transactions() {
+        let mut chain = Blockchain::builder()
+            .validators(1)
+            .max_block_gas(150_000)
+            .build();
+        chain.deploy(ContractId::new("counter"), Box::new(Counter));
+        let alice = chain.create_funded_account(b"alice", 100_000_000);
+        for i in 0..5u64 {
+            let tx = chain.build_call(
+                &alice,
+                ContractId::new("counter"),
+                "incr",
+                encode_to_vec(&(i,)),
+                60_000,
+            );
+            chain.submit(tx).unwrap();
+        }
+        chain.advance_to(SimTime::from_secs(2));
+        // 150k ceiling / 60k limit → 2 per block.
+        assert_eq!(chain.block(1).unwrap().transactions.len(), 2);
+        assert_eq!(chain.pending_count(), 3);
+        chain.advance_to(SimTime::from_secs(6));
+        assert_eq!(chain.pending_count(), 0, "drained over later blocks");
+    }
+
+    #[test]
+    fn view_calls_do_not_mutate() {
+        let (mut chain, alice) = chain_with_counter();
+        let tx = chain.build_call(
+            &alice,
+            ContractId::new("counter"),
+            "incr",
+            encode_to_vec(&(1u64,)),
+            200_000,
+        );
+        chain.submit(tx).unwrap();
+        chain.advance_to(SimTime::from_secs(2));
+        let (s0, _) = chain.state_size();
+        let _ = chain.call_view(&ContractId::new("counter"), "get", &[]).unwrap();
+        assert_eq!(chain.state_size().0, s0);
+        assert!(chain
+            .call_view(&ContractId::new("missing"), "get", &[])
+            .is_err());
+    }
+}

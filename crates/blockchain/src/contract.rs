@@ -1,0 +1,344 @@
+//! The contract runtime.
+//!
+//! Contracts are Rust types implementing [`Contract`], registered with the
+//! chain under a [`ContractId`]. A call is dispatched by method name with
+//! `duc-codec`-encoded arguments; the contract reads and writes state only
+//! through the [`CallCtx`] (which meters gas), keeping execution
+//! deterministic and replayable — the property the blockchain's consensus
+//! relies on.
+
+use duc_codec::{decode_from_slice, encode_to_vec, Decode, Encode};
+use duc_sim::SimTime;
+
+use crate::gas::{GasMeter, OutOfGas};
+use crate::state::WorldState;
+use crate::types::{Address, ContractId};
+
+/// An event emitted during contract execution, recorded in the receipt and
+/// the chain's event log (the on-chain half of push-out/pull-in oracles
+/// subscribes to these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The emitting contract.
+    pub contract: ContractId,
+    /// Topic for subscription filtering (e.g. `"PolicyUpdated"`).
+    pub topic: String,
+    /// `duc-codec`-encoded payload.
+    pub data: Vec<u8>,
+}
+
+/// Contract-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractError {
+    /// The method name is not part of the contract's ABI.
+    UnknownMethod(String),
+    /// Argument bytes failed to decode.
+    BadArguments(String),
+    /// The call violated a contract rule (permission, state precondition).
+    Reverted(String),
+    /// Execution ran out of gas.
+    OutOfGas,
+}
+
+impl From<OutOfGas> for ContractError {
+    fn from(_: OutOfGas) -> Self {
+        ContractError::OutOfGas
+    }
+}
+
+impl From<duc_codec::DecodeError> for ContractError {
+    fn from(e: duc_codec::DecodeError) -> Self {
+        ContractError::BadArguments(e.to_string())
+    }
+}
+
+impl std::fmt::Display for ContractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContractError::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            ContractError::BadArguments(e) => write!(f, "bad arguments: {e}"),
+            ContractError::Reverted(why) => write!(f, "reverted: {why}"),
+            ContractError::OutOfGas => f.write_str("out of gas"),
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+/// Execution context passed to a contract call.
+///
+/// All state access is gas-metered; the underlying [`WorldState`] is the
+/// *scratch copy* for the current transaction — the chain discards it if the
+/// call reverts.
+pub struct CallCtx<'a> {
+    /// The calling account.
+    pub caller: Address,
+    /// Height of the block being built.
+    pub block_height: u64,
+    /// Timestamp of the block being built.
+    pub block_time: SimTime,
+    contract: ContractId,
+    state: &'a mut WorldState,
+    meter: &'a mut GasMeter,
+    events: Vec<Event>,
+}
+
+impl<'a> CallCtx<'a> {
+    /// Creates a context (used by the chain and by contract unit tests).
+    pub fn new(
+        caller: Address,
+        block_height: u64,
+        block_time: SimTime,
+        contract: ContractId,
+        state: &'a mut WorldState,
+        meter: &'a mut GasMeter,
+    ) -> Self {
+        CallCtx {
+            caller,
+            block_height,
+            block_time,
+            contract,
+            state,
+            meter,
+            events: Vec::new(),
+        }
+    }
+
+    /// The contract being executed.
+    pub fn contract_id(&self) -> &ContractId {
+        &self.contract
+    }
+
+    /// Reads a raw storage slot (gas-metered).
+    ///
+    /// # Errors
+    /// [`ContractError::OutOfGas`] when the read exhausts the budget.
+    pub fn get_raw(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ContractError> {
+        let value = self.state.storage_get(&self.contract, key).cloned();
+        self.meter
+            .charge_storage_read(value.as_ref().map(Vec::len).unwrap_or(0) + key.len())?;
+        Ok(value)
+    }
+
+    /// Writes a raw storage slot (gas-metered).
+    pub fn set_raw(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), ContractError> {
+        self.meter.charge_storage_write(key.len() + value.len())?;
+        self.state.storage_set(&self.contract, key, value);
+        Ok(())
+    }
+
+    /// Deletes a storage slot (gas-metered); returns whether it existed.
+    pub fn remove_raw(&mut self, key: &[u8]) -> Result<bool, ContractError> {
+        self.meter.charge_storage_write(key.len())?;
+        Ok(self.state.storage_remove(&self.contract, key))
+    }
+
+    /// Reads and decodes a typed value.
+    pub fn get<T: Decode>(&mut self, key: &[u8]) -> Result<Option<T>, ContractError> {
+        match self.get_raw(key)? {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(decode_from_slice(&bytes).map_err(|e| {
+                ContractError::Reverted(format!("corrupt storage at {key:?}: {e}"))
+            })?)),
+        }
+    }
+
+    /// Encodes and writes a typed value.
+    pub fn set<T: Encode>(&mut self, key: Vec<u8>, value: &T) -> Result<(), ContractError> {
+        self.set_raw(key, encode_to_vec(value))
+    }
+
+    /// Lists all keys under a prefix (gas: one access per key).
+    pub fn keys_with_prefix(&mut self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, ContractError> {
+        let keys: Vec<Vec<u8>> = self
+            .state
+            .storage_prefix(&self.contract, prefix)
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        self.meter.charge_compute(keys.len() as u64 + 1)?;
+        Ok(keys)
+    }
+
+    /// Emits an event (gas-metered).
+    pub fn emit(&mut self, topic: impl Into<String>, data: Vec<u8>) -> Result<(), ContractError> {
+        self.meter.charge_event(data.len())?;
+        self.events.push(Event {
+            contract: self.contract.clone(),
+            topic: topic.into(),
+            data,
+        });
+        Ok(())
+    }
+
+    /// Charges abstract compute units (contracts call this in loops).
+    pub fn charge_compute(&mut self, units: u64) -> Result<(), ContractError> {
+        Ok(self.meter.charge_compute(units)?)
+    }
+
+    /// The caller's native-token balance.
+    pub fn caller_balance(&self) -> crate::types::Amount {
+        self.state.balance(&self.caller)
+    }
+
+    /// Moves native tokens from the caller to `to` (market payments).
+    ///
+    /// # Errors
+    /// Reverts with [`ContractError::Reverted`] on insufficient balance.
+    pub fn transfer_from_caller(
+        &mut self,
+        to: Address,
+        amount: crate::types::Amount,
+    ) -> Result<(), ContractError> {
+        self.meter.charge_compute(10)?;
+        self.state
+            .debit(&self.caller, amount)
+            .map_err(|e| ContractError::Reverted(e.to_string()))?;
+        self.state.credit(to, amount);
+        Ok(())
+    }
+
+    /// The events emitted so far in this call.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the context, returning emitted events (chain-internal).
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+/// A smart contract: deterministic state transitions dispatched by method
+/// name.
+///
+/// Implementations must be pure over `(ctx state, args)` — no interior
+/// state, no randomness, no wall-clock — so that every validator replays to
+/// the same result.
+pub trait Contract: Send {
+    /// Handles one call.
+    ///
+    /// # Errors
+    /// Returning any [`ContractError`] reverts the transaction: state
+    /// changes are discarded, gas remains charged.
+    fn call(&self, ctx: &mut CallCtx<'_>, method: &str, args: &[u8]) -> Result<Vec<u8>, ContractError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::GasSchedule;
+
+    /// A toy counter contract used to exercise the runtime.
+    struct Counter;
+
+    impl Contract for Counter {
+        fn call(
+            &self,
+            ctx: &mut CallCtx<'_>,
+            method: &str,
+            args: &[u8],
+        ) -> Result<Vec<u8>, ContractError> {
+            match method {
+                "incr" => {
+                    let (by,): (u64,) = decode_from_slice(args)?;
+                    let current: u64 = ctx.get(b"count")?.unwrap_or(0);
+                    ctx.set(b"count".to_vec(), &(current + by))?;
+                    ctx.emit("Incremented", encode_to_vec(&(current + by,)))?;
+                    Ok(encode_to_vec(&(current + by,)))
+                }
+                "get" => {
+                    let current: u64 = ctx.get(b"count")?.unwrap_or(0);
+                    Ok(encode_to_vec(&(current,)))
+                }
+                "fail" => Err(ContractError::Reverted("always fails".into())),
+                other => Err(ContractError::UnknownMethod(other.into())),
+            }
+        }
+    }
+
+    fn ctx_on<'a>(state: &'a mut WorldState, meter: &'a mut GasMeter) -> CallCtx<'a> {
+        CallCtx::new(
+            Address::from_seed(b"caller"),
+            1,
+            SimTime::from_secs(10),
+            ContractId::new("counter"),
+            state,
+            meter,
+        )
+    }
+
+    #[test]
+    fn call_reads_and_writes_storage() {
+        let mut state = WorldState::new();
+        let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
+        let mut ctx = ctx_on(&mut state, &mut meter);
+        let out = Counter.call(&mut ctx, "incr", &encode_to_vec(&(5u64,))).unwrap();
+        let (value,): (u64,) = decode_from_slice(&out).unwrap();
+        assert_eq!(value, 5);
+        assert_eq!(ctx.events().len(), 1);
+        assert_eq!(ctx.events()[0].topic, "Incremented");
+        drop(ctx);
+        // State persisted.
+        let mut meter2 = GasMeter::new(1_000_000, GasSchedule::default());
+        let mut ctx2 = ctx_on(&mut state, &mut meter2);
+        let out = Counter.call(&mut ctx2, "get", &[]).unwrap();
+        let (value,): (u64,) = decode_from_slice(&out).unwrap();
+        assert_eq!(value, 5);
+    }
+
+    #[test]
+    fn unknown_method_and_bad_args() {
+        let mut state = WorldState::new();
+        let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
+        let mut ctx = ctx_on(&mut state, &mut meter);
+        assert!(matches!(
+            Counter.call(&mut ctx, "nope", &[]),
+            Err(ContractError::UnknownMethod(_))
+        ));
+        assert!(matches!(
+            Counter.call(&mut ctx, "incr", &[1, 2]),
+            Err(ContractError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn gas_exhaustion_surfaces_as_out_of_gas() {
+        let mut state = WorldState::new();
+        let mut meter = GasMeter::new(10, GasSchedule::default()); // hopeless budget
+        let mut ctx = ctx_on(&mut state, &mut meter);
+        assert_eq!(
+            Counter.call(&mut ctx, "incr", &encode_to_vec(&(1u64,))),
+            Err(ContractError::OutOfGas)
+        );
+    }
+
+    #[test]
+    fn typed_storage_detects_corruption() {
+        let mut state = WorldState::new();
+        state.storage_set(&ContractId::new("counter"), b"count".to_vec(), vec![1, 2, 3]);
+        let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
+        let mut ctx = ctx_on(&mut state, &mut meter);
+        let res: Result<Option<u64>, _> = ctx.get(b"count");
+        assert!(matches!(res, Err(ContractError::Reverted(_))));
+    }
+
+    #[test]
+    fn keys_with_prefix_lists_in_order() {
+        let mut state = WorldState::new();
+        let cid = ContractId::new("counter");
+        state.storage_set(&cid, b"idx/2".to_vec(), vec![]);
+        state.storage_set(&cid, b"idx/1".to_vec(), vec![]);
+        state.storage_set(&cid, b"other".to_vec(), vec![]);
+        let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
+        let mut ctx = ctx_on(&mut state, &mut meter);
+        let keys = ctx.keys_with_prefix(b"idx/").unwrap();
+        assert_eq!(keys, vec![b"idx/1".to_vec(), b"idx/2".to_vec()]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ContractError::UnknownMethod("m".into()).to_string().contains("m"));
+        assert!(ContractError::Reverted("why".into()).to_string().contains("why"));
+        assert_eq!(ContractError::from(OutOfGas { limit: 1 }), ContractError::OutOfGas);
+    }
+}

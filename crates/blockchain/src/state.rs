@@ -1,0 +1,262 @@
+//! The world state: accounts and contract storage.
+
+use std::collections::BTreeMap;
+
+use duc_crypto::{hash_parts, Digest};
+
+use crate::types::{Address, Amount, ContractId};
+
+/// One account's ledger entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccountState {
+    /// Spendable balance.
+    pub balance: Amount,
+    /// Next expected transaction nonce.
+    pub nonce: u64,
+}
+
+/// The replicated state machine's state: account balances/nonces plus a
+/// key/value store per contract.
+///
+/// `BTreeMap`s keep iteration deterministic so the [`WorldState::commitment`]
+/// digest is stable across runs — block state roots depend on it.
+#[derive(Debug, Clone, Default)]
+pub struct WorldState {
+    accounts: BTreeMap<Address, AccountState>,
+    storage: BTreeMap<(ContractId, Vec<u8>), Vec<u8>>,
+}
+
+impl WorldState {
+    /// Empty state.
+    pub fn new() -> WorldState {
+        WorldState::default()
+    }
+
+    /// The account entry (default zero for unknown addresses).
+    pub fn account(&self, addr: &Address) -> AccountState {
+        self.accounts.get(addr).cloned().unwrap_or_default()
+    }
+
+    /// Current balance.
+    pub fn balance(&self, addr: &Address) -> Amount {
+        self.account(addr).balance
+    }
+
+    /// Current nonce.
+    pub fn nonce(&self, addr: &Address) -> u64 {
+        self.account(addr).nonce
+    }
+
+    /// Credits an account (used by genesis funding and fee redistribution).
+    pub fn credit(&mut self, addr: Address, amount: Amount) {
+        self.accounts.entry(addr).or_default().balance += amount;
+    }
+
+    /// Debits an account.
+    ///
+    /// # Errors
+    /// Returns `Err(())` without mutating on insufficient balance.
+    pub fn debit(&mut self, addr: &Address, amount: Amount) -> Result<(), InsufficientFunds> {
+        let entry = self.accounts.entry(*addr).or_default();
+        if entry.balance < amount {
+            return Err(InsufficientFunds {
+                needed: amount,
+                available: entry.balance,
+            });
+        }
+        entry.balance -= amount;
+        Ok(())
+    }
+
+    /// Increments an account's nonce.
+    pub fn bump_nonce(&mut self, addr: &Address) {
+        self.accounts.entry(*addr).or_default().nonce += 1;
+    }
+
+    /// Reads a contract storage slot.
+    pub fn storage_get(&self, contract: &ContractId, key: &[u8]) -> Option<&Vec<u8>> {
+        self.storage.get(&(contract.clone(), key.to_vec()))
+    }
+
+    /// Writes a contract storage slot.
+    pub fn storage_set(&mut self, contract: &ContractId, key: Vec<u8>, value: Vec<u8>) {
+        self.storage.insert((contract.clone(), key), value);
+    }
+
+    /// Deletes a contract storage slot; returns whether it existed.
+    pub fn storage_remove(&mut self, contract: &ContractId, key: &[u8]) -> bool {
+        self.storage.remove(&(contract.clone(), key.to_vec())).is_some()
+    }
+
+    /// Iterates a contract's slots whose keys start with `prefix`, in key
+    /// order (contracts build indexes on ordered key prefixes).
+    pub fn storage_prefix<'a>(
+        &'a self,
+        contract: &ContractId,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a [u8], &'a [u8])> {
+        let contract = contract.clone();
+        self.storage
+            .range((contract.clone(), prefix.to_vec())..)
+            .take_while(move |((c, k), _)| *c == contract && k.starts_with(prefix))
+            .map(|((_, k), v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Number of storage slots across all contracts (state-growth metric,
+    /// experiment E12).
+    pub fn storage_slot_count(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Total bytes held in storage values (state-growth metric).
+    pub fn storage_byte_size(&self) -> usize {
+        self.storage.values().map(Vec::len).sum()
+    }
+
+    /// A digest committing to the entire state (accounts + storage).
+    pub fn commitment(&self) -> Digest {
+        let mut parts_owned: Vec<Vec<u8>> = Vec::new();
+        for (addr, acct) in &self.accounts {
+            let mut row = Vec::new();
+            row.extend_from_slice(addr.0.as_bytes());
+            row.extend_from_slice(&acct.balance.to_le_bytes());
+            row.extend_from_slice(&acct.nonce.to_le_bytes());
+            parts_owned.push(row);
+        }
+        for ((contract, key), value) in &self.storage {
+            let mut row = Vec::new();
+            row.extend_from_slice(contract.0.as_bytes());
+            row.push(0);
+            row.extend_from_slice(key);
+            row.push(0);
+            row.extend_from_slice(value);
+            parts_owned.push(row);
+        }
+        let parts: Vec<&[u8]> = std::iter::once(&b"duc/state"[..])
+            .chain(parts_owned.iter().map(Vec::as_slice))
+            .collect();
+        hash_parts(&parts)
+    }
+}
+
+/// Debit failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientFunds {
+    /// Amount requested.
+    pub needed: Amount,
+    /// Amount available.
+    pub available: Amount,
+}
+
+impl std::fmt::Display for InsufficientFunds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "insufficient funds: need {}, have {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientFunds {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid() -> ContractId {
+        ContractId::new("dex")
+    }
+
+    #[test]
+    fn unknown_accounts_are_zero() {
+        let s = WorldState::new();
+        let a = Address::from_seed(b"a");
+        assert_eq!(s.balance(&a), 0);
+        assert_eq!(s.nonce(&a), 0);
+    }
+
+    #[test]
+    fn credit_debit_and_nonce() {
+        let mut s = WorldState::new();
+        let a = Address::from_seed(b"a");
+        s.credit(a, 100);
+        assert_eq!(s.balance(&a), 100);
+        s.debit(&a, 40).unwrap();
+        assert_eq!(s.balance(&a), 60);
+        let err = s.debit(&a, 100).unwrap_err();
+        assert_eq!(err, InsufficientFunds { needed: 100, available: 60 });
+        assert_eq!(s.balance(&a), 60, "failed debit does not mutate");
+        s.bump_nonce(&a);
+        s.bump_nonce(&a);
+        assert_eq!(s.nonce(&a), 2);
+    }
+
+    #[test]
+    fn storage_crud() {
+        let mut s = WorldState::new();
+        assert!(s.storage_get(&cid(), b"k").is_none());
+        s.storage_set(&cid(), b"k".to_vec(), b"v1".to_vec());
+        assert_eq!(s.storage_get(&cid(), b"k").unwrap(), b"v1");
+        s.storage_set(&cid(), b"k".to_vec(), b"v2".to_vec());
+        assert_eq!(s.storage_get(&cid(), b"k").unwrap(), b"v2");
+        assert!(s.storage_remove(&cid(), b"k"));
+        assert!(!s.storage_remove(&cid(), b"k"));
+        assert!(s.storage_get(&cid(), b"k").is_none());
+    }
+
+    #[test]
+    fn storage_is_namespaced_per_contract() {
+        let mut s = WorldState::new();
+        let other = ContractId::new("other");
+        s.storage_set(&cid(), b"k".to_vec(), b"dex".to_vec());
+        s.storage_set(&other, b"k".to_vec(), b"other".to_vec());
+        assert_eq!(s.storage_get(&cid(), b"k").unwrap(), b"dex");
+        assert_eq!(s.storage_get(&other, b"k").unwrap(), b"other");
+    }
+
+    #[test]
+    fn prefix_iteration_is_ordered_and_bounded() {
+        let mut s = WorldState::new();
+        s.storage_set(&cid(), b"res/b".to_vec(), b"2".to_vec());
+        s.storage_set(&cid(), b"res/a".to_vec(), b"1".to_vec());
+        s.storage_set(&cid(), b"res/c".to_vec(), b"3".to_vec());
+        s.storage_set(&cid(), b"pod/x".to_vec(), b"x".to_vec());
+        s.storage_set(&ContractId::new("zz"), b"res/z".to_vec(), b"z".to_vec());
+        let found: Vec<(&[u8], &[u8])> = s.storage_prefix(&cid(), b"res/").collect();
+        assert_eq!(
+            found,
+            vec![
+                (&b"res/a"[..], &b"1"[..]),
+                (&b"res/b"[..], &b"2"[..]),
+                (&b"res/c"[..], &b"3"[..]),
+            ]
+        );
+    }
+
+    #[test]
+    fn size_metrics() {
+        let mut s = WorldState::new();
+        s.storage_set(&cid(), b"a".to_vec(), vec![0; 10]);
+        s.storage_set(&cid(), b"b".to_vec(), vec![0; 20]);
+        assert_eq!(s.storage_slot_count(), 2);
+        assert_eq!(s.storage_byte_size(), 30);
+    }
+
+    #[test]
+    fn commitment_changes_with_state() {
+        let mut s = WorldState::new();
+        let c0 = s.commitment();
+        s.credit(Address::from_seed(b"a"), 1);
+        let c1 = s.commitment();
+        assert_ne!(c0, c1);
+        s.storage_set(&cid(), b"k".to_vec(), b"v".to_vec());
+        let c2 = s.commitment();
+        assert_ne!(c1, c2);
+        // Identical state → identical commitment.
+        let mut t = WorldState::new();
+        t.credit(Address::from_seed(b"a"), 1);
+        t.storage_set(&cid(), b"k".to_vec(), b"v".to_vec());
+        assert_eq!(t.commitment(), c2);
+    }
+}

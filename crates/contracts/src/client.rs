@@ -1,0 +1,343 @@
+//! Typed client for the DistExchange contract.
+//!
+//! Off-chain components (pod managers, TEEs, oracles) talk to the DE App
+//! through this wrapper instead of hand-encoding ABI bytes.
+
+use duc_blockchain::{Address, Blockchain, ContractError, ContractId, SignedTransaction};
+use duc_codec::{decode_from_slice, encode_to_vec};
+use duc_crypto::{Digest, KeyPair, PublicKey};
+
+use crate::abi::{
+    CopyRecord, EvidenceSubmission, MonitoringRound, PodRecord, PolicyEnvelope, ResourceRecord,
+    Subscription,
+};
+use crate::dist_exchange::DEX_CONTRACT_ID;
+
+/// Default gas limit for DE App calls (generous; unused gas is refunded).
+pub const DEFAULT_GAS: u64 = 5_000_000;
+
+/// A typed handle on a deployed DistExchange contract.
+#[derive(Debug, Clone)]
+pub struct DistExchangeClient {
+    contract: ContractId,
+}
+
+impl Default for DistExchangeClient {
+    fn default() -> Self {
+        DistExchangeClient::new()
+    }
+}
+
+impl DistExchangeClient {
+    /// A client for the conventional deployment id.
+    pub fn new() -> Self {
+        DistExchangeClient {
+            contract: ContractId::new(DEX_CONTRACT_ID),
+        }
+    }
+
+    /// The target contract id.
+    pub fn contract_id(&self) -> &ContractId {
+        &self.contract
+    }
+
+    // ------------------------------------------------------- transactions
+
+    /// Builds the one-time market initialization call.
+    pub fn init_tx(
+        &self,
+        chain: &Blockchain,
+        key: &KeyPair,
+        fee: u128,
+        validity_nanos: u64,
+        treasury: Address,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "init",
+            encode_to_vec(&(fee, validity_nanos, treasury)),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds a pod registration (paper process 1).
+    pub fn register_pod_tx(
+        &self,
+        chain: &Blockchain,
+        key: &KeyPair,
+        owner_webid: &str,
+        web_ref: &str,
+        default_policy: PolicyEnvelope,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "register_pod",
+            encode_to_vec(&(owner_webid.to_string(), web_ref.to_string(), default_policy)),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds a resource registration (paper process 2).
+    pub fn register_resource_tx(
+        &self,
+        chain: &Blockchain,
+        key: &KeyPair,
+        resource: &str,
+        location: &str,
+        owner_webid: &str,
+        metadata: Vec<(String, String)>,
+        policy: PolicyEnvelope,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "register_resource",
+            encode_to_vec(&(
+                resource.to_string(),
+                location.to_string(),
+                owner_webid.to_string(),
+                metadata,
+                policy,
+            )),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds a policy update (paper process 5).
+    pub fn update_policy_tx(
+        &self,
+        chain: &Blockchain,
+        key: &KeyPair,
+        resource: &str,
+        policy: PolicyEnvelope,
+        new_version: u64,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "update_policy",
+            encode_to_vec(&(resource.to_string(), policy, new_version)),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds a copy registration (after a successful resource access,
+    /// paper process 4).
+    pub fn register_copy_tx(
+        &self,
+        chain: &Blockchain,
+        key: &KeyPair,
+        resource: &str,
+        device: &str,
+        holder_webid: &str,
+        attestation_key: PublicKey,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "register_copy",
+            encode_to_vec(&(
+                resource.to_string(),
+                device.to_string(),
+                holder_webid.to_string(),
+                attestation_key,
+            )),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds a copy removal (after obligation-driven deletion).
+    pub fn unregister_copy_tx(
+        &self,
+        chain: &Blockchain,
+        key: &KeyPair,
+        resource: &str,
+        device: &str,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "unregister_copy",
+            encode_to_vec(&(resource.to_string(), device.to_string())),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds a monitoring-round request (paper process 6).
+    pub fn start_monitoring_tx(
+        &self,
+        chain: &Blockchain,
+        key: &KeyPair,
+        resource: &str,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "start_monitoring",
+            encode_to_vec(&(resource.to_string(),)),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds an evidence submission.
+    pub fn record_evidence_tx(
+        &self,
+        chain: &Blockchain,
+        key: &KeyPair,
+        submission: &EvidenceSubmission,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "record_evidence",
+            encode_to_vec(submission),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds a market subscription purchase.
+    pub fn subscribe_tx(&self, chain: &Blockchain, key: &KeyPair, webid: &str) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "subscribe",
+            encode_to_vec(&(webid.to_string(),)),
+            DEFAULT_GAS,
+        )
+    }
+
+    // -------------------------------------------------------------- views
+
+    /// Looks up a pod record.
+    ///
+    /// # Errors
+    /// Propagates contract/view errors.
+    pub fn get_pod(&self, chain: &Blockchain, owner_webid: &str) -> Result<Option<PodRecord>, ContractError> {
+        let out = chain.call_view(
+            &self.contract,
+            "get_pod",
+            &encode_to_vec(&(owner_webid.to_string(),)),
+        )?;
+        decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))
+    }
+
+    /// Looks up a resource record (paper process 3's read).
+    ///
+    /// # Errors
+    /// Propagates contract/view errors.
+    pub fn lookup_resource(
+        &self,
+        chain: &Blockchain,
+        resource: &str,
+    ) -> Result<Option<ResourceRecord>, ContractError> {
+        let out = chain.call_view(
+            &self.contract,
+            "lookup_resource",
+            &encode_to_vec(&(resource.to_string(),)),
+        )?;
+        decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))
+    }
+
+    /// Lists all indexed resource IRIs.
+    ///
+    /// # Errors
+    /// Propagates contract/view errors.
+    pub fn list_resources(&self, chain: &Blockchain) -> Result<Vec<String>, ContractError> {
+        let out = chain.call_view(&self.contract, "list_resources", &[])?;
+        decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))
+    }
+
+    /// Lists devices holding copies of a resource.
+    ///
+    /// # Errors
+    /// Propagates contract/view errors.
+    pub fn list_copies(
+        &self,
+        chain: &Blockchain,
+        resource: &str,
+    ) -> Result<Vec<CopyRecord>, ContractError> {
+        let out = chain.call_view(
+            &self.contract,
+            "list_copies",
+            &encode_to_vec(&(resource.to_string(),)),
+        )?;
+        decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))
+    }
+
+    /// Reads a monitoring round.
+    ///
+    /// # Errors
+    /// Propagates contract/view errors.
+    pub fn get_round(
+        &self,
+        chain: &Blockchain,
+        resource: &str,
+        round: u64,
+    ) -> Result<Option<MonitoringRound>, ContractError> {
+        let out = chain.call_view(
+            &self.contract,
+            "get_round",
+            &encode_to_vec(&(resource.to_string(), round)),
+        )?;
+        decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))
+    }
+
+    /// Verifies a payment certificate for a WebID.
+    ///
+    /// # Errors
+    /// Propagates contract/view errors.
+    pub fn verify_certificate(
+        &self,
+        chain: &Blockchain,
+        certificate: &Digest,
+        webid: &str,
+    ) -> Result<bool, ContractError> {
+        let out = chain.call_view(
+            &self.contract,
+            "verify_certificate",
+            &encode_to_vec(&(*certificate, webid.to_string())),
+        )?;
+        let (valid,): (bool,) =
+            decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))?;
+        Ok(valid)
+    }
+
+    /// Reads a subscription.
+    ///
+    /// # Errors
+    /// Propagates contract/view errors.
+    pub fn get_subscription(
+        &self,
+        chain: &Blockchain,
+        webid: &str,
+    ) -> Result<Option<Subscription>, ContractError> {
+        let out = chain.call_view(
+            &self.contract,
+            "get_subscription",
+            &encode_to_vec(&(webid.to_string(),)),
+        )?;
+        decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))
+    }
+
+    /// Decodes the round number returned by `start_monitoring`.
+    ///
+    /// # Errors
+    /// Fails on malformed return data.
+    pub fn decode_round_number(return_data: &[u8]) -> Result<u64, ContractError> {
+        let (round,): (u64,) = decode_from_slice(return_data)
+            .map_err(|e| ContractError::BadArguments(e.to_string()))?;
+        Ok(round)
+    }
+
+    /// Decodes the certificate returned by `subscribe`.
+    ///
+    /// # Errors
+    /// Fails on malformed return data.
+    pub fn decode_certificate(return_data: &[u8]) -> Result<Digest, ContractError> {
+        let (cert,): (Digest,) = decode_from_slice(return_data)
+            .map_err(|e| ContractError::BadArguments(e.to_string()))?;
+        Ok(cert)
+    }
+}

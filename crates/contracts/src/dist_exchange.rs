@@ -1,0 +1,419 @@
+//! The DistExchange contract implementation.
+//!
+//! Storage layout (all keys ASCII-prefixed, `\0`-separated composites):
+//!
+//! ```text
+//! cfg/*                      market configuration (set once by `init`)
+//! pod/{owner_webid}          → PodRecord
+//! res/{resource}             → ResourceRecord
+//! copy/{resource}\0{device}  → CopyRecord
+//! roundctr/{resource}        → u64
+//! round/{resource}\0{round}  → MonitoringRound
+//! sub/{webid}                → Subscription
+//! cert/{digest}              → webid owning that certificate
+//! ```
+
+use duc_blockchain::{Address, CallCtx, Contract, ContractError};
+use duc_codec::{decode_from_slice, encode_to_vec};
+use duc_crypto::{hash_parts, Digest};
+use duc_sim::SimDuration;
+
+use crate::abi::{
+    CopyRecord, EvidenceSubmission, MonitoringRound, PodRecord, PolicyEnvelope, ResourceRecord,
+    Subscription,
+};
+use crate::topics;
+
+/// The conventional deployment id of the DE App.
+pub const DEX_CONTRACT_ID: &str = "dist-exchange";
+
+/// The DistExchange application contract.
+#[derive(Debug, Default)]
+pub struct DistExchange;
+
+fn pod_key(owner_webid: &str) -> Vec<u8> {
+    format!("pod/{owner_webid}").into_bytes()
+}
+
+fn res_key(resource: &str) -> Vec<u8> {
+    format!("res/{resource}").into_bytes()
+}
+
+fn copy_key(resource: &str, device: &str) -> Vec<u8> {
+    let mut k = format!("copy/{resource}").into_bytes();
+    k.push(0);
+    k.extend_from_slice(device.as_bytes());
+    k
+}
+
+fn copy_prefix(resource: &str) -> Vec<u8> {
+    let mut k = format!("copy/{resource}").into_bytes();
+    k.push(0);
+    k
+}
+
+fn round_counter_key(resource: &str) -> Vec<u8> {
+    format!("roundctr/{resource}").into_bytes()
+}
+
+fn round_key(resource: &str, round: u64) -> Vec<u8> {
+    let mut k = format!("round/{resource}").into_bytes();
+    k.push(0);
+    k.extend_from_slice(format!("{round:020}").as_bytes());
+    k
+}
+
+fn sub_key(webid: &str) -> Vec<u8> {
+    format!("sub/{webid}").into_bytes()
+}
+
+fn cert_key(cert: &Digest) -> Vec<u8> {
+    let mut k = b"cert/".to_vec();
+    k.extend_from_slice(cert.as_bytes());
+    k
+}
+
+fn revert(msg: impl Into<String>) -> ContractError {
+    ContractError::Reverted(msg.into())
+}
+
+impl DistExchange {
+    fn init(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (fee, validity_nanos, treasury): (u128, u64, Address) = decode_from_slice(args)?;
+        if ctx.get_raw(b"cfg/fee")?.is_some() {
+            return Err(revert("already initialized"));
+        }
+        ctx.set(b"cfg/fee".to_vec(), &fee)?;
+        ctx.set(b"cfg/validity".to_vec(), &validity_nanos)?;
+        ctx.set(b"cfg/treasury".to_vec(), &treasury)?;
+        Ok(Vec::new())
+    }
+
+    fn register_pod(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (owner_webid, web_ref, default_policy): (String, String, PolicyEnvelope) =
+            decode_from_slice(args)?;
+        let key = pod_key(&owner_webid);
+        if ctx.get_raw(&key)?.is_some() {
+            return Err(revert(format!("pod already registered for {owner_webid}")));
+        }
+        let record = PodRecord {
+            owner_webid: owner_webid.clone(),
+            owner_addr: ctx.caller,
+            web_ref,
+            default_policy,
+            registered_at: ctx.block_time,
+        };
+        ctx.set(key, &record)?;
+        ctx.emit(topics::POD_REGISTERED, encode_to_vec(&(owner_webid,)))?;
+        Ok(Vec::new())
+    }
+
+    fn get_pod(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (owner_webid,): (String,) = decode_from_slice(args)?;
+        let record: Option<PodRecord> = ctx.get(&pod_key(&owner_webid))?;
+        Ok(encode_to_vec(&record))
+    }
+
+    fn register_resource(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (resource, location, owner_webid, metadata, policy): (
+            String,
+            String,
+            String,
+            Vec<(String, String)>,
+            PolicyEnvelope,
+        ) = decode_from_slice(args)?;
+        let pod: PodRecord = ctx
+            .get(&pod_key(&owner_webid))?
+            .ok_or_else(|| revert(format!("no pod registered for {owner_webid}")))?;
+        if pod.owner_addr != ctx.caller {
+            return Err(revert("caller does not own the pod"));
+        }
+        let key = res_key(&resource);
+        if ctx.get_raw(&key)?.is_some() {
+            return Err(revert(format!("resource already registered: {resource}")));
+        }
+        let record = ResourceRecord {
+            resource: resource.clone(),
+            location,
+            owner_webid,
+            owner_addr: ctx.caller,
+            metadata,
+            policy,
+            policy_version: 1,
+            registered_at: ctx.block_time,
+        };
+        ctx.set(key, &record)?;
+        ctx.emit(topics::RESOURCE_REGISTERED, encode_to_vec(&(resource,)))?;
+        Ok(Vec::new())
+    }
+
+    fn lookup_resource(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (resource,): (String,) = decode_from_slice(args)?;
+        let record: Option<ResourceRecord> = ctx.get(&res_key(&resource))?;
+        Ok(encode_to_vec(&record))
+    }
+
+    fn list_resources(&self, ctx: &mut CallCtx<'_>) -> Result<Vec<u8>, ContractError> {
+        let keys = ctx.keys_with_prefix(b"res/")?;
+        let names: Vec<String> = keys
+            .into_iter()
+            .filter_map(|k| String::from_utf8(k[4..].to_vec()).ok())
+            .collect();
+        Ok(encode_to_vec(&names))
+    }
+
+    fn update_policy(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (resource, policy, new_version): (String, PolicyEnvelope, u64) =
+            decode_from_slice(args)?;
+        let key = res_key(&resource);
+        let mut record: ResourceRecord = ctx
+            .get(&key)?
+            .ok_or_else(|| revert(format!("unknown resource {resource}")))?;
+        if record.owner_addr != ctx.caller {
+            return Err(revert("only the owner may update the policy"));
+        }
+        if new_version != record.policy_version + 1 {
+            return Err(revert(format!(
+                "version must increment: current {}, got {new_version}",
+                record.policy_version
+            )));
+        }
+        record.policy = policy.clone();
+        record.policy_version = new_version;
+        ctx.set(key, &record)?;
+        ctx.emit(
+            topics::POLICY_UPDATED,
+            encode_to_vec(&(resource, new_version, policy)),
+        )?;
+        Ok(Vec::new())
+    }
+
+    fn register_copy(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (resource, device, holder_webid, attestation_key): (
+            String,
+            String,
+            String,
+            duc_crypto::PublicKey,
+        ) = decode_from_slice(args)?;
+        if ctx.get_raw(&res_key(&resource))?.is_none() {
+            return Err(revert(format!("unknown resource {resource}")));
+        }
+        let key = copy_key(&resource, &device);
+        let record = CopyRecord {
+            device: device.clone(),
+            holder_webid,
+            attestation_key,
+            registered_at: ctx.block_time,
+        };
+        ctx.set(key, &record)?;
+        ctx.emit(topics::COPY_REGISTERED, encode_to_vec(&(resource, device)))?;
+        Ok(Vec::new())
+    }
+
+    fn unregister_copy(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (resource, device): (String, String) = decode_from_slice(args)?;
+        let existed = ctx.remove_raw(&copy_key(&resource, &device))?;
+        if !existed {
+            return Err(revert("no such copy"));
+        }
+        ctx.emit(topics::COPY_REMOVED, encode_to_vec(&(resource, device)))?;
+        Ok(Vec::new())
+    }
+
+    fn list_copies(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (resource,): (String,) = decode_from_slice(args)?;
+        let copies = self.copies_of(ctx, &resource)?;
+        Ok(encode_to_vec(&copies))
+    }
+
+    fn copies_of(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        resource: &str,
+    ) -> Result<Vec<CopyRecord>, ContractError> {
+        let keys = ctx.keys_with_prefix(&copy_prefix(resource))?;
+        let mut copies = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(copy) = ctx.get::<CopyRecord>(&k)? {
+                copies.push(copy);
+            }
+        }
+        Ok(copies)
+    }
+
+    fn start_monitoring(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (resource,): (String,) = decode_from_slice(args)?;
+        let record: ResourceRecord = ctx
+            .get(&res_key(&resource))?
+            .ok_or_else(|| revert(format!("unknown resource {resource}")))?;
+        if record.owner_addr != ctx.caller {
+            return Err(revert("only the owner may start monitoring"));
+        }
+        let counter_key = round_counter_key(&resource);
+        let round: u64 = ctx.get(&counter_key)?.unwrap_or(0) + 1;
+        ctx.set(counter_key, &round)?;
+        let expected: Vec<String> = self
+            .copies_of(ctx, &resource)?
+            .into_iter()
+            .map(|c| c.device)
+            .collect();
+        let round_record = MonitoringRound {
+            round,
+            resource: resource.clone(),
+            requested_by: ctx.caller,
+            started_at: ctx.block_time,
+            expected_devices: expected.clone(),
+            evidence: Vec::new(),
+            closed: expected.is_empty(),
+        };
+        ctx.set(round_key(&resource, round), &round_record)?;
+        ctx.emit(
+            topics::MONITORING_REQUESTED,
+            encode_to_vec(&(resource.clone(), round, expected)),
+        )?;
+        if round_record.closed {
+            ctx.emit(topics::ROUND_CLOSED, encode_to_vec(&(resource, round, 0u64, Vec::<String>::new())))?;
+        }
+        Ok(encode_to_vec(&(round,)))
+    }
+
+    fn record_evidence(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let submission: EvidenceSubmission = decode_from_slice(args)?;
+        let rkey = round_key(&submission.resource, submission.round);
+        let mut round: MonitoringRound = ctx
+            .get(&rkey)?
+            .ok_or_else(|| revert("unknown monitoring round"))?;
+        if round.closed {
+            return Err(revert("round already closed"));
+        }
+        if !round.expected_devices.contains(&submission.device) {
+            return Err(revert(format!(
+                "device {} not expected in this round",
+                submission.device
+            )));
+        }
+        if round.evidence.iter().any(|e| e.device == submission.device) {
+            return Err(revert("duplicate evidence for device"));
+        }
+        // Verify the enclave signature against the registered attestation
+        // key: forged evidence cannot enter the ledger.
+        let copy: CopyRecord = ctx
+            .get(&copy_key(&submission.resource, &submission.device))?
+            .ok_or_else(|| revert("copy no longer registered"))?;
+        if copy
+            .attestation_key
+            .verify(&submission.signing_bytes(), &submission.signature)
+            .is_err()
+        {
+            return Err(revert("evidence signature does not verify"));
+        }
+        ctx.emit(
+            topics::EVIDENCE_RECORDED,
+            encode_to_vec(&(
+                submission.resource.clone(),
+                submission.round,
+                submission.device.clone(),
+                submission.compliant,
+            )),
+        )?;
+        round.evidence.push(submission);
+        if round.complete() {
+            round.closed = true;
+            let violators: Vec<String> = round
+                .violators()
+                .iter()
+                .map(|e| e.device.clone())
+                .collect();
+            let compliant_count = round.evidence.iter().filter(|e| e.compliant).count() as u64;
+            ctx.emit(
+                topics::ROUND_CLOSED,
+                encode_to_vec(&(
+                    round.resource.clone(),
+                    round.round,
+                    compliant_count,
+                    violators,
+                )),
+            )?;
+        }
+        ctx.set(rkey, &round)?;
+        Ok(Vec::new())
+    }
+
+    fn get_round(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (resource, round): (String, u64) = decode_from_slice(args)?;
+        let record: Option<MonitoringRound> = ctx.get(&round_key(&resource, round))?;
+        Ok(encode_to_vec(&record))
+    }
+
+    fn subscribe(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (webid,): (String,) = decode_from_slice(args)?;
+        let fee: u128 = ctx
+            .get(b"cfg/fee")?
+            .ok_or_else(|| revert("market not initialized"))?;
+        let validity: u64 = ctx.get(b"cfg/validity")?.unwrap_or(0);
+        let treasury: Address = ctx
+            .get(b"cfg/treasury")?
+            .ok_or_else(|| revert("market not initialized"))?;
+        ctx.transfer_from_caller(treasury, fee)?;
+        let certificate = hash_parts(&[
+            b"duc/cert",
+            webid.as_bytes(),
+            &ctx.block_time.as_nanos().to_le_bytes(),
+            ctx.caller.0.as_bytes(),
+        ]);
+        let sub = Subscription {
+            webid: webid.clone(),
+            addr: ctx.caller,
+            certificate,
+            paid_at: ctx.block_time,
+            valid_until: ctx.block_time + SimDuration::from_nanos(validity),
+        };
+        ctx.set(sub_key(&webid), &sub)?;
+        ctx.set(cert_key(&certificate), &webid)?;
+        ctx.emit(topics::CERTIFICATE_ISSUED, encode_to_vec(&(webid, certificate)))?;
+        Ok(encode_to_vec(&(certificate,)))
+    }
+
+    fn verify_certificate(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (certificate, webid): (Digest, String) = decode_from_slice(args)?;
+        let valid = match ctx.get::<String>(&cert_key(&certificate))? {
+            Some(owner) if owner == webid => {
+                let sub: Option<Subscription> = ctx.get(&sub_key(&webid))?;
+                sub.map(|s| s.certificate == certificate && s.valid_at(ctx.block_time))
+                    .unwrap_or(false)
+            }
+            _ => false,
+        };
+        Ok(encode_to_vec(&(valid,)))
+    }
+
+    fn get_subscription(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        let (webid,): (String,) = decode_from_slice(args)?;
+        let sub: Option<Subscription> = ctx.get(&sub_key(&webid))?;
+        Ok(encode_to_vec(&sub))
+    }
+}
+
+impl Contract for DistExchange {
+    fn call(&self, ctx: &mut CallCtx<'_>, method: &str, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+        match method {
+            "init" => self.init(ctx, args),
+            "register_pod" => self.register_pod(ctx, args),
+            "get_pod" => self.get_pod(ctx, args),
+            "register_resource" => self.register_resource(ctx, args),
+            "lookup_resource" => self.lookup_resource(ctx, args),
+            "list_resources" => self.list_resources(ctx),
+            "update_policy" => self.update_policy(ctx, args),
+            "register_copy" => self.register_copy(ctx, args),
+            "unregister_copy" => self.unregister_copy(ctx, args),
+            "list_copies" => self.list_copies(ctx, args),
+            "start_monitoring" => self.start_monitoring(ctx, args),
+            "record_evidence" => self.record_evidence(ctx, args),
+            "get_round" => self.get_round(ctx, args),
+            "subscribe" => self.subscribe(ctx, args),
+            "verify_certificate" => self.verify_certificate(ctx, args),
+            "get_subscription" => self.get_subscription(ctx, args),
+            other => Err(ContractError::UnknownMethod(other.to_string())),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # duc-core — the decentralized usage-control architecture
+//!
+//! This crate assembles every substrate into the architecture of the paper
+//! (Fig. 1) and implements its six processes (Fig. 2):
+//!
+//! 1. **Pod initiation** — [`World::pod_initiation`]
+//! 2. **Resource initiation** — [`World::resource_initiation`]
+//! 3. **Resource indexing** — [`World::resource_indexing`]
+//! 4. **Resource access** — [`World::resource_access`]
+//! 5. **Policy modification** — [`World::policy_modification`]
+//! 6. **Policy monitoring** — [`World::policy_monitoring`]
+//!
+//! A [`World`] is one simulated deployment: a blockchain with the
+//! DistExchange app, oracles in all four pattern quadrants, pod managers
+//! for each data owner and TEE devices for each consumer, all wired over a
+//! deterministic network model. Every process records end-to-end and
+//! per-hop latencies plus gas into a [`duc_sim::MetricsRegistry`], which is
+//! what the benchmark harness reports.
+//!
+//! ## Example
+//! ```
+//! use duc_core::prelude::*;
+//!
+//! let mut world = World::new(WorldConfig::default());
+//! world.add_owner("https://bob.id/me", "https://bob.pod/");
+//! world.pod_initiation("https://bob.id/me")?;
+//! # Ok::<(), duc_core::ProcessError>(())
+//! ```
+
+pub mod baseline;
+pub mod process;
+pub mod scenario;
+pub mod world;
+
+pub use process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
+pub use world::{World, WorldConfig};
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::baseline::{self, CentralizedAuditBaseline, PlainSolidBaseline};
+    pub use crate::process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
+    pub use crate::scenario;
+    pub use crate::world::{World, WorldConfig};
+    pub use duc_policy::prelude::*;
+    pub use duc_sim::{SimDuration, SimTime};
+}

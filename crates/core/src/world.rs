@@ -1,0 +1,418 @@
+//! The simulated deployment: all components of Fig. 1, wired together.
+
+use std::collections::HashMap;
+
+use duc_blockchain::{Address, Blockchain, ContractId};
+use duc_contracts::{topics, DistExchange, DistExchangeClient, PolicyEnvelope, DEX_CONTRACT_ID};
+use duc_crypto::KeyPair;
+use duc_policy::{PolicyEngine, UsagePolicy};
+use duc_sim::{
+    Clock, EndpointId, LinkConfig, MetricsRegistry, NetworkModel, Rng, SimDuration, TraceRecorder,
+};
+use duc_solid::PodManager;
+use duc_tee::{AttestationAuthority, Enclave, TrustedApplication};
+use duc_oracle::{PullInOracle, PullOutOracle, PushInOracle, PushOutOracle};
+
+/// Configuration for one simulated deployment.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed (the whole run is a function of this and the workload).
+    pub seed: u64,
+    /// PoA validator count.
+    pub validators: usize,
+    /// Block interval.
+    pub block_interval: SimDuration,
+    /// Default network link profile.
+    pub link: LinkConfig,
+    /// Market subscription fee (native tokens).
+    pub market_fee: u128,
+    /// Certificate validity window.
+    pub cert_validity: SimDuration,
+    /// Store usage policies on-chain encrypted (privacy experiment E9).
+    pub encrypt_policies: bool,
+    /// Record a structured trace of every process hop.
+    pub trace: bool,
+    /// Genesis balance for every participant.
+    pub initial_balance: u128,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 42,
+            validators: 4,
+            block_interval: SimDuration::from_secs(2),
+            link: LinkConfig::default(),
+            market_fee: 10_000,
+            cert_validity: SimDuration::from_days(30),
+            encrypt_policies: false,
+            trace: false,
+            initial_balance: 10_000_000_000,
+        }
+    }
+}
+
+/// A data owner: a chain identity plus a pod manager.
+pub struct Owner {
+    /// Chain signing key.
+    pub key: KeyPair,
+    /// The pod manager fronting the owner's pod.
+    pub pod_manager: PodManager,
+    /// The pod manager's network endpoint.
+    pub endpoint: EndpointId,
+    /// Whether the pod has been registered on-chain (process 1 done).
+    pub pod_registered: bool,
+}
+
+/// What a device learned about a resource from the DE App (paper process 3
+/// stores these "in the TEE").
+#[derive(Debug, Clone)]
+pub struct IndexEntry {
+    /// Physical location of the resource.
+    pub location: String,
+    /// WebID of the data owner.
+    pub owner_webid: String,
+    /// The usage policy at indexing time.
+    pub policy: UsagePolicy,
+}
+
+/// A consumer device: a chain identity plus a TEE.
+pub struct Device {
+    /// WebID of the consumer operating the device.
+    pub webid: String,
+    /// Chain signing key (pays for copy registration and evidence).
+    pub key: KeyPair,
+    /// The trusted application in this device's enclave.
+    pub tee: TrustedApplication,
+    /// The device's network endpoint.
+    pub endpoint: EndpointId,
+    /// Market certificate, once subscribed.
+    pub certificate: Option<duc_crypto::Digest>,
+    /// Indexed resources by IRI.
+    pub indexed: HashMap<String, IndexEntry>,
+}
+
+/// One simulated deployment of the whole architecture.
+pub struct World {
+    /// Deployment configuration.
+    pub config: WorldConfig,
+    /// Logical clock shared by every component.
+    pub clock: Clock,
+    /// The network model.
+    pub net: NetworkModel,
+    /// Seeded randomness.
+    pub rng: Rng,
+    /// The blockchain hosting the DE App.
+    pub chain: Blockchain,
+    /// Typed DE App client.
+    pub dex: DistExchangeClient,
+    /// Push-in oracle (off-chain → chain transactions).
+    pub push_in: PushInOracle,
+    /// Push-out oracle (chain events → devices/pod managers).
+    pub push_out: PushOutOracle,
+    /// Pull-out oracle (off-chain reads of chain state).
+    pub pull_out: PullOutOracle,
+    /// Pull-in oracle (chain-initiated data requests).
+    pub pull_in: PullInOracle,
+    /// The attestation authority trusted by the DE App deployment.
+    pub attestation: AttestationAuthority,
+    /// Data owners by WebID.
+    pub owners: HashMap<String, Owner>,
+    /// Consumer devices by device name.
+    pub devices: HashMap<String, Device>,
+    /// Collected measurements.
+    pub metrics: MetricsRegistry,
+    /// Structured event trace (enabled by [`WorldConfig::trace`]).
+    pub trace: TraceRecorder,
+    /// The chain gateway endpoint (where view calls land).
+    pub gateway: EndpointId,
+    /// Devices whose hosts suppress enclave timers (fault injection).
+    rogue_hosts: std::collections::HashSet<String>,
+    /// Key material for encrypted policy envelopes (E9). In a production
+    /// deployment this would come from a key-distribution service; the
+    /// simulation provisions it to owners and TEEs out of band.
+    pub policy_key: ([u8; 32], [u8; 12]),
+    engine: PolicyEngine,
+}
+
+impl World {
+    /// Builds a deployment: chain + DE App + oracles, no participants yet.
+    pub fn new(config: WorldConfig) -> World {
+        let mut chain = Blockchain::builder()
+            .validators(config.validators)
+            .block_interval(config.block_interval)
+            .build();
+        chain.deploy(ContractId::new(DEX_CONTRACT_ID), Box::new(DistExchange));
+        let dex = DistExchangeClient::new();
+
+        // Market initialization by a deployment admin.
+        let admin = chain.create_funded_account(b"duc/market-admin", 1_000_000_000);
+        let init = dex.init_tx(
+            &chain,
+            &admin,
+            config.market_fee,
+            config.cert_validity.as_nanos(),
+            Address::from_seed(b"duc/market-treasury"),
+        );
+        chain.submit(init).expect("genesis init is valid");
+        chain.advance_to(duc_sim::SimTime::ZERO + config.block_interval);
+
+        let mut net = NetworkModel::new(config.link.clone());
+        let relay = net.add_endpoint("oracle-relay");
+        let gateway = net.add_endpoint("chain-gateway");
+
+        let clock = Clock::new();
+        clock.advance(config.block_interval); // genesis block has passed
+        let trace = if config.trace {
+            TraceRecorder::new()
+        } else {
+            TraceRecorder::disabled()
+        };
+        World {
+            rng: Rng::seed_from_u64(config.seed),
+            push_in: PushInOracle::new(relay),
+            push_out: PushOutOracle::new(relay),
+            pull_out: PullOutOracle::new(relay),
+            pull_in: PullInOracle::new(relay, topics::MONITORING_REQUESTED),
+            attestation: AttestationAuthority::new(b"duc/attestation-root"),
+            owners: HashMap::new(),
+            devices: HashMap::new(),
+            metrics: MetricsRegistry::new(),
+            trace,
+            gateway,
+            rogue_hosts: std::collections::HashSet::new(),
+            policy_key: ([0x42; 32], [0x17; 12]),
+            engine: PolicyEngine::default(),
+            config,
+            clock,
+            net,
+            chain,
+            dex,
+        }
+    }
+
+    /// The policy engine (standard purpose taxonomy).
+    pub fn engine(&self) -> &PolicyEngine {
+        &self.engine
+    }
+
+    /// Registers a data owner with a pod rooted at `pod_root`.
+    /// (Participant setup; the on-chain half happens in process 1.)
+    pub fn add_owner(&mut self, webid: impl Into<String>, pod_root: impl Into<String>) {
+        let webid = webid.into();
+        let pod_root = pod_root.into();
+        let key = self
+            .chain
+            .create_funded_account(webid.as_bytes(), self.config.initial_balance);
+        let endpoint = self.net.add_endpoint(format!("pod-manager:{webid}"));
+        self.owners.insert(
+            webid.clone(),
+            Owner {
+                key,
+                pod_manager: PodManager::new(pod_root, webid),
+                endpoint,
+                pod_registered: false,
+            },
+        );
+    }
+
+    /// Registers a consumer device operated by `webid`, running the
+    /// canonical trusted application (whitelisted with the attestation
+    /// authority).
+    pub fn add_device(&mut self, device: impl Into<String>, webid: impl Into<String>) {
+        let device = device.into();
+        let webid = webid.into();
+        let enclave = Enclave::new(device.clone(), b"duc/trusted-app-v1");
+        self.attestation.trust_measurement(enclave.measurement());
+        let key = self
+            .chain
+            .create_funded_account(device.as_bytes(), self.config.initial_balance);
+        let endpoint = self.net.add_endpoint(format!("device:{device}"));
+        self.devices.insert(
+            device,
+            Device {
+                tee: TrustedApplication::new(enclave, webid.clone()),
+                webid,
+                key,
+                endpoint,
+                certificate: None,
+                indexed: HashMap::new(),
+            },
+        );
+    }
+
+    /// Wraps a policy for on-chain storage per the deployment's privacy
+    /// configuration.
+    pub fn envelope(&self, policy: &UsagePolicy) -> PolicyEnvelope {
+        if self.config.encrypt_policies {
+            PolicyEnvelope::sealed(policy, self.policy_key.0, self.policy_key.1)
+        } else {
+            PolicyEnvelope::plain(policy)
+        }
+    }
+
+    /// Opens an on-chain policy envelope per the deployment configuration.
+    ///
+    /// # Errors
+    /// Propagates envelope decode errors (wrong key, corrupt bytes).
+    pub fn open_envelope(&self, env: &PolicyEnvelope) -> Result<UsagePolicy, duc_codec::DecodeError> {
+        if env.encrypted {
+            env.open(Some(self.policy_key))
+        } else {
+            env.open(None)
+        }
+    }
+
+    /// Produces blocks due at the current clock and returns the height.
+    pub fn sync_chain(&mut self) -> u64 {
+        self.chain.advance_to(self.clock.now());
+        self.chain.height()
+    }
+
+    /// Marks a device's host as rogue: its enclave timer interrupts are
+    /// suppressed, so obligation sweeps never fire autonomously (the
+    /// monitoring experiments use this to create detectable violators; the
+    /// enclave still cannot *forge* evidence).
+    pub fn set_rogue_host(&mut self, device: impl Into<String>, rogue: bool) {
+        let device = device.into();
+        if rogue {
+            self.rogue_hosts.insert(device);
+        } else {
+            self.rogue_hosts.remove(&device);
+        }
+    }
+
+    /// Advances simulated time. TEE obligation timers fire at their exact
+    /// deadlines along the way (paper §III-C: "the TEE automatically
+    /// deletes the resource ... after one week has passed, as per the
+    /// policy"), and the chain catches up to the final instant.
+    pub fn advance(&mut self, d: SimDuration) {
+        let target = self.clock.now() + d;
+        loop {
+            let next_deadline = self
+                .devices
+                .iter()
+                .filter(|(name, _)| !self.rogue_hosts.contains(*name))
+                .filter_map(|(_, dev)| dev.tee.next_obligation_deadline())
+                .min();
+            match next_deadline {
+                Some(deadline) if deadline <= target => {
+                    self.clock.advance_to(deadline);
+                    self.sweep_devices();
+                }
+                _ => break,
+            }
+        }
+        self.clock.advance_to(target);
+        self.chain.advance_to(self.clock.now());
+    }
+
+    /// Runs every device's obligation sweep at the current instant (the
+    /// TEEs' periodic timers; cf. ablation E11) and returns executed
+    /// actions. Deletions also unregister the on-chain copy.
+    pub fn sweep_devices(&mut self) -> Vec<(String, duc_tee::EnforcementAction)> {
+        let now = self.clock.now();
+        let mut all = Vec::new();
+        let mut pending = Vec::new();
+        let names: Vec<String> = self
+            .devices
+            .keys()
+            .filter(|n| !self.rogue_hosts.contains(*n))
+            .cloned()
+            .collect();
+        for name in names {
+            let device = self.devices.get_mut(&name).expect("key exists");
+            for action in device.tee.sweep(now) {
+                if let duc_tee::EnforcementAction::Deleted { resource, .. } = &action {
+                    self.metrics.incr("enforcement.deletions");
+                    let tx =
+                        self.dex
+                            .unregister_copy_tx(&self.chain, &device.key, resource, &name);
+                    if let Ok(id) = self.chain.submit(tx) {
+                        pending.push(id);
+                    }
+                }
+                all.push((name.clone(), action));
+            }
+        }
+        // Confirm the unregistrations before anything else (e.g. a
+        // monitoring round) can race them within one block.
+        if let Some(last) = pending.last() {
+            let _ = duc_oracle::await_inclusion(
+                &mut self.chain,
+                &self.clock,
+                last,
+                SimDuration::from_secs(120),
+            );
+        }
+        self.sync_chain();
+        all
+    }
+
+    /// Immutable owner lookup.
+    ///
+    /// # Panics
+    /// Panics when the owner is unknown — worlds are built by the test or
+    /// bench harness, so a missing participant is a harness bug.
+    pub fn owner(&self, webid: &str) -> &Owner {
+        self.owners.get(webid).expect("unknown owner webid")
+    }
+
+    /// Immutable device lookup.
+    ///
+    /// # Panics
+    /// Panics when the device is unknown (harness bug).
+    pub fn device(&self, device: &str) -> &Device {
+        self.devices.get(device).expect("unknown device")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_boots_with_initialized_market() {
+        let world = World::new(WorldConfig::default());
+        assert!(world.chain.has_contract(&ContractId::new(DEX_CONTRACT_ID)));
+        assert_eq!(world.chain.height(), 1, "genesis init block");
+        assert!(world.dex.list_resources(&world.chain).unwrap().is_empty());
+    }
+
+    #[test]
+    fn participants_get_funded_accounts_and_endpoints() {
+        let mut world = World::new(WorldConfig::default());
+        world.add_owner("https://alice.id/me", "https://alice.pod/");
+        world.add_device("alice-laptop", "https://alice.id/me");
+        let owner = world.owner("https://alice.id/me");
+        assert!(world.chain.balance(&Address::from_public_key(&owner.key.public())) > 0);
+        assert_eq!(world.net.endpoint_name(owner.endpoint), "pod-manager:https://alice.id/me");
+        let device = world.device("alice-laptop");
+        assert_eq!(device.webid, "https://alice.id/me");
+        assert!(device.certificate.is_none());
+    }
+
+    #[test]
+    fn envelope_respects_privacy_configuration() {
+        let plain_world = World::new(WorldConfig::default());
+        let sealed_world = World::new(WorldConfig {
+            encrypt_policies: true,
+            ..WorldConfig::default()
+        });
+        let policy = UsagePolicy::default_for("urn:r", "urn:o");
+        assert!(!plain_world.envelope(&policy).encrypted);
+        let env = sealed_world.envelope(&policy);
+        assert!(env.encrypted);
+        assert_eq!(sealed_world.open_envelope(&env).unwrap(), policy);
+        assert_eq!(plain_world.open_envelope(&plain_world.envelope(&policy)).unwrap(), policy);
+    }
+
+    #[test]
+    fn advance_moves_clock_and_chain_together() {
+        let mut world = World::new(WorldConfig::default());
+        let t0 = world.clock.now();
+        world.advance(SimDuration::from_secs(10));
+        assert_eq!(world.clock.now(), t0 + SimDuration::from_secs(10));
+        assert_eq!(world.chain.current_time(), world.clock.now());
+    }
+}

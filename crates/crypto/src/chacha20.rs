@@ -1,0 +1,172 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from the specification.
+//!
+//! Used for TEE sealed storage and for the optional encryption of on-chain
+//! policy metadata in the privacy experiment (E9). Encryption and decryption
+//! are the same operation (XOR keystream).
+
+/// ChaCha20 keystream generator / stream cipher.
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u8; 32],
+    nonce: [u8; 12],
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance for a 256-bit key and 96-bit nonce.
+    pub fn new(key: [u8; 32], nonce: [u8; 12]) -> Self {
+        ChaCha20 { key, nonce }
+    }
+
+    fn block(&self, counter: u32) -> [u8; 64] {
+        const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                self.key[i * 4],
+                self.key[i * 4 + 1],
+                self.key[i * 4 + 2],
+                self.key[i * 4 + 3],
+            ]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                self.nonce[i * 4],
+                self.nonce[i * 4 + 1],
+                self.nonce[i * 4 + 2],
+                self.nonce[i * 4 + 3],
+            ]);
+        }
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream (starting at block `initial_counter`) into `data`
+    /// in place. Applying the same operation twice restores the plaintext.
+    pub fn apply_keystream(&self, initial_counter: u32, data: &mut [u8]) {
+        for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(initial_counter.wrapping_add(block_idx as u32));
+            for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+                *byte ^= k;
+            }
+        }
+    }
+
+    /// Convenience: encrypts `plaintext` with counter 1 (RFC 8439 convention
+    /// reserves counter 0 for the Poly1305 key, which we do not use).
+    pub fn encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.apply_keystream(1, &mut out);
+        out
+    }
+
+    /// Convenience: decrypts data produced by [`ChaCha20::encrypt`].
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Vec<u8> {
+        self.encrypt(ciphertext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// RFC 8439 §2.3.2 block-function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] =
+            hex::decode("000000090000004a00000000").unwrap().try_into().unwrap();
+        let cipher = ChaCha20::new(key, nonce);
+        let block = cipher.block(1);
+        assert_eq!(
+            hex::encode(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] =
+            hex::decode("000000000000004a00000000").unwrap().try_into().unwrap();
+        let cipher = ChaCha20::new(key, nonce);
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let ct = cipher.encrypt(plaintext);
+        assert_eq!(
+            hex::encode(&ct[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(ct.len(), plaintext.len());
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let cipher = ChaCha20::new([7u8; 32], [9u8; 12]);
+        let msg = b"usage policy: delete after one week".to_vec();
+        let ct = cipher.encrypt(&msg);
+        assert_ne!(ct, msg);
+        assert_eq!(cipher.decrypt(&ct), msg);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let c1 = ChaCha20::new([1u8; 32], [0u8; 12]);
+        let c2 = ChaCha20::new([1u8; 32], [1u8; 12]);
+        assert_ne!(c1.encrypt(b"same message"), c2.encrypt(b"same message"));
+    }
+
+    #[test]
+    fn keystream_continuation_matches_one_shot() {
+        let cipher = ChaCha20::new([3u8; 32], [4u8; 12]);
+        let mut whole = vec![0u8; 130];
+        cipher.apply_keystream(1, &mut whole);
+        // Same keystream applied to an all-zero buffer in two chunks at the
+        // correct block offsets.
+        let mut part1 = vec![0u8; 64];
+        let mut part2 = vec![0u8; 66];
+        cipher.apply_keystream(1, &mut part1);
+        cipher.apply_keystream(2, &mut part2);
+        assert_eq!(&whole[..64], &part1[..]);
+        assert_eq!(&whole[64..], &part2[..]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let cipher = ChaCha20::new([0u8; 32], [0u8; 12]);
+        assert!(cipher.encrypt(b"").is_empty());
+    }
+}

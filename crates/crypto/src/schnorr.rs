@@ -1,0 +1,379 @@
+//! Schnorr signatures over a safe-prime group (simulation-scale).
+//!
+//! The group is the order-`q` subgroup of quadratic residues of `Z_p^*`,
+//! where `p = 2q + 1` is a safe prime found deterministically at first use
+//! and verified with deterministic Miller–Rabin (exact for 64-bit inputs).
+//! Nonces are derived deterministically (RFC 6979 in spirit) via
+//! HMAC-SHA-256, so signing needs no RNG and never reuses a nonce across
+//! distinct messages.
+//!
+//! This is the documented substitution for secp256k1/EdDSA (DESIGN.md §2):
+//! the 63-bit modulus is *not* production-grade, but sign/verify semantics,
+//! key identity and tamper evidence — the properties the architecture
+//! exercises — are faithfully provided.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::Digest;
+use crate::{hash_parts, hex};
+
+/// Group parameters: safe prime `p = 2q + 1`, subgroup order `q`,
+/// generator `g` of the order-`q` subgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupParams {
+    /// The field prime.
+    pub p: u64,
+    /// The subgroup order, `(p - 1) / 2`.
+    pub q: u64,
+    /// A generator of the subgroup of quadratic residues.
+    pub g: u64,
+}
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin, exact for all `n < 2^64`
+/// (witness set due to Sinclair).
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn find_group() -> GroupParams {
+    // Deterministic search: first safe prime p = 2q+1 with q >= 2^61 + 1.
+    let mut q: u64 = (1u64 << 61) + 1;
+    loop {
+        if is_prime_u64(q) {
+            let p = 2 * q + 1;
+            if is_prime_u64(p) {
+                // g = 4 = 2^2 is a quadratic residue, hence has order q
+                // (it cannot be 1 for p > 5).
+                let g = 4u64;
+                debug_assert_eq!(pow_mod(g, q, p), 1, "g generates the order-q subgroup");
+                return GroupParams { p, q, g };
+            }
+        }
+        q += 2;
+    }
+}
+
+/// The process-wide group parameters (computed once, deterministic).
+pub fn group() -> &'static GroupParams {
+    static GROUP: OnceLock<GroupParams> = OnceLock::new();
+    GROUP.get_or_init(find_group)
+}
+
+/// A secret scalar.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(u64);
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the scalar.
+        f.write_str("SecretKey(<redacted>)")
+    }
+}
+
+/// A public group element `g^x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(pub u64);
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pk:{}", hex::encode(&self.0.to_be_bytes()))
+    }
+}
+
+impl PublicKey {
+    /// The key as bytes (big-endian), for hashing into addresses.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+}
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Challenge scalar.
+    pub e: u64,
+    /// Response scalar.
+    pub s: u64,
+}
+
+impl Signature {
+    /// Serializes to 16 bytes (big-endian `e`, then `s`).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.e.to_be_bytes());
+        out[8..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses 16 bytes produced by [`Signature::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some(Signature {
+            e: u64::from_be_bytes(bytes[..8].try_into().ok()?),
+            s: u64::from_be_bytes(bytes[8..].try_into().ok()?),
+        })
+    }
+}
+
+/// Signature verification failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("signature verification failed")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A signing key pair.
+///
+/// # Example
+/// ```
+/// use duc_crypto::KeyPair;
+/// let kp = KeyPair::from_seed(b"alice");
+/// let sig = kp.sign(b"register resource r1");
+/// assert!(kp.public().verify(b"register resource r1", &sig).is_ok());
+/// assert!(kp.public().verify(b"register resource r2", &sig).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+fn scalar_from_digest(d: &Digest, q: u64) -> u64 {
+    let mut v = u64::from_be_bytes(d.as_bytes()[..8].try_into().expect("8 bytes"));
+    v %= q;
+    v
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from seed bytes.
+    ///
+    /// Identical seeds yield identical keys — convenient for reproducible
+    /// simulations where "Alice's key" must be stable across runs.
+    pub fn from_seed(seed: &[u8]) -> KeyPair {
+        let grp = group();
+        let d = hmac_sha256(b"duc/keygen", seed);
+        let mut x = scalar_from_digest(&d, grp.q);
+        if x == 0 {
+            x = 1;
+        }
+        let public = PublicKey(pow_mod(grp.g, x, grp.p));
+        KeyPair {
+            secret: SecretKey(x),
+            public,
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message` with a deterministic HMAC-derived nonce.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let grp = group();
+        let x_bytes = self.secret.0.to_be_bytes();
+        let mut k = scalar_from_digest(&hmac_sha256(&x_bytes, message), grp.q);
+        if k == 0 {
+            k = 1;
+        }
+        let r = pow_mod(grp.g, k, grp.p);
+        let e = challenge(r, self.public, message, grp.q);
+        let s = (k as u128 + mul_mod(e, self.secret.0, grp.q) as u128) % grp.q as u128;
+        Signature { e, s: s as u64 }
+    }
+}
+
+fn challenge(r: u64, public: PublicKey, message: &[u8], q: u64) -> u64 {
+    let d = hash_parts(&[
+        b"duc/schnorr",
+        &r.to_be_bytes(),
+        &public.to_bytes(),
+        message,
+    ]);
+    scalar_from_digest(&d, q)
+}
+
+impl PublicKey {
+    /// Verifies `sig` over `message`.
+    ///
+    /// # Errors
+    /// Returns [`SignatureError`] if the signature does not verify.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> Result<(), SignatureError> {
+        let grp = group();
+        if sig.e >= grp.q || sig.s >= grp.q || self.0 == 0 || self.0 >= grp.p {
+            return Err(SignatureError);
+        }
+        // R' = g^s * P^(-e)  =  g^s * P^(q - e)   (P has order q)
+        let neg_e = (grp.q - sig.e) % grp.q;
+        let r_prime = mul_mod(
+            pow_mod(grp.g, sig.s, grp.p),
+            pow_mod(self.0, neg_e, grp.p),
+            grp.p,
+        );
+        if challenge(r_prime, *self, message, grp.q) == sig.e {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_params_are_a_safe_prime_group() {
+        let grp = group();
+        assert!(is_prime_u64(grp.p));
+        assert!(is_prime_u64(grp.q));
+        assert_eq!(grp.p, 2 * grp.q + 1);
+        assert_eq!(pow_mod(grp.g, grp.q, grp.p), 1, "g has order dividing q");
+        assert_ne!(grp.g, 1);
+    }
+
+    #[test]
+    fn miller_rabin_known_values() {
+        for p in [2u64, 3, 5, 7, 97, 7919, 2_147_483_647] {
+            assert!(is_prime_u64(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 100, 561, 341, 1_000_000] {
+            assert!(!is_prime_u64(c), "{c} is composite");
+        }
+        // Strong pseudoprime to several bases; MR with full witness set
+        // must still reject it.
+        assert!(!is_prime_u64(3_215_031_751));
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(b"alice");
+        for msg in [&b"m1"[..], b"", b"a much longer message with content"] {
+            let sig = kp.sign(msg);
+            kp.public().verify(msg, &sig).expect("valid signature");
+        }
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"original");
+        assert_eq!(kp.public().verify(b"tampered", &sig), Err(SignatureError));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let alice = KeyPair::from_seed(b"alice");
+        let bob = KeyPair::from_seed(b"bob");
+        let sig = alice.sign(b"payload");
+        assert!(bob.public().verify(b"payload", &sig).is_err());
+    }
+
+    #[test]
+    fn mangled_signature_rejected() {
+        let kp = KeyPair::from_seed(b"carol");
+        let sig = kp.sign(b"payload");
+        let bad_e = Signature { e: sig.e ^ 1, ..sig };
+        let bad_s = Signature { s: sig.s ^ 1, ..sig };
+        assert!(kp.public().verify(b"payload", &bad_e).is_err());
+        assert!(kp.public().verify(b"payload", &bad_s).is_err());
+    }
+
+    #[test]
+    fn out_of_range_signature_rejected() {
+        let kp = KeyPair::from_seed(b"dave");
+        let grp = group();
+        let sig = Signature { e: grp.q, s: 0 };
+        assert!(kp.public().verify(b"x", &sig).is_err());
+    }
+
+    #[test]
+    fn deterministic_keys_and_signatures() {
+        let a1 = KeyPair::from_seed(b"alice");
+        let a2 = KeyPair::from_seed(b"alice");
+        assert_eq!(a1.public(), a2.public());
+        assert_eq!(a1.sign(b"m"), a2.sign(b"m"));
+        assert_ne!(a1.sign(b"m"), a1.sign(b"n"), "different messages, different sigs");
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let kp = KeyPair::from_seed(b"erin");
+        let sig = kp.sign(b"bytes");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).expect("16 bytes");
+        assert_eq!(parsed, sig);
+        assert!(Signature::from_bytes(&[0u8; 15]).is_none());
+    }
+
+    #[test]
+    fn secret_key_debug_is_redacted() {
+        let kp = KeyPair::from_seed(b"frank");
+        let shown = format!("{kp:?}");
+        assert!(shown.contains("redacted"), "{shown}");
+        assert!(!shown.contains(&kp.secret.0.to_string()), "scalar leaked: {shown}");
+    }
+
+    #[test]
+    fn public_key_display_is_stable() {
+        let kp = KeyPair::from_seed(b"grace");
+        let shown = format!("{}", kp.public());
+        assert!(shown.starts_with("pk:"));
+        assert_eq!(shown.len(), 3 + 16);
+    }
+}

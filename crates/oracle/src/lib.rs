@@ -1,0 +1,21 @@
+//! # duc-oracle — blockchain oracles
+//!
+//! Blockchains are closed worlds; oracles connect them to the outside
+//! (paper §III-D, and the authors' own oracle-pattern taxonomy [Basile et
+//! al., BPM 2021]). Four patterns, by flow direction × data operation:
+//!
+//! | | **push** (initiator sends) | **pull** (initiator asks) |
+//! |---|---|---|
+//! | **in** (off-chain → chain) | [`PushInOracle`] — pod manager submits state-changing transactions | [`PullInOracle`] — the chain requests data from devices (monitoring evidence) |
+//! | **out** (chain → off-chain) | [`PushOutOracle`] — contract events fanned out to subscribed devices | [`PullOutOracle`] — off-chain components read contract state (resource indexing) |
+//!
+//! Every hop is priced by the [`duc_sim::NetworkModel`], so oracle traffic
+//! shows up in the latency experiments; submission retries and delivery
+//! drops feed the robustness experiment (E8).
+
+pub mod patterns;
+
+pub use patterns::{
+    await_inclusion, OracleError, OutboundDelivery, PullInOracle, PullOutOracle, PushInOracle,
+    PushOutOracle,
+};

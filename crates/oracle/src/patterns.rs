@@ -1,0 +1,696 @@
+//! The four oracle patterns.
+
+use duc_blockchain::{Blockchain, Event, Receipt, SignedTransaction, SubmitError, TxId};
+use duc_codec::encode_to_vec;
+use duc_sim::{Clock, EndpointId, NetworkModel, Rng, SimDuration, SimTime};
+
+/// Oracle-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The message was lost on the network (after any retries).
+    NetworkDropped,
+    /// The chain rejected the transaction.
+    Rejected(SubmitError),
+    /// The transaction was not included before the deadline.
+    InclusionTimeout {
+        /// The deadline that passed.
+        deadline: SimTime,
+    },
+    /// A view call failed.
+    View(String),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::NetworkDropped => f.write_str("message dropped by network"),
+            OracleError::Rejected(e) => write!(f, "transaction rejected: {e}"),
+            OracleError::InclusionTimeout { deadline } => {
+                write!(f, "transaction not included by {deadline}")
+            }
+            OracleError::View(e) => write!(f, "view call failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Advances the clock slot-by-slot until `id` has a receipt (inclusion) or
+/// the timeout elapses. Models "waiting for confirmation".
+///
+/// # Errors
+/// [`OracleError::InclusionTimeout`] when the deadline passes — e.g. when
+/// crashed proposers stall the chain (robustness experiment E8).
+pub fn await_inclusion(
+    chain: &mut Blockchain,
+    clock: &Clock,
+    id: &TxId,
+    timeout: SimDuration,
+) -> Result<Receipt, OracleError> {
+    let deadline = clock.now() + timeout;
+    let interval = chain.block_interval();
+    loop {
+        chain.advance_to(clock.now());
+        if let Some(receipt) = chain.receipt(id) {
+            return Ok(receipt.clone());
+        }
+        if clock.now() >= deadline {
+            return Err(OracleError::InclusionTimeout { deadline });
+        }
+        // Jump to the next slot boundary.
+        let now = clock.now().as_nanos();
+        let step = interval.as_nanos().max(1);
+        let next = (now / step + 1) * step;
+        clock.advance_to(SimTime::from_nanos(next.min(deadline.as_nanos())));
+    }
+}
+
+/// **Push-in**: an off-chain component (pod manager, device) pushes a
+/// state-changing transaction to the chain through an oracle relay node.
+#[derive(Debug, Clone)]
+pub struct PushInOracle {
+    /// The relay's network endpoint.
+    pub relay: EndpointId,
+    /// Submission attempts on network loss (first try + retries).
+    pub max_attempts: u32,
+    submissions: u64,
+    retries: u64,
+}
+
+impl PushInOracle {
+    /// A push-in oracle at `relay` with 3 attempts.
+    pub fn new(relay: EndpointId) -> PushInOracle {
+        PushInOracle {
+            relay,
+            max_attempts: 3,
+            submissions: 0,
+            retries: 0,
+        }
+    }
+
+    /// Submits `tx` from `from` through the relay; the clock advances by
+    /// the network hops (and retry backoff on loss).
+    ///
+    /// # Errors
+    /// [`OracleError::NetworkDropped`] after all attempts fail,
+    /// [`OracleError::Rejected`] when the chain refuses the transaction.
+    pub fn submit(
+        &mut self,
+        chain: &mut Blockchain,
+        net: &mut NetworkModel,
+        clock: &Clock,
+        rng: &mut Rng,
+        from: EndpointId,
+        tx: SignedTransaction,
+    ) -> Result<TxId, OracleError> {
+        self.submissions += 1;
+        let size = tx.encoded_size() as u64;
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                self.retries += 1;
+                // Linear backoff before a retry.
+                clock.advance(SimDuration::from_millis(100 * attempt as u64));
+            }
+            match net.transmit(from, self.relay, size, rng).delay() {
+                None => continue,
+                Some(hop) => {
+                    clock.advance(hop);
+                    return chain.submit(tx).map_err(OracleError::Rejected);
+                }
+            }
+        }
+        Err(OracleError::NetworkDropped)
+    }
+
+    /// Submits and waits for inclusion in one step.
+    ///
+    /// # Errors
+    /// Any error of [`PushInOracle::submit`] or [`await_inclusion`].
+    pub fn submit_and_confirm(
+        &mut self,
+        chain: &mut Blockchain,
+        net: &mut NetworkModel,
+        clock: &Clock,
+        rng: &mut Rng,
+        from: EndpointId,
+        tx: SignedTransaction,
+        timeout: SimDuration,
+    ) -> Result<Receipt, OracleError> {
+        let id = self.submit(chain, net, clock, rng, from, tx)?;
+        await_inclusion(chain, clock, &id, timeout)
+    }
+
+    /// `(submissions, retries)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.submissions, self.retries)
+    }
+}
+
+/// One event delivery computed by the push-out oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutboundDelivery {
+    /// The chain event.
+    pub event: Event,
+    /// Block height it was emitted at.
+    pub height: u64,
+    /// The subscribed recipient.
+    pub recipient: EndpointId,
+    /// When it arrives at the recipient.
+    pub arrives_at: SimTime,
+}
+
+/// **Push-out**: the chain pushes contract events to subscribed off-chain
+/// components (policy updates fanning out to every device holding a copy).
+#[derive(Debug, Clone)]
+pub struct PushOutOracle {
+    /// The relay's network endpoint.
+    pub relay: EndpointId,
+    cursor: u64,
+    subscriptions: Vec<(String, EndpointId)>,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl PushOutOracle {
+    /// A push-out oracle at `relay` with no subscriptions.
+    pub fn new(relay: EndpointId) -> PushOutOracle {
+        PushOutOracle {
+            relay,
+            cursor: 0,
+            subscriptions: Vec::new(),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Subscribes `recipient` to events with `topic`.
+    pub fn subscribe(&mut self, topic: impl Into<String>, recipient: EndpointId) {
+        self.subscriptions.push((topic.into(), recipient));
+    }
+
+    /// Removes all subscriptions of `recipient` to `topic`.
+    pub fn unsubscribe(&mut self, topic: &str, recipient: EndpointId) {
+        self.subscriptions
+            .retain(|(t, r)| !(t == topic && *r == recipient));
+    }
+
+    /// Drains new chain events and computes their deliveries. Lost
+    /// messages are counted and omitted (at-most-once delivery, like a
+    /// plain webhook relay — the monitoring process tolerates this by
+    /// re-polling).
+    pub fn drain(
+        &mut self,
+        chain: &Blockchain,
+        net: &mut NetworkModel,
+        clock: &Clock,
+        rng: &mut Rng,
+    ) -> Vec<OutboundDelivery> {
+        let mut deliveries = Vec::new();
+        let mut max_height = self.cursor;
+        for (height, event) in chain.events_since(self.cursor) {
+            max_height = max_height.max(*height);
+            for (topic, recipient) in &self.subscriptions {
+                if topic != &event.topic {
+                    continue;
+                }
+                let size = event.data.len() as u64 + 64;
+                match net.transmit(self.relay, *recipient, size, rng).delay() {
+                    None => self.dropped += 1,
+                    Some(hop) => {
+                        self.delivered += 1;
+                        deliveries.push(OutboundDelivery {
+                            event: event.clone(),
+                            height: *height,
+                            recipient: *recipient,
+                            arrives_at: clock.now() + hop,
+                        });
+                    }
+                }
+            }
+        }
+        self.cursor = max_height;
+        deliveries
+    }
+
+    /// `(delivered, dropped)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.delivered, self.dropped)
+    }
+
+    /// The height up to which events have been drained.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+}
+
+/// **Pull-out**: an off-chain component reads contract state through the
+/// oracle (resource indexing, certificate checks). Read-only, no
+/// transaction.
+#[derive(Debug, Clone)]
+pub struct PullOutOracle {
+    /// The relay's network endpoint.
+    pub relay: EndpointId,
+    reads: u64,
+}
+
+impl PullOutOracle {
+    /// A pull-out oracle at `relay`.
+    pub fn new(relay: EndpointId) -> PullOutOracle {
+        PullOutOracle { relay, reads: 0 }
+    }
+
+    /// Executes a view call from `from`, charging a request and a response
+    /// network hop.
+    ///
+    /// # Errors
+    /// [`OracleError::NetworkDropped`] on either hop,
+    /// [`OracleError::View`] when the contract rejects the call.
+    pub fn read(
+        &mut self,
+        chain: &Blockchain,
+        net: &mut NetworkModel,
+        clock: &Clock,
+        rng: &mut Rng,
+        from: EndpointId,
+        contract: &duc_blockchain::ContractId,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, OracleError> {
+        self.reads += 1;
+        let request_size = (args.len() + method.len() + 64) as u64;
+        let hop = net
+            .transmit(from, self.relay, request_size, rng)
+            .delay()
+            .ok_or(OracleError::NetworkDropped)?;
+        clock.advance(hop);
+        let out = chain
+            .call_view(contract, method, args)
+            .map_err(|e| OracleError::View(e.to_string()))?;
+        let hop_back = net
+            .transmit(self.relay, from, out.len() as u64 + 32, rng)
+            .delay()
+            .ok_or(OracleError::NetworkDropped)?;
+        clock.advance(hop_back);
+        Ok(out)
+    }
+
+    /// Number of reads served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+/// **Pull-in**: the chain *requests* data from off-chain components — the
+/// DE App opens a monitoring round and this oracle's off-chain half watches
+/// for the request events, collects answers from devices, and pushes them
+/// back via a [`PushInOracle`].
+#[derive(Debug, Clone)]
+pub struct PullInOracle {
+    /// The relay's network endpoint.
+    pub relay: EndpointId,
+    cursor: u64,
+    topic: String,
+}
+
+impl PullInOracle {
+    /// A pull-in oracle watching for `topic` request events.
+    pub fn new(relay: EndpointId, topic: impl Into<String>) -> PullInOracle {
+        PullInOracle {
+            relay,
+            cursor: 0,
+            topic: topic.into(),
+        }
+    }
+
+    /// New request events since the last poll (the off-chain half's work
+    /// queue). The poll itself costs one request/response pair against the
+    /// chain gateway, modelled on `gateway_ep`.
+    ///
+    /// # Errors
+    /// [`OracleError::NetworkDropped`] when the poll round-trip is lost.
+    pub fn poll_requests(
+        &mut self,
+        chain: &Blockchain,
+        net: &mut NetworkModel,
+        clock: &Clock,
+        rng: &mut Rng,
+        gateway_ep: EndpointId,
+    ) -> Result<Vec<(u64, Event)>, OracleError> {
+        let hop = net
+            .transmit(self.relay, gateway_ep, 64, rng)
+            .delay()
+            .ok_or(OracleError::NetworkDropped)?;
+        clock.advance(hop);
+        let events: Vec<(u64, Event)> = chain
+            .events_since(self.cursor)
+            .filter(|(_, e)| e.topic == self.topic)
+            .cloned()
+            .collect();
+        let response_size: u64 = events
+            .iter()
+            .map(|(_, e)| e.data.len() as u64 + 64)
+            .sum::<u64>()
+            .max(32);
+        let hop_back = net
+            .transmit(gateway_ep, self.relay, response_size, rng)
+            .delay()
+            .ok_or(OracleError::NetworkDropped)?;
+        clock.advance(hop_back);
+        if let Some(max_height) = chain.events_since(self.cursor).map(|(h, _)| *h).max() {
+            self.cursor = max_height;
+        }
+        Ok(events)
+    }
+
+    /// The watched topic.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+}
+
+/// Encodes typed view-call arguments (convenience re-export for callers).
+pub fn encode_args<T: duc_codec::Encode>(args: &T) -> Vec<u8> {
+    encode_to_vec(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duc_blockchain::{CallCtx, Contract, ContractError, ContractId};
+    use duc_codec::decode_from_slice;
+    use duc_sim::{LatencyModel, LinkConfig};
+
+    struct Echo;
+
+    impl Contract for Echo {
+        fn call(
+            &self,
+            ctx: &mut CallCtx<'_>,
+            method: &str,
+            args: &[u8],
+        ) -> Result<Vec<u8>, ContractError> {
+            match method {
+                "store" => {
+                    let (v,): (u64,) = decode_from_slice(args)?;
+                    ctx.set(b"v".to_vec(), &v)?;
+                    ctx.emit("Stored", encode_to_vec(&(v,)))?;
+                    Ok(Vec::new())
+                }
+                "load" => {
+                    let v: u64 = ctx.get(b"v")?.unwrap_or(0);
+                    Ok(encode_to_vec(&(v,)))
+                }
+                other => Err(ContractError::UnknownMethod(other.into())),
+            }
+        }
+    }
+
+    struct Setup {
+        chain: Blockchain,
+        net: NetworkModel,
+        clock: Clock,
+        rng: Rng,
+        device: EndpointId,
+        relay: EndpointId,
+        gateway: EndpointId,
+        key: duc_crypto::KeyPair,
+    }
+
+    fn setup(link: LinkConfig) -> Setup {
+        let mut chain = Blockchain::builder()
+            .validators(2)
+            .block_interval(SimDuration::from_secs(2))
+            .build();
+        chain.deploy(ContractId::new("echo"), Box::new(Echo));
+        let key = chain.create_funded_account(b"device-owner", 1_000_000_000);
+        let mut net = NetworkModel::new(link);
+        let device = net.add_endpoint("device");
+        let relay = net.add_endpoint("oracle-relay");
+        let gateway = net.add_endpoint("chain-gateway");
+        Setup {
+            chain,
+            net,
+            clock: Clock::new(),
+            rng: Rng::seed_from_u64(7),
+            device,
+            relay,
+            gateway,
+            key,
+        }
+    }
+
+    fn fixed_link(ms: u64) -> LinkConfig {
+        LinkConfig {
+            latency: LatencyModel::Constant(SimDuration::from_millis(ms)),
+            drop_probability: 0.0,
+            bandwidth_bps: None,
+        }
+    }
+
+    #[test]
+    fn push_in_submits_and_confirms() {
+        let mut s = setup(fixed_link(10));
+        let mut oracle = PushInOracle::new(s.relay);
+        let tx = s.chain.build_call(
+            &s.key,
+            ContractId::new("echo"),
+            "store",
+            encode_to_vec(&(42u64,)),
+            1_000_000,
+        );
+        let receipt = oracle
+            .submit_and_confirm(
+                &mut s.chain,
+                &mut s.net,
+                &s.clock,
+                &mut s.rng,
+                s.device,
+                tx,
+                SimDuration::from_secs(30),
+            )
+            .expect("included");
+        assert!(receipt.status.is_ok());
+        // Network hop (10 ms) then inclusion at the 2 s slot boundary.
+        assert_eq!(s.clock.now(), SimTime::from_secs(2));
+        assert_eq!(oracle.stats(), (1, 0));
+    }
+
+    #[test]
+    fn push_in_retries_on_lossy_network() {
+        let mut s = setup(LinkConfig {
+            latency: LatencyModel::Constant(SimDuration::from_millis(5)),
+            drop_probability: 0.6,
+            bandwidth_bps: None,
+        });
+        let mut oracle = PushInOracle::new(s.relay);
+        oracle.max_attempts = 20;
+        let mut successes = 0;
+        for i in 0..10u64 {
+            let tx = s.chain.build_call(
+                &s.key,
+                ContractId::new("echo"),
+                "store",
+                encode_to_vec(&(i,)),
+                1_000_000,
+            );
+            if oracle
+                .submit(&mut s.chain, &mut s.net, &s.clock, &mut s.rng, s.device, tx)
+                .is_ok()
+            {
+                successes += 1;
+            }
+        }
+        assert_eq!(successes, 10, "20 attempts beat 60% loss");
+        let (_, retries) = oracle.stats();
+        assert!(retries > 0, "retries occurred");
+    }
+
+    #[test]
+    fn push_in_gives_up_when_partitioned() {
+        let mut s = setup(fixed_link(5));
+        s.net.partition(s.device, s.relay);
+        let mut oracle = PushInOracle::new(s.relay);
+        let tx = s.chain.build_call(
+            &s.key,
+            ContractId::new("echo"),
+            "store",
+            encode_to_vec(&(1u64,)),
+            1_000_000,
+        );
+        assert_eq!(
+            oracle.submit(&mut s.chain, &mut s.net, &s.clock, &mut s.rng, s.device, tx),
+            Err(OracleError::NetworkDropped)
+        );
+    }
+
+    #[test]
+    fn inclusion_times_out_when_all_validators_down() {
+        let mut s = setup(fixed_link(5));
+        s.chain.set_validator_down(0, true);
+        s.chain.set_validator_down(1, true);
+        let mut oracle = PushInOracle::new(s.relay);
+        let tx = s.chain.build_call(
+            &s.key,
+            ContractId::new("echo"),
+            "store",
+            encode_to_vec(&(1u64,)),
+            1_000_000,
+        );
+        let err = oracle
+            .submit_and_confirm(
+                &mut s.chain,
+                &mut s.net,
+                &s.clock,
+                &mut s.rng,
+                s.device,
+                tx,
+                SimDuration::from_secs(10),
+            )
+            .unwrap_err();
+        assert!(matches!(err, OracleError::InclusionTimeout { .. }));
+    }
+
+    #[test]
+    fn push_out_fans_out_to_subscribers() {
+        let mut s = setup(fixed_link(10));
+        let d2 = s.net.add_endpoint("device-2");
+        let mut push_out = PushOutOracle::new(s.relay);
+        push_out.subscribe("Stored", s.device);
+        push_out.subscribe("Stored", d2);
+        push_out.subscribe("OtherTopic", s.device);
+
+        let mut push_in = PushInOracle::new(s.relay);
+        let tx = s.chain.build_call(
+            &s.key,
+            ContractId::new("echo"),
+            "store",
+            encode_to_vec(&(9u64,)),
+            1_000_000,
+        );
+        push_in
+            .submit_and_confirm(
+                &mut s.chain,
+                &mut s.net,
+                &s.clock,
+                &mut s.rng,
+                s.device,
+                tx,
+                SimDuration::from_secs(10),
+            )
+            .unwrap();
+
+        let deliveries = push_out.drain(&s.chain, &mut s.net, &s.clock, &mut s.rng);
+        assert_eq!(deliveries.len(), 2, "one per matching subscriber");
+        for d in &deliveries {
+            assert_eq!(d.event.topic, "Stored");
+            assert_eq!(d.arrives_at, s.clock.now() + SimDuration::from_millis(10));
+        }
+        // A second drain yields nothing (cursor advanced).
+        assert!(push_out.drain(&s.chain, &mut s.net, &s.clock, &mut s.rng).is_empty());
+        assert_eq!(push_out.stats(), (2, 0));
+        // Unsubscribe stops delivery.
+        push_out.unsubscribe("Stored", d2);
+        let tx = s.chain.build_call(
+            &s.key,
+            ContractId::new("echo"),
+            "store",
+            encode_to_vec(&(10u64,)),
+            1_000_000,
+        );
+        push_in
+            .submit_and_confirm(
+                &mut s.chain,
+                &mut s.net,
+                &s.clock,
+                &mut s.rng,
+                s.device,
+                tx,
+                SimDuration::from_secs(10),
+            )
+            .unwrap();
+        let deliveries = push_out.drain(&s.chain, &mut s.net, &s.clock, &mut s.rng);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].recipient, s.device);
+    }
+
+    #[test]
+    fn pull_out_reads_state_with_latency() {
+        let mut s = setup(fixed_link(25));
+        // Store something first (directly, no oracle needed for setup).
+        let tx = s.chain.build_call(
+            &s.key,
+            ContractId::new("echo"),
+            "store",
+            encode_to_vec(&(7u64,)),
+            1_000_000,
+        );
+        s.chain.submit(tx).unwrap();
+        s.clock.advance_to(SimTime::from_secs(2));
+        s.chain.advance_to(s.clock.now());
+
+        let before = s.clock.now();
+        let mut pull_out = PullOutOracle::new(s.relay);
+        let out = pull_out
+            .read(
+                &s.chain,
+                &mut s.net,
+                &s.clock,
+                &mut s.rng,
+                s.device,
+                &ContractId::new("echo"),
+                "load",
+                &[],
+            )
+            .expect("view ok");
+        let (v,): (u64,) = decode_from_slice(&out).unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(s.clock.now() - before, SimDuration::from_millis(50), "two 25 ms hops");
+        assert_eq!(pull_out.reads(), 1);
+        // Bad method surfaces as a view error.
+        assert!(matches!(
+            pull_out.read(
+                &s.chain,
+                &mut s.net,
+                &s.clock,
+                &mut s.rng,
+                s.device,
+                &ContractId::new("echo"),
+                "nope",
+                &[],
+            ),
+            Err(OracleError::View(_))
+        ));
+    }
+
+    #[test]
+    fn pull_in_polls_request_events() {
+        let mut s = setup(fixed_link(5));
+        let mut pull_in = PullInOracle::new(s.relay, "Stored");
+        // Nothing yet.
+        let events = pull_in
+            .poll_requests(&s.chain, &mut s.net, &s.clock, &mut s.rng, s.gateway)
+            .unwrap();
+        assert!(events.is_empty());
+        // Produce an event.
+        let tx = s.chain.build_call(
+            &s.key,
+            ContractId::new("echo"),
+            "store",
+            encode_to_vec(&(3u64,)),
+            1_000_000,
+        );
+        s.chain.submit(tx).unwrap();
+        s.clock.advance_to(SimTime::from_secs(2));
+        s.chain.advance_to(s.clock.now());
+        let events = pull_in
+            .poll_requests(&s.chain, &mut s.net, &s.clock, &mut s.rng, s.gateway)
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(pull_in.topic(), "Stored");
+        // Cursor advanced: re-poll is empty.
+        let events = pull_in
+            .poll_requests(&s.chain, &mut s.net, &s.clock, &mut s.rng, s.gateway)
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

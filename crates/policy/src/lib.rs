@@ -1,0 +1,96 @@
+//! # duc-policy — usage-control policies for Solid resources
+//!
+//! The paper's core premise is that *access* control (decided once, before
+//! data leaves a pod) must be extended with *usage* control (evaluated
+//! continuously, wherever a copy of the data lives). This crate provides:
+//!
+//! * [`model`] — the policy language: permit/prohibit rules over actions,
+//!   with temporal, purpose, count and recipient constraints and duties
+//!   (obligations), following ODRL vocabulary and the UCON(ABC) model the
+//!   paper cites (Park & Sandhu).
+//! * [`taxonomy`] — a purpose hierarchy, so a policy allowing `research`
+//!   admits a request for `medical-research`.
+//! * [`engine`] — decision procedure: pre-authorization and *ongoing*
+//!   re-evaluation of a usage context against a policy.
+//! * [`compliance`] — retrospective auditing of a copy's usage log against a
+//!   policy (what the DE App's monitoring process consumes).
+//! * [`dsl`] — a human-readable text syntax for policies.
+//! * [`rdf_binding`] — policies as RDF graphs (ODRL + project vocabulary).
+//! * [`acl`] — W3C Web Access Control lists, the Solid-native *access*
+//!   control layer that our usage control extends.
+//!
+//! ## Example
+//! ```
+//! use duc_policy::prelude::*;
+//! use duc_sim::{SimDuration, SimTime};
+//!
+//! let policy = UsagePolicy::builder("pol-1", "https://bob.pod/data/medical.ttl", "https://bob.id/me")
+//!     .permit(
+//!         Rule::permit([Action::Use, Action::Read])
+//!             .with_constraint(Constraint::Purpose(vec![Purpose::new("medical-research")]))
+//!             .with_constraint(Constraint::MaxRetention(SimDuration::from_days(30))),
+//!     )
+//!     .duty(Duty::DeleteWithin(SimDuration::from_days(30)))
+//!     .build();
+//!
+//! let ctx = UsageContext {
+//!     consumer: "https://alice.id/me".into(),
+//!     action: Action::Read,
+//!     purpose: Purpose::new("medical-research"),
+//!     now: SimTime::from_secs(100),
+//!     acquired_at: SimTime::from_secs(50),
+//!     access_count: 1,
+//! };
+//! assert!(PolicyEngine::default().evaluate(&policy, &ctx).is_permit());
+//! ```
+
+pub mod acl;
+pub mod compliance;
+pub mod dsl;
+pub mod engine;
+pub mod model;
+pub mod rdf_binding;
+pub mod taxonomy;
+
+pub use acl::{AclDocument, AclMode, AgentSpec, Authorization};
+pub use compliance::{AccessRecord, ComplianceReport, CopyState, Violation, ViolationKind};
+pub use engine::{Decision, DenyReason, PolicyEngine};
+pub use model::{Action, Constraint, Duty, Effect, Purpose, Rule, UsagePolicy};
+pub use taxonomy::PurposeTaxonomy;
+
+/// Common imports for downstream crates.
+pub mod prelude {
+    pub use crate::acl::{AclDocument, AclMode, AgentSpec, Authorization};
+    pub use crate::compliance::{AccessRecord, ComplianceReport, CopyState, Violation, ViolationKind};
+    pub use crate::engine::{Decision, DenyReason, PolicyEngine, UsageContext};
+    pub use crate::model::{Action, Constraint, Duty, Effect, Purpose, Rule, UsagePolicy};
+    pub use crate::taxonomy::PurposeTaxonomy;
+}
+
+pub use engine::UsageContext;
+
+/// Errors from policy parsing (DSL or RDF).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// DSL syntax error with byte offset context.
+    Syntax {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// RDF document lacked a required statement.
+    MissingStatement(&'static str),
+    /// A value failed validation (e.g. negative duration).
+    Invalid(String),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::Syntax { message } => write!(f, "policy syntax error: {message}"),
+            PolicyError::MissingStatement(what) => write!(f, "policy document missing: {what}"),
+            PolicyError::Invalid(what) => write!(f, "invalid policy value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}

@@ -1,0 +1,172 @@
+//! Fault injection plans for the robustness experiments (E8).
+//!
+//! A [`FaultPlan`] declares, ahead of a run, *which* component fails, *when*,
+//! and for *how long*. The scenario driver consults the plan while executing;
+//! components themselves stay oblivious, exactly like production software.
+
+use crate::clock::SimTime;
+use crate::net::EndpointId;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// The endpoint crashes at `from` and recovers at `until`
+    /// (use [`SimTime::MAX`] for a permanent crash).
+    Crash {
+        /// Affected endpoint.
+        endpoint: EndpointId,
+        /// Crash instant (inclusive).
+        from: SimTime,
+        /// Recovery instant (exclusive).
+        until: SimTime,
+    },
+    /// Bidirectional partition between two endpoints over a window.
+    Partition {
+        /// One side.
+        a: EndpointId,
+        /// Other side.
+        b: EndpointId,
+        /// Partition start (inclusive).
+        from: SimTime,
+        /// Partition end (exclusive).
+        until: SimTime,
+    },
+}
+
+impl FaultSpec {
+    /// Whether this fault is active at instant `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        match self {
+            FaultSpec::Crash { from, until, .. } | FaultSpec::Partition { from, until, .. } => {
+                t >= *from && t < *until
+            }
+        }
+    }
+}
+
+/// A declarative collection of faults for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash window for an endpoint.
+    pub fn crash(mut self, endpoint: EndpointId, from: SimTime, until: SimTime) -> Self {
+        self.faults.push(FaultSpec::Crash { endpoint, from, until });
+        self
+    }
+
+    /// Adds a permanent crash starting at `from`.
+    pub fn crash_forever(self, endpoint: EndpointId, from: SimTime) -> Self {
+        self.crash(endpoint, from, SimTime::MAX)
+    }
+
+    /// Adds a partition window between two endpoints.
+    pub fn partition(mut self, a: EndpointId, b: EndpointId, from: SimTime, until: SimTime) -> Self {
+        self.faults.push(FaultSpec::Partition { a, b, from, until });
+        self
+    }
+
+    /// Whether `endpoint` is crashed at `t`.
+    pub fn is_crashed(&self, endpoint: EndpointId, t: SimTime) -> bool {
+        self.faults.iter().any(|f| match f {
+            FaultSpec::Crash { endpoint: e, .. } => *e == endpoint && f.active_at(t),
+            _ => false,
+        })
+    }
+
+    /// Whether the pair `(a, b)` is partitioned at `t` (order-insensitive).
+    pub fn is_partitioned(&self, a: EndpointId, b: EndpointId, t: SimTime) -> bool {
+        self.faults.iter().any(|f| match f {
+            FaultSpec::Partition { a: x, b: y, .. } => {
+                ((*x == a && *y == b) || (*x == b && *y == a)) && f.active_at(t)
+            }
+            _ => false,
+        })
+    }
+
+    /// Whether communication `from → to` is possible at `t` under this plan.
+    pub fn allows(&self, from: EndpointId, to: EndpointId, t: SimTime) -> bool {
+        !self.is_crashed(from, t) && !self.is_crashed(to, t) && !self.is_partitioned(from, to, t)
+    }
+
+    /// All declared faults.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Whether the plan declares no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: EndpointId = EndpointId(0);
+    const B: EndpointId = EndpointId(1);
+    const C: EndpointId = EndpointId(2);
+
+    #[test]
+    fn crash_window_bounds_are_half_open() {
+        let plan = FaultPlan::none().crash(A, SimTime::from_secs(10), SimTime::from_secs(20));
+        assert!(!plan.is_crashed(A, SimTime::from_secs(9)));
+        assert!(plan.is_crashed(A, SimTime::from_secs(10)));
+        assert!(plan.is_crashed(A, SimTime::from_secs(19)));
+        assert!(!plan.is_crashed(A, SimTime::from_secs(20)));
+        assert!(!plan.is_crashed(B, SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn permanent_crash_never_recovers() {
+        let plan = FaultPlan::none().crash_forever(A, SimTime::from_secs(5));
+        assert!(plan.is_crashed(A, SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_windowed() {
+        let plan =
+            FaultPlan::none().partition(A, B, SimTime::from_secs(1), SimTime::from_secs(2));
+        let t = SimTime::from_millis(1500);
+        assert!(plan.is_partitioned(A, B, t));
+        assert!(plan.is_partitioned(B, A, t));
+        assert!(!plan.is_partitioned(A, C, t));
+        assert!(!plan.is_partitioned(A, B, SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn allows_combines_crash_and_partition() {
+        let plan = FaultPlan::none()
+            .crash(A, SimTime::from_secs(10), SimTime::from_secs(20))
+            .partition(B, C, SimTime::from_secs(0), SimTime::from_secs(5));
+        assert!(!plan.allows(A, B, SimTime::from_secs(15)), "A crashed");
+        assert!(!plan.allows(B, A, SimTime::from_secs(15)), "target crashed");
+        assert!(!plan.allows(B, C, SimTime::from_secs(3)), "partitioned");
+        assert!(plan.allows(B, C, SimTime::from_secs(6)), "healed");
+        assert!(plan.allows(A, B, SimTime::from_secs(25)), "recovered");
+    }
+
+    #[test]
+    fn empty_plan_allows_everything() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.allows(A, B, SimTime::ZERO));
+    }
+
+    #[test]
+    fn multiple_overlapping_faults() {
+        let plan = FaultPlan::none()
+            .crash(A, SimTime::from_secs(0), SimTime::from_secs(10))
+            .crash(A, SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!(plan.is_crashed(A, SimTime::from_secs(12)));
+        assert_eq!(plan.faults().len(), 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! Measurement primitives: counters, latency histograms and an event trace.
+//!
+//! Every experiment harness collects its numbers through a
+//! [`MetricsRegistry`]; the bench `report` binary turns registries into the
+//! tables of EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::clock::{SimDuration, SimTime};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+/// An exact-percentile histogram of durations.
+///
+/// Samples are stored raw (the experiments record at most a few hundred
+/// thousand points), so quantiles are exact rather than approximated.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Records a raw nanosecond value.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&v| v as u128).sum();
+        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The exact `q`-quantile (`0.0 ..= 1.0`), or zero when empty.
+    pub fn quantile(&mut self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let idx = ((self.samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        SimDuration::from_nanos(self.samples[idx])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> SimDuration {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> SimDuration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> SimDuration {
+        self.quantile(0.99)
+    }
+
+    /// Smallest sample, or zero when empty.
+    pub fn min(&mut self) -> SimDuration {
+        self.quantile(0.0)
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&mut self) -> SimDuration {
+        self.quantile(1.0)
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&mut self) -> String {
+        if self.is_empty() {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.len(),
+            self.mean(),
+            self.median(),
+            self.p95(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+/// A named bundle of counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments the named counter, creating it on first use.
+    pub fn incr(&mut self, name: &str) {
+        self.counters.entry(name.to_string()).or_default().incr();
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_string()).or_default().add(n);
+    }
+
+    /// Reads a counter (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map(Counter::value).unwrap_or(0)
+    }
+
+    /// Records a duration sample under `name`.
+    pub fn record(&mut self, name: &str, d: SimDuration) {
+        self.histograms.entry(name.to_string()).or_default().record(d);
+    }
+
+    /// Mutable access to a histogram (created on first use).
+    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Immutable access to a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.value()))
+    }
+
+    /// Iterates histogram names in order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Merges another registry into this one (summing counters, appending
+    /// samples).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.counters.entry(k.clone()).or_default().add(v.value());
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for &s in &h.samples {
+                dst.record_nanos(s);
+            }
+        }
+    }
+}
+
+/// One structured trace record: *who* did *what*, *when*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// The acting component (e.g. `"pod-manager:alice"`).
+    pub actor: String,
+    /// Short machine-readable kind (e.g. `"oracle.push_in"`).
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {} {}", self.at, self.actor, self.kind, self.detail)
+    }
+}
+
+/// An append-only trace of simulation events, used by tests to assert on
+/// process structure (which hops happened, in which order) and by examples
+/// to narrate runs.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// Creates an enabled recorder.
+    pub fn new() -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled recorder (records nothing; for benches).
+    pub fn disabled() -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Appends an event if enabled.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        actor: impl Into<String>,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                actor: actor.into(),
+                kind: kind.into(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of the given kind, in order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Whether an event of `kind` was recorded.
+    pub fn contains_kind(&self, kind: &str) -> bool {
+        self.events.iter().any(|e| e.kind == kind)
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.len(), 100);
+        // Index rounds half away from zero: (99 * 0.5).round() = 50 → 51 ms.
+        assert_eq!(h.median().as_millis(), 51);
+        assert_eq!(h.p95().as_millis(), 95);
+        assert_eq!(h.min().as_millis(), 1);
+        assert_eq!(h.max().as_millis(), 100);
+        assert_eq!(h.mean().as_millis(), 50); // (1+...+100)/100 = 50.5, trunc
+    }
+
+    #[test]
+    fn histogram_empty_is_safe() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.p99(), SimDuration::ZERO);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn registry_counters_and_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.incr("tx.submitted");
+        m.add("tx.submitted", 2);
+        m.record("e2e", SimDuration::from_millis(10));
+        m.record("e2e", SimDuration::from_millis(20));
+        assert_eq!(m.counter("tx.submitted"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.histogram_mut("e2e").median().as_millis(), 20);
+        assert_eq!(m.counters().count(), 1);
+        assert_eq!(m.histogram_names().count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_sums_and_appends() {
+        let mut a = MetricsRegistry::new();
+        a.add("n", 1);
+        a.record("lat", SimDuration::from_millis(5));
+        let mut b = MetricsRegistry::new();
+        b.add("n", 2);
+        b.record("lat", SimDuration::from_millis(15));
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.histogram_mut("lat").len(), 2);
+    }
+
+    #[test]
+    fn trace_records_in_order_and_filters() {
+        let mut t = TraceRecorder::new();
+        t.record(SimTime::from_millis(1), "pm:alice", "pod.create", "pod-0");
+        t.record(SimTime::from_millis(2), "oracle", "oracle.push_in", "register_pod");
+        assert_eq!(t.events().len(), 2);
+        assert!(t.contains_kind("oracle.push_in"));
+        assert_eq!(t.of_kind("pod.create").count(), 1);
+        let line = format!("{}", t.events()[0]);
+        assert!(line.contains("pm:alice") && line.contains("pod.create"));
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = TraceRecorder::disabled();
+        t.record(SimTime::ZERO, "x", "y", "z");
+        assert!(t.events().is_empty());
+    }
+}

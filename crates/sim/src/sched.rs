@@ -1,0 +1,312 @@
+//! Discrete-event scheduler.
+//!
+//! Periodic activities in the architecture — block production, oracle relay
+//! polling, monitoring rounds, obligation sweeps — are expressed as events
+//! on a [`Scheduler`]. Events fire in timestamp order; ties break by
+//! insertion order so runs are fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::clock::{Clock, SimDuration, SimTime};
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// Context handed to every event callback.
+///
+/// Callbacks may schedule follow-up events (that is how periodic tasks are
+/// built) and observe the current instant.
+pub struct SchedulerCtx<'a> {
+    queue: &'a mut Vec<(SimTime, Box<dyn FnOnce(&mut SchedulerCtx<'_>)>)>,
+    now: SimTime,
+}
+
+impl<'a> SchedulerCtx<'a> {
+    /// The instant at which the current event fires.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a follow-up event `delay` after the current instant.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut SchedulerCtx<'_>) + 'static,
+    ) {
+        self.queue.push((self.now + delay, Box::new(f)));
+    }
+}
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    callback: Box<dyn FnOnce(&mut SchedulerCtx<'_>)>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler bound to a [`Clock`].
+///
+/// # Example
+/// ```
+/// use duc_sim::{Clock, Scheduler, SimDuration, SimTime};
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let clock = Clock::new();
+/// let mut sched = Scheduler::new(clock.clone());
+/// let fired = Rc::new(RefCell::new(Vec::new()));
+/// let f = fired.clone();
+/// sched.schedule_at(SimTime::from_millis(10), move |_| f.borrow_mut().push(10));
+/// let f = fired.clone();
+/// sched.schedule_at(SimTime::from_millis(5), move |_| f.borrow_mut().push(5));
+/// sched.run_until(SimTime::from_millis(20));
+/// assert_eq!(*fired.borrow(), vec![5, 10]);
+/// assert_eq!(clock.now().as_millis(), 20);
+/// ```
+pub struct Scheduler {
+    clock: Clock,
+    heap: BinaryHeap<Reverse<Entry>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler that drives the given clock.
+    pub fn new(clock: Clock) -> Self {
+        Scheduler {
+            clock,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The clock this scheduler advances.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// Schedules `f` to fire at absolute time `at`.
+    ///
+    /// Events scheduled in the past fire at the current instant (the clock
+    /// never moves backwards).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut SchedulerCtx<'_>) + 'static,
+    ) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.next_seq,
+            id,
+            callback: Box::new(f),
+        }));
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedules `f` to fire `delay` after the current instant.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut SchedulerCtx<'_>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.clock.now() + delay, f)
+    }
+
+    /// Cancels a pending event. Cancelling an already-fired or unknown event
+    /// is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Runs all events with timestamps `<= horizon`, advancing the clock to
+    /// each event's time and finally to `horizon`. Returns the number of
+    /// events executed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut count = 0;
+        loop {
+            let due = match self.heap.peek() {
+                Some(Reverse(e)) if e.at <= horizon => true,
+                _ => false,
+            };
+            if !due {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.clock.advance_to(entry.at);
+            let mut spawned = Vec::new();
+            {
+                let mut ctx = SchedulerCtx {
+                    queue: &mut spawned,
+                    now: entry.at.max(self.clock.now()),
+                };
+                (entry.callback)(&mut ctx);
+            }
+            for (at, cb) in spawned {
+                self.schedule_at(at, move |ctx| cb(ctx));
+            }
+            self.executed += 1;
+            count += 1;
+        }
+        self.clock.advance_to(horizon);
+        count
+    }
+
+    /// Runs until no events remain (or `max_events` fired, as a livelock
+    /// guard). Returns the number of events executed.
+    pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        let mut count = 0;
+        while count < max_events {
+            let at = match self.heap.peek() {
+                Some(Reverse(e)) => e.at,
+                None => break,
+            };
+            count += self.run_until(at);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn recorder() -> (Rc<RefCell<Vec<u64>>>, Rc<RefCell<Vec<u64>>>) {
+        let r = Rc::new(RefCell::new(Vec::new()));
+        (r.clone(), r)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let clock = Clock::new();
+        let mut s = Scheduler::new(clock);
+        let (log, handle) = recorder();
+        for &ms in &[30u64, 10, 20] {
+            let log = log.clone();
+            s.schedule_at(SimTime::from_millis(ms), move |ctx| {
+                log.borrow_mut().push(ctx.now().as_millis());
+            });
+        }
+        s.run_until(SimTime::from_millis(100));
+        assert_eq!(*handle.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut s = Scheduler::new(Clock::new());
+        let (log, handle) = recorder();
+        for i in 0..5u64 {
+            let log = log.clone();
+            s.schedule_at(SimTime::from_millis(10), move |_| log.borrow_mut().push(i));
+        }
+        s.run_until(SimTime::from_millis(10));
+        assert_eq!(*handle.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn horizon_stops_execution() {
+        let mut s = Scheduler::new(Clock::new());
+        let (log, handle) = recorder();
+        let l1 = log.clone();
+        s.schedule_at(SimTime::from_millis(10), move |_| l1.borrow_mut().push(1));
+        let l2 = log.clone();
+        s.schedule_at(SimTime::from_millis(50), move |_| l2.borrow_mut().push(2));
+        let ran = s.run_until(SimTime::from_millis(20));
+        assert_eq!(ran, 1);
+        assert_eq!(*handle.borrow(), vec![1]);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn periodic_events_reschedule_themselves() {
+        let mut s = Scheduler::new(Clock::new());
+        let (log, handle) = recorder();
+        fn tick(log: Rc<RefCell<Vec<u64>>>, ctx: &mut SchedulerCtx<'_>) {
+            log.borrow_mut().push(ctx.now().as_millis());
+            let next = log.clone();
+            ctx.schedule_in(SimDuration::from_millis(10), move |ctx| tick(next, ctx));
+        }
+        let l = log.clone();
+        s.schedule_at(SimTime::from_millis(10), move |ctx| tick(l, ctx));
+        s.run_until(SimTime::from_millis(45));
+        assert_eq!(*handle.borrow(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn cancellation_suppresses_events() {
+        let mut s = Scheduler::new(Clock::new());
+        let (log, handle) = recorder();
+        let l = log.clone();
+        let id = s.schedule_at(SimTime::from_millis(10), move |_| l.borrow_mut().push(1));
+        s.cancel(id);
+        s.run_until(SimTime::from_millis(20));
+        assert!(handle.borrow().is_empty());
+        assert_eq!(s.executed(), 0);
+    }
+
+    #[test]
+    fn run_to_completion_bounds_livelock() {
+        let mut s = Scheduler::new(Clock::new());
+        fn forever(ctx: &mut SchedulerCtx<'_>) {
+            ctx.schedule_in(SimDuration::from_millis(1), forever);
+        }
+        s.schedule_at(SimTime::from_millis(1), forever);
+        let ran = s.run_to_completion(100);
+        assert!(ran <= 101, "guard bounds runaway self-scheduling: {ran}");
+    }
+
+    #[test]
+    fn clock_advances_to_horizon_even_without_events() {
+        let clock = Clock::new();
+        let mut s = Scheduler::new(clock.clone());
+        s.run_until(SimTime::from_secs(3));
+        assert_eq!(clock.now().as_secs(), 3);
+    }
+}

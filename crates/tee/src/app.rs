@@ -1,0 +1,644 @@
+//! The trusted application: policy-mediated access to sealed copies.
+
+use std::collections::BTreeMap;
+
+use duc_crypto::{hash_parts, Digest};
+use duc_policy::compliance::{AccessRecord, CopyState};
+use duc_policy::{Action, Decision, DenyReason, Duty, PolicyEngine, Purpose, UsageContext, UsagePolicy};
+use duc_sim::SimTime;
+
+use crate::enclave::Enclave;
+use crate::storage::TrustedDataStorage;
+
+/// Why a local access failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// No copy of the resource is held (never stored, or already deleted).
+    NoCopy,
+    /// The policy engine denied the use.
+    Denied(Vec<DenyReason>),
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::NoCopy => f.write_str("no local copy"),
+            AccessError::Denied(reasons) => {
+                write!(f, "denied:")?;
+                for r in reasons {
+                    write!(f, " {r};")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// An obligation the trusted application executed autonomously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnforcementAction {
+    /// The copy was deleted (retention/expiry obligation).
+    Deleted {
+        /// Which resource.
+        resource: String,
+        /// When.
+        at: SimTime,
+        /// Why (human-readable, e.g. "retention expired").
+        reason: String,
+    },
+    /// The owner must be notified (the oracle layer delivers it).
+    NotifyOwner {
+        /// Which resource.
+        resource: String,
+        /// Deadline for the notification.
+        by: SimTime,
+    },
+}
+
+/// A self-audit produced for monitoring (paper process 6). The oracle layer
+/// wraps this in an on-chain evidence submission signed by the enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageReport {
+    /// The audited resource.
+    pub resource: String,
+    /// The reporting device.
+    pub device: String,
+    /// Policy version the device currently enforces.
+    pub policy_version: u64,
+    /// The device's compliance verdict.
+    pub compliant: bool,
+    /// Violation descriptions (empty when compliant).
+    pub violations: Vec<String>,
+    /// Digest over the full usage log (tamper-evident evidence).
+    pub log_digest: Digest,
+    /// Total accesses performed.
+    pub accesses: u64,
+    /// Whether the copy still exists.
+    pub copy_alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct CopyEntry {
+    policy: UsagePolicy,
+    state: CopyState,
+    /// When the currently-enforced policy version was applied locally
+    /// (the retention deadline can never precede this instant).
+    policy_applied_at: SimTime,
+    /// Every policy version ever enforced, with its local application
+    /// time — the audit replays each access against the version in force
+    /// *at access time* (a policy narrowed later does not retroactively
+    /// incriminate past, then-legal uses).
+    history: Vec<(SimTime, UsagePolicy)>,
+    access_count: u64,
+}
+
+impl CopyEntry {
+    fn policy_in_force_at(&self, at: SimTime) -> &UsagePolicy {
+        self.history
+            .iter()
+            .rev()
+            .find(|(applied, _)| *applied <= at)
+            .map(|(_, p)| p)
+            .unwrap_or(&self.policy)
+    }
+}
+
+/// The trusted application running inside an enclave.
+#[derive(Debug, Clone)]
+pub struct TrustedApplication {
+    enclave: Enclave,
+    storage: TrustedDataStorage,
+    engine: PolicyEngine,
+    holder_webid: String,
+    copies: BTreeMap<String, CopyEntry>,
+}
+
+impl TrustedApplication {
+    /// Creates a trusted application for `holder_webid` on `enclave`.
+    pub fn new(enclave: Enclave, holder_webid: impl Into<String>) -> TrustedApplication {
+        TrustedApplication {
+            enclave,
+            storage: TrustedDataStorage::new(),
+            engine: PolicyEngine::default(),
+            holder_webid: holder_webid.into(),
+            copies: BTreeMap::new(),
+        }
+    }
+
+    /// Replaces the policy engine (custom purpose taxonomies).
+    pub fn with_engine(mut self, engine: PolicyEngine) -> TrustedApplication {
+        self.engine = engine;
+        self
+    }
+
+    /// The enclave identity.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// The holder's WebID.
+    pub fn holder(&self) -> &str {
+        &self.holder_webid
+    }
+
+    /// The sealed storage (host-visible surface, for the privacy tests).
+    pub fn storage(&self) -> &TrustedDataStorage {
+        &self.storage
+    }
+
+    /// Stores a freshly retrieved resource copy under its policy
+    /// (the tail of paper process 4).
+    pub fn store_resource(
+        &mut self,
+        resource: impl Into<String>,
+        bytes: &[u8],
+        policy: UsagePolicy,
+        now: SimTime,
+    ) {
+        let resource = resource.into();
+        self.storage.seal(&self.enclave, &resource, bytes);
+        self.copies.insert(
+            resource.clone(),
+            CopyEntry {
+                state: CopyState::new(resource.clone(), self.holder_webid.clone(), now),
+                history: vec![(now, policy.clone())],
+                policy,
+                policy_applied_at: now,
+                access_count: 0,
+            },
+        );
+    }
+
+    /// Whether a live copy of `resource` is held.
+    pub fn has_copy(&self, resource: &str) -> bool {
+        self.copies
+            .get(resource)
+            .map(|e| e.state.deleted_at.is_none())
+            .unwrap_or(false)
+    }
+
+    /// The locally enforced policy version for `resource`.
+    pub fn policy_version(&self, resource: &str) -> Option<u64> {
+        self.copies.get(resource).map(|e| e.policy.version)
+    }
+
+    /// The resources with copies (live or audited-deleted).
+    pub fn resources(&self) -> impl Iterator<Item = &str> {
+        self.copies.keys().map(String::as_str)
+    }
+
+    fn effective_due(entry: &CopyEntry) -> Option<SimTime> {
+        entry
+            .policy
+            .retention_bound()
+            .map(|b| (entry.state.acquired_at + b).max(entry.policy_applied_at))
+    }
+
+    fn enforce_entry(
+        resource: &str,
+        entry: &mut CopyEntry,
+        storage: &mut TrustedDataStorage,
+        now: SimTime,
+        actions: &mut Vec<EnforcementAction>,
+    ) {
+        if entry.state.deleted_at.is_some() {
+            return;
+        }
+        let retention_due = Self::effective_due(entry);
+        let expiry_due = entry.policy.expiry_bound();
+        let overdue = retention_due.map(|d| now >= d).unwrap_or(false);
+        let expired = expiry_due.map(|d| now >= d).unwrap_or(false);
+        if overdue || expired {
+            storage.erase(resource);
+            entry.state.deleted_at = Some(now);
+            actions.push(EnforcementAction::Deleted {
+                resource: resource.to_string(),
+                at: now,
+                reason: if overdue {
+                    "retention window elapsed".to_string()
+                } else {
+                    "absolute expiry passed".to_string()
+                },
+            });
+        }
+    }
+
+    /// Performs a policy-mediated access to the copy.
+    ///
+    /// This is the *only* way to obtain resource bytes: the request is
+    /// evaluated against the current policy (ongoing authorization), the
+    /// access is logged, and obligations are enforced lazily first.
+    ///
+    /// # Errors
+    /// [`AccessError::NoCopy`] when no live copy exists (possibly because
+    /// this very call deleted an overdue copy), [`AccessError::Denied`]
+    /// with the engine's reasons otherwise.
+    pub fn access(
+        &mut self,
+        resource: &str,
+        action: Action,
+        purpose: Purpose,
+        now: SimTime,
+    ) -> Result<Vec<u8>, AccessError> {
+        // Lazy obligation sweep on the touched entry first.
+        let mut actions = Vec::new();
+        if let Some(entry) = self.copies.get_mut(resource) {
+            Self::enforce_entry(resource, entry, &mut self.storage, now, &mut actions);
+        }
+        let entry = self.copies.get_mut(resource).ok_or(AccessError::NoCopy)?;
+        if entry.state.deleted_at.is_some() {
+            return Err(AccessError::NoCopy);
+        }
+        let ctx = UsageContext {
+            consumer: self.holder_webid.clone(),
+            action,
+            purpose: purpose.clone(),
+            now,
+            acquired_at: entry.state.acquired_at,
+            access_count: entry.access_count + 1,
+        };
+        match self.engine.evaluate(&entry.policy, &ctx) {
+            Decision::Permit => {
+                entry.access_count += 1;
+                entry.state.log.push(AccessRecord {
+                    at: now,
+                    action,
+                    purpose,
+                    agent: self.holder_webid.clone(),
+                });
+                let bytes = self
+                    .storage
+                    .unseal(&self.enclave, resource)
+                    .expect("live copy has sealed bytes");
+                Ok(bytes)
+            }
+            Decision::Deny(reasons) => Err(AccessError::Denied(reasons)),
+        }
+    }
+
+    /// Applies a pushed policy update (paper process 5): replaces the local
+    /// policy and executes any consequent obligations immediately.
+    ///
+    /// Stale or mismatched updates are ignored (returned action list is
+    /// empty and the version unchanged).
+    pub fn apply_policy_update(
+        &mut self,
+        resource: &str,
+        new_policy: UsagePolicy,
+        now: SimTime,
+    ) -> Vec<EnforcementAction> {
+        let mut actions = Vec::new();
+        let Some(entry) = self.copies.get_mut(resource) else {
+            return actions;
+        };
+        if new_policy.resource != entry.policy.resource
+            || new_policy.version <= entry.policy.version
+        {
+            return actions;
+        }
+        entry.history.push((now, new_policy.clone()));
+        entry.policy = new_policy;
+        entry.policy_applied_at = now;
+        Self::enforce_entry(resource, entry, &mut self.storage, now, &mut actions);
+        // Notification duties surface to the oracle layer.
+        for duty in &entry.policy.duties {
+            if let Duty::NotifyOwnerWithin(window) = duty {
+                actions.push(EnforcementAction::NotifyOwner {
+                    resource: resource.to_string(),
+                    by: now + *window,
+                });
+            }
+        }
+        actions
+    }
+
+    /// Sweeps every copy's obligations (the TEE's periodic timer; also what
+    /// a polling-based enforcement baseline calls — ablation E11).
+    pub fn sweep(&mut self, now: SimTime) -> Vec<EnforcementAction> {
+        let mut actions = Vec::new();
+        let resources: Vec<String> = self.copies.keys().cloned().collect();
+        for resource in resources {
+            let entry = self.copies.get_mut(&resource).expect("key exists");
+            Self::enforce_entry(&resource, entry, &mut self.storage, now, &mut actions);
+        }
+        actions
+    }
+
+    /// Deletes a copy voluntarily.
+    pub fn delete(&mut self, resource: &str, now: SimTime) -> bool {
+        match self.copies.get_mut(resource) {
+            Some(entry) if entry.state.deleted_at.is_none() => {
+                self.storage.erase(resource);
+                entry.state.deleted_at = Some(now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The earliest instant at which some live copy's obligation (retention
+    /// or expiry) falls due — the TEE's internal deletion timer.
+    pub fn next_obligation_deadline(&self) -> Option<SimTime> {
+        self.copies
+            .values()
+            .filter(|e| e.state.deleted_at.is_none())
+            .filter_map(|e| {
+                let due = Self::effective_due(e);
+                let expiry = e.policy.expiry_bound().map(|x| x.max(e.policy_applied_at));
+                match (due, expiry) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (Some(a), None) => Some(a),
+                    (None, Some(b)) => Some(b),
+                    (None, None) => None,
+                }
+            })
+            .min()
+    }
+
+    /// Produces the self-audit for a monitoring round (paper process 6).
+    ///
+    /// Each logged access is replayed against the policy version in force
+    /// *at the time of the access* (narrowing a policy later does not
+    /// retroactively incriminate then-legal uses); retention and expiry are
+    /// judged against the current policy's *effective* deadline (policy
+    /// tightenings only bind from their local application time).
+    pub fn report(&self, resource: &str, now: SimTime) -> Option<UsageReport> {
+        let entry = self.copies.get(resource)?;
+        let mut violations: Vec<String> = Vec::new();
+        for (i, record) in entry.state.log.iter().enumerate() {
+            let policy = entry.policy_in_force_at(record.at);
+            let ctx = UsageContext {
+                consumer: record.agent.clone(),
+                action: record.action,
+                purpose: record.purpose.clone(),
+                now: record.at,
+                acquired_at: entry.state.acquired_at,
+                access_count: (i + 1) as u64,
+            };
+            if !self.engine.evaluate(policy, &ctx).is_permit() {
+                violations.push(format!(
+                    "unauthorized access at {} ({} for {})",
+                    record.at, record.action, record.purpose
+                ));
+            }
+        }
+        if let Some(due) = Self::effective_due(entry) {
+            let violated = match entry.state.deleted_at {
+                Some(deleted) => deleted > due,
+                None => now > due,
+            };
+            if violated {
+                violations.push(format!("retention violated: copy was due for deletion at {due}"));
+            }
+        }
+        if let Some(expiry) = entry.policy.expiry_bound() {
+            let effective = expiry.max(entry.policy_applied_at);
+            let violated = match entry.state.deleted_at {
+                Some(deleted) => deleted > effective,
+                None => now > effective,
+            };
+            if violated {
+                violations.push(format!("expiry violated: copy outlived {effective}"));
+            }
+        }
+        let mut log_rows: Vec<Vec<u8>> = Vec::with_capacity(entry.state.log.len());
+        for record in &entry.state.log {
+            let mut row = Vec::new();
+            row.extend_from_slice(&record.at.as_nanos().to_le_bytes());
+            row.push(record.action as u8);
+            row.extend_from_slice(record.purpose.as_str().as_bytes());
+            row.push(0);
+            row.extend_from_slice(record.agent.as_bytes());
+            log_rows.push(row);
+        }
+        let parts: Vec<&[u8]> = std::iter::once(&b"duc/usage-log"[..])
+            .chain(log_rows.iter().map(Vec::as_slice))
+            .collect();
+        Some(UsageReport {
+            resource: resource.to_string(),
+            device: self.enclave.device().to_string(),
+            policy_version: entry.policy.version,
+            compliant: violations.is_empty(),
+            violations,
+            log_digest: hash_parts(&parts),
+            accesses: entry.access_count,
+            copy_alive: entry.state.deleted_at.is_none(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duc_policy::{Constraint, Rule};
+    use duc_sim::SimDuration;
+
+    const RES: &str = "https://bob.pod/data/medical.ttl";
+    const ALICE: &str = "https://alice.id/me";
+
+    fn medical_policy() -> UsagePolicy {
+        UsagePolicy::builder(format!("{RES}#policy"), RES, "https://bob.id/me")
+            .permit(
+                Rule::permit([Action::Use])
+                    .with_constraint(Constraint::Purpose(vec![Purpose::new("medical")])),
+            )
+            .duty(Duty::LogAccesses)
+            .build()
+    }
+
+    fn retention_policy(days: u64) -> UsagePolicy {
+        UsagePolicy::builder(format!("{RES}#policy"), RES, "https://bob.id/me")
+            .permit(
+                Rule::permit([Action::Use])
+                    .with_constraint(Constraint::MaxRetention(SimDuration::from_days(days))),
+            )
+            .duty(Duty::DeleteWithin(SimDuration::from_days(days)))
+            .build()
+    }
+
+    fn app() -> TrustedApplication {
+        TrustedApplication::new(Enclave::new("alice-laptop", b"trusted-app-v1"), ALICE)
+    }
+
+    fn t(days: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_days(days)
+    }
+
+    #[test]
+    fn store_and_access_with_right_purpose() {
+        let mut app = app();
+        app.store_resource(RES, b"patient rows", medical_policy(), t(0));
+        let bytes = app
+            .access(RES, Action::Read, Purpose::new("medical-research"), t(1))
+            .expect("permitted");
+        assert_eq!(bytes, b"patient rows");
+        assert!(app.has_copy(RES));
+    }
+
+    #[test]
+    fn wrong_purpose_is_denied_and_unlogged() {
+        let mut app = app();
+        app.store_resource(RES, b"data", medical_policy(), t(0));
+        let err = app
+            .access(RES, Action::Read, Purpose::new("marketing"), t(1))
+            .unwrap_err();
+        match err {
+            AccessError::Denied(reasons) => {
+                assert!(matches!(reasons[0], DenyReason::PurposeNotAllowed(_)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let report = app.report(RES, t(1)).unwrap();
+        assert_eq!(report.accesses, 0, "denied accesses are not counted");
+        assert!(report.compliant, "a denied attempt is not a violation");
+    }
+
+    #[test]
+    fn missing_copy_errors() {
+        let mut app = app();
+        assert_eq!(
+            app.access("urn:none", Action::Read, Purpose::any(), t(0)).unwrap_err(),
+            AccessError::NoCopy
+        );
+    }
+
+    #[test]
+    fn retention_enforced_lazily_on_access() {
+        let mut app = app();
+        app.store_resource(RES, b"web logs", retention_policy(7), t(0));
+        assert!(app.access(RES, Action::Read, Purpose::any(), t(6)).is_ok());
+        // Day 8: the copy is overdue; the access itself triggers deletion.
+        let err = app.access(RES, Action::Read, Purpose::any(), t(8)).unwrap_err();
+        assert_eq!(err, AccessError::NoCopy);
+        assert!(!app.has_copy(RES));
+        assert!(app.storage().host_view(RES).is_none(), "sealed bytes erased");
+    }
+
+    #[test]
+    fn sweep_enforces_all_overdue_copies() {
+        let mut app = app();
+        app.store_resource(RES, b"a", retention_policy(7), t(0));
+        app.store_resource("urn:other", b"b", retention_policy(30), t(0));
+        let actions = app.sweep(t(10));
+        assert_eq!(actions.len(), 1, "only the 7-day copy is overdue");
+        match &actions[0] {
+            EnforcementAction::Deleted { resource, at, reason } => {
+                assert_eq!(resource, RES);
+                assert_eq!(*at, t(10));
+                assert!(reason.contains("retention"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!app.has_copy(RES));
+        assert!(app.has_copy("urn:other"));
+    }
+
+    #[test]
+    fn policy_update_triggers_immediate_enforcement() {
+        // The paper's Bob scenario: retention shortened from 30d to 7d while
+        // the copy is 10 days old → erase immediately on update receipt.
+        let mut app = app();
+        app.store_resource(RES, b"browsing data", retention_policy(30), t(0));
+        assert!(app.has_copy(RES));
+        let tightened = retention_policy(30).amended(
+            vec![Rule::permit([Action::Use])
+                .with_constraint(Constraint::MaxRetention(SimDuration::from_days(7)))],
+            vec![Duty::DeleteWithin(SimDuration::from_days(7))],
+        );
+        let actions = app.apply_policy_update(RES, tightened, t(10));
+        assert!(matches!(actions[0], EnforcementAction::Deleted { .. }));
+        assert!(!app.has_copy(RES));
+        // The self-report still judges the device compliant: the deadline
+        // was only learnable at update time.
+        let report = app.report(RES, t(10)).unwrap();
+        assert!(report.compliant, "{:?}", report.violations);
+        assert!(!report.copy_alive);
+    }
+
+    #[test]
+    fn stale_or_foreign_updates_ignored() {
+        let mut app = app();
+        app.store_resource(RES, b"x", retention_policy(7), t(0));
+        // Same version → ignored.
+        assert!(app.apply_policy_update(RES, retention_policy(7), t(1)).is_empty());
+        assert_eq!(app.policy_version(RES), Some(1));
+        // Mismatched resource → ignored.
+        let mut other = retention_policy(7).amended(vec![], vec![]);
+        other.resource = "urn:other".into();
+        assert!(app.apply_policy_update(RES, other, t(1)).is_empty());
+    }
+
+    #[test]
+    fn notify_duty_surfaces_from_update() {
+        let mut app = app();
+        app.store_resource(RES, b"x", retention_policy(30), t(0));
+        let with_notify = retention_policy(30).amended(
+            vec![Rule::permit([Action::Use])],
+            vec![Duty::NotifyOwnerWithin(SimDuration::from_hours(1))],
+        );
+        let actions = app.apply_policy_update(RES, with_notify, t(1));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            EnforcementAction::NotifyOwner { by, .. } if *by == t(1) + SimDuration::from_hours(1)
+        )));
+    }
+
+    #[test]
+    fn report_reflects_log_and_versions() {
+        let mut app = app();
+        app.store_resource(RES, b"data", medical_policy(), t(0));
+        app.access(RES, Action::Read, Purpose::new("medical"), t(1)).unwrap();
+        app.access(RES, Action::Read, Purpose::new("medical"), t(2)).unwrap();
+        let r1 = app.report(RES, t(3)).unwrap();
+        assert_eq!(r1.accesses, 2);
+        assert_eq!(r1.policy_version, 1);
+        assert!(r1.compliant);
+        assert_eq!(r1.device, "alice-laptop");
+        // The log digest changes as the log grows.
+        app.access(RES, Action::Read, Purpose::new("medical"), t(4)).unwrap();
+        let r2 = app.report(RES, t(5)).unwrap();
+        assert_ne!(r1.log_digest, r2.log_digest);
+        assert!(app.report("urn:missing", t(5)).is_none());
+    }
+
+    #[test]
+    fn voluntary_delete() {
+        let mut app = app();
+        app.store_resource(RES, b"x", medical_policy(), t(0));
+        assert!(app.delete(RES, t(1)));
+        assert!(!app.delete(RES, t(2)), "double delete is false");
+        assert!(!app.has_copy(RES));
+        let report = app.report(RES, t(3)).unwrap();
+        assert!(report.compliant);
+        assert!(!report.copy_alive);
+    }
+
+    #[test]
+    fn absolute_expiry_enforced() {
+        let policy = UsagePolicy::builder(format!("{RES}#p"), RES, "urn:o")
+            .permit(
+                Rule::permit([Action::Use]).with_constraint(Constraint::ExpiresAt(t(5))),
+            )
+            .build();
+        let mut app = app();
+        app.store_resource(RES, b"x", policy, t(0));
+        assert!(app.access(RES, Action::Read, Purpose::any(), t(4)).is_ok());
+        let actions = app.sweep(t(5));
+        assert!(matches!(
+            &actions[0],
+            EnforcementAction::Deleted { reason, .. } if reason.contains("expiry")
+        ));
+    }
+
+    #[test]
+    fn resources_iteration() {
+        let mut app = app();
+        app.store_resource("urn:a", b"1", medical_policy(), t(0));
+        app.store_resource("urn:b", b"2", medical_policy(), t(0));
+        let rs: Vec<&str> = app.resources().collect();
+        assert_eq!(rs, vec!["urn:a", "urn:b"]);
+        assert_eq!(app.holder(), ALICE);
+    }
+}

@@ -1,0 +1,146 @@
+//! Trusted data storage: sealed (encrypted-at-rest) blobs.
+
+use std::collections::BTreeMap;
+
+use duc_crypto::{hash_parts, ChaCha20};
+
+use crate::enclave::Enclave;
+
+/// Sealed storage bound to one enclave's sealing key.
+///
+/// Each entry is encrypted under ChaCha20 with a per-key nonce derived from
+/// the entry name, so the host (or a different enclave) sees only
+/// ciphertext.
+#[derive(Debug, Clone, Default)]
+pub struct TrustedDataStorage {
+    sealed: BTreeMap<String, Vec<u8>>,
+}
+
+fn nonce_for(name: &str) -> [u8; 12] {
+    let d = hash_parts(&[b"duc/seal-nonce", name.as_bytes()]);
+    d.as_bytes()[..12].try_into().expect("12 bytes")
+}
+
+impl TrustedDataStorage {
+    /// Creates empty storage.
+    pub fn new() -> TrustedDataStorage {
+        TrustedDataStorage::default()
+    }
+
+    /// Seals `plaintext` under `name`.
+    pub fn seal(&mut self, enclave: &Enclave, name: &str, plaintext: &[u8]) {
+        let cipher = ChaCha20::new(enclave.sealing_key(), nonce_for(name));
+        self.sealed.insert(name.to_string(), cipher.encrypt(plaintext));
+    }
+
+    /// Unseals the entry under `name`.
+    pub fn unseal(&self, enclave: &Enclave, name: &str) -> Option<Vec<u8>> {
+        let ciphertext = self.sealed.get(name)?;
+        let cipher = ChaCha20::new(enclave.sealing_key(), nonce_for(name));
+        Some(cipher.decrypt(ciphertext))
+    }
+
+    /// Securely deletes an entry; returns whether it existed.
+    pub fn erase(&mut self, name: &str) -> bool {
+        self.sealed.remove(name).is_some()
+    }
+
+    /// Whether an entry exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.sealed.contains_key(name)
+    }
+
+    /// Number of sealed entries.
+    pub fn len(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Whether storage is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty()
+    }
+
+    /// What the *host* operating system can observe: raw ciphertext.
+    pub fn host_view(&self, name: &str) -> Option<&[u8]> {
+        self.sealed.get(name).map(Vec::as_slice)
+    }
+
+    /// Total sealed bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.sealed.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enclave() -> Enclave {
+        Enclave::new("alice-laptop", b"trusted-app-v1")
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let e = enclave();
+        let mut s = TrustedDataStorage::new();
+        s.seal(&e, "res/medical", b"patient data");
+        assert_eq!(s.unseal(&e, "res/medical").unwrap(), b"patient data");
+        assert!(s.contains("res/medical"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn host_sees_only_ciphertext() {
+        let e = enclave();
+        let mut s = TrustedDataStorage::new();
+        let secret = b"very sensitive payload with structure";
+        s.seal(&e, "res/x", secret);
+        let visible = s.host_view("res/x").expect("entry exists");
+        assert_ne!(visible, secret);
+        // No plaintext substring survives in the ciphertext.
+        assert!(!visible
+            .windows(b"sensitive".len())
+            .any(|w| w == b"sensitive"));
+    }
+
+    #[test]
+    fn foreign_enclave_cannot_unseal() {
+        let alice = enclave();
+        let other_code = Enclave::new("alice-laptop", b"other-app");
+        let other_device = Enclave::new("mallory-box", b"trusted-app-v1");
+        let mut s = TrustedDataStorage::new();
+        s.seal(&alice, "res/x", b"secret");
+        assert_ne!(s.unseal(&other_code, "res/x").unwrap(), b"secret");
+        assert_ne!(s.unseal(&other_device, "res/x").unwrap(), b"secret");
+    }
+
+    #[test]
+    fn erase_destroys_data() {
+        let e = enclave();
+        let mut s = TrustedDataStorage::new();
+        s.seal(&e, "res/x", b"secret");
+        assert!(s.erase("res/x"));
+        assert!(!s.erase("res/x"));
+        assert!(s.unseal(&e, "res/x").is_none());
+        assert!(s.host_view("res/x").is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn distinct_entries_use_distinct_nonces() {
+        let e = enclave();
+        let mut s = TrustedDataStorage::new();
+        s.seal(&e, "a", b"same plaintext");
+        s.seal(&e, "b", b"same plaintext");
+        assert_ne!(s.host_view("a").unwrap(), s.host_view("b").unwrap());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let e = enclave();
+        let mut s = TrustedDataStorage::new();
+        s.seal(&e, "a", &[0u8; 100]);
+        s.seal(&e, "b", &[0u8; 50]);
+        assert_eq!(s.total_bytes(), 150);
+    }
+}
