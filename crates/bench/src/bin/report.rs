@@ -3,50 +3,178 @@
 //! ```sh
 //! cargo run -p duc-bench --bin report --release -- all
 //! cargo run -p duc-bench --bin report --release -- e1 e6 e7
+//! cargo run -p duc-bench --bin report --release -- --json all
 //! ```
+//!
+//! With `--json`, additionally writes `BENCH_seed.json`: one record per
+//! experiment (always all of them, independent of the table selection)
+//! with the median latency (first `ms` column) and median gas (first
+//! `gas` column) of each table — the seed of the repository's
+//! performance trajectory. Each experiment runs at most once per
+//! invocation; table output and JSON share the results.
 
 use duc_bench::experiments;
 use duc_bench::Table;
 
-fn run(name: &str) -> Option<Vec<Table>> {
-    Some(match name {
-        "e1" => experiments::e1_pod_initiation(),
-        "e2" => experiments::e2_resource_initiation(),
-        "e3" => experiments::e3_indexing(),
-        "e4" => experiments::e4_access(),
-        "e5" => experiments::e5_propagation(),
-        "e6" => experiments::e6_monitoring(),
-        "e7" => experiments::e7_gas_table(),
-        "e8" => experiments::e8_robustness(),
-        "e9" => experiments::e9_privacy(),
-        "e10" => experiments::e10_baseline(),
-        "e11" => experiments::e11_enforcement(),
-        "e12" => experiments::e12_chain_scale(),
-        "all" => experiments::all(),
-        _ => return None,
-    })
+const JSON_PATH: &str = "BENCH_seed.json";
+
+/// The single registry every consumer (table output, JSON, the usage
+/// message) derives from.
+const EXPERIMENTS: &[(&str, fn() -> Vec<Table>)] = &[
+    ("e1", experiments::e1_pod_initiation),
+    ("e2", experiments::e2_resource_initiation),
+    ("e3", experiments::e3_indexing),
+    ("e4", experiments::e4_access),
+    ("e5", experiments::e5_propagation),
+    ("e6", experiments::e6_monitoring),
+    ("e7", experiments::e7_gas_table),
+    ("e8", experiments::e8_robustness),
+    ("e9", experiments::e9_privacy),
+    ("e10", experiments::e10_baseline),
+    ("e11", experiments::e11_enforcement),
+    ("e12", experiments::e12_chain_scale),
+];
+
+/// Runs experiment `index` on first use, then serves the cached tables.
+fn tables(cache: &mut Vec<Option<Vec<Table>>>, index: usize) -> &[Table] {
+    cache[index].get_or_insert_with(EXPERIMENTS[index].1)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<String> = if args.is_empty() {
-        vec!["all".to_string()]
-    } else {
-        args
-    };
-    println!("# solid-usage-control experiment report");
-    println!("(deterministic simulation; see EXPERIMENTS.md for interpretation)");
-    for name in selected {
-        match run(&name) {
-            Some(tables) => {
-                for table in tables {
-                    print!("{table}");
-                }
-            }
-            None => {
-                eprintln!("unknown experiment {name:?}; use e1..e12 or all");
-                std::process::exit(2);
-            }
+    let mut json = false;
+    let mut selected: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => selected.push(other.to_string()),
         }
     }
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+    let indices: Vec<usize> = selected
+        .iter()
+        .flat_map(|name| {
+            if name == "all" {
+                return (0..EXPERIMENTS.len()).collect();
+            }
+            match EXPERIMENTS.iter().position(|(n, _)| n == name) {
+                Some(index) => vec![index],
+                None => {
+                    eprintln!(
+                        "unknown experiment {name:?}; use {}..{} or all",
+                        EXPERIMENTS[0].0,
+                        EXPERIMENTS[EXPERIMENTS.len() - 1].0
+                    );
+                    std::process::exit(2);
+                }
+            }
+        })
+        .collect();
+
+    let mut cache: Vec<Option<Vec<Table>>> = (0..EXPERIMENTS.len()).map(|_| None).collect();
+    println!("# solid-usage-control experiment report");
+    println!("(deterministic simulation; see EXPERIMENTS.md for interpretation)");
+    for index in indices {
+        for table in tables(&mut cache, index) {
+            print!("{table}");
+        }
+    }
+    if json {
+        let document = json_document(&mut cache);
+        std::fs::write(JSON_PATH, document)
+            .unwrap_or_else(|e| panic!("writing {JSON_PATH}: {e}"));
+        eprintln!("wrote {JSON_PATH}");
+    }
+}
+
+fn json_document(cache: &mut Vec<Option<Vec<Table>>>) -> String {
+    let mut out = String::from("{\n  \"schema\": \"duc-bench-v1\",\n  \"experiments\": {\n");
+    for (i, (name, _)) in EXPERIMENTS.iter().enumerate() {
+        let tables = tables(cache, i);
+        out.push_str(&format!("    {}: [\n", json_string(name)));
+        for (j, table) in tables.iter().enumerate() {
+            out.push_str("      {\n");
+            out.push_str(&format!(
+                "        \"table\": {},\n",
+                json_string(table.title())
+            ));
+            out.push_str(&format!(
+                "        \"median_latency_ms\": {},\n",
+                json_number(median_of_column(table, "ms"))
+            ));
+            out.push_str(&format!(
+                "        \"median_gas\": {}\n",
+                json_number(median_of_column(table, "gas"))
+            ));
+            out.push_str(if j + 1 < tables.len() {
+                "      },\n"
+            } else {
+                "      }\n"
+            });
+        }
+        out.push_str(if i + 1 < EXPERIMENTS.len() {
+            "    ],\n"
+        } else {
+            "    ]\n"
+        });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Median of the first column whose header contains `needle`, ignoring
+/// cells that do not parse as numbers. `None` when the table has no such
+/// column or no numeric cells.
+fn median_of_column(table: &Table, needle: &str) -> Option<f64> {
+    let index = table
+        .columns()
+        .iter()
+        .position(|c| c.to_lowercase().contains(needle))?;
+    let mut values: Vec<f64> = table
+        .rows()
+        .iter()
+        .filter_map(|row| row.get(index))
+        .filter_map(|cell| cell.trim().parse().ok())
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite medians"));
+    let mid = values.len() / 2;
+    Some(if values.len() % 2 == 0 {
+        (values[mid - 1] + values[mid]) / 2.0
+    } else {
+        values[mid]
+    })
+}
+
+fn json_number(value: Option<f64>) -> String {
+    match value {
+        Some(v) => {
+            // Four decimals is below measurement resolution; trimming the
+            // tail keeps binary-float noise out of the committed file.
+            let fixed = format!("{v:.4}");
+            let trimmed = fixed.trim_end_matches('0').trim_end_matches('.');
+            trimmed.to_string()
+        }
+        None => "null".to_string(),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -29,6 +29,21 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// The number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

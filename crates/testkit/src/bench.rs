@@ -1,0 +1,305 @@
+//! Criterion-compatible benchmark harness for `harness = false` targets.
+//!
+//! Implements the subset the workspace's benches use — groups,
+//! `bench_function`, `iter`/`iter_batched`, throughput, sample size and
+//! measurement time — with an adaptive iteration count per sample and a
+//! plain-text report. Designed so a full `cargo bench` completes in
+//! seconds by default; set `DUC_BENCH_QUICK=1` for an even faster smoke
+//! run (CI) or raise `measurement_time` for stable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup. The shim times each routine call
+/// individually, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark manager: holds defaults and the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::var("DUC_BENCH_QUICK").is_ok();
+        Criterion {
+            filter: None,
+            sample_size: if quick { 3 } else { 10 },
+            measurement_time: if quick {
+                Duration::from_millis(30)
+            } else {
+                Duration::from_millis(300)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: any non-flag argument is a
+    /// substring filter on `group/bench` ids (flags such as cargo's
+    /// `--bench` are ignored).
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    self.sample_size = 3;
+                    self.measurement_time = Duration::from_millis(30);
+                }
+                // Flags that take a value we don't use.
+                "--save-baseline" | "--baseline" | "--load-baseline" => {
+                    let _ = args.next();
+                }
+                a if a.starts_with('-') => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Criterion {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Default total measurement budget per benchmark.
+    pub fn measurement_time(mut self, budget: Duration) -> Criterion {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.run_one(&id.into(), sample_size, measurement_time, None, f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: sample_size.max(1),
+            measurement_time,
+            samples_secs_per_iter: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        bencher.report(id, throughput);
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.into());
+        let (sample_size, measurement_time, throughput) =
+            (self.sample_size, self.measurement_time, self.throughput);
+        self.criterion
+            .run_one(&full_id, sample_size, measurement_time, throughput, f);
+        self
+    }
+
+    /// Ends the group (report lines are already printed; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_secs_per_iter: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called in adaptively sized batches.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup doubles as the single-iteration estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = self.iters_for(estimate);
+        let deadline = Instant::now() + self.measurement_time * 4;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_secs_per_iter
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.iters_per_sample = iters;
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let estimate = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = self.iters_for(estimate);
+        let deadline = Instant::now() + self.measurement_time * 4;
+        for _ in 0..self.sample_size {
+            let mut measured = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                measured += start.elapsed();
+            }
+            self.samples_secs_per_iter
+                .push(measured.as_secs_f64() / iters as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.iters_per_sample = iters;
+    }
+
+    fn iters_for(&self, estimate_secs: f64) -> u64 {
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        (per_sample / estimate_secs).clamp(1.0, 1e7) as u64
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples_secs_per_iter.is_empty() {
+            println!("{id:<55} <no samples>");
+            return;
+        }
+        let mut sorted = self.samples_secs_per_iter.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let median = sorted[sorted.len() / 2];
+        let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(bytes) => {
+                format!("  {:>10}/s", format_bytes(bytes as f64 / median))
+            }
+            Throughput::Elements(n) => format!("  {:>10.0} elem/s", n as f64 / median),
+        });
+        println!(
+            "{id:<55} median {:>10}  [{} .. {}] x{} iters{}",
+            format_time(median),
+            format_time(lo),
+            format_time(hi),
+            self.iters_per_sample,
+            rate.unwrap_or_default(),
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn format_bytes(bytes_per_sec: f64) -> String {
+    const KIB: f64 = 1024.0;
+    if bytes_per_sec >= KIB * KIB * KIB {
+        format!("{:.2} GiB", bytes_per_sec / (KIB * KIB * KIB))
+    } else if bytes_per_sec >= KIB * KIB {
+        format!("{:.2} MiB", bytes_per_sec / (KIB * KIB))
+    } else if bytes_per_sec >= KIB {
+        format!("{:.2} KiB", bytes_per_sec / KIB)
+    } else {
+        format!("{bytes_per_sec:.0} B")
+    }
+}

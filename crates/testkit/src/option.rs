@@ -1,0 +1,26 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Option<T>` values: `None` one time in four, mirroring
+/// upstream proptest's default `Some` weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng, size: usize) -> Option<S::Value> {
+        if rng.gen_range(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng, size))
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The proptest-compatible [`Strategy`] abstraction.
+//!
+//! A strategy deterministically produces values of its `Value` type from a
+//! seeded [`TestRng`] and a *size* hint (larger sizes produce larger
+//! unbounded collections/strings). Unlike upstream proptest there is no
+//! value tree: shrinking is performed by the runner re-generating candidate
+//! cases at smaller sizes from derived seeds, which keeps the whole harness
+//! dependency-free and fully reproducible.
+
+use crate::pattern;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value. Implementations must be deterministic in
+    /// `(rng state, size)`.
+    fn generate(&self, rng: &mut TestRng, size: usize) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keeps only values for which `f` returns true, retrying generation.
+    ///
+    /// # Panics
+    /// Panics (failing the test case) when the predicate rejects too many
+    /// candidates in a row; `whence` names the filter in that message.
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng, _size: usize) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng, size: usize) -> U {
+        (self.f)(self.source.generate(rng, size))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng, size: usize) -> S::Value {
+        for _ in 0..1024 {
+            let candidate = self.source.generate(rng, size);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1024 candidates in a row; loosen the filter",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng, size: usize) -> S2::Value {
+        (self.f)(self.source.generate(rng, size)).generate(rng, size)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng, size: usize) -> V {
+        self.0.generate(rng, size)
+    }
+}
+
+/// Weighted choice between strategies — the engine behind `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! requires a positive total weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng, size: usize) -> V {
+        let mut pick = rng.gen_range(self.total_weight);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng, size);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Regex-subset string strategies: `"[a-z]{1,8}"`, `".*"`, `"[ -~\n\t]{0,300}"`, …
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng, size: usize) -> String {
+        pattern::generate(self, rng, size)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty)*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, _size: usize) -> $t {
+                assert!(self.start < self.end, "empty range strategy {}..{}", self.start, self.end);
+                // Two's complement makes the unsigned span correct for
+                // signed types as well.
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add(sample_u128(rng, span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, _size: usize) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                if span == u128::MAX {
+                    return full_width_draw(rng) as $t;
+                }
+                lo.wrapping_add(sample_u128(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8 u16 u32 u64 u128 usize i8 i16 i32 i64 i128 isize);
+
+/// Uniform draw in `[0, bound)`, where `bound > 0`.
+fn sample_u128(rng: &mut TestRng, bound: u128) -> u128 {
+    if bound <= u128::from(u64::MAX) {
+        u128::from(rng.gen_range(bound as u64))
+    } else {
+        // Wide ranges only occur for 128-bit strategies; modulo bias over a
+        // 128-bit draw is negligible for test generation purposes.
+        full_width_draw(rng) % bound
+    }
+}
+
+fn full_width_draw(rng: &mut TestRng) -> u128 {
+    (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng, size: usize) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                // Tuple construction evaluates left to right: deterministic.
+                ($($name.generate(rng, size),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Types with a canonical "arbitrary value" strategy, used via [`any`].
+pub trait Arbitrary: Sized {
+    /// Produces one arbitrary value.
+    fn arbitrary(rng: &mut TestRng, size: usize) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, size: usize) -> T {
+        T::arbitrary(rng, size)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u64>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng, _size: usize) -> bool {
+        rng.next_u64() & 1 != 0
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty)*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng, _size: usize) -> $t {
+                // One draw in eight is an edge value: integer codecs and
+                // comparators break at boundaries far more often than in
+                // the middle of the range.
+                if rng.gen_range(8) == 0 {
+                    *rng.choose(&[0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX / 2])
+                } else if std::mem::size_of::<$t>() > 8 {
+                    full_width_draw(rng) as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8 u16 u32 u64 u128 usize i8 i16 i32 i64 i128 isize);

@@ -1,0 +1,210 @@
+//! The property-test runner behind the `proptest!` macro.
+//!
+//! Each case is generated from a 64-bit seed drawn from a master
+//! xoshiro256++ stream ([`TestRng`] is `duc_sim`'s deterministic RNG), so a
+//! whole run is a pure function of `(master seed, case count)`. Shrinking
+//! re-generates candidate cases at strictly smaller sizes from seeds
+//! derived from the failing case's seed — also fully deterministic: the
+//! same seed always reports the same minimal failing case.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use duc_sim::Rng as TestRng;
+
+/// Default master seed, mixed with the test name so distinct properties
+/// explore independent streams.
+const DEFAULT_SEED: u64 = 0x0D0C_0001_5EED;
+
+const SHRINK_SALT: u64 = 0x5821_AD5E_11E5_D00D;
+
+/// Runner configuration, settable per-suite via
+/// `#![proptest_config(ProptestConfig::with_cases(128))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Maximum re-generation attempts while shrinking a failure.
+    pub max_shrink_iters: u32,
+    /// Master seed override; also settable via `PROPTEST_SEED`.
+    pub seed: Option<u64>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 512,
+            seed,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (environment overrides still apply
+    /// to the seed).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A failed assertion inside a property body (`prop_assert!` family).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs a property to completion, panicking with a shrink report on the
+/// first failing case. Called by the `proptest!` macro.
+pub fn run_proptest<V, G, T>(config: &ProptestConfig, name: &str, generate: G, test: T)
+where
+    V: fmt::Debug,
+    G: Fn(&mut TestRng, usize) -> V,
+    T: Fn(V) -> Result<(), TestCaseError>,
+{
+    if let Err(report) = run_proptest_result(config, name, generate, test) {
+        panic!("{report}");
+    }
+}
+
+/// Like [`run_proptest`] but returns the failure report instead of
+/// panicking — the hook the testkit's own determinism tests use.
+pub fn run_proptest_result<V, G, T>(
+    config: &ProptestConfig,
+    name: &str,
+    generate: G,
+    test: T,
+) -> Result<(), String>
+where
+    V: fmt::Debug,
+    G: Fn(&mut TestRng, usize) -> V,
+    T: Fn(V) -> Result<(), TestCaseError>,
+{
+    let master_seed = config.seed.unwrap_or(DEFAULT_SEED ^ fnv1a(name));
+    let mut master = TestRng::seed_from_u64(master_seed);
+    for case in 0..config.cases {
+        let case_seed = master.next_u64();
+        // Cycle sizes so small and large inputs interleave from the start.
+        let size = 4 + (case as usize % 61);
+        if let Err(message) = run_case(&generate, &test, case_seed, size) {
+            let (seed, size, message, repr) =
+                shrink(&generate, &test, case_seed, size, message, config.max_shrink_iters);
+            return Err(format!(
+                "proptest property {name} failed after {case} passing case(s)\n\
+                 minimal failing input (seed {seed:#018x}, size {size}):\n  {repr}\n\
+                 error: {message}\n\
+                 reproduce the whole run with PROPTEST_SEED={master_seed}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_case<V, G, T>(generate: &G, test: &T, seed: u64, size: usize) -> Result<(), String>
+where
+    G: Fn(&mut TestRng, usize) -> V,
+    T: Fn(V) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(seed);
+    let value = match catch_unwind(AssertUnwindSafe(|| generate(&mut rng, size))) {
+        Ok(value) => value,
+        Err(payload) => return Err(format!("generation panicked: {}", panic_message(payload))),
+    };
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("panicked: {}", panic_message(payload))),
+    }
+}
+
+/// Hunts for a *smaller* failing case, where "smaller" means a shorter
+/// `Debug` representation — a generic minimality metric that exerts real
+/// pressure on collection lengths and string sizes alike. Every candidate
+/// is derived from the original failing seed, so the result is a pure
+/// function of `(seed, size)`: the same seed always reports the same
+/// minimal failing case.
+fn shrink<V, G, T>(
+    generate: &G,
+    test: &T,
+    seed: u64,
+    size: usize,
+    message: String,
+    max_iters: u32,
+) -> (u64, usize, String, String)
+where
+    V: fmt::Debug,
+    G: Fn(&mut TestRng, usize) -> V,
+    T: Fn(V) -> Result<(), TestCaseError>,
+{
+    let repr = case_repr(generate, seed, size);
+    let mut best = (seed, size, message, repr);
+    let mut shrink_rng = TestRng::seed_from_u64(seed ^ SHRINK_SALT);
+    for _ in 0..max_iters {
+        let candidate_size = shrink_rng.gen_range_inclusive(0, size as u64) as usize;
+        let candidate_seed = shrink_rng.next_u64();
+        if let Err(message) = run_case(generate, test, candidate_seed, candidate_size) {
+            let repr = case_repr(generate, candidate_seed, candidate_size);
+            if repr.len() < best.3.len() {
+                best = (candidate_seed, candidate_size, message, repr);
+            }
+        }
+    }
+    best
+}
+
+/// Re-generates the case for `(seed, size)` and formats it for reporting.
+fn case_repr<V, G>(generate: &G, seed: u64, size: usize) -> String
+where
+    V: fmt::Debug,
+    G: Fn(&mut TestRng, usize) -> V,
+{
+    let mut rng = TestRng::seed_from_u64(seed);
+    match catch_unwind(AssertUnwindSafe(|| format!("{:?}", generate(&mut rng, size)))) {
+        Ok(repr) => repr,
+        Err(_) => "<generation panicked>".to_string(),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}

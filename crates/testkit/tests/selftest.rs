@@ -1,0 +1,228 @@
+//! Self-tests for the testkit harness: the runner must honor case counts,
+//! report failures, shrink deterministically (same seed → same minimal
+//! failing case), respect `prop_oneof!` weights, and generate strings
+//! matching the supported pattern subset.
+
+use duc_testkit::prelude::*;
+use duc_testkit::test_runner::{run_proptest_result, TestRng};
+use duc_testkit::{collection, option};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn config(cases: u32) -> ProptestConfig {
+    // Pin the seed so environment overrides can't perturb self-tests.
+    ProptestConfig {
+        cases,
+        max_shrink_iters: 256,
+        seed: Some(0xDEC0_DE00),
+    }
+}
+
+#[test]
+fn runs_exactly_the_configured_number_of_cases() {
+    let executed = AtomicU32::new(0);
+    let result = run_proptest_result(
+        &config(137),
+        "selftest::case_count",
+        |rng, size| any::<u64>().generate(rng, size),
+        |_| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        },
+    );
+    assert!(result.is_ok());
+    assert_eq!(executed.load(Ordering::Relaxed), 137);
+}
+
+#[test]
+fn failing_property_is_reported() {
+    let result = run_proptest_result(
+        &config(256),
+        "selftest::must_fail",
+        |rng, size| (0u64..1_000_000).generate(rng, size),
+        |v| {
+            prop_assert!(v < 10, "value {v} is too big");
+            Ok(())
+        },
+    );
+    let report = result.expect_err("property should fail");
+    assert!(report.contains("minimal failing input"), "report: {report}");
+    assert!(report.contains("is too big"), "report: {report}");
+}
+
+#[test]
+fn shrinking_is_deterministic_across_runs() {
+    // A size-sensitive failure: unbounded patterns scale with the size
+    // hint, so shrinking has real work to do.
+    let run = || {
+        run_proptest_result(
+            &config(256),
+            "selftest::shrink_determinism",
+            |rng, size| ".*".generate(rng, size),
+            |s| {
+                prop_assert!(s.len() < 4, "string of length {} found", s.len());
+                Ok(())
+            },
+        )
+        .expect_err("property should fail")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed must report the same failing case");
+}
+
+#[test]
+fn shrinking_reduces_the_failing_size() {
+    let report = run_proptest_result(
+        &config(256),
+        "selftest::shrink_reduces",
+        |rng, size| collection::vec(any::<u8>(), 0..200).generate(rng, size),
+        |v| {
+            prop_assert!(v.len() < 5, "vec of length {} found", v.len());
+            Ok(())
+        },
+    )
+    .expect_err("property should fail");
+    // The shrinker minimizes the witness's debug representation; among
+    // ~250 failing candidates with uniform lengths in [5, 199], the kept
+    // minimum must sit very close to the true boundary of 5.
+    let found: usize = report
+        .split("vec of length ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no length in report: {report}"));
+    assert!(
+        (5..=20).contains(&found),
+        "expected a shrunken witness close to length 5, got {found} in: {report}"
+    );
+}
+
+#[test]
+fn panicking_property_is_caught_and_reported() {
+    let report = run_proptest_result(
+        &config(64),
+        "selftest::panics",
+        |rng, size| any::<u32>().generate(rng, size),
+        |_| -> Result<(), TestCaseError> { panic!("boom in property body") },
+    )
+    .expect_err("panicking property should fail");
+    assert!(report.contains("boom in property body"), "report: {report}");
+}
+
+#[test]
+fn prop_oneof_weights_are_respected() {
+    let strategy = prop_oneof![
+        1 => Just(0u8),
+        3 => Just(1u8),
+        4 => Just(2u8),
+    ];
+    let mut rng = TestRng::seed_from_u64(42);
+    let mut counts = [0u32; 3];
+    const DRAWS: u32 = 16_000;
+    for _ in 0..DRAWS {
+        counts[strategy.generate(&mut rng, 8) as usize] += 1;
+    }
+    // Expected proportions 1/8, 3/8, 4/8 with a generous tolerance.
+    let expect = [DRAWS / 8, 3 * DRAWS / 8, 4 * DRAWS / 8];
+    for (arm, (&got, &want)) in counts.iter().zip(expect.iter()).enumerate() {
+        let deviation = (got as i64 - want as i64).abs();
+        assert!(
+            deviation < (DRAWS / 20) as i64,
+            "arm {arm}: got {got}, expected ~{want}"
+        );
+    }
+}
+
+#[test]
+fn unweighted_oneof_is_uniform() {
+    let strategy = prop_oneof![Just(0u8), Just(1u8)];
+    let mut rng = TestRng::seed_from_u64(7);
+    let ones: u32 = (0..10_000)
+        .map(|_| u32::from(strategy.generate(&mut rng, 8)))
+        .sum();
+    assert!((4_500..5_500).contains(&ones), "ones: {ones}");
+}
+
+#[test]
+fn generation_is_deterministic_for_equal_seeds() {
+    let strategy = (
+        collection::vec("[a-z]{1,8}", 0..10),
+        option::of(any::<i64>()),
+        0u64..500,
+    );
+    let a = strategy.generate(&mut TestRng::seed_from_u64(99), 16);
+    let b = strategy.generate(&mut TestRng::seed_from_u64(99), 16);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pattern_strategies_match_their_patterns() {
+    let mut rng = TestRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let s = "[a-z][a-z0-9-]{0,10}".generate(&mut rng, 16);
+        assert!((1..=11).contains(&s.chars().count()), "bad length: {s:?}");
+        let mut chars = s.chars();
+        assert!(chars.next().unwrap().is_ascii_lowercase());
+        assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+
+        let printable = "[ -~]{0,24}".generate(&mut rng, 16);
+        assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        assert!(printable.chars().count() <= 24);
+
+        let ws = "[ -~\\n\\t]{0,300}".generate(&mut rng, 16);
+        assert!(ws.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+
+        let unicode = "[\\PC]{0,16}".generate(&mut rng, 16);
+        assert!(unicode.chars().all(|c| !c.is_control()), "control char in {unicode:?}");
+
+        let exact = "[a-z]{2}".generate(&mut rng, 16);
+        assert_eq!(exact.chars().count(), 2);
+    }
+}
+
+#[test]
+fn unbounded_patterns_scale_with_the_size_hint() {
+    let mut rng = TestRng::seed_from_u64(5);
+    let mut saw_long = false;
+    for _ in 0..100 {
+        let s = ".*".generate(&mut rng, 64);
+        assert!(s.chars().count() <= 64);
+        saw_long |= s.chars().count() > 32;
+    }
+    assert!(saw_long, "size hint 64 should sometimes produce long strings");
+}
+
+#[test]
+fn filter_and_flat_map_compose() {
+    let strategy = (1u32..50)
+        .prop_filter("even only", |v| v % 2 == 0)
+        .prop_flat_map(|n| collection::vec(Just(n), n as usize..(n as usize + 1)))
+        .boxed();
+    let mut rng = TestRng::seed_from_u64(11);
+    for _ in 0..100 {
+        let v = strategy.generate(&mut rng, 8);
+        assert!(!v.is_empty());
+        assert_eq!(v[0] % 2, 0);
+        assert_eq!(v.len(), v[0] as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The macro surface itself: multiple bindings, trailing comma, and
+    /// prop_assert_* in a passing property.
+    #[test]
+    fn macro_smoke(
+        v in collection::vec(any::<u8>(), 0..32),
+        flag in any::<bool>(),
+        label in "[a-z]{1,4}",
+    ) {
+        prop_assert!(v.len() < 32);
+        prop_assert_eq!(label.is_empty(), false);
+        prop_assert_ne!(label.len(), 0, );
+        if flag {
+            prop_assert!(label.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}
