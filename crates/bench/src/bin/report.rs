@@ -18,9 +18,12 @@ use duc_bench::Table;
 
 const JSON_PATH: &str = "BENCH_seed.json";
 
+/// One registry entry: experiment name plus its runner.
+type Experiment = (&'static str, fn() -> Vec<Table>);
+
 /// The single registry every consumer (table output, JSON, the usage
 /// message) derives from.
-const EXPERIMENTS: &[(&str, fn() -> Vec<Table>)] = &[
+const EXPERIMENTS: &[Experiment] = &[
     ("e1", experiments::e1_pod_initiation),
     ("e2", experiments::e2_resource_initiation),
     ("e3", experiments::e3_indexing),
@@ -36,7 +39,7 @@ const EXPERIMENTS: &[(&str, fn() -> Vec<Table>)] = &[
 ];
 
 /// Runs experiment `index` on first use, then serves the cached tables.
-fn tables(cache: &mut Vec<Option<Vec<Table>>>, index: usize) -> &[Table] {
+fn tables(cache: &mut [Option<Vec<Table>>], index: usize) -> &[Table] {
     cache[index].get_or_insert_with(EXPERIMENTS[index].1)
 }
 
@@ -88,7 +91,7 @@ fn main() {
     }
 }
 
-fn json_document(cache: &mut Vec<Option<Vec<Table>>>) -> String {
+fn json_document(cache: &mut [Option<Vec<Table>>]) -> String {
     let mut out = String::from("{\n  \"schema\": \"duc-bench-v1\",\n  \"experiments\": {\n");
     for (i, (name, _)) in EXPERIMENTS.iter().enumerate() {
         let tables = tables(cache, i);
@@ -142,7 +145,7 @@ fn median_of_column(table: &Table, needle: &str) -> Option<f64> {
     }
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite medians"));
     let mid = values.len() / 2;
-    Some(if values.len() % 2 == 0 {
+    Some(if values.len().is_multiple_of(2) {
         (values[mid - 1] + values[mid]) / 2.0
     } else {
         values[mid]

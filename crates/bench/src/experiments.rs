@@ -829,7 +829,104 @@ pub fn e12_chain_scale() -> Vec<Table> {
         let h = world.metrics.histogram_mut("process.resource_init.e2e");
         interval.row(vec![format!("{secs} s"), ms(h.mean()), ms(h.p95())]);
     }
-    vec![growth, interval]
+    let mut tables = vec![growth, interval];
+    tables.extend(e12_concurrency());
+    tables
+}
+
+/// E12c — driver concurrency: N in-flight resource accesses racing two
+/// monitoring rounds over the non-blocking request API, measuring
+/// makespan, tail latency and throughput as contention grows.
+pub fn e12_concurrency() -> Vec<Table> {
+    let mut table = Table::new(
+        "E12c · driver concurrency — N in-flight accesses + 2 monitoring rounds",
+        &[
+            "in-flight",
+            "ok",
+            "makespan ms",
+            "access mean ms",
+            "access p95 ms",
+            "access max ms",
+            "req/s",
+            "gas/req",
+        ],
+    );
+    for n in [8usize, 16, 64, 128] {
+        let mut world = World::new(WorldConfig {
+            seed: 122,
+            link: fixed_link(10),
+            ..WorldConfig::default()
+        });
+        world.add_owner(OWNER, "https://owner.pod/");
+        for i in 0..n {
+            world.add_device(format!("device-{i}"), format!("https://c{i}.id/me"));
+        }
+        world.pod_initiation(OWNER).expect("pod");
+        let iri = world.owner(OWNER).pod_manager.pod().iri_of("data/set.bin");
+        let resource = world
+            .resource_initiation(
+                OWNER,
+                "data/set.bin",
+                Body::Binary(vec![0xA5; 4 << 10]),
+                retention_policy(&iri, 7),
+                vec![],
+            )
+            .expect("resource init");
+        // Subscriptions and indexing already run concurrently through the
+        // driver.
+        let mut setup = Vec::new();
+        for i in 0..n {
+            setup.push(world.submit(Request::MarketSubscribe { device: format!("device-{i}") }));
+            setup.push(world.submit(Request::ResourceIndexing {
+                device: format!("device-{i}"),
+                resource: resource.clone(),
+            }));
+        }
+        world.run_until_idle();
+        for t in setup {
+            t.poll(&mut world).expect("completed").expect("setup ok");
+        }
+
+        // The measured batch: every device fetches a copy while two
+        // monitoring rounds race the accesses.
+        let t0 = world.clock.now();
+        let mut tickets: Vec<Ticket> = (0..n)
+            .map(|i| {
+                world.submit(Request::ResourceAccess {
+                    device: format!("device-{i}"),
+                    resource: resource.clone(),
+                })
+            })
+            .collect();
+        for _ in 0..2 {
+            tickets.push(world.submit(Request::PolicyMonitoring {
+                webid: OWNER.into(),
+                path: "data/set.bin".into(),
+            }));
+        }
+        let requests = tickets.len();
+        world.run_until_idle();
+        let makespan = world.clock.now() - t0;
+        let ok = tickets
+            .into_iter()
+            .filter(|t| matches!(t.poll(&mut world), Some(Ok(_))))
+            .count();
+        let gas = world.metrics.counter("process.access.gas")
+            + world.metrics.counter("process.monitoring.gas");
+        let h = world.metrics.histogram_mut("process.access.e2e");
+        let throughput = requests as f64 / makespan.as_secs_f64();
+        table.row(vec![
+            requests.to_string(),
+            ok.to_string(),
+            ms(makespan),
+            ms(h.mean()),
+            ms(h.p95()),
+            ms(h.max()),
+            format!("{throughput:.2}"),
+            (gas / requests as u64).to_string(),
+        ]);
+    }
+    vec![table]
 }
 
 /// Runs every experiment in order.
@@ -892,6 +989,47 @@ mod tests {
         let plain =
             PlainSolidBaseline::access(&mut world, "device-0", OWNER, "data/set.bin").expect("ok");
         assert!(plain < full, "plain {plain} vs full {full}");
+    }
+
+    #[test]
+    fn e12c_concurrent_batch_completes_and_beats_serial() {
+        // Small-n replica of the E12c harness: 8 accesses + 2 rounds all in
+        // flight; everything completes and the batch shares block slots.
+        let (mut world, resource) = world_with_copies(0, 1 << 10, 123);
+        for i in 0..8 {
+            world.add_device(format!("racer-{i}"), format!("https://r{i}.id/me"));
+        }
+        let mut setup = Vec::new();
+        for i in 0..8 {
+            setup.push(world.submit(Request::MarketSubscribe { device: format!("racer-{i}") }));
+            setup.push(world.submit(Request::ResourceIndexing {
+                device: format!("racer-{i}"),
+                resource: resource.clone(),
+            }));
+        }
+        world.run_until_idle();
+        for t in setup {
+            t.poll(&mut world).expect("done").expect("setup ok");
+        }
+        let t0 = world.clock.now();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                world.submit(Request::ResourceAccess {
+                    device: format!("racer-{i}"),
+                    resource: resource.clone(),
+                })
+            })
+            .collect();
+        assert_eq!(world.in_flight(), 8);
+        world.run_until_idle();
+        for t in tickets {
+            assert!(matches!(t.poll(&mut world), Some(Ok(Outcome::Accessed(_)))));
+        }
+        let makespan = world.clock.now() - t0;
+        assert!(
+            makespan < SimDuration::from_secs(8 * 2),
+            "8 concurrent accesses share slots: {makespan}"
+        );
     }
 
     #[test]

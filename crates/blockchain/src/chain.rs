@@ -666,7 +666,7 @@ impl Blockchain {
             entry.1 += rec.gas_used;
         }
         for (_, v) in out.iter_mut() {
-            v.2 = if v.0 > 0 { v.1 / v.0 } else { 0 };
+            v.2 = v.1.checked_div(v.0).unwrap_or(0);
         }
         out
     }
@@ -939,7 +939,7 @@ mod tests {
                 &alice,
                 ContractId::new("counter"),
                 "incr",
-                encode_to_vec(&(i as u64,)),
+                encode_to_vec(&(i,)),
                 200_000,
             );
             chain.submit(tx).unwrap();

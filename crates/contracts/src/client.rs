@@ -80,6 +80,7 @@ impl DistExchangeClient {
     }
 
     /// Builds a resource registration (paper process 2).
+    #[allow(clippy::too_many_arguments)] // mirrors the contract ABI
     pub fn register_resource_tx(
         &self,
         chain: &Blockchain,

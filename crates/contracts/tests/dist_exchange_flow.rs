@@ -53,7 +53,7 @@ impl World {
 
     /// Advances one block interval and produces due blocks.
     fn step(&mut self) {
-        self.now = self.now + SimDuration::from_secs(2);
+        self.now += SimDuration::from_secs(2);
         self.chain.advance_to(self.now);
     }
 
@@ -386,7 +386,7 @@ fn certificate_expires() {
         DistExchangeClient::decode_certificate(&w.chain.receipt(&id).unwrap().return_data).unwrap();
     assert!(w.dex.verify_certificate(&w.chain, &cert, ALICE_WEBID).unwrap());
     // 31 days later the certificate is expired (validity 30 days).
-    w.now = w.now + SimDuration::from_days(31);
+    w.now += SimDuration::from_days(31);
     w.chain.advance_to(w.now);
     assert!(!w.dex.verify_certificate(&w.chain, &cert, ALICE_WEBID).unwrap());
 }

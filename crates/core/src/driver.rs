@@ -1,0 +1,1915 @@
+//! The non-blocking request driver.
+//!
+//! The six paper processes (plus the market-subscription prerequisite) are
+//! expressed as per-process state machines that advance hop-by-hop on the
+//! [`duc_sim::Scheduler`]: every network hop and every block-inclusion wait
+//! is a scheduled continuation instead of an inline loop, so hundreds of
+//! requests from many owners and devices interleave deterministically
+//! across block boundaries.
+//!
+//! - [`World::submit`] enqueues a [`Request`] and returns a [`Ticket`]
+//!   immediately (unknown participants fail fast with a typed
+//!   [`ProcessError`] instead of panicking).
+//! - [`World::run_until_idle`] drives the event loop until no request is
+//!   in flight.
+//! - Completed work surfaces as [`Outcome`] events via [`Ticket::poll`] /
+//!   [`World::drain_events`].
+//!
+//! The legacy one-shot methods on [`World`] (see [`crate::process`]) are
+//! thin wrappers: submit, run to idle, unwrap the single outcome.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use duc_blockchain::{Event, Receipt, SignedTransaction, TxId};
+use duc_contracts::{topics, DistExchangeClient, EvidenceSubmission};
+use duc_crypto::{Digest, PublicKey};
+use duc_oracle::{InclusionStatus, OracleError, OutboundDelivery, PushInOracle};
+use duc_policy::{AclMode, AgentSpec, Authorization, Duty, Rule, UsagePolicy};
+use duc_sim::{EndpointId, SimDuration, SimTime};
+use duc_solid::{Body, SolidRequest, Status};
+use duc_tee::EnforcementAction;
+
+use crate::process::{
+    AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome,
+};
+use crate::world::{IndexEntry, World};
+
+/// Confirmation timeout for on-chain operations.
+pub const CONFIRM_TIMEOUT: SimDuration = SimDuration::from_secs(120);
+
+/// A typed request against the architecture: one variant per paper process
+/// (Fig. 2), plus the market-subscription prerequisite of process 4.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Process 1 — register `webid`'s pod on-chain.
+    PodInitiation {
+        /// Owner WebID.
+        webid: String,
+    },
+    /// Process 2 — upload a resource, attach a policy, index it on-chain.
+    ResourceInitiation {
+        /// Owner WebID.
+        webid: String,
+        /// Pod-relative path.
+        path: String,
+        /// Resource content.
+        body: Body,
+        /// Usage policy to attach.
+        policy: UsagePolicy,
+        /// DE App metadata key/value pairs.
+        metadata: Vec<(String, String)>,
+    },
+    /// Process 3 — a device reads a resource's location + policy from the
+    /// DE App.
+    ResourceIndexing {
+        /// Device name.
+        device: String,
+        /// Resource IRI.
+        resource: String,
+    },
+    /// Market subscription — buy the certificate required by process 4.
+    MarketSubscribe {
+        /// Device name.
+        device: String,
+    },
+    /// Process 4 — fetch a governed copy into the device's TEE.
+    ResourceAccess {
+        /// Device name.
+        device: String,
+        /// Resource IRI.
+        resource: String,
+    },
+    /// Process 5 — amend a policy and fan the update out to copy holders.
+    PolicyModification {
+        /// Owner WebID.
+        webid: String,
+        /// Pod-relative path.
+        path: String,
+        /// Replacement rules.
+        rules: Vec<Rule>,
+        /// Replacement duties.
+        duties: Vec<Duty>,
+    },
+    /// Process 6 — run a monitoring round over every copy holder.
+    PolicyMonitoring {
+        /// Owner WebID.
+        webid: String,
+        /// Pod-relative path.
+        path: String,
+    },
+}
+
+/// What a completed [`Request`] produced.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Process 1 finished; the pod is registered.
+    PodInitiated {
+        /// Owner WebID.
+        webid: String,
+    },
+    /// Process 2 finished; the resource is indexed on-chain.
+    ResourceInitiated {
+        /// The resource IRI.
+        resource: String,
+    },
+    /// Process 3 finished; the device stored the index entry.
+    Indexed {
+        /// What the device learned.
+        entry: IndexEntry,
+    },
+    /// The market subscription was bought.
+    Subscribed {
+        /// The payment certificate.
+        certificate: Digest,
+    },
+    /// Process 4 finished.
+    Accessed(AccessOutcome),
+    /// Process 5 finished.
+    PolicyPropagated(PropagationOutcome),
+    /// Process 6 finished.
+    Monitored(MonitoringOutcome),
+}
+
+/// Handle on an in-flight (or completed) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(pub(crate) u64);
+
+impl Ticket {
+    /// The raw request id (submission order).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+
+    /// Takes the completed outcome for this ticket, if the request has
+    /// finished. Equivalent to [`World::poll_ticket`].
+    pub fn poll(self, world: &mut World) -> Option<Result<Outcome, ProcessError>> {
+        world.poll_ticket(self)
+    }
+}
+
+/// Checks a receipt for contract-level success.
+pub(crate) fn receipt_ok(receipt: Receipt) -> Result<Receipt, ProcessError> {
+    match &receipt.status {
+        duc_blockchain::TxStatus::Ok => Ok(receipt),
+        duc_blockchain::TxStatus::Reverted(msg) => Err(ProcessError::Reverted(msg.clone())),
+        duc_blockchain::TxStatus::OutOfGas => Err(ProcessError::Reverted("out of gas".into())),
+    }
+}
+
+// ------------------------------------------------------------------ TxFlow
+
+/// Builds a signed transaction against the chain's *current* state. The
+/// flow signs at delivery time, so the nonce reflects every transaction
+/// that entered the mempool while this one was on the wire — concurrent
+/// flows from one sender serialize cleanly instead of colliding.
+pub(crate) type TxBuild = Box<dyn Fn(&World) -> SignedTransaction>;
+
+/// Sub-machine: push-in submission (with retries) followed by a
+/// non-blocking inclusion wait. Reused by every process that sends a
+/// transaction.
+pub(crate) enum TxFlow {
+    /// Attempting the uplink hop to the relay.
+    Send {
+        build: TxBuild,
+        size: u64,
+        from: EndpointId,
+        attempt: u32,
+    },
+    /// The transaction is on the wire; it reaches the chain at the wake.
+    Deliver { build: TxBuild },
+    /// In the mempool; polling for inclusion at slot boundaries.
+    Await { id: TxId, deadline: SimTime },
+    /// Transient placeholder while stepping.
+    Spent,
+}
+
+/// One advance of a [`TxFlow`].
+pub(crate) enum FlowPoll {
+    /// Re-step the flow at the given instant.
+    Sleep(SimTime),
+    /// The flow finished.
+    Done(Result<Receipt, OracleError>),
+}
+
+impl TxFlow {
+    /// Starts a flow: performs the first uplink attempt at the current
+    /// instant. The builder runs once now (to price the wire size) and once
+    /// more at delivery (to sign with a fresh nonce).
+    pub(crate) fn start(
+        world: &mut World,
+        from: EndpointId,
+        build: impl Fn(&World) -> SignedTransaction + 'static,
+    ) -> (TxFlow, FlowPoll) {
+        let size = build(world).encoded_size() as u64;
+        let mut flow = TxFlow::Send {
+            build: Box::new(build),
+            size,
+            from,
+            attempt: 0,
+        };
+        let poll = flow.step(world);
+        (flow, poll)
+    }
+
+    /// Advances the flow at the current clock instant.
+    pub(crate) fn step(&mut self, world: &mut World) -> FlowPoll {
+        let now = world.clock.now();
+        match std::mem::replace(self, TxFlow::Spent) {
+            TxFlow::Send { build, size, from, attempt } => {
+                match world
+                    .push_in
+                    .attempt(&mut world.net, &mut world.rng, from, size, attempt)
+                {
+                    Some(hop) => {
+                        *self = TxFlow::Deliver { build };
+                        FlowPoll::Sleep(now + hop)
+                    }
+                    None => {
+                        let next = attempt + 1;
+                        if next >= world.push_in.max_attempts {
+                            FlowPoll::Done(Err(OracleError::NetworkDropped))
+                        } else {
+                            *self = TxFlow::Send { build, size, from, attempt: next };
+                            FlowPoll::Sleep(now + PushInOracle::backoff(next))
+                        }
+                    }
+                }
+            }
+            TxFlow::Deliver { build } => {
+                let tx = build(world);
+                match world.chain.submit(tx) {
+                    Err(e) => FlowPoll::Done(Err(OracleError::Rejected(e))),
+                    Ok(id) => {
+                        *self = TxFlow::Await {
+                            id,
+                            deadline: now + CONFIRM_TIMEOUT,
+                        };
+                        self.step(world)
+                    }
+                }
+            }
+            TxFlow::Await { id, deadline } => {
+                match duc_oracle::poll_inclusion(&mut world.chain, now, &id, deadline) {
+                    InclusionStatus::Included(receipt) => FlowPoll::Done(Ok(receipt)),
+                    InclusionStatus::TimedOut { deadline } => {
+                        FlowPoll::Done(Err(OracleError::InclusionTimeout { deadline }))
+                    }
+                    InclusionStatus::Pending { retry_at } => {
+                        *self = TxFlow::Await { id, deadline };
+                        FlowPoll::Sleep(retry_at)
+                    }
+                }
+            }
+            TxFlow::Spent => unreachable!("TxFlow stepped while spent"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- machines
+
+/// One advance of a process machine.
+pub(crate) enum Step {
+    /// Store the machine back and wake it at the given instant (an instant
+    /// not in the future means "re-step in this scheduling round").
+    Sleep(Machine, SimTime),
+    /// The request completed.
+    Done(Result<Outcome, ProcessError>),
+}
+
+/// The per-process state machines.
+pub(crate) enum Machine {
+    PodInit(PodInit),
+    ResInit(Box<ResInit>),
+    Indexing(Indexing),
+    Subscribe(Subscribe),
+    Access(Box<Access>),
+    PolicyMod(Box<PolicyMod>),
+    Monitoring(Box<Monitoring>),
+}
+
+impl Machine {
+    pub(crate) fn step(self, world: &mut World) -> Step {
+        match self {
+            Machine::PodInit(m) => m.step(world),
+            Machine::ResInit(m) => m.step(world),
+            Machine::Indexing(m) => m.step(world),
+            Machine::Subscribe(m) => m.step(world),
+            Machine::Access(m) => m.step(world),
+            Machine::PolicyMod(m) => m.step(world),
+            Machine::Monitoring(m) => m.step(world),
+        }
+    }
+}
+
+/// Shorthand: advance an embedded [`TxFlow`] and either sleep (wrapping the
+/// machine back up) or hand the receipt result to `finish`.
+macro_rules! drive_flow {
+    ($world:expr, $flow:expr, $wrap:expr, $finish:expr) => {{
+        let mut flow = $flow;
+        match flow.step($world) {
+            FlowPoll::Sleep(at) => Step::Sleep($wrap(flow), at),
+            FlowPoll::Done(res) => $finish($world, res),
+        }
+    }};
+}
+
+// -------------------------------------------------------------- process 1
+
+/// Process 1 — pod initiation.
+pub(crate) struct PodInit {
+    webid: String,
+    started: SimTime,
+    phase: PodInitPhase,
+}
+
+enum PodInitPhase {
+    Start,
+    Confirm(TxFlow),
+}
+
+impl PodInit {
+    fn new(webid: String, started: SimTime) -> Self {
+        PodInit {
+            webid,
+            started,
+            phase: PodInitPhase::Start,
+        }
+    }
+
+    fn step(self, world: &mut World) -> Step {
+        let PodInit { webid, started, phase } = self;
+        match phase {
+            PodInitPhase::Start => {
+                let Some(owner) = world.owners.get_mut(&webid) else {
+                    return Step::Done(Err(ProcessError::UnknownOwner(webid)));
+                };
+                let root = owner.pod_manager.pod().root().to_string();
+                let endpoint = owner.endpoint;
+                let owner_key = owner.key;
+
+                // Local setup: default policy attached at the pod root.
+                let default_policy = UsagePolicy::default_for(root.clone(), &webid);
+                owner.pod_manager.set_policy("", default_policy.clone());
+                let now = world.clock.now();
+                world
+                    .trace
+                    .record(now, format!("pm:{webid}"), "pod.create", root.clone());
+
+                // Push-in oracle: register the pod on-chain.
+                let envelope = world.envelope(&default_policy);
+                let build = {
+                    let webid = webid.clone();
+                    let root = root.clone();
+                    move |w: &World| {
+                        w.dex
+                            .register_pod_tx(&w.chain, &owner_key, &webid, &root, envelope.clone())
+                    }
+                };
+                let (flow, poll) = TxFlow::start(world, endpoint, build);
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(
+                        Machine::PodInit(PodInit {
+                            webid,
+                            started,
+                            phase: PodInitPhase::Confirm(flow),
+                        }),
+                        at,
+                    ),
+                    FlowPoll::Done(res) => Self::finish(world, webid, started, res),
+                }
+            }
+            PodInitPhase::Confirm(flow) => drive_flow!(
+                world,
+                flow,
+                |flow| Machine::PodInit(PodInit {
+                    webid: webid.clone(),
+                    started,
+                    phase: PodInitPhase::Confirm(flow),
+                }),
+                |world: &mut World, res| Self::finish(world, webid.clone(), started, res)
+            ),
+        }
+    }
+
+    fn finish(
+        world: &mut World,
+        webid: String,
+        started: SimTime,
+        res: Result<Receipt, OracleError>,
+    ) -> Step {
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        let owner = world.owners.get_mut(&webid).expect("validated at submit");
+        owner.pod_registered = true;
+        let endpoint = owner.endpoint;
+        let root = owner.pod_manager.pod().root().to_string();
+
+        // The pod manager listens for monitoring verdicts from now on.
+        world.push_out.subscribe(topics::ROUND_CLOSED, endpoint);
+
+        let now = world.clock.now();
+        world.metrics.record("process.pod_init.e2e", now - started);
+        world.metrics.add("process.pod_init.gas", receipt.gas_used);
+        world
+            .trace
+            .record(now, format!("pm:{webid}"), "pod.registered", root);
+        Step::Done(Ok(Outcome::PodInitiated { webid }))
+    }
+}
+
+// -------------------------------------------------------------- process 2
+
+/// Process 2 — resource initiation.
+pub(crate) struct ResInit {
+    webid: String,
+    path: String,
+    body: Option<Body>,
+    policy: Option<UsagePolicy>,
+    metadata: Vec<(String, String)>,
+    resource_iri: String,
+    started: SimTime,
+    phase: ResInitPhase,
+}
+
+enum ResInitPhase {
+    Start,
+    Confirm(TxFlow),
+}
+
+impl ResInit {
+    fn step(self, world: &mut World) -> Step {
+        let ResInit {
+            webid,
+            path,
+            body,
+            policy,
+            metadata,
+            resource_iri,
+            started,
+            phase,
+        } = self;
+        match phase {
+            ResInitPhase::Start => {
+                let Some(owner) = world.owners.get_mut(&webid) else {
+                    return Step::Done(Err(ProcessError::UnknownOwner(webid)));
+                };
+                if !owner.pod_registered {
+                    return Step::Done(Err(ProcessError::PodNotRegistered(webid)));
+                }
+                let endpoint = owner.endpoint;
+                let owner_key = owner.key;
+                let body = body.expect("body present in Start phase");
+                let policy = policy.expect("policy present in Start phase");
+
+                // Upload via the Solid protocol (the pod manager checks the
+                // ACL).
+                let put = SolidRequest::put(webid.clone(), path.clone()).with_body(body);
+                let resp = owner.pod_manager.handle(&put);
+                if !resp.status.is_success() {
+                    return Step::Done(Err(ProcessError::Solid {
+                        status: resp.status,
+                        detail: resp.detail,
+                    }));
+                }
+                owner.pod_manager.set_policy(&path, policy.clone());
+                // Market terms: authenticated subscribers may read this
+                // resource (certificate-gated), cf. §II "only subscribed
+                // users have access".
+                let resource_iri = owner.pod_manager.pod().iri_of(&path);
+                let mut acl = owner.pod_manager.acl().clone();
+                acl.push(Authorization::for_resource(
+                    format!("market-readers-{path}"),
+                    resource_iri.clone(),
+                    vec![AgentSpec::AuthenticatedAgent],
+                    vec![AclMode::Read],
+                ));
+                owner.pod_manager.set_acl(acl);
+                owner.pod_manager.set_require_certificate(true);
+
+                // Push-in oracle: index the resource + publish the policy.
+                let envelope = world.envelope(&policy);
+                let build = {
+                    let iri = resource_iri.clone();
+                    let webid = webid.clone();
+                    move |w: &World| {
+                        w.dex.register_resource_tx(
+                            &w.chain,
+                            &owner_key,
+                            &iri,
+                            &iri,
+                            &webid,
+                            metadata.clone(),
+                            envelope.clone(),
+                        )
+                    }
+                };
+                let (flow, poll) = TxFlow::start(world, endpoint, build);
+                let next = ResInit {
+                    webid,
+                    path,
+                    body: None,
+                    policy: None,
+                    metadata: Vec::new(),
+                    resource_iri,
+                    started,
+                    phase: ResInitPhase::Confirm(flow),
+                };
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(Machine::ResInit(Box::new(next)), at),
+                    FlowPoll::Done(res) => {
+                        Self::finish(world, next.webid, next.resource_iri, started, res)
+                    }
+                }
+            }
+            ResInitPhase::Confirm(flow) => drive_flow!(
+                world,
+                flow,
+                |flow| Machine::ResInit(Box::new(ResInit {
+                    webid: webid.clone(),
+                    path: path.clone(),
+                    body: None,
+                    policy: None,
+                    metadata: Vec::new(),
+                    resource_iri: resource_iri.clone(),
+                    started,
+                    phase: ResInitPhase::Confirm(flow),
+                })),
+                |world: &mut World, res| Self::finish(
+                    world,
+                    webid.clone(),
+                    resource_iri.clone(),
+                    started,
+                    res
+                )
+            ),
+        }
+    }
+
+    fn finish(
+        world: &mut World,
+        webid: String,
+        resource_iri: String,
+        started: SimTime,
+        res: Result<Receipt, OracleError>,
+    ) -> Step {
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        let now = world.clock.now();
+        world.metrics.record("process.resource_init.e2e", now - started);
+        world.metrics.add("process.resource_init.gas", receipt.gas_used);
+        world.trace.record(
+            now,
+            format!("pm:{webid}"),
+            "resource.registered",
+            resource_iri.clone(),
+        );
+        Step::Done(Ok(Outcome::ResourceInitiated { resource: resource_iri }))
+    }
+}
+
+// -------------------------------------------------------------- process 3
+
+/// Process 3 — resource indexing through the pull-out oracle.
+pub(crate) struct Indexing {
+    device: String,
+    resource: String,
+    started: SimTime,
+    phase: IndexingPhase,
+}
+
+enum IndexingPhase {
+    Start,
+    AtRelay { args: Vec<u8>, dev_endpoint: EndpointId },
+    Arrived { out: Vec<u8> },
+}
+
+impl Indexing {
+    fn step(self, world: &mut World) -> Step {
+        let Indexing { device, resource, started, phase } = self;
+        let now = world.clock.now();
+        match phase {
+            IndexingPhase::Start => {
+                let Some(dev) = world.devices.get(&device) else {
+                    return Step::Done(Err(ProcessError::UnknownDevice(device)));
+                };
+                let dev_endpoint = dev.endpoint;
+                let args = duc_codec::encode_to_vec(&(resource.clone(),));
+                match world.pull_out.begin_read(
+                    &mut world.net,
+                    &mut world.rng,
+                    dev_endpoint,
+                    "lookup_resource",
+                    &args,
+                ) {
+                    None => Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped))),
+                    Some(hop) => Step::Sleep(
+                        Machine::Indexing(Indexing {
+                            device,
+                            resource,
+                            started,
+                            phase: IndexingPhase::AtRelay { args, dev_endpoint },
+                        }),
+                        now + hop,
+                    ),
+                }
+            }
+            IndexingPhase::AtRelay { args, dev_endpoint } => {
+                let out = match world
+                    .chain
+                    .call_view(world.dex.contract_id(), "lookup_resource", &args)
+                {
+                    Ok(out) => out,
+                    Err(e) => {
+                        return Step::Done(Err(ProcessError::Oracle(OracleError::View(
+                            e.to_string(),
+                        ))))
+                    }
+                };
+                match world
+                    .pull_out
+                    .finish_read(&mut world.net, &mut world.rng, dev_endpoint, out.len())
+                {
+                    None => Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped))),
+                    Some(hop) => Step::Sleep(
+                        Machine::Indexing(Indexing {
+                            device,
+                            resource,
+                            started,
+                            phase: IndexingPhase::Arrived { out },
+                        }),
+                        now + hop,
+                    ),
+                }
+            }
+            IndexingPhase::Arrived { out } => {
+                let record: Option<duc_contracts::ResourceRecord> =
+                    match duc_codec::decode_from_slice(&out) {
+                        Ok(record) => record,
+                        Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+                    };
+                let Some(record) = record else {
+                    return Step::Done(Err(ProcessError::UnknownResource(resource)));
+                };
+                let policy = match world.open_envelope(&record.policy) {
+                    Ok(policy) => policy,
+                    Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+                };
+                let entry = IndexEntry {
+                    location: record.location.clone(),
+                    owner_webid: record.owner_webid.clone(),
+                    policy,
+                };
+                let dev = world.devices.get_mut(&device).expect("validated at submit");
+                dev.indexed.insert(resource.clone(), entry.clone());
+
+                world.metrics.record("process.indexing.e2e", now - started);
+                world
+                    .trace
+                    .record(now, format!("tee:{device}"), "resource.indexed", resource);
+                Step::Done(Ok(Outcome::Indexed { entry }))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------- market subscription
+
+/// Market subscription (prerequisite of process 4, cf. §II).
+pub(crate) struct Subscribe {
+    device: String,
+    started: SimTime,
+    phase: SubscribePhase,
+}
+
+enum SubscribePhase {
+    Start,
+    Confirm(TxFlow),
+}
+
+impl Subscribe {
+    fn step(self, world: &mut World) -> Step {
+        let Subscribe { device, started, phase } = self;
+        match phase {
+            SubscribePhase::Start => {
+                let Some(dev) = world.devices.get(&device) else {
+                    return Step::Done(Err(ProcessError::UnknownDevice(device)));
+                };
+                let endpoint = dev.endpoint;
+                let key = dev.key;
+                let webid = dev.webid.clone();
+                let build =
+                    move |w: &World| w.dex.subscribe_tx(&w.chain, &key, &webid);
+                let (flow, poll) = TxFlow::start(world, endpoint, build);
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(
+                        Machine::Subscribe(Subscribe {
+                            device,
+                            started,
+                            phase: SubscribePhase::Confirm(flow),
+                        }),
+                        at,
+                    ),
+                    FlowPoll::Done(res) => Self::finish(world, device, started, res),
+                }
+            }
+            SubscribePhase::Confirm(flow) => drive_flow!(
+                world,
+                flow,
+                |flow| Machine::Subscribe(Subscribe {
+                    device: device.clone(),
+                    started,
+                    phase: SubscribePhase::Confirm(flow),
+                }),
+                |world: &mut World, res| Self::finish(world, device.clone(), started, res)
+            ),
+        }
+    }
+
+    fn finish(
+        world: &mut World,
+        device: String,
+        started: SimTime,
+        res: Result<Receipt, OracleError>,
+    ) -> Step {
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        let cert = match DistExchangeClient::decode_certificate(&receipt.return_data) {
+            Ok(cert) => cert,
+            Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+        };
+        world.devices.get_mut(&device).expect("validated at submit").certificate = Some(cert);
+        let now = world.clock.now();
+        world.metrics.record("process.subscribe.e2e", now - started);
+        world.metrics.add("process.subscribe.gas", receipt.gas_used);
+        Step::Done(Ok(Outcome::Subscribed { certificate: cert }))
+    }
+}
+
+// -------------------------------------------------------------- process 4
+
+/// Process 4 — resource access into the TEE.
+pub(crate) struct Access {
+    device: String,
+    resource: String,
+    started: SimTime,
+    phase: AccessPhase,
+}
+
+enum AccessPhase {
+    Start,
+    AtPod {
+        fetch_start: SimTime,
+        request: SolidRequest,
+        owner_webid: String,
+        owner_endpoint: EndpointId,
+        dev_endpoint: EndpointId,
+        cert_ok: bool,
+        entry: IndexEntry,
+        enclave_key: PublicKey,
+    },
+    Arrived {
+        fetch_start: SimTime,
+        bytes: Vec<u8>,
+        dev_endpoint: EndpointId,
+        entry: IndexEntry,
+        enclave_key: PublicKey,
+    },
+    Confirm {
+        flow: TxFlow,
+        fetch: SimDuration,
+        bytes_len: usize,
+        dev_endpoint: EndpointId,
+    },
+}
+
+impl Access {
+    #[allow(clippy::too_many_lines)]
+    fn step(self, world: &mut World) -> Step {
+        let Access { device, resource, started, phase } = self;
+        let now = world.clock.now();
+        match phase {
+            AccessPhase::Start => {
+                let Some(dev) = world.devices.get(&device) else {
+                    return Step::Done(Err(ProcessError::UnknownDevice(device)));
+                };
+                let Some(entry) = dev.indexed.get(&resource).cloned() else {
+                    return Step::Done(Err(ProcessError::NotIndexed {
+                        device,
+                        resource,
+                    }));
+                };
+                let Some(certificate) = dev.certificate else {
+                    return Step::Done(Err(ProcessError::NoCertificate(dev.webid.clone())));
+                };
+                let webid = dev.webid.clone();
+                let dev_endpoint = dev.endpoint;
+
+                // Attestation gate: only recognized trusted applications
+                // may hold governed copies (the market's terms, §II).
+                let Some(quote) = world.attestation.issue_quote(dev.tee.enclave()) else {
+                    return Step::Done(Err(ProcessError::Attestation(format!(
+                        "measurement not trusted for {device}"
+                    ))));
+                };
+
+                let Some(owner) = world.owners.get(&entry.owner_webid) else {
+                    return Step::Done(Err(ProcessError::UnknownOwner(entry.owner_webid)));
+                };
+                let owner_endpoint = owner.endpoint;
+                let root = owner.pod_manager.pod().root().to_string();
+                let path = entry
+                    .location
+                    .strip_prefix(&root)
+                    .unwrap_or(entry.location.as_str())
+                    .to_string();
+
+                // The pod manager verifies the certificate against the DE
+                // App (its own blockchain interaction module does a view
+                // call).
+                let cert_ok = match world.dex.verify_certificate(&world.chain, &certificate, &webid)
+                {
+                    Ok(ok) => ok,
+                    Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+                };
+
+                // Request hop: device → pod manager.
+                let request = SolidRequest::get(webid, path).with_certificate(certificate);
+                let Some(hop) = world
+                    .net
+                    .transmit(dev_endpoint, owner_endpoint, request.size() as u64, &mut world.rng)
+                    .delay()
+                else {
+                    return Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped)));
+                };
+                Step::Sleep(
+                    Machine::Access(Box::new(Access {
+                        device,
+                        resource,
+                        started,
+                        phase: AccessPhase::AtPod {
+                            fetch_start: now,
+                            request,
+                            owner_webid: entry.owner_webid.clone(),
+                            owner_endpoint,
+                            dev_endpoint,
+                            cert_ok,
+                            entry,
+                            enclave_key: quote.enclave_key,
+                        },
+                    })),
+                    now + hop,
+                )
+            }
+            AccessPhase::AtPod {
+                fetch_start,
+                request,
+                owner_webid,
+                owner_endpoint,
+                dev_endpoint,
+                cert_ok,
+                entry,
+                enclave_key,
+            } => {
+                let owner = world.owners.get_mut(&owner_webid).expect("checked at start");
+                let verifier = move |_: &Digest, _: &str| cert_ok;
+                let resp = owner.pod_manager.handle_with_verifier(&request, &verifier);
+                if resp.status != Status::Ok {
+                    return Step::Done(Err(ProcessError::Solid {
+                        status: resp.status,
+                        detail: resp.detail,
+                    }));
+                }
+                // Response hop: pod manager → device (size-dependent).
+                let Some(hop) = world
+                    .net
+                    .transmit(owner_endpoint, dev_endpoint, resp.size() as u64, &mut world.rng)
+                    .delay()
+                else {
+                    return Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped)));
+                };
+                let bytes = match resp.body {
+                    Body::Turtle(t) | Body::Text(t) => t.into_bytes(),
+                    Body::Binary(b) => b,
+                    Body::Empty => Vec::new(),
+                };
+                Step::Sleep(
+                    Machine::Access(Box::new(Access {
+                        device,
+                        resource,
+                        started,
+                        phase: AccessPhase::Arrived {
+                            fetch_start,
+                            bytes,
+                            dev_endpoint,
+                            entry,
+                            enclave_key,
+                        },
+                    })),
+                    now + hop,
+                )
+            }
+            AccessPhase::Arrived {
+                fetch_start,
+                bytes,
+                dev_endpoint,
+                entry,
+                enclave_key,
+            } => {
+                let fetch = now - fetch_start;
+                let bytes_len = bytes.len();
+                let dev = world.devices.get_mut(&device).expect("checked at start");
+                let webid = dev.webid.clone();
+                dev.tee
+                    .store_resource(&resource, &bytes, entry.policy.clone(), now);
+
+                // Register the copy on-chain and subscribe to policy
+                // updates.
+                let build = {
+                    let key = dev.key;
+                    let resource = resource.clone();
+                    let device = device.clone();
+                    move |w: &World| {
+                        w.dex.register_copy_tx(
+                            &w.chain,
+                            &key,
+                            &resource,
+                            &device,
+                            &webid,
+                            enclave_key,
+                        )
+                    }
+                };
+                let (flow, poll) = TxFlow::start(world, dev_endpoint, build);
+                let next = Access {
+                    device,
+                    resource,
+                    started,
+                    phase: AccessPhase::Confirm {
+                        flow,
+                        fetch,
+                        bytes_len,
+                        dev_endpoint,
+                    },
+                };
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(Machine::Access(Box::new(next)), at),
+                    FlowPoll::Done(res) => {
+                        let Access { device, resource, started, phase } = next;
+                        let AccessPhase::Confirm { fetch, bytes_len, dev_endpoint, .. } = phase
+                        else {
+                            unreachable!()
+                        };
+                        Self::finish(
+                            world, device, resource, started, fetch, bytes_len, dev_endpoint, res,
+                        )
+                    }
+                }
+            }
+            AccessPhase::Confirm { flow, fetch, bytes_len, dev_endpoint } => drive_flow!(
+                world,
+                flow,
+                |flow| Machine::Access(Box::new(Access {
+                    device: device.clone(),
+                    resource: resource.clone(),
+                    started,
+                    phase: AccessPhase::Confirm { flow, fetch, bytes_len, dev_endpoint },
+                })),
+                |world: &mut World, res| Self::finish(
+                    world,
+                    device.clone(),
+                    resource.clone(),
+                    started,
+                    fetch,
+                    bytes_len,
+                    dev_endpoint,
+                    res
+                )
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        world: &mut World,
+        device: String,
+        resource: String,
+        started: SimTime,
+        fetch: SimDuration,
+        bytes_len: usize,
+        dev_endpoint: EndpointId,
+        res: Result<Receipt, OracleError>,
+    ) -> Step {
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        world.push_out.subscribe(topics::POLICY_UPDATED, dev_endpoint);
+
+        let now = world.clock.now();
+        let e2e = now - started;
+        world.metrics.record("process.access.e2e", e2e);
+        world.metrics.record("process.access.fetch", fetch);
+        world.metrics.add("process.access.gas", receipt.gas_used);
+        world.metrics.add("process.access.bytes", bytes_len as u64);
+        world
+            .trace
+            .record(now, format!("tee:{device}"), "resource.stored", resource);
+        Step::Done(Ok(Outcome::Accessed(AccessOutcome {
+            bytes: bytes_len,
+            e2e,
+            fetch,
+        })))
+    }
+}
+
+// -------------------------------------------------------------- process 5
+
+/// Process 5 — policy modification and push-out fan-out.
+pub(crate) struct PolicyMod {
+    webid: String,
+    path: String,
+    started: SimTime,
+    phase: PolicyModPhase,
+}
+
+enum PolicyModPhase {
+    Start {
+        rules: Vec<Rule>,
+        duties: Vec<Duty>,
+    },
+    Confirm {
+        flow: TxFlow,
+        resource_iri: String,
+        version: u64,
+    },
+    Fanout(FanoutState),
+    ConfirmUnregisters(FanoutState),
+}
+
+/// Accumulated fan-out state shared by the last two phases of process 5.
+struct FanoutState {
+    resource_iri: String,
+    version: u64,
+    deliveries: VecDeque<(OutboundDelivery, UsagePolicy)>,
+    by_endpoint: HashMap<EndpointId, String>,
+    notified: usize,
+    enforcement: Vec<(String, EnforcementAction)>,
+    pending: VecDeque<TxId>,
+    current: Option<(TxId, SimTime)>,
+}
+
+impl PolicyMod {
+    fn step(self, world: &mut World) -> Step {
+        let PolicyMod { webid, path, started, phase } = self;
+        let now = world.clock.now();
+        match phase {
+            PolicyModPhase::Start { rules, duties } => {
+                let Some(owner) = world.owners.get_mut(&webid) else {
+                    return Step::Done(Err(ProcessError::UnknownOwner(webid)));
+                };
+                let endpoint = owner.endpoint;
+                let owner_key = owner.key;
+                let amended = match owner.pod_manager.modify_policy(&webid, &path, rules, duties) {
+                    Ok(amended) => amended,
+                    Err(status) => {
+                        return Step::Done(Err(ProcessError::Solid {
+                            status,
+                            detail: Some("policy modification refused".into()),
+                        }))
+                    }
+                };
+                let resource_iri = owner.pod_manager.pod().iri_of(&path);
+
+                let envelope = world.envelope(&amended);
+                let version = amended.version;
+                let build = {
+                    let iri = resource_iri.clone();
+                    move |w: &World| {
+                        w.dex
+                            .update_policy_tx(&w.chain, &owner_key, &iri, envelope.clone(), version)
+                    }
+                };
+                let (flow, poll) = TxFlow::start(world, endpoint, build);
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(
+                        Machine::PolicyMod(Box::new(PolicyMod {
+                            webid,
+                            path,
+                            started,
+                            phase: PolicyModPhase::Confirm { flow, resource_iri, version },
+                        })),
+                        at,
+                    ),
+                    FlowPoll::Done(res) => {
+                        Self::after_confirm(world, webid, path, started, resource_iri, version, res)
+                    }
+                }
+            }
+            PolicyModPhase::Confirm { flow, resource_iri, version } => drive_flow!(
+                world,
+                flow,
+                |flow| Machine::PolicyMod(Box::new(PolicyMod {
+                    webid: webid.clone(),
+                    path: path.clone(),
+                    started,
+                    phase: PolicyModPhase::Confirm {
+                        flow,
+                        resource_iri: resource_iri.clone(),
+                        version,
+                    },
+                })),
+                |world: &mut World, res| Self::after_confirm(
+                    world,
+                    webid.clone(),
+                    path.clone(),
+                    started,
+                    resource_iri.clone(),
+                    version,
+                    res
+                )
+            ),
+            PolicyModPhase::Fanout(mut state) => {
+                // Apply every delivery that has arrived by now.
+                while state
+                    .deliveries
+                    .front()
+                    .is_some_and(|(d, _)| d.arrives_at <= now)
+                {
+                    let (delivery, policy) = state.deliveries.pop_front().expect("peeked");
+                    let Some(device_name) = state.by_endpoint.get(&delivery.recipient).cloned()
+                    else {
+                        continue;
+                    };
+                    let device = world
+                        .devices
+                        .get_mut(&device_name)
+                        .expect("endpoint map is fresh");
+                    if !device.tee.has_copy(&state.resource_iri) {
+                        continue;
+                    }
+                    let actions = device.tee.apply_policy_update(
+                        &state.resource_iri,
+                        policy,
+                        delivery.arrives_at,
+                    );
+                    world
+                        .metrics
+                        .record("process.policy_mod.propagation", delivery.arrives_at - started);
+                    state.notified += 1;
+                    for action in actions {
+                        if let EnforcementAction::Deleted { .. } = &action {
+                            world.metrics.incr("enforcement.deletions");
+                            // The copy registry is updated so future rounds
+                            // skip this device.
+                            let tx = world.dex.unregister_copy_tx(
+                                &world.chain,
+                                &device.key,
+                                &state.resource_iri,
+                                &device_name,
+                            );
+                            if let Ok(id) = world.chain.submit(tx) {
+                                state.pending.push_back(id);
+                            }
+                        }
+                        state.enforcement.push((device_name.clone(), action));
+                    }
+                }
+                match state.deliveries.front() {
+                    Some((d, _)) => {
+                        let at = d.arrives_at;
+                        Step::Sleep(
+                            Machine::PolicyMod(Box::new(PolicyMod {
+                                webid,
+                                path,
+                                started,
+                                phase: PolicyModPhase::Fanout(state),
+                            })),
+                            at,
+                        )
+                    }
+                    None => PolicyMod {
+                        webid,
+                        path,
+                        started,
+                        phase: PolicyModPhase::ConfirmUnregisters(state),
+                    }
+                    .step(world),
+                }
+            }
+            PolicyModPhase::ConfirmUnregisters(mut state) => {
+                // Await inclusion of *every* pending unregistration so an
+                // earlier deletion cannot race a later monitoring round.
+                loop {
+                    if let Some((id, deadline)) = state.current.take() {
+                        match duc_oracle::poll_inclusion(&mut world.chain, now, &id, deadline) {
+                            InclusionStatus::Included(_) | InclusionStatus::TimedOut { .. } => {}
+                            InclusionStatus::Pending { retry_at } => {
+                                state.current = Some((id, deadline));
+                                return Step::Sleep(
+                                    Machine::PolicyMod(Box::new(PolicyMod {
+                                        webid,
+                                        path,
+                                        started,
+                                        phase: PolicyModPhase::ConfirmUnregisters(state),
+                                    })),
+                                    retry_at,
+                                );
+                            }
+                        }
+                    } else if let Some(id) = state.pending.pop_front() {
+                        state.current = Some((id, now + CONFIRM_TIMEOUT));
+                    } else {
+                        break;
+                    }
+                }
+                world.sync_chain();
+
+                let e2e = now - started;
+                world.metrics.record("process.policy_mod.e2e", e2e);
+                world.trace.record(
+                    now,
+                    format!("pm:{webid}"),
+                    "policy.updated",
+                    format!("{} v{}", state.resource_iri, state.version),
+                );
+                Step::Done(Ok(Outcome::PolicyPropagated(PropagationOutcome {
+                    version: state.version,
+                    devices_notified: state.notified,
+                    enforcement: state.enforcement,
+                    e2e,
+                })))
+            }
+        }
+    }
+
+    /// Transition out of the confirm phase: record gas, claim this
+    /// resource's push-out deliveries and start the fan-out.
+    fn after_confirm(
+        world: &mut World,
+        webid: String,
+        path: String,
+        started: SimTime,
+        resource_iri: String,
+        version: u64,
+        res: Result<Receipt, OracleError>,
+    ) -> Step {
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        world.metrics.add("process.policy_mod.gas", receipt.gas_used);
+
+        // Push-out fan-out to subscribed devices: claim the deliveries that
+        // belong to *this* resource; others stay in the shared inbox for
+        // their own in-flight processes.
+        let iri = resource_iri.clone();
+        let claimed = world.claim_deliveries(|d| {
+            d.event.topic == topics::POLICY_UPDATED
+                && decode_policy_update(&d.event.data)
+                    .is_some_and(|(res, _, _)| res == iri)
+        });
+        let mut deliveries: Vec<(OutboundDelivery, UsagePolicy)> = Vec::new();
+        for delivery in claimed {
+            let Some((_, _, policy_env)) = decode_policy_update(&delivery.event.data) else {
+                continue;
+            };
+            let policy = match world.open_envelope(&policy_env) {
+                Ok(policy) => policy,
+                Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+            };
+            deliveries.push((delivery, policy));
+        }
+        deliveries.sort_by_key(|(d, _)| d.arrives_at);
+
+        let by_endpoint: HashMap<EndpointId, String> = world
+            .devices
+            .iter()
+            .map(|(name, d)| (d.endpoint, name.clone()))
+            .collect();
+        PolicyMod {
+            webid,
+            path,
+            started,
+            phase: PolicyModPhase::Fanout(FanoutState {
+                resource_iri,
+                version,
+                deliveries: deliveries.into(),
+                by_endpoint,
+                notified: 0,
+                enforcement: Vec::new(),
+                pending: VecDeque::new(),
+                current: None,
+            }),
+        }
+        .step(world)
+    }
+}
+
+/// Decodes a `PolicyUpdated` event payload.
+fn decode_policy_update(data: &[u8]) -> Option<(String, u64, duc_contracts::PolicyEnvelope)> {
+    duc_codec::decode_from_slice(data).ok()
+}
+
+// -------------------------------------------------------------- process 6
+
+/// Process 6 — policy monitoring round.
+pub(crate) struct Monitoring {
+    webid: String,
+    path: String,
+    started: SimTime,
+    phase: MonPhase,
+}
+
+/// Context accumulated while a monitoring round runs.
+struct MonCtx {
+    resource_iri: String,
+    endpoint: EndpointId,
+    round: u64,
+    expected: VecDeque<String>,
+    expected_total: usize,
+    evidence_bytes: usize,
+    submissions: usize,
+}
+
+enum MonPhase {
+    Open,
+    OpenConfirm {
+        flow: TxFlow,
+        resource_iri: String,
+        endpoint: EndpointId,
+    },
+    PollGateway(MonCtx),
+    PollReturn {
+        ctx: MonCtx,
+        events: Vec<(u64, Event)>,
+        cursor_to: u64,
+    },
+    DeviceRequest(MonCtx),
+    DeviceReport {
+        ctx: MonCtx,
+        device: String,
+    },
+    EvidenceConfirm {
+        ctx: MonCtx,
+        flow: TxFlow,
+    },
+}
+
+impl Monitoring {
+    #[allow(clippy::too_many_lines)]
+    fn step(self, world: &mut World) -> Step {
+        let Monitoring { webid, path, started, phase } = self;
+        let now = world.clock.now();
+        let wrap = |phase| Machine::Monitoring(Box::new(Monitoring {
+            webid: webid.clone(),
+            path: path.clone(),
+            started,
+            phase,
+        }));
+        match phase {
+            MonPhase::Open => {
+                let Some(owner) = world.owners.get(&webid) else {
+                    return Step::Done(Err(ProcessError::UnknownOwner(webid)));
+                };
+                let endpoint = owner.endpoint;
+                let resource_iri = owner.pod_manager.pod().iri_of(&path);
+                let owner_key = owner.key;
+
+                // Open the round.
+                let build = {
+                    let iri = resource_iri.clone();
+                    move |w: &World| w.dex.start_monitoring_tx(&w.chain, &owner_key, &iri)
+                };
+                let (flow, poll) = TxFlow::start(world, endpoint, build);
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(
+                        wrap(MonPhase::OpenConfirm { flow, resource_iri, endpoint }),
+                        at,
+                    ),
+                    FlowPoll::Done(res) => Monitoring {
+                        webid,
+                        path,
+                        started,
+                        phase: MonPhase::OpenConfirm {
+                            flow: TxFlow::Spent,
+                            resource_iri,
+                            endpoint,
+                        },
+                    }
+                    .open_confirmed(world, res),
+                }
+            }
+            MonPhase::OpenConfirm { flow, resource_iri, endpoint } => {
+                let mut flow = flow;
+                match flow.step(world) {
+                    FlowPoll::Sleep(at) => Step::Sleep(
+                        wrap(MonPhase::OpenConfirm { flow, resource_iri, endpoint }),
+                        at,
+                    ),
+                    FlowPoll::Done(res) => Monitoring {
+                        webid,
+                        path,
+                        started,
+                        phase: MonPhase::OpenConfirm { flow: TxFlow::Spent, resource_iri, endpoint },
+                    }
+                    .open_confirmed(world, res),
+                }
+            }
+            MonPhase::PollGateway(ctx) => {
+                // At the gateway: collect the request events and ship them
+                // back to the relay. The cursor commits only when the
+                // response arrives, so a lost hop never strands events.
+                let (events, response_size, cursor_to) =
+                    world.pull_in.collect_requests(&world.chain);
+                match world
+                    .pull_in
+                    .finish_poll(&mut world.net, &mut world.rng, world.gateway, response_size)
+                {
+                    None => Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped))),
+                    Some(hop) => Step::Sleep(
+                        wrap(MonPhase::PollReturn { ctx, events, cursor_to }),
+                        now + hop,
+                    ),
+                }
+            }
+            MonPhase::PollReturn { mut ctx, events, cursor_to } => {
+                world.pull_in.commit_cursor(cursor_to);
+                // Find our round's request among the fresh events and any
+                // stashed by sibling rounds; stash the rest for them.
+                let mut matched: Option<Vec<String>> = None;
+                let stashed = std::mem::take(&mut world.driver.monitoring_inbox);
+                for (height, event) in stashed {
+                    match decode_monitoring_request(&event.data) {
+                        Some((res, r, devices))
+                            if matched.is_none() && res == ctx.resource_iri && r == ctx.round =>
+                        {
+                            matched = Some(devices);
+                        }
+                        _ => world.driver.monitoring_inbox.push((height, event)),
+                    }
+                }
+                for (height, event) in events {
+                    let decoded = match duc_codec::decode_from_slice::<(String, u64, Vec<String>)>(
+                        &event.data,
+                    ) {
+                        Ok(decoded) => decoded,
+                        Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+                    };
+                    let (res, r, devices) = decoded;
+                    if matched.is_none() && res == ctx.resource_iri && r == ctx.round {
+                        matched = Some(devices);
+                    } else {
+                        world.driver.monitoring_inbox.push((height, event));
+                    }
+                }
+                if let Some(devices) = matched {
+                    ctx.expected_total = devices.len();
+                    ctx.expected = devices.into();
+                }
+                Monitoring {
+                    webid,
+                    path,
+                    started,
+                    phase: MonPhase::DeviceRequest(ctx),
+                }
+                .step(world)
+            }
+            MonPhase::DeviceRequest(mut ctx) => {
+                // Collect signed evidence from each expected device, in
+                // order; unreachable devices are skipped without stalling
+                // the round.
+                loop {
+                    let Some(device_name) = ctx.expected.pop_front() else {
+                        return Self::finish(world, webid, started, ctx);
+                    };
+                    let Some(device) = world.devices.get(&device_name) else {
+                        continue;
+                    };
+                    let dev_endpoint = device.endpoint;
+                    // Request hop: oracle → device.
+                    let Some(hop) = world
+                        .net
+                        .transmit(world.pull_in.relay, dev_endpoint, 128, &mut world.rng)
+                        .delay()
+                    else {
+                        world.metrics.incr("process.monitoring.unreachable");
+                        continue;
+                    };
+                    return Step::Sleep(
+                        wrap(MonPhase::DeviceReport { ctx, device: device_name }),
+                        now + hop,
+                    );
+                }
+            }
+            MonPhase::DeviceReport { mut ctx, device } => {
+                let Some(dev) = world.devices.get(&device) else {
+                    return Monitoring {
+                        webid,
+                        path,
+                        started,
+                        phase: MonPhase::DeviceRequest(ctx),
+                    }
+                    .step(world);
+                };
+                let Some(report) = dev.tee.report(&ctx.resource_iri, now) else {
+                    return Monitoring {
+                        webid,
+                        path,
+                        started,
+                        phase: MonPhase::DeviceRequest(ctx),
+                    }
+                    .step(world);
+                };
+                let mut submission = EvidenceSubmission {
+                    resource: ctx.resource_iri.clone(),
+                    round: ctx.round,
+                    device: device.clone(),
+                    compliant: report.compliant,
+                    violations: report.violations.clone(),
+                    evidence_digest: report.log_digest,
+                    signature: duc_crypto::Signature { e: 0, s: 0 },
+                };
+                submission.signature = dev.tee.enclave().sign(&submission.signing_bytes());
+                ctx.evidence_bytes += duc_codec::encode_to_vec(&submission).len();
+                let dev_endpoint = dev.endpoint;
+                let build = {
+                    let key = dev.key;
+                    move |w: &World| w.dex.record_evidence_tx(&w.chain, &key, &submission)
+                };
+                let (flow, poll) = TxFlow::start(world, dev_endpoint, build);
+                match poll {
+                    FlowPoll::Sleep(at) => {
+                        Step::Sleep(wrap(MonPhase::EvidenceConfirm { ctx, flow }), at)
+                    }
+                    FlowPoll::Done(res) => Monitoring {
+                        webid,
+                        path,
+                        started,
+                        phase: MonPhase::EvidenceConfirm { ctx, flow: TxFlow::Spent },
+                    }
+                    .evidence_confirmed(world, res),
+                }
+            }
+            MonPhase::EvidenceConfirm { ctx, flow } => {
+                let mut flow = flow;
+                match flow.step(world) {
+                    FlowPoll::Sleep(at) => {
+                        Step::Sleep(wrap(MonPhase::EvidenceConfirm { ctx, flow }), at)
+                    }
+                    FlowPoll::Done(res) => Monitoring {
+                        webid,
+                        path,
+                        started,
+                        phase: MonPhase::EvidenceConfirm { ctx, flow: TxFlow::Spent },
+                    }
+                    .evidence_confirmed(world, res),
+                }
+            }
+        }
+    }
+
+    /// The round-opening transaction confirmed: decode the round number and
+    /// start the pull-in poll.
+    fn open_confirmed(self, world: &mut World, res: Result<Receipt, OracleError>) -> Step {
+        let Monitoring { webid, path, started, phase } = self;
+        let MonPhase::OpenConfirm { resource_iri, endpoint, .. } = phase else {
+            unreachable!("open_confirmed called outside OpenConfirm")
+        };
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        let round = match DistExchangeClient::decode_round_number(&receipt.return_data) {
+            Ok(round) => round,
+            Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+        };
+        world.metrics.add("process.monitoring.gas", receipt.gas_used);
+
+        // Pull-in oracle: poll the gateway for the request event.
+        let now = world.clock.now();
+        let Some(hop) = world
+            .pull_in
+            .begin_poll(&mut world.net, &mut world.rng, world.gateway)
+        else {
+            return Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped)));
+        };
+        Step::Sleep(
+            Machine::Monitoring(Box::new(Monitoring {
+                webid,
+                path,
+                started,
+                phase: MonPhase::PollGateway(MonCtx {
+                    resource_iri,
+                    endpoint,
+                    round,
+                    expected: VecDeque::new(),
+                    expected_total: 0,
+                    evidence_bytes: 0,
+                    submissions: 0,
+                }),
+            })),
+            now + hop,
+        )
+    }
+
+    /// One device's evidence transaction confirmed: account for it and move
+    /// on to the next device.
+    fn evidence_confirmed(self, world: &mut World, res: Result<Receipt, OracleError>) -> Step {
+        let Monitoring { webid, path, started, phase } = self;
+        let MonPhase::EvidenceConfirm { mut ctx, .. } = phase else {
+            unreachable!("evidence_confirmed called outside EvidenceConfirm")
+        };
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        world.metrics.add("process.monitoring.gas", receipt.gas_used);
+        ctx.submissions += 1;
+        Monitoring {
+            webid,
+            path,
+            started,
+            phase: MonPhase::DeviceRequest(ctx),
+        }
+        .step(world)
+    }
+
+    /// Every expected device was visited: read the verdict, deliver it to
+    /// the pod manager (push-out) and complete.
+    fn finish(world: &mut World, webid: String, started: SimTime, ctx: MonCtx) -> Step {
+        let record = match world.dex.get_round(&world.chain, &ctx.resource_iri, ctx.round) {
+            Ok(Some(record)) => record,
+            Ok(None) => return Step::Done(Err(ProcessError::Policy("round vanished".into()))),
+            Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+        };
+        let endpoint = ctx.endpoint;
+        let resource = ctx.resource_iri.clone();
+        let round = ctx.round;
+        let deliveries = world.claim_deliveries(|d| {
+            d.event.topic == topics::ROUND_CLOSED
+                && d.recipient == endpoint
+                && decode_round_closed(&d.event.data)
+                    .is_some_and(|(res, r)| res == resource && r == round)
+        });
+        if !deliveries.is_empty() {
+            world.metrics.incr("process.monitoring.verdicts_delivered");
+        }
+
+        let now = world.clock.now();
+        let duration = now - started;
+        world.metrics.record("process.monitoring.e2e", duration);
+        world
+            .metrics
+            .add("process.monitoring.evidence_bytes", ctx.evidence_bytes as u64);
+        world.trace.record(
+            now,
+            format!("pm:{webid}"),
+            "monitoring.round",
+            format!(
+                "{} round {}: {} violators",
+                ctx.resource_iri,
+                ctx.round,
+                record.violators().len()
+            ),
+        );
+        Step::Done(Ok(Outcome::Monitored(MonitoringOutcome {
+            round: ctx.round,
+            expected: ctx.expected_total,
+            evidence: ctx.submissions,
+            violators: record.violators().iter().map(|e| e.device.clone()).collect(),
+            evidence_bytes: ctx.evidence_bytes,
+            duration,
+        })))
+    }
+}
+
+/// Decodes a `MonitoringRequested` event payload.
+fn decode_monitoring_request(data: &[u8]) -> Option<(String, u64, Vec<String>)> {
+    duc_codec::decode_from_slice(data).ok()
+}
+
+/// Decodes the `(resource, round)` prefix of a `RoundClosed` event payload.
+fn decode_round_closed(data: &[u8]) -> Option<(String, u64)> {
+    duc_codec::decode_from_slice::<(String, u64, u64, Vec<String>)>(data)
+        .ok()
+        .map(|(res, round, _, _)| (res, round))
+}
+
+// ------------------------------------------------------------ driver state
+
+/// Per-world driver bookkeeping: in-flight machines, wake queue, completed
+/// outcomes, and the shared push-out/pull-in inboxes that keep concurrent
+/// processes from stealing each other's events.
+pub(crate) struct DriverState {
+    next_ticket: u64,
+    inflight: HashMap<u64, Machine>,
+    woken: Rc<RefCell<VecDeque<u64>>>,
+    completed: VecDeque<(Ticket, Result<Outcome, ProcessError>)>,
+    pub(crate) inbox: Vec<OutboundDelivery>,
+    pub(crate) monitoring_inbox: Vec<(u64, Event)>,
+}
+
+impl DriverState {
+    pub(crate) fn new() -> DriverState {
+        DriverState {
+            next_ticket: 0,
+            inflight: HashMap::new(),
+            woken: Rc::new(RefCell::new(VecDeque::new())),
+            completed: VecDeque::new(),
+            inbox: Vec::new(),
+            monitoring_inbox: Vec::new(),
+        }
+    }
+}
+
+impl World {
+    /// Submits a request to the driver and returns its ticket immediately.
+    ///
+    /// Unknown owners/devices complete at once with a typed error (no
+    /// panic); everything else starts advancing when the event loop runs
+    /// ([`World::run_until_idle`], or [`World::advance`] up to a horizon).
+    pub fn submit(&mut self, request: Request) -> Ticket {
+        let ticket = Ticket(self.driver.next_ticket);
+        self.driver.next_ticket += 1;
+        let started = self.clock.now();
+
+        // Participant validation up front: a typed error, not a panic.
+        let rejection = match &request {
+            Request::PodInitiation { webid }
+            | Request::ResourceInitiation { webid, .. }
+            | Request::PolicyModification { webid, .. }
+            | Request::PolicyMonitoring { webid, .. } => (!self.owners.contains_key(webid))
+                .then(|| ProcessError::UnknownOwner(webid.clone())),
+            Request::ResourceIndexing { device, .. }
+            | Request::MarketSubscribe { device }
+            | Request::ResourceAccess { device, .. } => (!self.devices.contains_key(device))
+                .then(|| ProcessError::UnknownDevice(device.clone())),
+        };
+        if let Some(err) = rejection {
+            self.driver.completed.push_back((ticket, Err(err)));
+            return ticket;
+        }
+
+        let machine = match request {
+            Request::PodInitiation { webid } => Machine::PodInit(PodInit::new(webid, started)),
+            Request::ResourceInitiation { webid, path, body, policy, metadata } => {
+                Machine::ResInit(Box::new(ResInit {
+                    webid,
+                    path,
+                    body: Some(body),
+                    policy: Some(policy),
+                    metadata,
+                    resource_iri: String::new(),
+                    started,
+                    phase: ResInitPhase::Start,
+                }))
+            }
+            Request::ResourceIndexing { device, resource } => Machine::Indexing(Indexing {
+                device,
+                resource,
+                started,
+                phase: IndexingPhase::Start,
+            }),
+            Request::MarketSubscribe { device } => Machine::Subscribe(Subscribe {
+                device,
+                started,
+                phase: SubscribePhase::Start,
+            }),
+            Request::ResourceAccess { device, resource } => Machine::Access(Box::new(Access {
+                device,
+                resource,
+                started,
+                phase: AccessPhase::Start,
+            })),
+            Request::PolicyModification { webid, path, rules, duties } => {
+                Machine::PolicyMod(Box::new(PolicyMod {
+                    webid,
+                    path,
+                    started,
+                    phase: PolicyModPhase::Start { rules, duties },
+                }))
+            }
+            Request::PolicyMonitoring { webid, path } => {
+                Machine::Monitoring(Box::new(Monitoring {
+                    webid,
+                    path,
+                    started,
+                    phase: MonPhase::Open,
+                }))
+            }
+        };
+        self.driver.inflight.insert(ticket.0, machine);
+        self.driver.woken.borrow_mut().push_back(ticket.0);
+        ticket
+    }
+
+    /// Number of requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.driver.inflight.len()
+    }
+
+    /// Takes the completed outcome for `ticket`, if the request finished.
+    pub fn poll_ticket(&mut self, ticket: Ticket) -> Option<Result<Outcome, ProcessError>> {
+        let pos = self
+            .driver
+            .completed
+            .iter()
+            .position(|(t, _)| *t == ticket)?;
+        self.driver.completed.remove(pos).map(|(_, res)| res)
+    }
+
+    /// Drains every completed outcome, in completion order.
+    pub fn drain_events(&mut self) -> Vec<(Ticket, Result<Outcome, ProcessError>)> {
+        self.driver.completed.drain(..).collect()
+    }
+
+    /// Steps every process woken at the current instant.
+    pub(crate) fn step_woken(&mut self) {
+        loop {
+            let Some(pid) = self.driver.woken.borrow_mut().pop_front() else {
+                break;
+            };
+            self.step_process(pid);
+        }
+    }
+
+    fn step_process(&mut self, pid: u64) {
+        let Some(machine) = self.driver.inflight.remove(&pid) else {
+            return;
+        };
+        match machine.step(self) {
+            Step::Sleep(machine, at) => {
+                self.driver.inflight.insert(pid, machine);
+                if at <= self.clock.now() {
+                    self.driver.woken.borrow_mut().push_back(pid);
+                } else {
+                    let woken = self.driver.woken.clone();
+                    self.sched
+                        .schedule_at(at, move |_| woken.borrow_mut().push_back(pid));
+                }
+            }
+            Step::Done(result) => self.driver.completed.push_back((Ticket(pid), result)),
+        }
+    }
+
+    /// Drives the event loop until no request is in flight: steps every
+    /// woken process, then hops the scheduler to the next wake, repeating.
+    /// Returns the number of process steps executed.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut steps = 0;
+        loop {
+            while let Some(pid) = {
+                let popped = self.driver.woken.borrow_mut().pop_front();
+                popped
+            } {
+                self.step_process(pid);
+                steps += 1;
+            }
+            let Some(at) = self.sched.next_event_at() else {
+                break;
+            };
+            self.sched.run_until(at);
+            self.chain.advance_to(self.clock.now());
+        }
+        if self.driver.inflight.is_empty() {
+            // Nothing left to claim them: drop unclaimed deliveries, like
+            // the one-shot processes did.
+            self.driver.inbox.clear();
+            self.driver.monitoring_inbox.clear();
+        }
+        self.sync_chain();
+        steps
+    }
+
+    /// Drains fresh push-out deliveries into the shared inbox, then removes
+    /// and returns those matching `pred`. Non-matching deliveries stay for
+    /// other in-flight processes.
+    pub(crate) fn claim_deliveries(
+        &mut self,
+        mut pred: impl FnMut(&OutboundDelivery) -> bool,
+    ) -> Vec<OutboundDelivery> {
+        let fresh = self
+            .push_out
+            .drain(&self.chain, &mut self.net, &self.clock, &mut self.rng);
+        self.driver.inbox.extend(fresh);
+        let mut claimed = Vec::new();
+        let mut rest = Vec::new();
+        for d in self.driver.inbox.drain(..) {
+            if pred(&d) {
+                claimed.push(d);
+            } else {
+                rest.push(d);
+            }
+        }
+        self.driver.inbox = rest;
+        claimed
+    }
+}

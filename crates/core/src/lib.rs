@@ -17,6 +17,12 @@
 //! per-hop latencies plus gas into a [`duc_sim::MetricsRegistry`], which is
 //! what the benchmark harness reports.
 //!
+//! The one-shot methods above are wrappers over the **non-blocking driver
+//! API** ([`driver`]): [`World::submit`] enqueues a typed [`Request`] and
+//! returns a [`Ticket`]; [`World::run_until_idle`] interleaves every
+//! in-flight process hop-by-hop on the simulation scheduler; outcomes
+//! surface via [`Ticket::poll`] / [`World::drain_events`].
+//!
 //! ## Example
 //! ```
 //! use duc_core::prelude::*;
@@ -28,16 +34,19 @@
 //! ```
 
 pub mod baseline;
+pub mod driver;
 pub mod process;
 pub mod scenario;
 pub mod world;
 
+pub use driver::{Outcome, Request, Ticket};
 pub use process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
 pub use world::{World, WorldConfig};
 
 /// Common imports.
 pub mod prelude {
     pub use crate::baseline::{self, CentralizedAuditBaseline, PlainSolidBaseline};
+    pub use crate::driver::{Outcome, Request, Ticket};
     pub use crate::process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
     pub use crate::scenario;
     pub use crate::world::{World, WorldConfig};

@@ -1,22 +1,22 @@
-//! The six processes of the architecture (paper Fig. 2).
+//! The six processes of the architecture (paper Fig. 2) — one-shot API.
 //!
 //! Each process is a method on [`World`] that plays out the exact hop
-//! sequence of the paper's sequence diagrams, advancing the shared clock at
-//! every network hop and block inclusion, and recording latency/gas metrics
-//! under `process.<name>.*` keys.
+//! sequence of the paper's sequence diagrams. Since the driver redesign
+//! (see [`crate::driver`]) these methods are thin wrappers over the
+//! non-blocking request API: they submit one [`Request`], drive the event
+//! loop to idle, and unwrap the single outcome — so their signatures and
+//! semantics are unchanged while the same state machines also serve
+//! hundreds of concurrent in-flight requests.
 
-use duc_contracts::{topics, DistExchangeClient, EvidenceSubmission};
 use duc_crypto::Digest;
 use duc_oracle::OracleError;
 use duc_policy::{AclMode, AgentSpec, Authorization, Duty, Rule, UsagePolicy};
 use duc_sim::SimDuration;
-use duc_solid::{Body, SolidRequest, Status};
+use duc_solid::{Body, Status};
 use duc_tee::EnforcementAction;
 
+use crate::driver::{Outcome, Request};
 use crate::world::{IndexEntry, World};
-
-/// Confirmation timeout for on-chain operations.
-const CONFIRM_TIMEOUT: SimDuration = SimDuration::from_secs(120);
 
 /// A process-level failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,12 +128,13 @@ pub struct MonitoringOutcome {
 }
 
 impl World {
-    fn receipt_ok(receipt: duc_blockchain::Receipt) -> Result<duc_blockchain::Receipt, ProcessError> {
-        match &receipt.status {
-            duc_blockchain::TxStatus::Ok => Ok(receipt),
-            duc_blockchain::TxStatus::Reverted(msg) => Err(ProcessError::Reverted(msg.clone())),
-            duc_blockchain::TxStatus::OutOfGas => Err(ProcessError::Reverted("out of gas".into())),
-        }
+    /// Submits `request` alone, drives the event loop to idle and returns
+    /// its outcome (the one-shot wrapper shared by all six processes).
+    fn run_one(&mut self, request: Request) -> Result<Outcome, ProcessError> {
+        let ticket = self.submit(request);
+        self.run_until_idle();
+        self.poll_ticket(ticket)
+            .expect("run_until_idle completes every in-flight request")
     }
 
     /// **Process 1 — pod initiation.** The owner asks the pod manager to
@@ -143,49 +144,10 @@ impl World {
     /// # Errors
     /// Fails on unknown owners, oracle loss or an on-chain revert.
     pub fn pod_initiation(&mut self, webid: &str) -> Result<(), ProcessError> {
-        let start = self.clock.now();
-        let owner = self
-            .owners
-            .get_mut(webid)
-            .ok_or_else(|| ProcessError::UnknownOwner(webid.to_string()))?;
-        let root = owner.pod_manager.pod().root().to_string();
-        let endpoint = owner.endpoint;
-        let owner_key = owner.key;
-
-        // Local setup: default policy attached at the pod root.
-        let default_policy = UsagePolicy::default_for(root.clone(), webid);
-        owner.pod_manager.set_policy("", default_policy.clone());
-        self.trace
-            .record(self.clock.now(), format!("pm:{webid}"), "pod.create", root.clone());
-
-        // Push-in oracle: register the pod on-chain.
-        let envelope = self.envelope(&default_policy);
-        let tx = self
-            .dex
-            .register_pod_tx(&self.chain, &owner_key, webid, &root, envelope);
-        let key_endpoint = endpoint;
-        let receipt = self.push_in.submit_and_confirm(
-            &mut self.chain,
-            &mut self.net,
-            &self.clock,
-            &mut self.rng,
-            key_endpoint,
-            tx,
-            CONFIRM_TIMEOUT,
-        )?;
-        let receipt = Self::receipt_ok(receipt)?;
-        let owner = self.owners.get_mut(webid).expect("checked above");
-        owner.pod_registered = true;
-
-        // The pod manager listens for monitoring verdicts from now on.
-        self.push_out.subscribe(topics::ROUND_CLOSED, endpoint);
-
-        let e2e = self.clock.now() - start;
-        self.metrics.record("process.pod_init.e2e", e2e);
-        self.metrics.add("process.pod_init.gas", receipt.gas_used);
-        self.trace
-            .record(self.clock.now(), format!("pm:{webid}"), "pod.registered", root);
-        Ok(())
+        match self.run_one(Request::PodInitiation { webid: webid.to_string() })? {
+            Outcome::PodInitiated { .. } => Ok(()),
+            other => unreachable!("pod initiation yielded {other:?}"),
+        }
     }
 
     /// Grants `modes` on a pod path to `agents` (ACL administration;
@@ -229,72 +191,16 @@ impl World {
         policy: UsagePolicy,
         metadata: Vec<(String, String)>,
     ) -> Result<String, ProcessError> {
-        let start = self.clock.now();
-        let owner = self
-            .owners
-            .get_mut(webid)
-            .ok_or_else(|| ProcessError::UnknownOwner(webid.to_string()))?;
-        if !owner.pod_registered {
-            return Err(ProcessError::PodNotRegistered(webid.to_string()));
-        }
-        let endpoint = owner.endpoint;
-        let owner_key = owner.key;
-
-        // Upload via the Solid protocol (the pod manager checks the ACL).
-        let put = SolidRequest::put(webid, path).with_body(body);
-        let resp = owner.pod_manager.handle(&put);
-        if !resp.status.is_success() {
-            return Err(ProcessError::Solid {
-                status: resp.status,
-                detail: resp.detail,
-            });
-        }
-        owner.pod_manager.set_policy(path, policy.clone());
-        // Market terms: authenticated subscribers may read this resource
-        // (certificate-gated), cf. §II "only subscribed users have access".
-        let resource_iri = owner.pod_manager.pod().iri_of(path);
-        let mut acl = owner.pod_manager.acl().clone();
-        acl.push(Authorization::for_resource(
-            format!("market-readers-{path}"),
-            resource_iri.clone(),
-            vec![AgentSpec::AuthenticatedAgent],
-            vec![AclMode::Read],
-        ));
-        owner.pod_manager.set_acl(acl);
-        owner.pod_manager.set_require_certificate(true);
-
-        // Push-in oracle: index the resource + publish the policy.
-        let envelope = self.envelope(&policy);
-        let tx = self.dex.register_resource_tx(
-            &self.chain,
-            &owner_key,
-            &resource_iri,
-            &resource_iri,
-            webid,
+        match self.run_one(Request::ResourceInitiation {
+            webid: webid.to_string(),
+            path: path.to_string(),
+            body,
+            policy,
             metadata,
-            envelope,
-        );
-        let receipt = self.push_in.submit_and_confirm(
-            &mut self.chain,
-            &mut self.net,
-            &self.clock,
-            &mut self.rng,
-            endpoint,
-            tx,
-            CONFIRM_TIMEOUT,
-        )?;
-        let receipt = Self::receipt_ok(receipt)?;
-
-        let e2e = self.clock.now() - start;
-        self.metrics.record("process.resource_init.e2e", e2e);
-        self.metrics.add("process.resource_init.gas", receipt.gas_used);
-        self.trace.record(
-            self.clock.now(),
-            format!("pm:{webid}"),
-            "resource.registered",
-            resource_iri.clone(),
-        );
-        Ok(resource_iri)
+        })? {
+            Outcome::ResourceInitiated { resource } => Ok(resource),
+            other => unreachable!("resource initiation yielded {other:?}"),
+        }
     }
 
     /// **Process 3 — resource indexing.** A device's trusted application
@@ -304,46 +210,13 @@ impl World {
     /// # Errors
     /// Fails on unknown devices/resources or oracle loss.
     pub fn resource_indexing(&mut self, device: &str, resource: &str) -> Result<IndexEntry, ProcessError> {
-        let start = self.clock.now();
-        let dev = self
-            .devices
-            .get(device)
-            .ok_or_else(|| ProcessError::UnknownDevice(device.to_string()))?;
-        let endpoint = dev.endpoint;
-
-        let out = self.pull_out.read(
-            &self.chain,
-            &mut self.net,
-            &self.clock,
-            &mut self.rng,
-            endpoint,
-            self.dex.contract_id(),
-            "lookup_resource",
-            &duc_codec::encode_to_vec(&(resource.to_string(),)),
-        )?;
-        let record: Option<duc_contracts::ResourceRecord> = duc_codec::decode_from_slice(&out)
-            .map_err(|e| ProcessError::Policy(e.to_string()))?;
-        let record = record.ok_or_else(|| ProcessError::UnknownResource(resource.to_string()))?;
-        let policy = self
-            .open_envelope(&record.policy)
-            .map_err(|e| ProcessError::Policy(e.to_string()))?;
-        let entry = IndexEntry {
-            location: record.location.clone(),
-            owner_webid: record.owner_webid.clone(),
-            policy,
-        };
-        let dev = self.devices.get_mut(device).expect("checked above");
-        dev.indexed.insert(resource.to_string(), entry.clone());
-
-        let e2e = self.clock.now() - start;
-        self.metrics.record("process.indexing.e2e", e2e);
-        self.trace.record(
-            self.clock.now(),
-            format!("tee:{device}"),
-            "resource.indexed",
-            resource.to_string(),
-        );
-        Ok(entry)
+        match self.run_one(Request::ResourceIndexing {
+            device: device.to_string(),
+            resource: resource.to_string(),
+        })? {
+            Outcome::Indexed { entry } => Ok(entry),
+            other => unreachable!("resource indexing yielded {other:?}"),
+        }
     }
 
     /// Buys a market subscription for the device's operator and stores the
@@ -352,29 +225,10 @@ impl World {
     /// # Errors
     /// Fails on unknown devices, oracle loss or revert.
     pub fn market_subscribe(&mut self, device: &str) -> Result<Digest, ProcessError> {
-        let start = self.clock.now();
-        let dev = self
-            .devices
-            .get(device)
-            .ok_or_else(|| ProcessError::UnknownDevice(device.to_string()))?;
-        let endpoint = dev.endpoint;
-        let tx = self.dex.subscribe_tx(&self.chain, &dev.key, &dev.webid);
-        let receipt = self.push_in.submit_and_confirm(
-            &mut self.chain,
-            &mut self.net,
-            &self.clock,
-            &mut self.rng,
-            endpoint,
-            tx,
-            CONFIRM_TIMEOUT,
-        )?;
-        let receipt = Self::receipt_ok(receipt)?;
-        let cert = DistExchangeClient::decode_certificate(&receipt.return_data)
-            .map_err(|e| ProcessError::Policy(e.to_string()))?;
-        self.devices.get_mut(device).expect("checked").certificate = Some(cert);
-        self.metrics.record("process.subscribe.e2e", self.clock.now() - start);
-        self.metrics.add("process.subscribe.gas", receipt.gas_used);
-        Ok(cert)
+        match self.run_one(Request::MarketSubscribe { device: device.to_string() })? {
+            Outcome::Subscribed { certificate } => Ok(certificate),
+            other => unreachable!("market subscription yielded {other:?}"),
+        }
     }
 
     /// **Process 4 — resource access.** The trusted application fetches the
@@ -388,127 +242,13 @@ impl World {
     /// manager refuses the request, attestation fails, or the on-chain copy
     /// registration fails.
     pub fn resource_access(&mut self, device: &str, resource: &str) -> Result<AccessOutcome, ProcessError> {
-        let start = self.clock.now();
-        let dev = self
-            .devices
-            .get(device)
-            .ok_or_else(|| ProcessError::UnknownDevice(device.to_string()))?;
-        let entry = dev
-            .indexed
-            .get(resource)
-            .ok_or_else(|| ProcessError::NotIndexed {
-                device: device.to_string(),
-                resource: resource.to_string(),
-            })?
-            .clone();
-        let certificate = dev
-            .certificate
-            .ok_or_else(|| ProcessError::NoCertificate(dev.webid.clone()))?;
-        let webid = dev.webid.clone();
-        let dev_endpoint = dev.endpoint;
-
-        // Attestation gate: only recognized trusted applications may hold
-        // governed copies (the market's terms and conditions, §II).
-        let quote = self
-            .attestation
-            .issue_quote(self.devices.get(device).expect("checked").tee.enclave())
-            .ok_or_else(|| ProcessError::Attestation(format!("measurement not trusted for {device}")))?;
-
-        let owner = self
-            .owners
-            .get(&entry.owner_webid)
-            .ok_or_else(|| ProcessError::UnknownOwner(entry.owner_webid.clone()))?;
-        let owner_endpoint = owner.endpoint;
-        let root = owner.pod_manager.pod().root().to_string();
-        let path = entry
-            .location
-            .strip_prefix(&root)
-            .unwrap_or(entry.location.as_str())
-            .to_string();
-
-        // The pod manager verifies the certificate against the DE App
-        // (its own blockchain interaction module does a view call).
-        let cert_ok = self
-            .dex
-            .verify_certificate(&self.chain, &certificate, &webid)
-            .map_err(|e| ProcessError::Policy(e.to_string()))?;
-
-        // Request hop: device → pod manager.
-        let fetch_start = self.clock.now();
-        let request = SolidRequest::get(webid.clone(), path).with_certificate(certificate);
-        let hop = self
-            .net
-            .transmit(dev_endpoint, owner_endpoint, request.size() as u64, &mut self.rng)
-            .delay()
-            .ok_or(ProcessError::Oracle(OracleError::NetworkDropped))?;
-        self.clock.advance(hop);
-
-        let owner = self.owners.get_mut(&entry.owner_webid).expect("checked above");
-        let verifier = move |_: &Digest, _: &str| cert_ok;
-        let resp = owner.pod_manager.handle_with_verifier(&request, &verifier);
-        if resp.status != Status::Ok {
-            return Err(ProcessError::Solid {
-                status: resp.status,
-                detail: resp.detail,
-            });
+        match self.run_one(Request::ResourceAccess {
+            device: device.to_string(),
+            resource: resource.to_string(),
+        })? {
+            Outcome::Accessed(outcome) => Ok(outcome),
+            other => unreachable!("resource access yielded {other:?}"),
         }
-        // Response hop: pod manager → device (size-dependent transfer).
-        let hop_back = self
-            .net
-            .transmit(owner_endpoint, dev_endpoint, resp.size() as u64, &mut self.rng)
-            .delay()
-            .ok_or(ProcessError::Oracle(OracleError::NetworkDropped))?;
-        self.clock.advance(hop_back);
-        let fetch = self.clock.now() - fetch_start;
-
-        // Store in the TEE under the indexed policy.
-        let bytes = match &resp.body {
-            Body::Turtle(t) | Body::Text(t) => t.clone().into_bytes(),
-            Body::Binary(b) => b.clone(),
-            Body::Empty => Vec::new(),
-        };
-        let bytes_len = bytes.len();
-        let dev = self.devices.get_mut(device).expect("checked above");
-        dev.tee
-            .store_resource(resource, &bytes, entry.policy.clone(), self.clock.now());
-
-        // Register the copy on-chain and subscribe to policy updates.
-        let tx = self.dex.register_copy_tx(
-            &self.chain,
-            &dev.key,
-            resource,
-            device,
-            &webid,
-            quote.enclave_key,
-        );
-        let receipt = self.push_in.submit_and_confirm(
-            &mut self.chain,
-            &mut self.net,
-            &self.clock,
-            &mut self.rng,
-            dev_endpoint,
-            tx,
-            CONFIRM_TIMEOUT,
-        )?;
-        let receipt = Self::receipt_ok(receipt)?;
-        self.push_out.subscribe(topics::POLICY_UPDATED, dev_endpoint);
-
-        let e2e = self.clock.now() - start;
-        self.metrics.record("process.access.e2e", e2e);
-        self.metrics.record("process.access.fetch", fetch);
-        self.metrics.add("process.access.gas", receipt.gas_used);
-        self.metrics.add("process.access.bytes", bytes_len as u64);
-        self.trace.record(
-            self.clock.now(),
-            format!("tee:{device}"),
-            "resource.stored",
-            resource.to_string(),
-        );
-        Ok(AccessOutcome {
-            bytes: bytes_len,
-            e2e,
-            fetch,
-        })
     }
 
     /// **Process 5 — policy modification.** The owner updates the policy at
@@ -526,121 +266,15 @@ impl World {
         rules: Vec<Rule>,
         duties: Vec<Duty>,
     ) -> Result<PropagationOutcome, ProcessError> {
-        let start = self.clock.now();
-        let owner = self
-            .owners
-            .get_mut(webid)
-            .ok_or_else(|| ProcessError::UnknownOwner(webid.to_string()))?;
-        let endpoint = owner.endpoint;
-        let owner_key = owner.key;
-        let amended = owner
-            .pod_manager
-            .modify_policy(webid, path, rules, duties)
-            .map_err(|status| ProcessError::Solid {
-                status,
-                detail: Some("policy modification refused".into()),
-            })?;
-        let resource_iri = owner.pod_manager.pod().iri_of(path);
-
-        let envelope = self.envelope(&amended);
-        let tx = self.dex.update_policy_tx(
-            &self.chain,
-            &owner_key,
-            &resource_iri,
-            envelope,
-            amended.version,
-        );
-        let receipt = self.push_in.submit_and_confirm(
-            &mut self.chain,
-            &mut self.net,
-            &self.clock,
-            &mut self.rng,
-            endpoint,
-            tx,
-            CONFIRM_TIMEOUT,
-        )?;
-        let receipt = Self::receipt_ok(receipt)?;
-        self.metrics.add("process.policy_mod.gas", receipt.gas_used);
-
-        // Push-out fan-out to subscribed devices.
-        let deliveries = self
-            .push_out
-            .drain(&self.chain, &mut self.net, &self.clock, &mut self.rng);
-        let endpoint_to_device: std::collections::HashMap<_, _> = self
-            .devices
-            .iter()
-            .map(|(name, d)| (d.endpoint, name.clone()))
-            .collect();
-        let mut notified = 0usize;
-        let mut enforcement = Vec::new();
-        let mut pending_unregisters = Vec::new();
-        let mut last_arrival = self.clock.now();
-        for delivery in deliveries {
-            if delivery.event.topic != topics::POLICY_UPDATED {
-                continue;
-            }
-            let Some(device_name) = endpoint_to_device.get(&delivery.recipient) else {
-                continue;
-            };
-            let (event_resource, _version, policy_env): (String, u64, duc_contracts::PolicyEnvelope) =
-                duc_codec::decode_from_slice(&delivery.event.data)
-                    .map_err(|e| ProcessError::Policy(e.to_string()))?;
-            if event_resource != resource_iri {
-                continue;
-            }
-            let policy = self
-                .open_envelope(&policy_env)
-                .map_err(|e| ProcessError::Policy(e.to_string()))?;
-            let device = self.devices.get_mut(device_name).expect("endpoint map is fresh");
-            if !device.tee.has_copy(&event_resource) {
-                continue;
-            }
-            let actions =
-                device
-                    .tee
-                    .apply_policy_update(&event_resource, policy, delivery.arrives_at);
-            self.metrics
-                .record("process.policy_mod.propagation", delivery.arrives_at - start);
-            notified += 1;
-            last_arrival = last_arrival.max(delivery.arrives_at);
-            for action in actions {
-                if let EnforcementAction::Deleted { .. } = &action {
-                    self.metrics.incr("enforcement.deletions");
-                    // The copy registry is updated so future rounds skip
-                    // this device.
-                    let tx = self.dex.unregister_copy_tx(
-                        &self.chain,
-                        &device.key,
-                        &event_resource,
-                        device_name,
-                    );
-                    if let Ok(id) = self.chain.submit(tx) {
-                        pending_unregisters.push(id);
-                    }
-                }
-                enforcement.push((device_name.clone(), action));
-            }
+        match self.run_one(Request::PolicyModification {
+            webid: webid.to_string(),
+            path: path.to_string(),
+            rules,
+            duties,
+        })? {
+            Outcome::PolicyPropagated(outcome) => Ok(outcome),
+            other => unreachable!("policy modification yielded {other:?}"),
         }
-        self.clock.advance_to(last_arrival);
-        if let Some(last) = pending_unregisters.last() {
-            let _ = duc_oracle::await_inclusion(&mut self.chain, &self.clock, last, CONFIRM_TIMEOUT);
-        }
-        self.sync_chain();
-
-        let e2e = self.clock.now() - start;
-        self.metrics.record("process.policy_mod.e2e", e2e);
-        self.trace.record(
-            self.clock.now(),
-            format!("pm:{webid}"),
-            "policy.updated",
-            format!("{resource_iri} v{}", amended.version),
-        );
-        Ok(PropagationOutcome {
-            version: amended.version,
-            devices_notified: notified,
-            enforcement,
-            e2e,
-        })
     }
 
     /// **Process 6 — policy monitoring.** The pod manager opens a round via
@@ -652,136 +286,12 @@ impl World {
     /// # Errors
     /// Fails on unknown participants or oracle/chain errors.
     pub fn policy_monitoring(&mut self, webid: &str, path: &str) -> Result<MonitoringOutcome, ProcessError> {
-        let start = self.clock.now();
-        let owner = self
-            .owners
-            .get(webid)
-            .ok_or_else(|| ProcessError::UnknownOwner(webid.to_string()))?;
-        let endpoint = owner.endpoint;
-        let resource_iri = owner.pod_manager.pod().iri_of(path);
-
-        // Open the round.
-        let tx = self
-            .dex
-            .start_monitoring_tx(&self.chain, &owner.key, &resource_iri);
-        let receipt = self.push_in.submit_and_confirm(
-            &mut self.chain,
-            &mut self.net,
-            &self.clock,
-            &mut self.rng,
-            endpoint,
-            tx,
-            CONFIRM_TIMEOUT,
-        )?;
-        let receipt = Self::receipt_ok(receipt)?;
-        let round = DistExchangeClient::decode_round_number(&receipt.return_data)
-            .map_err(|e| ProcessError::Policy(e.to_string()))?;
-        self.metrics.add("process.monitoring.gas", receipt.gas_used);
-
-        // Pull-in oracle: find the request and the expected devices.
-        let requests = self.pull_in.poll_requests(
-            &self.chain,
-            &mut self.net,
-            &self.clock,
-            &mut self.rng,
-            self.gateway,
-        )?;
-        let mut expected: Vec<String> = Vec::new();
-        for (_, event) in &requests {
-            let (res, r, devices): (String, u64, Vec<String>) =
-                duc_codec::decode_from_slice(&event.data)
-                    .map_err(|e| ProcessError::Policy(e.to_string()))?;
-            if res == resource_iri && r == round {
-                expected = devices;
-            }
+        match self.run_one(Request::PolicyMonitoring {
+            webid: webid.to_string(),
+            path: path.to_string(),
+        })? {
+            Outcome::Monitored(outcome) => Ok(outcome),
+            other => unreachable!("policy monitoring yielded {other:?}"),
         }
-
-        // Collect signed evidence from each device.
-        let mut evidence_bytes = 0usize;
-        let mut submissions = 0usize;
-        for device_name in &expected {
-            let Some(device) = self.devices.get(device_name) else {
-                continue;
-            };
-            let dev_endpoint = device.endpoint;
-            // Request hop: oracle → device.
-            let Some(hop) = self
-                .net
-                .transmit(self.pull_in.relay, dev_endpoint, 128, &mut self.rng)
-                .delay()
-            else {
-                self.metrics.incr("process.monitoring.unreachable");
-                continue;
-            };
-            self.clock.advance(hop);
-            let Some(report) = device.tee.report(&resource_iri, self.clock.now()) else {
-                continue;
-            };
-            let mut submission = EvidenceSubmission {
-                resource: resource_iri.clone(),
-                round,
-                device: device_name.clone(),
-                compliant: report.compliant,
-                violations: report.violations.clone(),
-                evidence_digest: report.log_digest,
-                signature: duc_crypto::Signature { e: 0, s: 0 },
-            };
-            submission.signature = device.tee.enclave().sign(&submission.signing_bytes());
-            evidence_bytes += duc_codec::encode_to_vec(&submission).len();
-            let tx = self
-                .dex
-                .record_evidence_tx(&self.chain, &device.key, &submission);
-            let receipt = self.push_in.submit_and_confirm(
-                &mut self.chain,
-                &mut self.net,
-                &self.clock,
-                &mut self.rng,
-                dev_endpoint,
-                tx,
-                CONFIRM_TIMEOUT,
-            )?;
-            let receipt = Self::receipt_ok(receipt)?;
-            self.metrics.add("process.monitoring.gas", receipt.gas_used);
-            submissions += 1;
-        }
-
-        // Read the verdict and deliver it to the pod manager (push-out).
-        let record = self
-            .dex
-            .get_round(&self.chain, &resource_iri, round)
-            .map_err(|e| ProcessError::Policy(e.to_string()))?
-            .ok_or_else(|| ProcessError::Policy("round vanished".into()))?;
-        let deliveries = self
-            .push_out
-            .drain(&self.chain, &mut self.net, &self.clock, &mut self.rng);
-        let verdict_delivered = deliveries
-            .iter()
-            .any(|d| d.event.topic == topics::ROUND_CLOSED && d.recipient == endpoint);
-        if verdict_delivered {
-            self.metrics.incr("process.monitoring.verdicts_delivered");
-        }
-
-        let duration = self.clock.now() - start;
-        self.metrics.record("process.monitoring.e2e", duration);
-        self.metrics
-            .add("process.monitoring.evidence_bytes", evidence_bytes as u64);
-        self.trace.record(
-            self.clock.now(),
-            format!("pm:{webid}"),
-            "monitoring.round",
-            format!("{resource_iri} round {round}: {} violators", record.violators().len()),
-        );
-        Ok(MonitoringOutcome {
-            round,
-            expected: expected.len(),
-            evidence: submissions,
-            violators: record
-                .violators()
-                .iter()
-                .map(|e| e.device.clone())
-                .collect(),
-            evidence_bytes,
-            duration,
-        })
     }
 }

@@ -7,7 +7,8 @@ use duc_contracts::{topics, DistExchange, DistExchangeClient, PolicyEnvelope, DE
 use duc_crypto::KeyPair;
 use duc_policy::{PolicyEngine, UsagePolicy};
 use duc_sim::{
-    Clock, EndpointId, LinkConfig, MetricsRegistry, NetworkModel, Rng, SimDuration, TraceRecorder,
+    Clock, EndpointId, LinkConfig, MetricsRegistry, NetworkModel, Rng, Scheduler, SimDuration,
+    TraceRecorder,
 };
 use duc_solid::PodManager;
 use duc_tee::{AttestationAuthority, Enclave, TrustedApplication};
@@ -126,6 +127,11 @@ pub struct World {
     pub trace: TraceRecorder,
     /// The chain gateway endpoint (where view calls land).
     pub gateway: EndpointId,
+    /// The discrete-event scheduler driving in-flight request machines
+    /// (shares this world's clock).
+    pub sched: Scheduler,
+    /// Non-blocking request driver bookkeeping (see [`crate::driver`]).
+    pub(crate) driver: crate::driver::DriverState,
     /// Devices whose hosts suppress enclave timers (fault injection).
     rogue_hosts: std::collections::HashSet<String>,
     /// Key material for encrypted policy envelopes (E9). In a production
@@ -170,6 +176,8 @@ impl World {
         };
         World {
             rng: Rng::seed_from_u64(config.seed),
+            sched: Scheduler::new(clock.clone()),
+            driver: crate::driver::DriverState::new(),
             push_in: PushInOracle::new(relay),
             push_out: PushOutOracle::new(relay),
             pull_out: PullOutOracle::new(relay),
@@ -285,24 +293,34 @@ impl World {
     /// Advances simulated time. TEE obligation timers fire at their exact
     /// deadlines along the way (paper §III-C: "the TEE automatically
     /// deletes the resource ... after one week has passed, as per the
-    /// policy"), and the chain catches up to the final instant.
+    /// policy"), in-flight driver requests progress through their scheduled
+    /// continuations, and the chain catches up to the final instant.
     pub fn advance(&mut self, d: SimDuration) {
         let target = self.clock.now() + d;
         loop {
+            // Driver work due at the current instant runs first.
+            self.step_woken();
             let next_deadline = self
                 .devices
                 .iter()
                 .filter(|(name, _)| !self.rogue_hosts.contains(*name))
                 .filter_map(|(_, dev)| dev.tee.next_obligation_deadline())
-                .min();
-            match next_deadline {
-                Some(deadline) if deadline <= target => {
+                .min()
+                .filter(|at| *at <= target);
+            let next_event = self.sched.next_event_at().filter(|at| *at <= target);
+            match (next_event, next_deadline) {
+                (Some(event_at), deadline) if deadline.is_none_or(|dl| event_at <= dl) => {
+                    self.sched.run_until(event_at);
+                    self.chain.advance_to(self.clock.now());
+                }
+                (_, Some(deadline)) => {
                     self.clock.advance_to(deadline);
                     self.sweep_devices();
                 }
                 _ => break,
             }
         }
+        self.step_woken();
         self.clock.advance_to(target);
         self.chain.advance_to(self.clock.now());
     }
@@ -310,16 +328,25 @@ impl World {
     /// Runs every device's obligation sweep at the current instant (the
     /// TEEs' periodic timers; cf. ablation E11) and returns executed
     /// actions. Deletions also unregister the on-chain copy.
+    ///
+    /// The unregister confirmation is a *blocking* wait: it advances the
+    /// shared clock up to one block. Drive in-flight driver requests to
+    /// idle before sweeping (the wrappers and [`World::advance`] do) or
+    /// their scheduled wakes fire late by the sweep's confirmation time.
     pub fn sweep_devices(&mut self) -> Vec<(String, duc_tee::EnforcementAction)> {
         let now = self.clock.now();
         let mut all = Vec::new();
         let mut pending = Vec::new();
-        let names: Vec<String> = self
+        let mut names: Vec<String> = self
             .devices
             .keys()
             .filter(|n| !self.rogue_hosts.contains(*n))
             .cloned()
             .collect();
+        // Sorted: HashMap iteration order is per-process random, and the
+        // unregister transactions below must land in the same order on
+        // every identically-seeded run (byte-identical determinism).
+        names.sort_unstable();
         for name in names {
             let device = self.devices.get_mut(&name).expect("key exists");
             for action in device.tee.sweep(now) {
@@ -335,13 +362,15 @@ impl World {
                 all.push((name.clone(), action));
             }
         }
-        // Confirm the unregistrations before anything else (e.g. a
-        // monitoring round) can race them within one block.
-        if let Some(last) = pending.last() {
+        // Confirm *every* unregistration before anything else (e.g. a
+        // monitoring round) can race it within one block: awaiting only the
+        // last id would let an earlier unregister tx that missed the block
+        // slip past the barrier.
+        for id in &pending {
             let _ = duc_oracle::await_inclusion(
                 &mut self.chain,
                 &self.clock,
-                last,
+                id,
                 SimDuration::from_secs(120),
             );
         }

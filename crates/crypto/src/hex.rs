@@ -13,7 +13,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// Decodes a hex string (case-insensitive). Returns `None` on odd length or
 /// non-hex characters.
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let chars: Vec<u32> = s.chars().map(|c| c.to_digit(16)).collect::<Option<_>>()?;

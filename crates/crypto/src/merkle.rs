@@ -132,7 +132,7 @@ impl MerkleTree {
             } else {
                 level[idx] // odd node paired with itself
             };
-            steps.push(if idx % 2 == 0 {
+            steps.push(if idx.is_multiple_of(2) {
                 ProofStep::Right(sibling)
             } else {
                 ProofStep::Left(sibling)

@@ -40,8 +40,8 @@ impl Digest {
     /// XOR of two digests (used to accumulate unordered sets).
     pub fn xor(&self, other: &Digest) -> Digest {
         let mut out = [0u8; 32];
-        for i in 0..32 {
-            out[i] = self.0[i] ^ other.0[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
         }
         Digest(out)
     }
@@ -285,9 +285,9 @@ mod tests {
     #[test]
     fn boundary_lengths_hash_distinctly() {
         // 55/56/64 bytes exercise the padding edge cases.
-        let d55 = sha256(&vec![0u8; 55]);
-        let d56 = sha256(&vec![0u8; 56]);
-        let d64 = sha256(&vec![0u8; 64]);
+        let d55 = sha256(&[0u8; 55]);
+        let d56 = sha256(&[0u8; 56]);
+        let d64 = sha256(&[0u8; 64]);
         assert_ne!(d55, d56);
         assert_ne!(d56, d64);
     }

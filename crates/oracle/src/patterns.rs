@@ -35,6 +35,53 @@ impl std::fmt::Display for OracleError {
 
 impl std::error::Error for OracleError {}
 
+/// One observation of a transaction's inclusion state, as seen by a
+/// non-blocking caller (see [`poll_inclusion`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InclusionStatus {
+    /// The transaction is included; here is its receipt.
+    Included(Receipt),
+    /// Not included yet; check again at `retry_at` (the next slot boundary,
+    /// capped at the deadline).
+    Pending {
+        /// When the next poll is due.
+        retry_at: SimTime,
+    },
+    /// The deadline passed without inclusion.
+    TimedOut {
+        /// The deadline that passed.
+        deadline: SimTime,
+    },
+}
+
+/// Non-blocking inclusion check: advances the chain to `now`, looks for a
+/// receipt, and — when the transaction is still pending — reports when the
+/// caller should poll again instead of spinning the shared clock forward.
+///
+/// This is the continuation-friendly half of [`await_inclusion`]: a driver
+/// schedules a wake-up at `retry_at` and re-polls, so hundreds of in-flight
+/// processes can wait for inclusion concurrently without serializing on the
+/// clock.
+pub fn poll_inclusion(
+    chain: &mut Blockchain,
+    now: SimTime,
+    id: &TxId,
+    deadline: SimTime,
+) -> InclusionStatus {
+    chain.advance_to(now);
+    if let Some(receipt) = chain.receipt(id) {
+        return InclusionStatus::Included(receipt.clone());
+    }
+    if now >= deadline {
+        return InclusionStatus::TimedOut { deadline };
+    }
+    let step = chain.block_interval().as_nanos().max(1);
+    let next = (now.as_nanos() / step + 1) * step;
+    InclusionStatus::Pending {
+        retry_at: SimTime::from_nanos(next.min(deadline.as_nanos())),
+    }
+}
+
 /// Advances the clock slot-by-slot until `id` has a receipt (inclusion) or
 /// the timeout elapses. Models "waiting for confirmation".
 ///
@@ -48,20 +95,14 @@ pub fn await_inclusion(
     timeout: SimDuration,
 ) -> Result<Receipt, OracleError> {
     let deadline = clock.now() + timeout;
-    let interval = chain.block_interval();
     loop {
-        chain.advance_to(clock.now());
-        if let Some(receipt) = chain.receipt(id) {
-            return Ok(receipt.clone());
+        match poll_inclusion(chain, clock.now(), id, deadline) {
+            InclusionStatus::Included(receipt) => return Ok(receipt),
+            InclusionStatus::TimedOut { deadline } => {
+                return Err(OracleError::InclusionTimeout { deadline })
+            }
+            InclusionStatus::Pending { retry_at } => clock.advance_to(retry_at),
         }
-        if clock.now() >= deadline {
-            return Err(OracleError::InclusionTimeout { deadline });
-        }
-        // Jump to the next slot boundary.
-        let now = clock.now().as_nanos();
-        let step = interval.as_nanos().max(1);
-        let next = (now / step + 1) * step;
-        clock.advance_to(SimTime::from_nanos(next.min(deadline.as_nanos())));
     }
 }
 
@@ -88,6 +129,35 @@ impl PushInOracle {
         }
     }
 
+    /// One non-blocking uplink attempt of a logical submission: records the
+    /// submission/retry counters (`attempt` 0 is the first try) and returns
+    /// the hop delay when the message got through, `None` when it was lost.
+    ///
+    /// The caller owns the timeline: on success it delivers the transaction
+    /// to the chain `Some(hop)` later; on loss it retries [`Self::backoff`]
+    /// later, up to [`PushInOracle::max_attempts`] attempts in total.
+    pub fn attempt(
+        &mut self,
+        net: &mut NetworkModel,
+        rng: &mut Rng,
+        from: EndpointId,
+        size: u64,
+        attempt: u32,
+    ) -> Option<SimDuration> {
+        if attempt == 0 {
+            self.submissions += 1;
+        } else {
+            self.retries += 1;
+        }
+        net.transmit(from, self.relay, size, rng).delay()
+    }
+
+    /// Linear backoff before retry number `attempt` (attempt 1 = first
+    /// retry).
+    pub fn backoff(attempt: u32) -> SimDuration {
+        SimDuration::from_millis(100 * attempt as u64)
+    }
+
     /// Submits `tx` from `from` through the relay; the clock advances by
     /// the network hops (and retry backoff on loss).
     ///
@@ -103,15 +173,13 @@ impl PushInOracle {
         from: EndpointId,
         tx: SignedTransaction,
     ) -> Result<TxId, OracleError> {
-        self.submissions += 1;
         let size = tx.encoded_size() as u64;
         for attempt in 0..self.max_attempts {
             if attempt > 0 {
-                self.retries += 1;
                 // Linear backoff before a retry.
-                clock.advance(SimDuration::from_millis(100 * attempt as u64));
+                clock.advance(Self::backoff(attempt));
             }
-            match net.transmit(from, self.relay, size, rng).delay() {
+            match self.attempt(net, rng, from, size, attempt) {
                 None => continue,
                 Some(hop) => {
                     clock.advance(hop);
@@ -126,6 +194,7 @@ impl PushInOracle {
     ///
     /// # Errors
     /// Any error of [`PushInOracle::submit`] or [`await_inclusion`].
+    #[allow(clippy::too_many_arguments)] // the full blocking conveniences
     pub fn submit_and_confirm(
         &mut self,
         chain: &mut Blockchain,
@@ -259,12 +328,40 @@ impl PullOutOracle {
         PullOutOracle { relay, reads: 0 }
     }
 
+    /// Non-blocking first half of a read: counts the read and returns the
+    /// request-hop delay (`from` → relay), or `None` when the hop is lost.
+    pub fn begin_read(
+        &mut self,
+        net: &mut NetworkModel,
+        rng: &mut Rng,
+        from: EndpointId,
+        method: &str,
+        args: &[u8],
+    ) -> Option<SimDuration> {
+        self.reads += 1;
+        let request_size = (args.len() + method.len() + 64) as u64;
+        net.transmit(from, self.relay, request_size, rng).delay()
+    }
+
+    /// Non-blocking second half of a read: the response-hop delay (relay →
+    /// `to`) for a `payload_len`-byte result, or `None` when lost.
+    pub fn finish_read(
+        &self,
+        net: &mut NetworkModel,
+        rng: &mut Rng,
+        to: EndpointId,
+        payload_len: usize,
+    ) -> Option<SimDuration> {
+        net.transmit(self.relay, to, payload_len as u64 + 32, rng).delay()
+    }
+
     /// Executes a view call from `from`, charging a request and a response
     /// network hop.
     ///
     /// # Errors
     /// [`OracleError::NetworkDropped`] on either hop,
     /// [`OracleError::View`] when the contract rejects the call.
+    #[allow(clippy::too_many_arguments)] // the full blocking convenience
     pub fn read(
         &mut self,
         chain: &Blockchain,
@@ -276,19 +373,15 @@ impl PullOutOracle {
         method: &str,
         args: &[u8],
     ) -> Result<Vec<u8>, OracleError> {
-        self.reads += 1;
-        let request_size = (args.len() + method.len() + 64) as u64;
-        let hop = net
-            .transmit(from, self.relay, request_size, rng)
-            .delay()
+        let hop = self
+            .begin_read(net, rng, from, method, args)
             .ok_or(OracleError::NetworkDropped)?;
         clock.advance(hop);
         let out = chain
             .call_view(contract, method, args)
             .map_err(|e| OracleError::View(e.to_string()))?;
-        let hop_back = net
-            .transmit(self.relay, from, out.len() as u64 + 32, rng)
-            .delay()
+        let hop_back = self
+            .finish_read(net, rng, from, out.len())
             .ok_or(OracleError::NetworkDropped)?;
         clock.advance(hop_back);
         Ok(out)
@@ -322,6 +415,60 @@ impl PullInOracle {
         }
     }
 
+    /// Non-blocking first half of a poll: the request-hop delay (relay →
+    /// gateway), or `None` when lost.
+    pub fn begin_poll(
+        &self,
+        net: &mut NetworkModel,
+        rng: &mut Rng,
+        gateway_ep: EndpointId,
+    ) -> Option<SimDuration> {
+        net.transmit(self.relay, gateway_ep, 64, rng).delay()
+    }
+
+    /// Collects the topic-matching request events since the last poll;
+    /// returns the events, the response payload size a gateway would ship
+    /// back, and the cursor position this poll covers. The cursor is *not*
+    /// advanced here — the caller commits it with
+    /// [`PullInOracle::commit_cursor`] once the response hop actually
+    /// arrives, so a lost response never strands events behind the cursor.
+    pub fn collect_requests(&self, chain: &Blockchain) -> (Vec<(u64, Event)>, u64, u64) {
+        let events: Vec<(u64, Event)> = chain
+            .events_since(self.cursor)
+            .filter(|(_, e)| e.topic == self.topic)
+            .cloned()
+            .collect();
+        let response_size: u64 = events
+            .iter()
+            .map(|(_, e)| e.data.len() as u64 + 64)
+            .sum::<u64>()
+            .max(32);
+        let cursor_to = chain
+            .events_since(self.cursor)
+            .map(|(h, _)| *h)
+            .max()
+            .unwrap_or(self.cursor);
+        (events, response_size, cursor_to)
+    }
+
+    /// Advances the cursor to `height` (monotonic) after a poll's response
+    /// hop succeeded, acknowledging everything the poll served.
+    pub fn commit_cursor(&mut self, height: u64) {
+        self.cursor = self.cursor.max(height);
+    }
+
+    /// Non-blocking second half of a poll: the response-hop delay (gateway
+    /// → relay), or `None` when lost.
+    pub fn finish_poll(
+        &self,
+        net: &mut NetworkModel,
+        rng: &mut Rng,
+        gateway_ep: EndpointId,
+        response_size: u64,
+    ) -> Option<SimDuration> {
+        net.transmit(gateway_ep, self.relay, response_size, rng).delay()
+    }
+
     /// New request events since the last poll (the off-chain half's work
     /// queue). The poll itself costs one request/response pair against the
     /// chain gateway, modelled on `gateway_ep`.
@@ -336,29 +483,16 @@ impl PullInOracle {
         rng: &mut Rng,
         gateway_ep: EndpointId,
     ) -> Result<Vec<(u64, Event)>, OracleError> {
-        let hop = net
-            .transmit(self.relay, gateway_ep, 64, rng)
-            .delay()
+        let hop = self
+            .begin_poll(net, rng, gateway_ep)
             .ok_or(OracleError::NetworkDropped)?;
         clock.advance(hop);
-        let events: Vec<(u64, Event)> = chain
-            .events_since(self.cursor)
-            .filter(|(_, e)| e.topic == self.topic)
-            .cloned()
-            .collect();
-        let response_size: u64 = events
-            .iter()
-            .map(|(_, e)| e.data.len() as u64 + 64)
-            .sum::<u64>()
-            .max(32);
-        let hop_back = net
-            .transmit(gateway_ep, self.relay, response_size, rng)
-            .delay()
+        let (events, response_size, cursor_to) = self.collect_requests(chain);
+        let hop_back = self
+            .finish_poll(net, rng, gateway_ep, response_size)
             .ok_or(OracleError::NetworkDropped)?;
         clock.advance(hop_back);
-        if let Some(max_height) = chain.events_since(self.cursor).map(|(h, _)| *h).max() {
-            self.cursor = max_height;
-        }
+        self.commit_cursor(cursor_to);
         Ok(events)
     }
 
@@ -660,6 +794,43 @@ mod tests {
             ),
             Err(OracleError::View(_))
         ));
+    }
+
+    #[test]
+    fn pull_in_lost_response_does_not_strand_events() {
+        let mut s = setup(fixed_link(5));
+        let mut pull_in = PullInOracle::new(s.relay, "Stored");
+        let tx = s.chain.build_call(
+            &s.key,
+            ContractId::new("echo"),
+            "store",
+            encode_to_vec(&(11u64,)),
+            1_000_000,
+        );
+        s.chain.submit(tx).unwrap();
+        s.clock.advance_to(SimTime::from_secs(2));
+        s.chain.advance_to(s.clock.now());
+        // The gateway → relay return hop is down: the poll fails, but the
+        // cursor must not advance past the unserved events.
+        s.net.set_link(
+            s.gateway,
+            s.relay,
+            LinkConfig {
+                latency: LatencyModel::Constant(SimDuration::from_millis(5)),
+                drop_probability: 1.0,
+                bandwidth_bps: None,
+            },
+        );
+        let err = pull_in
+            .poll_requests(&s.chain, &mut s.net, &s.clock, &mut s.rng, s.gateway)
+            .unwrap_err();
+        assert_eq!(err, OracleError::NetworkDropped);
+        // Healed: the same events are served by the retry.
+        s.net.set_link(s.gateway, s.relay, fixed_link(5));
+        let events = pull_in
+            .poll_requests(&s.chain, &mut s.net, &s.clock, &mut s.rng, s.gateway)
+            .unwrap();
+        assert_eq!(events.len(), 1, "events survive a lost response hop");
     }
 
     #[test]

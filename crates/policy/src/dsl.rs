@@ -400,13 +400,13 @@ fn duration_to_dsl(d: SimDuration) -> String {
     const MIN: u64 = 60_000_000_000;
     const SEC: u64 = 1_000_000_000;
     const MS: u64 = 1_000_000;
-    if nanos % DAY == 0 {
+    if nanos.is_multiple_of(DAY) {
         format!("{}d", nanos / DAY)
-    } else if nanos % HOUR == 0 {
+    } else if nanos.is_multiple_of(HOUR) {
         format!("{}h", nanos / HOUR)
-    } else if nanos % MIN == 0 {
+    } else if nanos.is_multiple_of(MIN) {
         format!("{}m", nanos / MIN)
-    } else if nanos % SEC == 0 {
+    } else if nanos.is_multiple_of(SEC) {
         format!("{}s", nanos / SEC)
     } else {
         format!("{}ms", nanos / MS)

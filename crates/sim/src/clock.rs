@@ -159,6 +159,7 @@ impl SimDuration {
     ///
     /// # Panics
     /// Panics if `divisor` is zero.
+    #[allow(clippy::should_implement_trait)] // u64 divisor, not Div<Self>
     pub fn div(self, divisor: u64) -> SimDuration {
         SimDuration(self.0 / divisor)
     }

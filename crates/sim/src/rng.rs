@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn zipf_is_skewed_to_low_ranks() {
         let mut rng = Rng::seed_from_u64(12);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..5000 {
             counts[rng.gen_zipf(20, 1.0)] += 1;
         }

@@ -14,12 +14,15 @@ use crate::clock::{Clock, SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+/// A queued follow-up event: fire time plus callback.
+type QueuedEvent = (SimTime, Box<dyn FnOnce(&mut SchedulerCtx<'_>)>);
+
 /// Context handed to every event callback.
 ///
 /// Callbacks may schedule follow-up events (that is how periodic tasks are
 /// built) and observe the current instant.
 pub struct SchedulerCtx<'a> {
-    queue: &'a mut Vec<(SimTime, Box<dyn FnOnce(&mut SchedulerCtx<'_>)>)>,
+    queue: &'a mut Vec<QueuedEvent>,
     now: SimTime,
 }
 
@@ -126,6 +129,24 @@ impl Scheduler {
         self.heap.len() - self.cancelled.len().min(self.heap.len())
     }
 
+    /// The timestamp of the next live (non-cancelled) event, if any.
+    ///
+    /// Lazily discards cancelled entries at the head of the queue, so the
+    /// returned instant is exactly where [`Scheduler::run_until`] would
+    /// fire next. Event-loop drivers use this to hop from event to event
+    /// without guessing a horizon.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        loop {
+            let head = self.heap.peek()?;
+            let Reverse(entry) = head;
+            if self.cancelled.remove(&entry.id) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.at);
+        }
+    }
+
     /// Schedules `f` to fire at absolute time `at`.
     ///
     /// Events scheduled in the past fire at the current instant (the clock
@@ -167,10 +188,7 @@ impl Scheduler {
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let mut count = 0;
         loop {
-            let due = match self.heap.peek() {
-                Some(Reverse(e)) if e.at <= horizon => true,
-                _ => false,
-            };
+            let due = matches!(self.heap.peek(), Some(Reverse(e)) if e.at <= horizon);
             if !due {
                 break;
             }
@@ -218,7 +236,9 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn recorder() -> (Rc<RefCell<Vec<u64>>>, Rc<RefCell<Vec<u64>>>) {
+    type Log = Rc<RefCell<Vec<u64>>>;
+
+    fn recorder() -> (Log, Log) {
         let r = Rc::new(RefCell::new(Vec::new()));
         (r.clone(), r)
     }
@@ -300,6 +320,18 @@ mod tests {
         s.schedule_at(SimTime::from_millis(1), forever);
         let ran = s.run_to_completion(100);
         assert!(ran <= 101, "guard bounds runaway self-scheduling: {ran}");
+    }
+
+    #[test]
+    fn next_event_at_skips_cancelled_heads() {
+        let mut s = Scheduler::new(Clock::new());
+        let early = s.schedule_at(SimTime::from_millis(5), |_| {});
+        s.schedule_at(SimTime::from_millis(9), |_| {});
+        assert_eq!(s.next_event_at(), Some(SimTime::from_millis(5)));
+        s.cancel(early);
+        assert_eq!(s.next_event_at(), Some(SimTime::from_millis(9)));
+        s.run_until(SimTime::from_millis(10));
+        assert_eq!(s.next_event_at(), None);
     }
 
     #[test]
