@@ -8,7 +8,7 @@ use duc_core::baseline::{CentralizedAuditBaseline, PlainSolidBaseline};
 use duc_core::prelude::*;
 use duc_core::scenario;
 use duc_policy::{Action, Constraint, Duty, Purpose, Rule, UsagePolicy};
-use duc_sim::{LatencyModel, LinkConfig, SimDuration};
+use duc_sim::{FaultPlan, LatencyModel, LinkConfig, SimDuration};
 use duc_solid::Body;
 
 use crate::table::Table;
@@ -64,6 +64,25 @@ fn world_with_copies(n_devices: usize, body_bytes: usize, seed: u64) -> (World, 
         world.resource_indexing(&d, &resource).expect("index");
         world.resource_access(&d, &resource).expect("access");
     }
+    (world, resource)
+}
+
+/// The E8 launch pad: the canonical chaos world (`duc_core::chaos`) with
+/// `n_devices` subscribed, indexed copy holders; the measured batch's
+/// `process.access.e2e` histogram is reset so the fault-free setup
+/// accesses do not dilute the chaos tail.
+fn world_with_market(n_devices: usize, seed: u64) -> (World, String) {
+    let (mut world, resource) = duc_core::chaos::launch_pad(
+        OWNER,
+        "data/set.bin",
+        n_devices,
+        WorldConfig {
+            seed,
+            link: fixed_link(10),
+            ..WorldConfig::default()
+        },
+    );
+    *world.metrics.histogram_mut("process.access.e2e") = duc_sim::Histogram::new();
     (world, resource)
 }
 
@@ -360,70 +379,146 @@ pub fn e7_gas_table() -> Vec<Table> {
 
 // ---------------------------------------------------------------------- E8
 
-/// E8 — robustness: crash-faulty validators, lossy links, tamper matrix
-/// (§V-2).
-pub fn e8_robustness() -> Vec<Table> {
-    // (a) Validator crash sweep: monitoring round duration under f faults.
-    let mut liveness = Table::new(
-        "E8a · liveness — monitoring round duration with f/5 validators crashed",
-        &["crashed", "round ms", "slots missed"],
-    );
-    for f in [0usize, 1, 2] {
-        let mut world = World::new(WorldConfig {
-            validators: 5,
-            link: fixed_link(10),
-            seed: 8,
-            ..WorldConfig::default()
-        });
-        world.add_owner(OWNER, "https://owner.pod/");
-        world.add_device("d0", "https://c.id/me");
-        world.pod_initiation(OWNER).expect("pod");
-        let iri = world.owner(OWNER).pod_manager.pod().iri_of("data/x");
-        world
-            .resource_initiation(OWNER, "data/x", Body::Text("x".into()), retention_policy(&iri, 30), vec![])
-            .expect("res");
-        world.market_subscribe("d0").expect("sub");
-        world.resource_indexing("d0", &iri).expect("idx");
-        world.resource_access("d0", &iri).expect("access");
-        for i in 0..f {
-            world.chain.set_validator_down(i, true);
+/// Number of plans in [`e8_fault_plans`] (each E8a row rebuilds the world,
+/// so the matrix size is fixed up front).
+const E8_PLAN_COUNT: usize = 7;
+
+/// The fault-plan matrix of E8a: one deterministic plan per label, built
+/// against a concrete world (endpoints and validator indices are
+/// world-specific).
+fn e8_fault_plans(world: &World, n_devices: usize) -> Vec<(&'static str, FaultPlan)> {
+    let t0 = world.clock.now();
+    let s = SimDuration::from_secs;
+    let relay = world.push_in.relay;
+    let pod = world.owner(OWNER).endpoint;
+    let dev = |i: usize| world.device(&format!("device-{i}")).endpoint;
+    let lossy_uplinks = |mut plan: FaultPlan, per_mille: u16| {
+        for i in 0..n_devices {
+            plan = plan.drop_window(dev(i), relay, t0, t0 + s(60), per_mille);
         }
-        let outcome = world.policy_monitoring(OWNER, "data/x").expect("round");
-        liveness.row(vec![
-            format!("{f}/5"),
-            ms(outcome.duration),
-            world.chain.slots_missed().to_string(),
+        plan
+    };
+    vec![
+        ("none", FaultPlan::none()),
+        (
+            "relay crash 0–6 s",
+            FaultPlan::none().crash(relay, t0, t0 + s(6)),
+        ),
+        (
+            "pod crash 0–8 s",
+            FaultPlan::none().crash(pod, t0, t0 + s(8)),
+        ),
+        (
+            "device partitions 0–20 s",
+            (0..n_devices.min(4)).fold(FaultPlan::none(), |plan, i| {
+                plan.partition(dev(i), relay, t0, t0 + s(20))
+            }),
+        ),
+        ("30% uplink loss 0–60 s", lossy_uplinks(FaultPlan::none(), 300)),
+        (
+            "validator stall 3/5 0–30 s",
+            (0..3).fold(FaultPlan::none(), |plan, i| {
+                plan.validator_stall(i, t0, t0 + s(30))
+            }),
+        ),
+        (
+            "combined",
+            lossy_uplinks(
+                FaultPlan::none()
+                    .crash(relay, t0 + s(1), t0 + s(4))
+                    .validator_stall(0, t0, t0 + s(30)),
+                200,
+            ),
+        ),
+    ]
+}
+
+/// E8 — robustness (§V-2): a deterministic chaos matrix on the concurrent
+/// driver, a seeded random chaos sweep, and the tamper matrix.
+pub fn e8_robustness() -> Vec<Table> {
+    let n_devices = 12usize;
+
+    // (a) Chaos matrix: N concurrent accesses racing two monitoring rounds
+    // under each fault plan; every ticket must resolve and every invariant
+    // must hold (duc_core::chaos checks them).
+    let mut matrix = Table::new(
+        format!(
+            "E8a · chaos matrix — {} concurrent requests per fault plan (driver-based)",
+            n_devices + 2
+        ),
+        &[
+            "plan",
+            "ok",
+            "gave up",
+            "hop drops",
+            "suspends",
+            "net dropped",
+            "access p95 ms",
+            "access p99 ms",
+        ],
+    );
+    for index in 0..E8_PLAN_COUNT {
+        let (mut world, resource) = world_with_market(n_devices, 80);
+        let mut plans = e8_fault_plans(&world, n_devices);
+        assert_eq!(plans.len(), E8_PLAN_COUNT, "keep E8_PLAN_COUNT in sync");
+        let (label, plan) = plans.swap_remove(index);
+        let batch = duc_core::chaos::mixed_batch(OWNER, "data/set.bin", &resource, n_devices);
+        let requests = batch.len();
+        let run = duc_core::chaos::run_chaos(&mut world, batch, plan)
+            .unwrap_or_else(|e| panic!("E8a plan {label:?}: {e}"));
+        assert_eq!(run.outcomes.len(), requests, "every ticket resolves under {label:?}");
+        // Surface the network counters through the metrics registry; the
+        // row is read back from the registry and cross-checked against the
+        // model's own counters.
+        world.net.publish_metrics(&mut world.metrics);
+        let (_, dropped, _) = world.net.stats();
+        assert_eq!(
+            world.metrics.counter("net.messages_dropped"),
+            dropped,
+            "metrics mirror the network model under {label:?}"
+        );
+        let (part, down, loss_drops) = world.net.drop_breakdown();
+        assert_eq!(
+            world.metrics.counter("net.dropped.partition")
+                + world.metrics.counter("net.dropped.down")
+                + world.metrics.counter("net.dropped.loss"),
+            part + down + loss_drops,
+            "drop breakdown sums under {label:?}"
+        );
+        let h = world.metrics.histogram_mut("process.access.e2e");
+        let (p95, p99) = (h.p95(), h.p99());
+        matrix.row(vec![
+            label.to_string(),
+            run.ok.to_string(),
+            run.failed.to_string(),
+            world.metrics.counter("driver.hop.drops").to_string(),
+            world.metrics.counter("driver.hop.suspended").to_string(),
+            world.metrics.counter("net.messages_dropped").to_string(),
+            ms(p95),
+            ms(p99),
         ]);
     }
 
-    // (b) Lossy network: push-in retries.
-    let mut loss = Table::new(
-        "E8b · lossy network — push-in oracle retries (20 pod initiations)",
-        &["loss", "submissions", "retries", "failures"],
+    // (b) Seeded random chaos sweep: the same batch under random fault
+    // plans — completion statistics over the seed matrix.
+    let mut sweep = Table::new(
+        "E8b · seeded random chaos — completion under random fault plans (6 devices)",
+        &["chaos seed", "ok", "gave up", "hop drops", "suspends", "makespan ms"],
     );
-    for loss_p in [0.0f64, 0.05, 0.20] {
-        let mut world = World::new(WorldConfig {
-            link: LinkConfig {
-                latency: LatencyModel::Constant(SimDuration::from_millis(10)),
-                drop_probability: loss_p,
-                bandwidth_bps: None,
-            },
-            seed: 88,
-            ..WorldConfig::default()
-        });
-        let mut failures = 0;
-        for i in 0..20 {
-            world.add_owner(format!("https://o{i}.id/me"), format!("https://o{i}.pod/"));
-            if world.pod_initiation(&format!("https://o{i}.id/me")).is_err() {
-                failures += 1;
-            }
-        }
-        let (submissions, retries) = world.push_in.stats();
-        loss.row(vec![
-            format!("{:.0}%", loss_p * 100.0),
-            submissions.to_string(),
-            retries.to_string(),
-            failures.to_string(),
+    for chaos_seed in [2u64, 5, 9, 14, 17] {
+        let (mut world, resource) = world_with_market(6, 81);
+        let plan = duc_core::chaos::random_plan(&world, chaos_seed, SimDuration::from_secs(12), 5);
+        let batch = duc_core::chaos::mixed_batch(OWNER, "data/set.bin", &resource, 6);
+        let run = duc_core::chaos::run_chaos(&mut world, batch, plan)
+            .unwrap_or_else(|e| panic!("E8b seed {chaos_seed}: {e}"));
+        world.net.publish_metrics(&mut world.metrics);
+        sweep.row(vec![
+            chaos_seed.to_string(),
+            run.ok.to_string(),
+            run.failed.to_string(),
+            world.metrics.counter("driver.hop.drops").to_string(),
+            world.metrics.counter("driver.hop.suspended").to_string(),
+            ms(run.makespan),
         ]);
     }
 
@@ -523,7 +618,7 @@ pub fn e8_robustness() -> Vec<Table> {
             format!("{verdict:?}"),
         ]);
     }
-    vec![liveness, loss, tamper]
+    vec![matrix, sweep, tamper]
 }
 
 // ---------------------------------------------------------------------- E9

@@ -637,6 +637,16 @@ impl Blockchain {
         self.validators.len()
     }
 
+    /// The fee-collection addresses of every validator, in index order —
+    /// the single source of truth for gas-conservation audits (gas paid
+    /// out always lands on one of these).
+    pub fn validator_addresses(&self) -> Vec<Address> {
+        self.validators
+            .iter()
+            .map(|k| Address::from_public_key(&k.public()))
+            .collect()
+    }
+
     /// Slots skipped because their proposer was down.
     pub fn slots_missed(&self) -> u64 {
         self.slots_missed

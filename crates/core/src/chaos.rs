@@ -1,0 +1,308 @@
+//! Deterministic chaos harness (FoundationDB-style simulation testing).
+//!
+//! A chaos run is: a seeded random [`FaultPlan`] over the world's endpoints
+//! and validators, a batch of concurrent [`Request`]s submitted through the
+//! non-blocking driver, one [`World::run_until_idle`] drive, and an
+//! invariant sweep over the final state. Everything is a pure function of
+//! the world seed and the chaos seed, so any failing case is reproduced by
+//! its two seeds alone (see the README's *chaos harness* section).
+//!
+//! The invariants encode the paper's §V-2 robustness claims at the
+//! architecture level:
+//!
+//! - **Total resolution** — every submitted ticket resolves with a success
+//!   or a typed error; nothing is left pending and nothing hangs.
+//! - **No lost certificates** — every certificate a device holds verifies
+//!   against the DE App's on-chain registry.
+//! - **Copy consistency** — every live TEE copy is registered on-chain (a
+//!   fault can never mint an unregistered governed copy).
+//! - **Consistent gas accounting** — every unit of consumed gas was paid
+//!   out to a proposer, regardless of which fault windows hit.
+//! - **Cursors never stranded** — the pull-in/push-out oracle cursors never
+//!   run ahead of the chain.
+
+use duc_sim::{EndpointId, FaultPlan, Rng, SimDuration};
+
+use crate::driver::{Outcome, Request, Ticket};
+use crate::process::ProcessError;
+use crate::world::World;
+
+/// The result of one chaos run: per-ticket outcomes plus aggregates.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// The fault plan the run executed under.
+    pub plan: FaultPlan,
+    /// Every ticket's outcome, in submission order.
+    pub outcomes: Vec<(Ticket, Result<Outcome, ProcessError>)>,
+    /// Requests that completed successfully.
+    pub ok: usize,
+    /// Requests that resolved with a typed error.
+    pub failed: usize,
+    /// Process-machine steps executed.
+    pub steps: u64,
+    /// Wall-clock (simulated) duration of the batch.
+    pub makespan: SimDuration,
+}
+
+/// Generates a seeded random [`FaultPlan`] over every endpoint and
+/// validator of `world`, with windows starting within `horizon` of the
+/// current instant. Identical `(world, seed)` pairs yield identical plans.
+pub fn random_plan(world: &World, seed: u64, horizon: SimDuration, max_faults: usize) -> FaultPlan {
+    let mut endpoints: Vec<EndpointId> = (0..world.net.endpoint_count() as u32)
+        .map(EndpointId)
+        .collect();
+    // Weight the shared infrastructure — oracle relay, chain gateway and
+    // every pod manager sit on almost every hop, so random faults should
+    // hit busy links far more often than an idle device's. Owner endpoints
+    // are sorted: HashMap order must never leak into a seeded plan.
+    let mut owner_eps: Vec<EndpointId> = world.owners.values().map(|o| o.endpoint).collect();
+    owner_eps.sort_unstable();
+    for _ in 0..2 {
+        endpoints.push(world.push_in.relay);
+        endpoints.push(world.gateway);
+        endpoints.extend(&owner_eps);
+    }
+    let mut rng = Rng::seed_from_u64(seed);
+    FaultPlan::random(
+        &mut rng,
+        &endpoints,
+        world.chain.validator_count(),
+        world.clock.now(),
+        horizon,
+        max_faults,
+    )
+}
+
+/// Submits `requests` concurrently under `plan`, drives the world to idle,
+/// and checks every invariant.
+///
+/// # Errors
+/// A human-readable description of the first violated invariant (embed the
+/// seeds in the caller's panic message to make the case reproducible).
+pub fn run_chaos(
+    world: &mut World,
+    requests: Vec<Request>,
+    plan: FaultPlan,
+) -> Result<ChaosRun, String> {
+    world.set_fault_plan(plan.clone());
+    let t0 = world.clock.now();
+    let tickets: Vec<Ticket> = requests.into_iter().map(|r| world.submit(r)).collect();
+    let steps = world.run_until_idle();
+    let makespan = world.clock.now() - t0;
+
+    let mut outcomes = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        match world.poll_ticket(ticket) {
+            Some(res) => outcomes.push((ticket, res)),
+            None => {
+                return Err(format!(
+                    "ticket {} still unresolved after run_until_idle",
+                    ticket.id()
+                ))
+            }
+        }
+    }
+    check_invariants(world)?;
+
+    let ok = outcomes.iter().filter(|(_, r)| r.is_ok()).count();
+    let failed = outcomes.len() - ok;
+    Ok(ChaosRun {
+        plan,
+        outcomes,
+        ok,
+        failed,
+        steps,
+        makespan,
+    })
+}
+
+/// Sweeps the architecture-level invariants over a quiesced world (no
+/// request in flight).
+///
+/// # Errors
+/// A description of the first violated invariant.
+pub fn check_invariants(world: &World) -> Result<(), String> {
+    if world.in_flight() != 0 {
+        return Err(format!("{} requests still in flight", world.in_flight()));
+    }
+
+    // No lost certificates: everything a device holds verifies on-chain.
+    let mut devices: Vec<(&String, &crate::world::Device)> = world.devices.iter().collect();
+    devices.sort_by_key(|(name, _)| name.as_str());
+    for (name, device) in &devices {
+        if let Some(cert) = device.certificate {
+            match world.dex.verify_certificate(&world.chain, &cert, &device.webid) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(format!("device {name} holds a certificate the chain rejects"))
+                }
+                Err(e) => return Err(format!("certificate check for {name} failed: {e}")),
+            }
+        }
+    }
+
+    // Copy consistency: every live TEE copy is registered on-chain.
+    for (name, device) in &devices {
+        let mut resources: Vec<&str> = device.tee.resources().collect();
+        resources.sort_unstable();
+        for resource in resources {
+            if !device.tee.has_copy(resource) {
+                continue;
+            }
+            let copies = world
+                .dex
+                .list_copies(&world.chain, resource)
+                .map_err(|e| format!("list_copies({resource}) failed: {e}"))?;
+            if !copies.iter().any(|c| &c.device == *name) {
+                return Err(format!(
+                    "device {name} holds an unregistered copy of {resource}"
+                ));
+            }
+        }
+    }
+
+    // Consistent gas accounting: consumed gas == proposer income.
+    let ledger_total: u64 = world.chain.gas_ledger().iter().map(|r| r.gas_used).sum();
+    let validator_income: u128 = world
+        .chain
+        .validator_addresses()
+        .iter()
+        .map(|addr| world.chain.balance(addr))
+        .sum();
+    let expected = ledger_total as u128 * world.chain.gas_price();
+    if validator_income != expected {
+        return Err(format!(
+            "gas accounting drifted: validators hold {validator_income}, ledger says {expected}"
+        ));
+    }
+
+    // Oracle cursors never stranded past the chain.
+    let height = world.chain.height();
+    if world.push_out.cursor() > height {
+        return Err(format!(
+            "push-out cursor {} ran ahead of height {height}",
+            world.push_out.cursor()
+        ));
+    }
+    if world.pull_in.cursor() > height {
+        return Err(format!(
+            "pull-in cursor {} ran ahead of height {height}",
+            world.pull_in.cursor()
+        ));
+    }
+    Ok(())
+}
+
+/// Serializes everything observable about a run — metric counters (which
+/// include the driver's retry/backoff and suspension schedules), latency
+/// histograms, the structured trace, the clock, the chain height and the
+/// gas ledger — into one string. Identically-seeded runs must produce
+/// byte-identical fingerprints.
+pub fn fingerprint(world: &mut World) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    for (name, value) in world.metrics.counters() {
+        let _ = writeln!(out, "counter {name} = {value}");
+    }
+    let names: Vec<String> = world.metrics.histogram_names().map(String::from).collect();
+    for name in names {
+        let summary = world.metrics.histogram_mut(&name).summary();
+        let _ = writeln!(out, "histogram {name}: {summary}");
+    }
+    for event in world.trace.events() {
+        let _ = writeln!(out, "{event}");
+    }
+    let _ = writeln!(out, "clock {}", world.clock.now());
+    let _ = writeln!(out, "height {}", world.chain.height());
+    let gas: u64 = world.chain.gas_ledger().iter().map(|r| r.gas_used).sum();
+    let _ = writeln!(out, "gas {gas}");
+    out
+}
+
+/// A mixed concurrent request batch over one resource: (re-)accesses from
+/// every device racing two monitoring rounds — the workload the chaos
+/// suite and the E8 experiment both throw at fault plans. Launched against
+/// a world whose devices already hold copies, the monitoring rounds probe
+/// every holder while the accesses are in flight.
+pub fn mixed_batch(owner: &str, path: &str, resource: &str, devices: usize) -> Vec<Request> {
+    let mut requests: Vec<Request> = (0..devices)
+        .map(|i| Request::ResourceAccess {
+            device: format!("device-{i}"),
+            resource: resource.to_string(),
+        })
+        .collect();
+    requests.push(Request::PolicyMonitoring {
+        webid: owner.to_string(),
+        path: path.to_string(),
+    });
+    requests.push(Request::PolicyMonitoring {
+        webid: owner.to_string(),
+        path: path.to_string(),
+    });
+    requests
+}
+
+/// Builds the canonical chaos launch pad: one owner at `owner` with the
+/// shared resource at `path` (4 KiB, 7-day retention), and `n_devices`
+/// devices that have subscribed, indexed and fetched a governed copy — so
+/// a [`mixed_batch`] launched against it re-accesses the resource while
+/// its monitoring rounds probe every copy holder. Shared by the chaos test
+/// suite and the E8 experiment so both exercise the same workload.
+pub fn launch_pad(
+    owner: &str,
+    path: &str,
+    n_devices: usize,
+    config: crate::world::WorldConfig,
+) -> (World, String) {
+    use duc_policy::{Action, Constraint, Duty, Rule, UsagePolicy};
+
+    let mut world = World::new(config);
+    world.add_owner(owner, "https://owner.pod/");
+    for i in 0..n_devices {
+        world.add_device(format!("device-{i}"), format!("https://c{i}.id/me"));
+    }
+    world.pod_initiation(owner).expect("pod init");
+    let iri = world.owner(owner).pod_manager.pod().iri_of(path);
+    let policy = UsagePolicy::builder(format!("{iri}#policy"), iri.clone(), owner)
+        .permit(
+            Rule::permit([Action::Use])
+                .with_constraint(Constraint::MaxRetention(SimDuration::from_days(7))),
+        )
+        .duty(Duty::DeleteWithin(SimDuration::from_days(7)))
+        .duty(Duty::LogAccesses)
+        .build();
+    let resource = world
+        .resource_initiation(
+            owner,
+            path,
+            duc_solid::Body::Binary(vec![0xA5; 4 << 10]),
+            policy,
+            vec![],
+        )
+        .expect("resource init");
+    let mut tickets = Vec::new();
+    for i in 0..n_devices {
+        tickets.push(world.submit(Request::MarketSubscribe { device: format!("device-{i}") }));
+        tickets.push(world.submit(Request::ResourceIndexing {
+            device: format!("device-{i}"),
+            resource: resource.clone(),
+        }));
+    }
+    world.run_until_idle();
+    for t in tickets {
+        t.poll(&mut world).expect("completed").expect("setup ok");
+    }
+    let mut accesses = Vec::new();
+    for i in 0..n_devices {
+        accesses.push(world.submit(Request::ResourceAccess {
+            device: format!("device-{i}"),
+            resource: resource.clone(),
+        }));
+    }
+    world.run_until_idle();
+    for t in accesses {
+        t.poll(&mut world).expect("completed").expect("initial access ok");
+    }
+    (world, resource)
+}

@@ -25,7 +25,9 @@ use std::rc::Rc;
 use duc_blockchain::{Event, Receipt, SignedTransaction, TxId};
 use duc_contracts::{topics, DistExchangeClient, EvidenceSubmission};
 use duc_crypto::{Digest, PublicKey};
-use duc_oracle::{InclusionStatus, OracleError, OutboundDelivery, PushInOracle};
+use duc_oracle::{
+    HopKind, InclusionStatus, OracleError, OutboundDelivery, PullOutOracle, PushInOracle,
+};
 use duc_policy::{AclMode, AgentSpec, Authorization, Duty, Rule, UsagePolicy};
 use duc_sim::{EndpointId, SimDuration, SimTime};
 use duc_solid::{Body, SolidRequest, Status};
@@ -38,6 +40,119 @@ use crate::world::{IndexEntry, World};
 
 /// Confirmation timeout for on-chain operations.
 pub const CONFIRM_TIMEOUT: SimDuration = SimDuration::from_secs(120);
+
+/// Retry budget window for a single network hop: a hop that cannot be
+/// delivered by then resolves with a typed [`OracleError::GaveUp`] instead
+/// of waiting longer.
+pub const HOP_TIMEOUT: SimDuration = SimDuration::from_secs(60);
+
+/// Maximum delivery attempts per hop against transient loss.
+pub const MAX_HOP_ATTEMPTS: u32 = 8;
+
+/// Deterministic exponential backoff before retry number `attempt`
+/// (1-based): 50 ms, 100 ms, 200 ms, … capped at 12.8 s.
+pub fn hop_backoff(attempt: u32) -> SimDuration {
+    SimDuration::from_millis(50u64 << attempt.saturating_sub(1).min(8))
+}
+
+// --------------------------------------------------------------------- Hop
+
+/// A fault-aware network hop: one message that must cross one link, with
+/// bounded deterministic retries against transient loss and suspend/resume
+/// across declared crash/partition windows.
+///
+/// Every process machine drives its raw hops (pod fetches, oracle reads,
+/// monitoring probes) through this, so a fault hitting an in-flight process
+/// either heals within the hop's budget — the process resumes and completes
+/// — or surfaces as a typed [`OracleError::GaveUp`]; a ticket can never
+/// hang on a dead link.
+pub(crate) struct Hop {
+    from: EndpointId,
+    to: EndpointId,
+    size: u64,
+    kind: HopKind,
+    attempt: u32,
+    deadline: SimTime,
+}
+
+/// One advance of a [`Hop`].
+pub(crate) enum HopPoll {
+    /// The message is on the wire; it arrives at the instant.
+    Sent {
+        /// Arrival instant at the destination.
+        arrives: SimTime,
+    },
+    /// Not sent (loss backoff or fault-window suspension); re-step the hop
+    /// at the instant.
+    Retry {
+        /// When to re-step.
+        at: SimTime,
+    },
+    /// The retry budget is exhausted or a permanent fault blocks the pair.
+    Failed(OracleError),
+}
+
+impl Hop {
+    pub(crate) fn new(
+        world: &World,
+        from: EndpointId,
+        to: EndpointId,
+        size: u64,
+        kind: HopKind,
+    ) -> Hop {
+        Hop {
+            from,
+            to,
+            size,
+            kind,
+            attempt: 0,
+            deadline: world.clock.now() + HOP_TIMEOUT,
+        }
+    }
+
+    fn gave_up(&self, world: &mut World) -> HopPoll {
+        world.metrics.incr("driver.hop.gave_up");
+        HopPoll::Failed(OracleError::GaveUp {
+            hop: self.kind,
+            attempts: self.attempt,
+            deadline: self.deadline,
+        })
+    }
+
+    pub(crate) fn step(&mut self, world: &mut World) -> HopPoll {
+        let now = world.clock.now();
+        // A declared crash/partition window blocks the pair outright:
+        // suspend without burning wire attempts and resume exactly at
+        // recovery (or give up when recovery lies past the budget).
+        if !world.fault_plan().allows(self.from, self.to, now) {
+            world.metrics.incr("driver.hop.suspended");
+            return match world.fault_plan().next_clear(self.from, self.to, now) {
+                Some(at) if at <= self.deadline => HopPoll::Retry { at },
+                _ => self.gave_up(world),
+            };
+        }
+        self.attempt += 1;
+        match world
+            .net
+            .transmit(self.from, self.to, self.size, &mut world.rng)
+            .delay()
+        {
+            Some(d) => HopPoll::Sent { arrives: now + d },
+            None => {
+                world.metrics.incr("driver.hop.drops");
+                if self.attempt >= MAX_HOP_ATTEMPTS {
+                    return self.gave_up(world);
+                }
+                let at = now + hop_backoff(self.attempt);
+                if at > self.deadline {
+                    self.gave_up(world)
+                } else {
+                    HopPoll::Retry { at }
+                }
+            }
+        }
+    }
+}
 
 /// A typed request against the architecture: one variant per paper process
 /// (Fig. 2), plus the market-subscription prerequisite of process 4.
@@ -176,6 +291,7 @@ pub(crate) enum TxFlow {
         size: u64,
         from: EndpointId,
         attempt: u32,
+        deadline: SimTime,
     },
     /// The transaction is on the wire; it reaches the chain at the wake.
     Deliver { build: TxBuild },
@@ -208,6 +324,7 @@ impl TxFlow {
             size,
             from,
             attempt: 0,
+            deadline: world.clock.now() + HOP_TIMEOUT,
         };
         let poll = flow.step(world);
         (flow, poll)
@@ -217,7 +334,35 @@ impl TxFlow {
     pub(crate) fn step(&mut self, world: &mut World) -> FlowPoll {
         let now = world.clock.now();
         match std::mem::replace(self, TxFlow::Spent) {
-            TxFlow::Send { build, size, from, attempt } => {
+            TxFlow::Send { build, size, from, attempt, deadline } => {
+                // Unlike raw [`Hop`]s, the uplink keeps the push-in
+                // oracle's own retry contract — its attempt counters, its
+                // linear backoff, its `max_attempts`, and the legacy
+                // `NetworkDropped` error on exhaustion. Only the
+                // fault-window handling (suspension below, deadline
+                // give-up) is the driver's.
+                //
+                // A declared crash/partition window on the uplink suspends
+                // the submission (the component is down or cut off, not
+                // retrying against a dead wire) and resumes at recovery.
+                let relay = world.push_in.relay;
+                if !world.fault_plan().allows(from, relay, now) {
+                    world.metrics.incr("driver.hop.suspended");
+                    return match world.fault_plan().next_clear(from, relay, now) {
+                        Some(at) if at <= deadline => {
+                            *self = TxFlow::Send { build, size, from, attempt, deadline };
+                            FlowPoll::Sleep(at)
+                        }
+                        _ => {
+                            world.metrics.incr("driver.hop.gave_up");
+                            FlowPoll::Done(Err(OracleError::GaveUp {
+                                hop: HopKind::PushInUplink,
+                                attempts: attempt,
+                                deadline,
+                            }))
+                        }
+                    };
+                }
                 match world
                     .push_in
                     .attempt(&mut world.net, &mut world.rng, from, size, attempt)
@@ -227,12 +372,23 @@ impl TxFlow {
                         FlowPoll::Sleep(now + hop)
                     }
                     None => {
+                        world.metrics.incr("driver.hop.drops");
                         let next = attempt + 1;
                         if next >= world.push_in.max_attempts {
                             FlowPoll::Done(Err(OracleError::NetworkDropped))
                         } else {
-                            *self = TxFlow::Send { build, size, from, attempt: next };
-                            FlowPoll::Sleep(now + PushInOracle::backoff(next))
+                            let at = now + PushInOracle::backoff(next);
+                            if at > deadline {
+                                world.metrics.incr("driver.hop.gave_up");
+                                FlowPoll::Done(Err(OracleError::GaveUp {
+                                    hop: HopKind::PushInUplink,
+                                    attempts: next,
+                                    deadline,
+                                }))
+                            } else {
+                                *self = TxFlow::Send { build, size, from, attempt: next, deadline };
+                                FlowPoll::Sleep(at)
+                            }
                         }
                     }
                 }
@@ -585,7 +741,11 @@ pub(crate) struct Indexing {
 
 enum IndexingPhase {
     Start,
+    /// Request hop (device → relay), fault-aware.
+    Request { hop: Hop, args: Vec<u8>, dev_endpoint: EndpointId },
     AtRelay { args: Vec<u8>, dev_endpoint: EndpointId },
+    /// Response hop (relay → device), fault-aware.
+    Respond { hop: Hop, out: Vec<u8> },
     Arrived { out: Vec<u8> },
 }
 
@@ -593,6 +753,14 @@ impl Indexing {
     fn step(self, world: &mut World) -> Step {
         let Indexing { device, resource, started, phase } = self;
         let now = world.clock.now();
+        let wrap = |phase| {
+            Machine::Indexing(Indexing {
+                device: device.clone(),
+                resource: resource.clone(),
+                started,
+                phase,
+            })
+        };
         match phase {
             IndexingPhase::Start => {
                 let Some(dev) = world.devices.get(&device) else {
@@ -600,53 +768,49 @@ impl Indexing {
                 };
                 let dev_endpoint = dev.endpoint;
                 let args = duc_codec::encode_to_vec(&(resource.clone(),));
-                match world.pull_out.begin_read(
-                    &mut world.net,
-                    &mut world.rng,
+                world.pull_out.count_read();
+                let hop = Hop::new(
+                    world,
                     dev_endpoint,
-                    "lookup_resource",
-                    &args,
-                ) {
-                    None => Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped))),
-                    Some(hop) => Step::Sleep(
-                        Machine::Indexing(Indexing {
-                            device,
-                            resource,
-                            started,
-                            phase: IndexingPhase::AtRelay { args, dev_endpoint },
-                        }),
-                        now + hop,
-                    ),
-                }
+                    world.pull_out.relay,
+                    PullOutOracle::request_size("lookup_resource", &args),
+                    HopKind::PullOutRequest,
+                );
+                Step::Sleep(wrap(IndexingPhase::Request { hop, args, dev_endpoint }), now)
             }
+            IndexingPhase::Request { mut hop, args, dev_endpoint } => match hop.step(world) {
+                HopPoll::Sent { arrives } => {
+                    Step::Sleep(wrap(IndexingPhase::AtRelay { args, dev_endpoint }), arrives)
+                }
+                HopPoll::Retry { at } => {
+                    Step::Sleep(wrap(IndexingPhase::Request { hop, args, dev_endpoint }), at)
+                }
+                HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
+            },
             IndexingPhase::AtRelay { args, dev_endpoint } => {
                 let out = match world
                     .chain
                     .call_view(world.dex.contract_id(), "lookup_resource", &args)
                 {
                     Ok(out) => out,
-                    Err(e) => {
-                        return Step::Done(Err(ProcessError::Oracle(OracleError::View(
-                            e.to_string(),
-                        ))))
-                    }
+                    Err(e) => return Step::Done(Err(ProcessError::Oracle(OracleError::View(e)))),
                 };
-                match world
-                    .pull_out
-                    .finish_read(&mut world.net, &mut world.rng, dev_endpoint, out.len())
-                {
-                    None => Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped))),
-                    Some(hop) => Step::Sleep(
-                        Machine::Indexing(Indexing {
-                            device,
-                            resource,
-                            started,
-                            phase: IndexingPhase::Arrived { out },
-                        }),
-                        now + hop,
-                    ),
-                }
+                let hop = Hop::new(
+                    world,
+                    world.pull_out.relay,
+                    dev_endpoint,
+                    PullOutOracle::response_size(out.len()),
+                    HopKind::PullOutResponse,
+                );
+                Step::Sleep(wrap(IndexingPhase::Respond { hop, out }), now)
             }
+            IndexingPhase::Respond { mut hop, out } => match hop.step(world) {
+                HopPoll::Sent { arrives } => {
+                    Step::Sleep(wrap(IndexingPhase::Arrived { out }), arrives)
+                }
+                HopPoll::Retry { at } => Step::Sleep(wrap(IndexingPhase::Respond { hop, out }), at),
+                HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
+            },
             IndexingPhase::Arrived { out } => {
                 let record: Option<duc_contracts::ResourceRecord> =
                     match duc_codec::decode_from_slice(&out) {
@@ -765,6 +929,18 @@ pub(crate) struct Access {
 
 enum AccessPhase {
     Start,
+    /// Request hop (device → pod manager), fault-aware.
+    ToPod {
+        hop: Hop,
+        fetch_start: SimTime,
+        request: SolidRequest,
+        owner_webid: String,
+        owner_endpoint: EndpointId,
+        dev_endpoint: EndpointId,
+        cert_ok: bool,
+        entry: IndexEntry,
+        enclave_key: PublicKey,
+    },
     AtPod {
         fetch_start: SimTime,
         request: SolidRequest,
@@ -772,6 +948,16 @@ enum AccessPhase {
         owner_endpoint: EndpointId,
         dev_endpoint: EndpointId,
         cert_ok: bool,
+        entry: IndexEntry,
+        enclave_key: PublicKey,
+    },
+    /// Response hop (pod manager → device), fault-aware. The pod manager
+    /// served the request exactly once; retries only re-send the bytes.
+    FromPod {
+        hop: Hop,
+        fetch_start: SimTime,
+        bytes: Vec<u8>,
+        dev_endpoint: EndpointId,
         entry: IndexEntry,
         enclave_key: PublicKey,
     },
@@ -840,21 +1026,22 @@ impl Access {
                     Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
                 };
 
-                // Request hop: device → pod manager.
+                // Request hop: device → pod manager (fault-aware).
                 let request = SolidRequest::get(webid, path).with_certificate(certificate);
-                let Some(hop) = world
-                    .net
-                    .transmit(dev_endpoint, owner_endpoint, request.size() as u64, &mut world.rng)
-                    .delay()
-                else {
-                    return Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped)));
-                };
+                let hop = Hop::new(
+                    world,
+                    dev_endpoint,
+                    owner_endpoint,
+                    request.size() as u64,
+                    HopKind::PodRequest,
+                );
                 Step::Sleep(
                     Machine::Access(Box::new(Access {
                         device,
                         resource,
                         started,
-                        phase: AccessPhase::AtPod {
+                        phase: AccessPhase::ToPod {
+                            hop,
                             fetch_start: now,
                             request,
                             owner_webid: entry.owner_webid.clone(),
@@ -865,8 +1052,60 @@ impl Access {
                             enclave_key: quote.enclave_key,
                         },
                     })),
-                    now + hop,
+                    now,
                 )
+            }
+            AccessPhase::ToPod {
+                mut hop,
+                fetch_start,
+                request,
+                owner_webid,
+                owner_endpoint,
+                dev_endpoint,
+                cert_ok,
+                entry,
+                enclave_key,
+            } => {
+                match hop.step(world) {
+                    HopPoll::Sent { arrives } => Step::Sleep(
+                        Machine::Access(Box::new(Access {
+                            device,
+                            resource,
+                            started,
+                            phase: AccessPhase::AtPod {
+                                fetch_start,
+                                request,
+                                owner_webid,
+                                owner_endpoint,
+                                dev_endpoint,
+                                cert_ok,
+                                entry,
+                                enclave_key,
+                            },
+                        })),
+                        arrives,
+                    ),
+                    HopPoll::Retry { at } => Step::Sleep(
+                        Machine::Access(Box::new(Access {
+                            device,
+                            resource,
+                            started,
+                            phase: AccessPhase::ToPod {
+                                hop,
+                                fetch_start,
+                                request,
+                                owner_webid,
+                                owner_endpoint,
+                                dev_endpoint,
+                                cert_ok,
+                                entry,
+                                enclave_key,
+                            },
+                        })),
+                        at,
+                    ),
+                    HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
+                }
             }
             AccessPhase::AtPod {
                 fetch_start,
@@ -887,20 +1126,46 @@ impl Access {
                         detail: resp.detail,
                     }));
                 }
-                // Response hop: pod manager → device (size-dependent).
-                let Some(hop) = world
-                    .net
-                    .transmit(owner_endpoint, dev_endpoint, resp.size() as u64, &mut world.rng)
-                    .delay()
-                else {
-                    return Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped)));
-                };
+                // Response hop: pod manager → device (size-dependent,
+                // fault-aware).
+                let hop = Hop::new(
+                    world,
+                    owner_endpoint,
+                    dev_endpoint,
+                    resp.size() as u64,
+                    HopKind::PodResponse,
+                );
                 let bytes = match resp.body {
                     Body::Turtle(t) | Body::Text(t) => t.into_bytes(),
                     Body::Binary(b) => b,
                     Body::Empty => Vec::new(),
                 };
                 Step::Sleep(
+                    Machine::Access(Box::new(Access {
+                        device,
+                        resource,
+                        started,
+                        phase: AccessPhase::FromPod {
+                            hop,
+                            fetch_start,
+                            bytes,
+                            dev_endpoint,
+                            entry,
+                            enclave_key,
+                        },
+                    })),
+                    now,
+                )
+            }
+            AccessPhase::FromPod {
+                mut hop,
+                fetch_start,
+                bytes,
+                dev_endpoint,
+                entry,
+                enclave_key,
+            } => match hop.step(world) {
+                HopPoll::Sent { arrives } => Step::Sleep(
                     Machine::Access(Box::new(Access {
                         device,
                         resource,
@@ -913,9 +1178,26 @@ impl Access {
                             enclave_key,
                         },
                     })),
-                    now + hop,
-                )
-            }
+                    arrives,
+                ),
+                HopPoll::Retry { at } => Step::Sleep(
+                    Machine::Access(Box::new(Access {
+                        device,
+                        resource,
+                        started,
+                        phase: AccessPhase::FromPod {
+                            hop,
+                            fetch_start,
+                            bytes,
+                            dev_endpoint,
+                            entry,
+                            enclave_key,
+                        },
+                    })),
+                    at,
+                ),
+                HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
+            },
             AccessPhase::Arrived {
                 fetch_start,
                 bytes,
@@ -1009,7 +1291,32 @@ impl Access {
     ) -> Step {
         let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
             Ok(receipt) => receipt,
-            Err(e) => return Step::Done(Err(e)),
+            Err(e) => {
+                // The governed copy was sealed into the TEE before the
+                // on-chain registration; a failed registration rolls it
+                // back so no *unregistered* copy survives a fault
+                // (fail-safe: the TEE never retains what it could not
+                // prove it may hold). A re-access whose earlier
+                // registration is already on-chain keeps its copy — that
+                // registration is still valid and re-registration is
+                // idempotent. A timed-out tx that confirms *after* the
+                // rollback leaves a stale registry record pointing at a
+                // deleted copy; monitoring surfaces exactly that (the
+                // device reports nothing for it).
+                let now = world.clock.now();
+                let registered = world
+                    .dex
+                    .list_copies(&world.chain, &resource)
+                    .is_ok_and(|copies| copies.iter().any(|c| c.device == device));
+                if !registered {
+                    if let Some(dev) = world.devices.get_mut(&device) {
+                        if dev.tee.delete(&resource, now) {
+                            world.metrics.incr("driver.access.rolled_back");
+                        }
+                    }
+                }
+                return Step::Done(Err(e));
+            }
         };
         world.push_out.subscribe(topics::POLICY_UPDATED, dev_endpoint);
 
@@ -1346,13 +1653,33 @@ enum MonPhase {
         resource_iri: String,
         endpoint: EndpointId,
     },
+    /// Poll hop (relay → gateway), fault-aware.
+    PollOut {
+        ctx: MonCtx,
+        hop: Hop,
+    },
     PollGateway(MonCtx),
+    /// Return hop (gateway → relay), fault-aware; the cursor commits only
+    /// when the response actually arrives.
     PollReturn {
+        ctx: MonCtx,
+        events: Vec<(u64, Event)>,
+        cursor_to: u64,
+        hop: Hop,
+    },
+    PollArrived {
         ctx: MonCtx,
         events: Vec<(u64, Event)>,
         cursor_to: u64,
     },
     DeviceRequest(MonCtx),
+    /// Evidence probe hop (relay → device), fault-aware: a device that
+    /// stays unreachable past the hop budget is skipped, not fatal.
+    DeviceProbe {
+        ctx: MonCtx,
+        device: String,
+        hop: Hop,
+    },
     DeviceReport {
         ctx: MonCtx,
         device: String,
@@ -1423,24 +1750,37 @@ impl Monitoring {
                     .open_confirmed(world, res),
                 }
             }
+            MonPhase::PollOut { ctx, mut hop } => match hop.step(world) {
+                HopPoll::Sent { arrives } => Step::Sleep(wrap(MonPhase::PollGateway(ctx)), arrives),
+                HopPoll::Retry { at } => Step::Sleep(wrap(MonPhase::PollOut { ctx, hop }), at),
+                HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
+            },
             MonPhase::PollGateway(ctx) => {
                 // At the gateway: collect the request events and ship them
                 // back to the relay. The cursor commits only when the
                 // response arrives, so a lost hop never strands events.
                 let (events, response_size, cursor_to) =
                     world.pull_in.collect_requests(&world.chain);
-                match world
-                    .pull_in
-                    .finish_poll(&mut world.net, &mut world.rng, world.gateway, response_size)
-                {
-                    None => Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped))),
-                    Some(hop) => Step::Sleep(
-                        wrap(MonPhase::PollReturn { ctx, events, cursor_to }),
-                        now + hop,
-                    ),
-                }
+                let hop = Hop::new(
+                    world,
+                    world.gateway,
+                    world.pull_in.relay,
+                    response_size,
+                    HopKind::PullInReturn,
+                );
+                Step::Sleep(wrap(MonPhase::PollReturn { ctx, events, cursor_to, hop }), now)
             }
-            MonPhase::PollReturn { mut ctx, events, cursor_to } => {
+            MonPhase::PollReturn { ctx, events, cursor_to, mut hop } => match hop.step(world) {
+                HopPoll::Sent { arrives } => Step::Sleep(
+                    wrap(MonPhase::PollArrived { ctx, events, cursor_to }),
+                    arrives,
+                ),
+                HopPoll::Retry { at } => {
+                    Step::Sleep(wrap(MonPhase::PollReturn { ctx, events, cursor_to, hop }), at)
+                }
+                HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
+            },
+            MonPhase::PollArrived { mut ctx, events, cursor_to } => {
                 world.pull_in.commit_cursor(cursor_to);
                 // Find our round's request among the fresh events and any
                 // stashed by sibling rounds; stash the rest for them.
@@ -1484,8 +1824,8 @@ impl Monitoring {
             }
             MonPhase::DeviceRequest(mut ctx) => {
                 // Collect signed evidence from each expected device, in
-                // order; unreachable devices are skipped without stalling
-                // the round.
+                // order; devices that stay unreachable past the probe
+                // budget are skipped without stalling the round.
                 loop {
                     let Some(device_name) = ctx.expected.pop_front() else {
                         return Self::finish(world, webid, started, ctx);
@@ -1494,21 +1834,41 @@ impl Monitoring {
                         continue;
                     };
                     let dev_endpoint = device.endpoint;
-                    // Request hop: oracle → device.
-                    let Some(hop) = world
-                        .net
-                        .transmit(world.pull_in.relay, dev_endpoint, 128, &mut world.rng)
-                        .delay()
-                    else {
-                        world.metrics.incr("process.monitoring.unreachable");
-                        continue;
-                    };
+                    // Request hop: oracle → device (fault-aware).
+                    let hop = Hop::new(
+                        world,
+                        world.pull_in.relay,
+                        dev_endpoint,
+                        128,
+                        HopKind::DeviceProbe,
+                    );
                     return Step::Sleep(
-                        wrap(MonPhase::DeviceReport { ctx, device: device_name }),
-                        now + hop,
+                        wrap(MonPhase::DeviceProbe { ctx, device: device_name, hop }),
+                        now,
                     );
                 }
             }
+            MonPhase::DeviceProbe { ctx, device, mut hop } => match hop.step(world) {
+                HopPoll::Sent { arrives } => {
+                    Step::Sleep(wrap(MonPhase::DeviceReport { ctx, device }), arrives)
+                }
+                HopPoll::Retry { at } => {
+                    Step::Sleep(wrap(MonPhase::DeviceProbe { ctx, device, hop }), at)
+                }
+                HopPoll::Failed(_) => {
+                    // The device could not be reached within the probe
+                    // budget: record it and move on — absent evidence is
+                    // itself visible in the on-chain round.
+                    world.metrics.incr("process.monitoring.unreachable");
+                    Monitoring {
+                        webid: webid.clone(),
+                        path: path.clone(),
+                        started,
+                        phase: MonPhase::DeviceRequest(ctx),
+                    }
+                    .step(world)
+                }
+            },
             MonPhase::DeviceReport { mut ctx, device } => {
                 let Some(dev) = world.devices.get(&device) else {
                     return Monitoring {
@@ -1593,30 +1953,35 @@ impl Monitoring {
         };
         world.metrics.add("process.monitoring.gas", receipt.gas_used);
 
-        // Pull-in oracle: poll the gateway for the request event.
+        // Pull-in oracle: poll the gateway for the request event
+        // (fault-aware hop).
         let now = world.clock.now();
-        let Some(hop) = world
-            .pull_in
-            .begin_poll(&mut world.net, &mut world.rng, world.gateway)
-        else {
-            return Step::Done(Err(ProcessError::Oracle(OracleError::NetworkDropped)));
-        };
+        let hop = Hop::new(
+            world,
+            world.pull_in.relay,
+            world.gateway,
+            64,
+            HopKind::PullInPoll,
+        );
         Step::Sleep(
             Machine::Monitoring(Box::new(Monitoring {
                 webid,
                 path,
                 started,
-                phase: MonPhase::PollGateway(MonCtx {
-                    resource_iri,
-                    endpoint,
-                    round,
-                    expected: VecDeque::new(),
-                    expected_total: 0,
-                    evidence_bytes: 0,
-                    submissions: 0,
-                }),
+                phase: MonPhase::PollOut {
+                    ctx: MonCtx {
+                        resource_iri,
+                        endpoint,
+                        round,
+                        expected: VecDeque::new(),
+                        expected_total: 0,
+                        evidence_bytes: 0,
+                        submissions: 0,
+                    },
+                    hop,
+                },
             })),
-            now + hop,
+            now,
         )
     }
 
@@ -1865,6 +2230,7 @@ impl World {
     /// Returns the number of process steps executed.
     pub fn run_until_idle(&mut self) -> u64 {
         let mut steps = 0;
+        self.apply_faults();
         loop {
             while let Some(pid) = {
                 let popped = self.driver.woken.borrow_mut().pop_front();
@@ -1873,11 +2239,20 @@ impl World {
                 self.step_process(pid);
                 steps += 1;
             }
+            // Idle means no request in flight; remaining scheduler entries
+            // can only be fault-plan boundary markers, which must not drag
+            // the clock forward on their own.
+            if self.driver.inflight.is_empty() {
+                break;
+            }
             let Some(at) = self.sched.next_event_at() else {
                 break;
             };
             self.sched.run_until(at);
+            // The chain catches up under the pre-boundary fault state;
+            // plan transitions due at this instant flip afterwards.
             self.chain.advance_to(self.clock.now());
+            self.apply_faults();
         }
         if self.driver.inflight.is_empty() {
             // Nothing left to claim them: drop unclaimed deliveries, like

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod baseline;
+pub mod chaos;
 pub mod driver;
 pub mod process;
 pub mod scenario;
@@ -46,6 +47,7 @@ pub use world::{World, WorldConfig};
 /// Common imports.
 pub mod prelude {
     pub use crate::baseline::{self, CentralizedAuditBaseline, PlainSolidBaseline};
+    pub use crate::chaos;
     pub use crate::driver::{Outcome, Request, Ticket};
     pub use crate::process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
     pub use crate::scenario;

@@ -55,6 +55,16 @@ pub enum ProcessError {
     Attestation(String),
 }
 
+impl ProcessError {
+    /// Whether the failure is *transient* — caused by network faults or
+    /// chain liveness, so re-submitting the same request after the fault
+    /// heals can plausibly succeed. Permanent failures (unknown
+    /// participants, refused requests, reverts) are not worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProcessError::Oracle(e) if e.is_transient())
+    }
+}
+
 impl std::fmt::Display for ProcessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -7,8 +7,8 @@ use duc_contracts::{topics, DistExchange, DistExchangeClient, PolicyEnvelope, DE
 use duc_crypto::KeyPair;
 use duc_policy::{PolicyEngine, UsagePolicy};
 use duc_sim::{
-    Clock, EndpointId, LinkConfig, MetricsRegistry, NetworkModel, Rng, Scheduler, SimDuration,
-    TraceRecorder,
+    Clock, EndpointId, FaultPlan, LinkConfig, MetricsRegistry, NetworkModel, Rng, Scheduler,
+    SimDuration, TraceRecorder,
 };
 use duc_solid::PodManager;
 use duc_tee::{AttestationAuthority, Enclave, TrustedApplication};
@@ -51,6 +51,17 @@ impl Default for WorldConfig {
             initial_balance: 10_000_000_000,
         }
     }
+}
+
+/// The fault-plan state a world has currently pushed into its components
+/// (network model + chain). Diffed against the plan at every transition
+/// boundary; manual fault toggles outside the plan are never clobbered.
+#[derive(Debug, Clone, Default)]
+struct AppliedFaults {
+    crashed: std::collections::BTreeSet<EndpointId>,
+    partitioned: std::collections::BTreeSet<(EndpointId, EndpointId)>,
+    lossy: std::collections::BTreeMap<(EndpointId, EndpointId), u16>,
+    stalled: std::collections::BTreeSet<usize>,
 }
 
 /// A data owner: a chain identity plus a pod manager.
@@ -132,6 +143,12 @@ pub struct World {
     pub sched: Scheduler,
     /// Non-blocking request driver bookkeeping (see [`crate::driver`]).
     pub(crate) driver: crate::driver::DriverState,
+    /// The declarative fault plan driving chaos runs (see
+    /// [`World::set_fault_plan`]).
+    fault_plan: FaultPlan,
+    /// Fault-plan state currently applied to the components, so boundary
+    /// transitions toggle exactly what the plan controls and nothing else.
+    applied_faults: AppliedFaults,
     /// Devices whose hosts suppress enclave timers (fault injection).
     rogue_hosts: std::collections::HashSet<String>,
     /// Key material for encrypted policy envelopes (E9). In a production
@@ -178,6 +195,8 @@ impl World {
             rng: Rng::seed_from_u64(config.seed),
             sched: Scheduler::new(clock.clone()),
             driver: crate::driver::DriverState::new(),
+            fault_plan: FaultPlan::none(),
+            applied_faults: AppliedFaults::default(),
             push_in: PushInOracle::new(relay),
             push_out: PushOutOracle::new(relay),
             pull_out: PullOutOracle::new(relay),
@@ -277,6 +296,90 @@ impl World {
         self.chain.height()
     }
 
+    /// Installs a declarative [`FaultPlan`] for this run.
+    ///
+    /// Crashes, partitions, drop windows and validator stalls flip at
+    /// exactly their declared boundaries while the event loop runs: the
+    /// plan's transition instants are scheduled as events, so every hop of
+    /// every in-flight process observes the fault state of its own instant.
+    /// The driver's machines additionally *suspend* hops blocked by a
+    /// declared crash/partition window and resume at recovery (see
+    /// [`crate::driver`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let now = self.clock.now();
+        for boundary in plan.boundaries() {
+            if boundary > now {
+                // A no-op event: it makes the event loop pause at the
+                // boundary, where `apply_faults` flips component state.
+                self.sched.schedule_at(boundary, |_| {});
+            }
+        }
+        self.fault_plan = plan;
+        self.apply_faults();
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Synchronizes component fault state (network down/partition/loss,
+    /// chain validator stalls) with the plan at the current instant. Only
+    /// differences against the previously applied state are toggled, so
+    /// manual fault injection outside the plan is preserved.
+    pub(crate) fn apply_faults(&mut self) {
+        let applied_empty = self.applied_faults.crashed.is_empty()
+            && self.applied_faults.partitioned.is_empty()
+            && self.applied_faults.lossy.is_empty()
+            && self.applied_faults.stalled.is_empty();
+        if self.fault_plan.is_empty() && applied_empty {
+            return;
+        }
+        let now = self.clock.now();
+        let mut applied = std::mem::take(&mut self.applied_faults);
+
+        let crashed = self.fault_plan.crashed_at(now);
+        for ep in applied.crashed.difference(&crashed) {
+            self.net.set_down(*ep, false);
+        }
+        for ep in crashed.difference(&applied.crashed) {
+            self.net.set_down(*ep, true);
+        }
+        applied.crashed = crashed;
+
+        let partitioned = self.fault_plan.partitions_at(now);
+        for (a, b) in applied.partitioned.difference(&partitioned) {
+            self.net.heal(*a, *b);
+        }
+        for (a, b) in partitioned.difference(&applied.partitioned) {
+            self.net.partition(*a, *b);
+        }
+        applied.partitioned = partitioned;
+
+        let lossy = self.fault_plan.lossy_at(now);
+        for (pair, _) in applied.lossy.iter().filter(|(p, _)| !lossy.contains_key(*p)) {
+            self.net.clear_extra_drop(pair.0, pair.1);
+        }
+        for (pair, per_mille) in &lossy {
+            if applied.lossy.get(pair) != Some(per_mille) {
+                self.net
+                    .set_extra_drop(pair.0, pair.1, f64::from(*per_mille) / 1000.0);
+            }
+        }
+        applied.lossy = lossy;
+
+        let stalled = self.fault_plan.stalled_at(now);
+        for idx in applied.stalled.difference(&stalled) {
+            self.chain.set_validator_down(*idx, false);
+        }
+        for idx in stalled.difference(&applied.stalled) {
+            self.chain.set_validator_down(*idx, true);
+        }
+        applied.stalled = stalled;
+
+        self.applied_faults = applied;
+    }
+
     /// Marks a device's host as rogue: its enclave timer interrupts are
     /// suppressed, so obligation sweeps never fire autonomously (the
     /// monitoring experiments use this to create detectable violators; the
@@ -311,10 +414,15 @@ impl World {
             match (next_event, next_deadline) {
                 (Some(event_at), deadline) if deadline.is_none_or(|dl| event_at <= dl) => {
                     self.sched.run_until(event_at);
+                    // The chain catches up under the pre-boundary fault
+                    // state; plan transitions due at this instant flip
+                    // afterwards.
                     self.chain.advance_to(self.clock.now());
+                    self.apply_faults();
                 }
                 (_, Some(deadline)) => {
                     self.clock.advance_to(deadline);
+                    self.apply_faults();
                     self.sweep_devices();
                 }
                 _ => break,
@@ -323,6 +431,7 @@ impl World {
         self.step_woken();
         self.clock.advance_to(target);
         self.chain.advance_to(self.clock.now());
+        self.apply_faults();
     }
 
     /// Runs every device's obligation sweep at the current instant (the

@@ -1,0 +1,126 @@
+//! Deterministic chaos suite: seeded random fault plans thrown at batches
+//! of concurrent in-flight processes, with the architecture invariants of
+//! [`duc_core::chaos`] checked after every run.
+//!
+//! Reproducing a failure: every assertion message carries the
+//! `(world_seed, chaos_seed)` pair; rerun with
+//! `DUC_CHAOS_SEEDS=<world_seed>` (see README § chaos harness).
+
+use duc_core::chaos;
+use duc_core::prelude::*;
+use duc_sim::{LatencyModel, LinkConfig, SimDuration};
+use proptest::prelude::*;
+
+const OWNER: &str = "https://owner.id/me";
+const PATH: &str = "data/set.bin";
+
+fn fixed_link(ms: u64) -> LinkConfig {
+    LinkConfig {
+        latency: LatencyModel::Constant(SimDuration::from_millis(ms)),
+        drop_probability: 0.0,
+        bandwidth_bps: Some(10_000_000),
+    }
+}
+
+/// The shared chaos launch pad (`chaos::launch_pad`), with tracing on so
+/// fingerprints cover the hop-level event stream.
+fn market_world(n: usize, seed: u64) -> (World, String) {
+    chaos::launch_pad(
+        OWNER,
+        PATH,
+        n,
+        WorldConfig {
+            seed,
+            link: fixed_link(10),
+            trace: true,
+            ..WorldConfig::default()
+        },
+    )
+}
+
+/// One chaos run: a seeded random fault plan against a mixed batch of `n`
+/// concurrent accesses plus two monitoring rounds. Returns the run
+/// fingerprint and the ok/failed split. Panics (with the seeds) on any
+/// violated invariant or unresolved ticket.
+fn chaos_run(world_seed: u64, chaos_seed: u64, n: usize) -> (String, usize, usize) {
+    let (mut world, resource) = market_world(n, world_seed);
+    // Windows open within 15 s of submission, squarely over the batch's
+    // active phase, so most plans genuinely hit in-flight hops.
+    let plan = chaos::random_plan(&world, chaos_seed, SimDuration::from_secs(15), 5);
+    let batch = chaos::mixed_batch(OWNER, PATH, &resource, n);
+    let requests = batch.len();
+    let run = chaos::run_chaos(&mut world, batch, plan)
+        .unwrap_or_else(|e| panic!("world_seed={world_seed} chaos_seed={chaos_seed}: {e}"));
+    assert_eq!(
+        run.outcomes.len(),
+        requests,
+        "world_seed={world_seed} chaos_seed={chaos_seed}: not every ticket resolved"
+    );
+    (chaos::fingerprint(&mut world), run.ok, run.failed)
+}
+
+/// The CI chaos gate: a small fixed seed matrix (overridable via
+/// `DUC_CHAOS_SEEDS=<comma-separated world seeds>`) of random fault plans,
+/// each run twice to prove byte-identical replay.
+#[test]
+fn chaos_seed_matrix_resolves_and_replays() {
+    let seeds = std::env::var("DUC_CHAOS_SEEDS").unwrap_or_else(|_| "11,23,42,77,1234".into());
+    for seed in seeds.split(',') {
+        let world_seed: u64 = seed.trim().parse().expect("DUC_CHAOS_SEEDS must be u64s");
+        let chaos_seed = world_seed.wrapping_mul(31).wrapping_add(7);
+        let (fp1, ok, failed) = chaos_run(world_seed, chaos_seed, 6);
+        let (fp2, _, _) = chaos_run(world_seed, chaos_seed, 6);
+        assert_eq!(
+            fp1, fp2,
+            "world_seed={world_seed} chaos_seed={chaos_seed}: replay diverged"
+        );
+        assert_eq!(ok + failed, 8);
+        println!("chaos world_seed={world_seed} chaos_seed={chaos_seed}: ok={ok} failed={failed}");
+    }
+}
+
+/// A plan whose windows all heal must let every request succeed eventually
+/// — recovery, not just typed failure.
+#[test]
+fn healing_faults_still_complete_some_work() {
+    let (mut world, resource) = market_world(4, 9);
+    let dev = world.device("device-0").endpoint;
+    let relay = world.push_in.relay;
+    let now = world.clock.now();
+    // A crash window over the device and a partition on its uplink, both
+    // healing after 8 s; accesses suspend and resume.
+    let plan = duc_sim::FaultPlan::none()
+        .crash(dev, now, now + SimDuration::from_secs(8))
+        .partition(dev, relay, now + SimDuration::from_secs(8), now + SimDuration::from_secs(12));
+    let batch = chaos::mixed_batch(OWNER, PATH, &resource, 4);
+    let run = chaos::run_chaos(&mut world, batch, plan).expect("invariants hold");
+    assert_eq!(run.ok, run.outcomes.len(), "every request recovered: {:?}", run.outcomes);
+    assert!(
+        world.metrics.counter("driver.hop.suspended") > 0,
+        "the crash window suspended at least one hop"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For any seeded random fault plan and request batch: every submitted
+    /// ticket resolves (success or typed error — never pending after
+    /// `run_until_idle`), all architecture invariants hold, and an
+    /// identically-seeded rerun produces a byte-identical fingerprint
+    /// (including the retry/backoff and suspension schedules, which are
+    /// metric counters inside the fingerprint).
+    #[test]
+    fn any_seeded_fault_plan_resolves_every_ticket(
+        world_seed in 0u64..500,
+        chaos_seed in 0u64..10_000,
+        n in 1usize..6,
+    ) {
+        let (fp1, ok, failed) = chaos_run(world_seed, chaos_seed, n);
+        prop_assert_eq!(ok + failed, n + 2);
+        let (fp2, ok2, failed2) = chaos_run(world_seed, chaos_seed, n);
+        prop_assert_eq!(ok, ok2);
+        prop_assert_eq!(failed, failed2);
+        prop_assert_eq!(fp1, fp2, "identically-seeded chaos runs must replay byte-identically");
+    }
+}

@@ -158,27 +158,7 @@ fn wrappers_and_driver_share_one_implementation() {
     assert_eq!(a.clock.now(), b.clock.now());
 }
 
-/// Serializes everything observable about a run: metric counters, latency
-/// histograms, the structured trace, the clock and the chain.
-fn fingerprint(world: &mut World) -> String {
-    let mut out = String::new();
-    for (name, value) in world.metrics.counters() {
-        out.push_str(&format!("counter {name} = {value}\n"));
-    }
-    let names: Vec<String> = world.metrics.histogram_names().map(String::from).collect();
-    for name in names {
-        let summary = world.metrics.histogram_mut(&name).summary();
-        out.push_str(&format!("histogram {name}: {summary}\n"));
-    }
-    for event in world.trace.events() {
-        out.push_str(&format!("{event}\n"));
-    }
-    out.push_str(&format!("clock {}\n", world.clock.now()));
-    out.push_str(&format!("height {}\n", world.chain.height()));
-    let gas: u64 = world.chain.gas_ledger().iter().map(|r| r.gas_used).sum();
-    out.push_str(&format!("gas {gas}\n"));
-    out
-}
+use duc_core::chaos::fingerprint;
 
 /// A multi-client workload where accesses, a policy modification and two
 /// monitoring rounds are all in flight together.
@@ -261,13 +241,11 @@ proptest! {
         // Gas conservation: every unit of consumed gas was paid to a
         // proposer, and the treasury holds exactly n subscription fees.
         let ledger_total: u64 = world.chain.gas_ledger().iter().map(|r| r.gas_used).sum();
-        let validator_income: u128 = (0..world.chain.validator_count())
-            .map(|i| {
-                let key = duc_crypto::KeyPair::from_seed(format!("duc/validator-{i}").as_bytes());
-                world
-                    .chain
-                    .balance(&duc_blockchain::Address::from_public_key(&key.public()))
-            })
+        let validator_income: u128 = world
+            .chain
+            .validator_addresses()
+            .iter()
+            .map(|addr| world.chain.balance(addr))
             .sum();
         prop_assert_eq!(validator_income, ledger_total as u128 * world.chain.gas_price());
         let treasury = duc_blockchain::Address::from_seed(b"duc/market-treasury");

@@ -16,6 +16,6 @@
 pub mod patterns;
 
 pub use patterns::{
-    await_inclusion, poll_inclusion, InclusionStatus, OracleError, OutboundDelivery, PullInOracle,
-    PullOutOracle, PushInOracle, PushOutOracle,
+    await_inclusion, poll_inclusion, HopKind, InclusionStatus, OracleError, OutboundDelivery,
+    PullInOracle, PullOutOracle, PushInOracle, PushOutOracle,
 };

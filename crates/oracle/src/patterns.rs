@@ -1,14 +1,64 @@
 //! The four oracle patterns.
 
-use duc_blockchain::{Blockchain, Event, Receipt, SignedTransaction, SubmitError, TxId};
+use duc_blockchain::{
+    Blockchain, ContractError, Event, Receipt, SignedTransaction, SubmitError, TxId,
+};
 use duc_codec::encode_to_vec;
 use duc_sim::{Clock, EndpointId, NetworkModel, Rng, SimDuration, SimTime};
+
+/// Which network hop of an oracle interaction failed. Typed so a driver can
+/// attribute a failure to a link and decide retry-vs-abort per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopKind {
+    /// Component → relay uplink of a push-in submission.
+    PushInUplink,
+    /// Component → relay request of a pull-out read.
+    PullOutRequest,
+    /// Relay → component response of a pull-out read.
+    PullOutResponse,
+    /// Device → pod-manager resource request.
+    PodRequest,
+    /// Pod-manager → device resource response.
+    PodResponse,
+    /// Relay → gateway poll of the pull-in oracle.
+    PullInPoll,
+    /// Gateway → relay return of the pull-in oracle.
+    PullInReturn,
+    /// Relay → device evidence probe of a monitoring round.
+    DeviceProbe,
+}
+
+impl std::fmt::Display for HopKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HopKind::PushInUplink => "push-in uplink",
+            HopKind::PullOutRequest => "pull-out request",
+            HopKind::PullOutResponse => "pull-out response",
+            HopKind::PodRequest => "pod request",
+            HopKind::PodResponse => "pod response",
+            HopKind::PullInPoll => "pull-in poll",
+            HopKind::PullInReturn => "pull-in return",
+            HopKind::DeviceProbe => "device probe",
+        })
+    }
+}
 
 /// Oracle-layer failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OracleError {
     /// The message was lost on the network (after any retries).
     NetworkDropped,
+    /// A driver abandoned a hop after exhausting its fault-recovery budget
+    /// (bounded retries, or a crash/partition window outlasting the hop
+    /// deadline).
+    GaveUp {
+        /// The hop that could not be completed.
+        hop: HopKind,
+        /// Delivery attempts actually made before giving up.
+        attempts: u32,
+        /// The retry deadline that forced the decision.
+        deadline: SimTime,
+    },
     /// The chain rejected the transaction.
     Rejected(SubmitError),
     /// The transaction was not included before the deadline.
@@ -17,13 +67,31 @@ pub enum OracleError {
         deadline: SimTime,
     },
     /// A view call failed.
-    View(String),
+    View(ContractError),
+}
+
+impl OracleError {
+    /// Whether the failure is *transient*: caused by the network or chain
+    /// liveness, so re-issuing the whole operation later (after faults
+    /// heal) can plausibly succeed. Permanent failures — contract
+    /// rejections and view errors — abort instead of retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            OracleError::NetworkDropped
+                | OracleError::GaveUp { .. }
+                | OracleError::InclusionTimeout { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for OracleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OracleError::NetworkDropped => f.write_str("message dropped by network"),
+            OracleError::GaveUp { hop, attempts, deadline } => {
+                write!(f, "gave up on {hop} after {attempts} attempts (deadline {deadline})")
+            }
             OracleError::Rejected(e) => write!(f, "transaction rejected: {e}"),
             OracleError::InclusionTimeout { deadline } => {
                 write!(f, "transaction not included by {deadline}")
@@ -328,6 +396,25 @@ impl PullOutOracle {
         PullOutOracle { relay, reads: 0 }
     }
 
+    /// The wire size of a read request for `method`/`args` (what
+    /// [`PullOutOracle::begin_read`] transmits).
+    pub fn request_size(method: &str, args: &[u8]) -> u64 {
+        (args.len() + method.len() + 64) as u64
+    }
+
+    /// The wire size of a read response carrying `payload_len` bytes (what
+    /// [`PullOutOracle::finish_read`] transmits).
+    pub fn response_size(payload_len: usize) -> u64 {
+        payload_len as u64 + 32
+    }
+
+    /// Accounts one logical read without transmitting. Drivers that manage
+    /// their own per-hop retries count the read once up front, then retry
+    /// the raw hops without inflating the counter.
+    pub fn count_read(&mut self) {
+        self.reads += 1;
+    }
+
     /// Non-blocking first half of a read: counts the read and returns the
     /// request-hop delay (`from` → relay), or `None` when the hop is lost.
     pub fn begin_read(
@@ -339,8 +426,8 @@ impl PullOutOracle {
         args: &[u8],
     ) -> Option<SimDuration> {
         self.reads += 1;
-        let request_size = (args.len() + method.len() + 64) as u64;
-        net.transmit(from, self.relay, request_size, rng).delay()
+        net.transmit(from, self.relay, Self::request_size(method, args), rng)
+            .delay()
     }
 
     /// Non-blocking second half of a read: the response-hop delay (relay →
@@ -352,7 +439,8 @@ impl PullOutOracle {
         to: EndpointId,
         payload_len: usize,
     ) -> Option<SimDuration> {
-        net.transmit(self.relay, to, payload_len as u64 + 32, rng).delay()
+        net.transmit(self.relay, to, Self::response_size(payload_len), rng)
+            .delay()
     }
 
     /// Executes a view call from `from`, charging a request and a response
@@ -379,7 +467,7 @@ impl PullOutOracle {
         clock.advance(hop);
         let out = chain
             .call_view(contract, method, args)
-            .map_err(|e| OracleError::View(e.to_string()))?;
+            .map_err(OracleError::View)?;
         let hop_back = self
             .finish_read(net, rng, from, out.len())
             .ok_or(OracleError::NetworkDropped)?;
@@ -499,6 +587,11 @@ impl PullInOracle {
     /// The watched topic.
     pub fn topic(&self) -> &str {
         &self.topic
+    }
+
+    /// The height up to which request events have been acknowledged.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
     }
 }
 

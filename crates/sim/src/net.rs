@@ -9,6 +9,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::clock::SimDuration;
+use crate::metrics::MetricsRegistry;
 use crate::rng::Rng;
 
 /// Identifies a network endpoint (one simulated host).
@@ -151,13 +152,24 @@ pub struct NetworkModel {
     overrides: HashMap<(EndpointId, EndpointId), LinkConfig>,
     partitions: HashSet<(EndpointId, EndpointId)>,
     down: HashSet<EndpointId>,
+    /// Additional drop probability per directed pair (fault-plan drop
+    /// windows layered over the links' own loss).
+    extra_drop: HashMap<(EndpointId, EndpointId), f64>,
     names: Vec<String>,
     /// Total messages offered to the network.
     messages_sent: u64,
     /// Total messages dropped by loss or partition.
     messages_dropped: u64,
+    /// Messages dropped because the pair was partitioned.
+    dropped_partition: u64,
+    /// Messages dropped because an endpoint was down.
+    dropped_down: u64,
+    /// Messages dropped by probabilistic link loss.
+    dropped_loss: u64,
     /// Total payload bytes offered.
     bytes_sent: u64,
+    /// Counter values at the last [`NetworkModel::publish_metrics`] call.
+    published: [u64; 6],
 }
 
 impl NetworkModel {
@@ -169,10 +181,15 @@ impl NetworkModel {
             overrides: HashMap::new(),
             partitions: HashSet::new(),
             down: HashSet::new(),
+            extra_drop: HashMap::new(),
             names: Vec::new(),
             messages_sent: 0,
             messages_dropped: 0,
+            dropped_partition: 0,
+            dropped_down: 0,
+            dropped_loss: 0,
             bytes_sent: 0,
+            published: [0; 6],
         }
     }
 
@@ -227,6 +244,20 @@ impl NetworkModel {
         self.down.contains(&ep)
     }
 
+    /// Layers an additional drop probability over the pair `a`↔`b` (both
+    /// directions), on top of the links' own loss. Fault-plan drop windows
+    /// apply through this.
+    pub fn set_extra_drop(&mut self, a: EndpointId, b: EndpointId, p: f64) {
+        self.extra_drop.insert((a, b), p);
+        self.extra_drop.insert((b, a), p);
+    }
+
+    /// Removes the extra drop probability on the pair `a`↔`b`.
+    pub fn clear_extra_drop(&mut self, a: EndpointId, b: EndpointId) {
+        self.extra_drop.remove(&(a, b));
+        self.extra_drop.remove(&(b, a));
+    }
+
     /// Prices one message of `size_bytes` from `from` to `to`.
     ///
     /// Accounts the attempt in the network statistics either way.
@@ -239,16 +270,28 @@ impl NetworkModel {
     ) -> Delivery {
         self.messages_sent += 1;
         self.bytes_sent += size_bytes;
-        if self.partitions.contains(&(from, to))
-            || self.down.contains(&from)
-            || self.down.contains(&to)
-        {
+        if self.partitions.contains(&(from, to)) {
             self.messages_dropped += 1;
+            self.dropped_partition += 1;
+            return Delivery::Dropped;
+        }
+        if self.down.contains(&from) || self.down.contains(&to) {
+            self.messages_dropped += 1;
+            self.dropped_down += 1;
             return Delivery::Dropped;
         }
         let cfg = self.overrides.get(&(from, to)).unwrap_or(&self.default_link);
-        if rng.gen_bool(cfg.drop_probability) {
+        // Combine link loss with any fault-window loss into one draw so a
+        // fault-free run consumes the RNG — and decides each delivery —
+        // exactly as before (the combine formula is skipped entirely when
+        // no window is active, keeping the threshold bit-identical).
+        let p = match self.extra_drop.get(&(from, to)) {
+            Some(extra) => 1.0 - (1.0 - cfg.drop_probability) * (1.0 - extra),
+            None => cfg.drop_probability,
+        };
+        if rng.gen_bool(p) {
             self.messages_dropped += 1;
+            self.dropped_loss += 1;
             return Delivery::Dropped;
         }
         let mut delay = cfg.latency.sample(rng);
@@ -265,6 +308,38 @@ impl NetworkModel {
     /// `(messages_sent, messages_dropped, bytes_sent)` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.messages_sent, self.messages_dropped, self.bytes_sent)
+    }
+
+    /// Dropped-message breakdown: `(partition, endpoint down, link loss)`.
+    /// The three always sum to the drop total of [`NetworkModel::stats`].
+    pub fn drop_breakdown(&self) -> (u64, u64, u64) {
+        (self.dropped_partition, self.dropped_down, self.dropped_loss)
+    }
+
+    /// Publishes the network counters into a [`MetricsRegistry`] under the
+    /// `net.*` names, adding only the delta since the previous publish so
+    /// repeated calls never double-count.
+    pub fn publish_metrics(&mut self, metrics: &mut MetricsRegistry) {
+        let current = [
+            self.messages_sent,
+            self.messages_dropped,
+            self.dropped_partition,
+            self.dropped_down,
+            self.dropped_loss,
+            self.bytes_sent,
+        ];
+        let names = [
+            "net.messages_sent",
+            "net.messages_dropped",
+            "net.dropped.partition",
+            "net.dropped.down",
+            "net.dropped.loss",
+            "net.bytes_sent",
+        ];
+        for ((name, now), before) in names.iter().zip(current).zip(self.published) {
+            metrics.add(name, now - before);
+        }
+        self.published = current;
     }
 }
 
@@ -382,6 +457,51 @@ mod tests {
         );
         // Reverse direction still uses the default.
         assert_eq!(net.transmit(b, a, 1, &mut r).delay().unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn drop_breakdown_attributes_causes() {
+        let mut net = NetworkModel::new(LinkConfig::local());
+        let a = net.add_endpoint("a");
+        let b = net.add_endpoint("b");
+        let c = net.add_endpoint("c");
+        let mut r = rng();
+        net.partition(a, b);
+        assert_eq!(net.transmit(a, b, 1, &mut r), Delivery::Dropped);
+        net.heal(a, b);
+        net.set_down(c, true);
+        assert_eq!(net.transmit(a, c, 1, &mut r), Delivery::Dropped);
+        net.set_down(c, false);
+        net.set_extra_drop(a, b, 1.0);
+        assert_eq!(net.transmit(b, a, 1, &mut r), Delivery::Dropped, "extra drop is symmetric");
+        net.clear_extra_drop(a, b);
+        assert!(net.transmit(a, b, 1, &mut r).delay().is_some());
+        assert_eq!(net.drop_breakdown(), (1, 1, 1));
+        let (_, dropped, _) = net.stats();
+        assert_eq!(dropped, 3, "breakdown sums to the total");
+    }
+
+    #[test]
+    fn publish_metrics_adds_only_deltas() {
+        let mut net = NetworkModel::new(LinkConfig::local());
+        let a = net.add_endpoint("a");
+        let b = net.add_endpoint("b");
+        let mut r = rng();
+        let mut m = MetricsRegistry::new();
+        net.transmit(a, b, 10, &mut r);
+        net.publish_metrics(&mut m);
+        assert_eq!(m.counter("net.messages_sent"), 1);
+        assert_eq!(m.counter("net.bytes_sent"), 10);
+        // Publishing again without traffic adds nothing.
+        net.publish_metrics(&mut m);
+        assert_eq!(m.counter("net.messages_sent"), 1);
+        net.partition(a, b);
+        net.transmit(a, b, 5, &mut r);
+        net.publish_metrics(&mut m);
+        assert_eq!(m.counter("net.messages_sent"), 2);
+        assert_eq!(m.counter("net.messages_dropped"), 1);
+        assert_eq!(m.counter("net.dropped.partition"), 1);
+        assert_eq!(m.counter("net.dropped.loss"), 0);
     }
 
     #[test]

@@ -1,37 +1,15 @@
-//! Robustness under injected faults (paper §V-2): crashing validators,
-//! network partitions, lossy links and rogue hosts.
+//! Robustness under injected faults (paper §V-2), exercised against
+//! concurrent in-flight processes on the non-blocking driver API: faults
+//! are declared as [`FaultPlan`]s and hit requests *mid-flight* — crashed
+//! validators, network partitions, lossy windows, crashed endpoints and
+//! rogue hosts.
 
+use solid_usage_control::core::chaos;
 use solid_usage_control::core::scenario::{self, BOB, MEDICAL_PATH};
-use solid_usage_control::oracle::OracleError;
+use solid_usage_control::oracle::{HopKind, OracleError};
 use solid_usage_control::prelude::*;
-use solid_usage_control::sim::{LatencyModel, LinkConfig};
+use solid_usage_control::sim::{FaultPlan, LatencyModel, LinkConfig};
 use solid_usage_control::solid::Body;
-
-fn one_copy_world(seed: u64, link: LinkConfig) -> (World, String) {
-    let mut world = World::new(WorldConfig {
-        seed,
-        link,
-        validators: 5,
-        ..WorldConfig::default()
-    });
-    world.add_owner(BOB, "https://bob.pod/");
-    world.add_device("dev-0", "https://c0.id/me");
-    world.pod_initiation(BOB).unwrap();
-    let iri = world.owner(BOB).pod_manager.pod().iri_of(MEDICAL_PATH);
-    world
-        .resource_initiation(
-            BOB,
-            MEDICAL_PATH,
-            Body::Text("data".into()),
-            scenario::medical_policy(&iri),
-            vec![],
-        )
-        .unwrap();
-    world.market_subscribe("dev-0").unwrap();
-    world.resource_indexing("dev-0", &iri).unwrap();
-    world.resource_access("dev-0", &iri).unwrap();
-    (world, iri)
-}
 
 fn steady_link() -> LinkConfig {
     LinkConfig {
@@ -41,95 +19,17 @@ fn steady_link() -> LinkConfig {
     }
 }
 
-#[test]
-fn chain_survives_minority_validator_crashes() {
-    let (mut world, _) = one_copy_world(1, steady_link());
-    world.chain.set_validator_down(0, true);
-    world.chain.set_validator_down(1, true);
-    let t0 = world.clock.now();
-    let outcome = world.policy_monitoring(BOB, MEDICAL_PATH).expect("live despite 2/5 down");
-    assert_eq!(outcome.evidence, 1);
-    // Recovery: later rounds are faster once the validators return.
-    world.chain.set_validator_down(0, false);
-    world.chain.set_validator_down(1, false);
-    let t1 = world.clock.now();
-    let outcome2 = world.policy_monitoring(BOB, MEDICAL_PATH).expect("recovered");
-    assert_eq!(outcome2.evidence, 1);
-    assert!(
-        world.clock.now() - t1 <= t1 - t0,
-        "recovered round is no slower than the degraded one"
-    );
-}
-
-#[test]
-fn all_validators_down_means_timeout_not_hang() {
-    let (mut world, iri) = one_copy_world(2, steady_link());
-    for i in 0..5 {
-        world.chain.set_validator_down(i, true);
-    }
-    let err = world.policy_monitoring(BOB, MEDICAL_PATH).unwrap_err();
-    assert!(
-        matches!(err, ProcessError::Oracle(OracleError::InclusionTimeout { .. })),
-        "{err}"
-    );
-    // Liveness returns with the validators.
-    for i in 0..5 {
-        world.chain.set_validator_down(i, false);
-    }
-    // The timed-out transaction is still pending and now confirms, so the
-    // round counter advances; a fresh round then runs cleanly.
-    let outcome = world.policy_monitoring(BOB, MEDICAL_PATH).expect("back alive");
-    assert!(outcome.round >= 1);
-    let _ = iri;
-}
-
-#[test]
-fn partitioned_device_is_reported_unreachable() {
-    let (mut world, _iri) = one_copy_world(3, steady_link());
-    let dev = world.device("dev-0").endpoint;
-    world.net.partition(dev, world.push_in.relay);
-    let outcome = world.policy_monitoring(BOB, MEDICAL_PATH).expect("round proceeds");
-    assert_eq!(outcome.expected, 1);
-    assert_eq!(outcome.evidence, 0, "unreachable device submitted nothing");
-    assert_eq!(world.metrics.counter("process.monitoring.unreachable"), 1);
-    // The on-chain round stays open: absence of evidence is visible.
-    let round = world
-        .dex
-        .get_round(&world.chain, &_iri, outcome.round)
-        .unwrap()
-        .unwrap();
-    assert!(!round.closed);
-    // After healing, the next round completes.
-    world.net.heal(dev, world.push_in.relay);
-    let outcome = world.policy_monitoring(BOB, MEDICAL_PATH).expect("healed round");
-    assert_eq!(outcome.evidence, 1);
-}
-
-#[test]
-fn lossy_network_is_ridden_out_by_retries() {
+/// One owner, one resource, one device that has subscribed and indexed but
+/// not yet fetched a copy.
+fn market_world(seed: u64) -> (World, String) {
     let mut world = World::new(WorldConfig {
-        seed: 4,
+        seed,
         link: steady_link(),
         validators: 5,
         ..WorldConfig::default()
     });
-    // A 25%-lossy link needs more than the default three attempts to make
-    // the failure probability negligible.
-    world.push_in.max_attempts = 12;
     world.add_owner(BOB, "https://bob.pod/");
     world.add_device("dev-0", "https://c0.id/me");
-    // Loss scoped to the device → oracle-relay uplink, the hop the push-in
-    // oracle retries (other transports are assumed reliable, e.g. TCP).
-    let dev_ep = world.device("dev-0").endpoint;
-    world.net.set_link(
-        dev_ep,
-        world.push_in.relay,
-        LinkConfig {
-            latency: LatencyModel::Constant(SimDuration::from_millis(10)),
-            drop_probability: 0.4,
-            bandwidth_bps: None,
-        },
-    );
     world.pod_initiation(BOB).unwrap();
     let iri = world.owner(BOB).pod_manager.pod().iri_of(MEDICAL_PATH);
     world
@@ -143,35 +43,186 @@ fn lossy_network_is_ridden_out_by_retries() {
         .unwrap();
     world.market_subscribe("dev-0").unwrap();
     world.resource_indexing("dev-0", &iri).unwrap();
+    (world, iri)
+}
+
+/// `market_world` plus the first access, so a governed copy exists.
+fn one_copy_world(seed: u64) -> (World, String) {
+    let (mut world, iri) = market_world(seed);
     world.resource_access("dev-0", &iri).unwrap();
-    // Repeated monitoring rounds keep exercising the lossy uplink (one
-    // evidence submission per round).
+    (world, iri)
+}
+
+fn monitoring_request() -> Request {
+    Request::PolicyMonitoring {
+        webid: BOB.into(),
+        path: MEDICAL_PATH.into(),
+    }
+}
+
+#[test]
+fn chain_survives_minority_validator_stalls_mid_round() {
+    let (mut world, _) = one_copy_world(1);
+    let now = world.clock.now();
+    // Validators 0 and 1 stall for 30 s — covering the whole first round.
+    world.set_fault_plan(
+        FaultPlan::none()
+            .validator_stall(0, now, now + SimDuration::from_secs(30))
+            .validator_stall(1, now, now + SimDuration::from_secs(30)),
+    );
+    let ticket = world.submit(monitoring_request());
+    world.run_until_idle();
+    let Some(Ok(Outcome::Monitored(outcome))) = ticket.poll(&mut world) else {
+        panic!("round must survive 2/5 validators down");
+    };
+    assert_eq!(outcome.evidence, 1);
+    // Recovery: a round after the stall window is no slower than the
+    // degraded one.
+    world.advance(SimDuration::from_secs(30));
+    let ticket = world.submit(monitoring_request());
+    world.run_until_idle();
+    let Some(Ok(Outcome::Monitored(outcome2))) = ticket.poll(&mut world) else {
+        panic!("recovered round");
+    };
+    assert_eq!(outcome2.evidence, 1);
+    assert!(
+        outcome2.duration <= outcome.duration,
+        "recovered round ({}) is no slower than the degraded one ({})",
+        outcome2.duration,
+        outcome.duration
+    );
+    chaos::check_invariants(&world).expect("invariants");
+}
+
+#[test]
+fn all_validators_stalled_means_typed_timeout_not_hang() {
+    let (mut world, iri) = one_copy_world(2);
+    let now = world.clock.now();
+    let mut plan = FaultPlan::none();
+    for i in 0..5 {
+        plan = plan.validator_stall(i, now, SimTime::MAX);
+    }
+    world.set_fault_plan(plan);
+    // The round-opening transaction can never confirm; run_until_idle must
+    // still terminate, resolving the ticket with a typed timeout.
+    let ticket = world.submit(monitoring_request());
+    world.run_until_idle();
+    assert_eq!(world.in_flight(), 0, "no hang with a dead chain");
+    let Some(Err(err)) = ticket.poll(&mut world) else {
+        panic!("the ticket must resolve with an error");
+    };
+    assert!(
+        matches!(err, ProcessError::Oracle(OracleError::InclusionTimeout { .. })),
+        "{err}"
+    );
+    assert!(err.is_transient(), "liveness failures are retry-worthy");
+    // Liveness returns when the stall plan is lifted.
+    world.set_fault_plan(FaultPlan::none());
+    let ticket = world.submit(monitoring_request());
+    world.run_until_idle();
+    let Some(Ok(Outcome::Monitored(outcome))) = ticket.poll(&mut world) else {
+        panic!("back alive");
+    };
+    assert!(outcome.round >= 1);
+    let _ = iri;
+}
+
+#[test]
+fn partitioned_device_is_reported_unreachable() {
+    let (mut world, iri) = one_copy_world(3);
+    let dev = world.device("dev-0").endpoint;
+    let relay = world.push_in.relay;
+    let now = world.clock.now();
+    // The partition outlasts the probe's retry budget, so the round skips
+    // the device instead of stalling on it.
+    world.set_fault_plan(FaultPlan::none().partition(
+        dev,
+        relay,
+        now,
+        now + SimDuration::from_secs(300),
+    ));
+    let ticket = world.submit(monitoring_request());
+    world.run_until_idle();
+    let Some(Ok(Outcome::Monitored(outcome))) = ticket.poll(&mut world) else {
+        panic!("round proceeds despite the partition");
+    };
+    assert_eq!(outcome.expected, 1);
+    assert_eq!(outcome.evidence, 0, "unreachable device submitted nothing");
+    assert_eq!(world.metrics.counter("process.monitoring.unreachable"), 1);
+    // The on-chain round stays open: absence of evidence is visible.
+    let round = world
+        .dex
+        .get_round(&world.chain, &iri, outcome.round)
+        .unwrap()
+        .unwrap();
+    assert!(!round.closed);
+    // After the window heals, the next round completes.
+    world.advance(SimDuration::from_secs(300));
+    let ticket = world.submit(monitoring_request());
+    world.run_until_idle();
+    let Some(Ok(Outcome::Monitored(outcome))) = ticket.poll(&mut world) else {
+        panic!("healed round");
+    };
+    assert_eq!(outcome.evidence, 1);
+}
+
+#[test]
+fn lossy_window_is_ridden_out_by_retries() {
+    let (mut world, iri) = market_world(4);
+    // A 40%-lossy window on the device↔relay uplink needs more than the
+    // default three push-in attempts to make failure negligible.
+    world.push_in.max_attempts = 12;
+    let dev = world.device("dev-0").endpoint;
+    let relay = world.push_in.relay;
+    let now = world.clock.now();
+    world.set_fault_plan(FaultPlan::none().drop_window(
+        dev,
+        relay,
+        now,
+        now + SimDuration::from_secs(3600),
+        400,
+    ));
+    // The access (copy registration) and ten monitoring rounds (evidence
+    // submissions) all push transactions through the lossy uplink.
+    world.resource_access("dev-0", &iri).unwrap();
     for _ in 0..10 {
-        let outcome = world.policy_monitoring(BOB, MEDICAL_PATH).expect("round");
+        let ticket = world.submit(monitoring_request());
+        world.run_until_idle();
+        let Some(Ok(Outcome::Monitored(outcome))) = ticket.poll(&mut world) else {
+            panic!("round rides out the loss");
+        };
         assert_eq!(outcome.evidence, 1);
     }
     let (submissions, retries) = world.push_in.stats();
-    assert!(submissions >= 14);
+    assert!(submissions >= 11);
     assert!(retries > 0, "a 40%-lossy uplink forces retries");
+    // Every push-in retry shows up in the driver's fault metrics (other
+    // hops crossing the lossy pair — e.g. monitoring probes — add more).
+    assert!(world.metrics.counter("driver.hop.drops") >= retries);
+    chaos::check_invariants(&world).expect("invariants");
 }
 
 #[test]
 fn rogue_host_cannot_hide_from_monitoring() {
-    let (mut world, iri) = one_copy_world(5, steady_link());
+    let (mut world, iri) = one_copy_world(5);
     // Tighten the policy to a 7-day retention so there is an obligation
     // the rogue host can violate.
-    world
-        .policy_modification(
-            BOB,
-            MEDICAL_PATH,
-            vec![Rule::permit([Action::Use])
-                .with_constraint(Constraint::MaxRetention(SimDuration::from_days(7)))],
-            vec![Duty::DeleteWithin(SimDuration::from_days(7)), Duty::LogAccesses],
-        )
-        .expect("tighten");
+    let mod_ticket = world.submit(Request::PolicyModification {
+        webid: BOB.into(),
+        path: MEDICAL_PATH.into(),
+        rules: vec![Rule::permit([Action::Use])
+            .with_constraint(Constraint::MaxRetention(SimDuration::from_days(7)))],
+        duties: vec![Duty::DeleteWithin(SimDuration::from_days(7)), Duty::LogAccesses],
+    });
+    world.run_until_idle();
+    assert!(matches!(mod_ticket.poll(&mut world), Some(Ok(_))), "tighten");
     world.set_rogue_host("dev-0", true);
     world.advance(SimDuration::from_days(40)); // way past every obligation
-    let outcome = world.policy_monitoring(BOB, MEDICAL_PATH).expect("round");
+    let ticket = world.submit(monitoring_request());
+    world.run_until_idle();
+    let Some(Ok(Outcome::Monitored(outcome))) = ticket.poll(&mut world) else {
+        panic!("round");
+    };
     assert_eq!(outcome.violators, vec!["dev-0".to_string()]);
     // The evidence on-chain names the violation.
     let round = world
@@ -185,9 +236,65 @@ fn rogue_host_cannot_hide_from_monitoring() {
 }
 
 #[test]
+fn access_suspends_across_pod_crash_window_and_completes() {
+    let (mut world, iri) = market_world(6);
+    let pod_ep = world.owner(BOB).endpoint;
+    let now = world.clock.now();
+    // The pod manager is down for 10 s, covering the in-flight request hop
+    // of the access: the driver suspends and resumes at recovery.
+    world.set_fault_plan(FaultPlan::none().crash(
+        pod_ep,
+        now,
+        now + SimDuration::from_secs(10),
+    ));
+    let ticket = world.submit(Request::ResourceAccess {
+        device: "dev-0".into(),
+        resource: iri.clone(),
+    });
+    world.run_until_idle();
+    let Some(Ok(Outcome::Accessed(outcome))) = ticket.poll(&mut world) else {
+        panic!("the access must complete after the pod recovers");
+    };
+    assert!(
+        outcome.e2e >= SimDuration::from_secs(10),
+        "the crash window shows up in the end-to-end latency: {}",
+        outcome.e2e
+    );
+    assert!(world.metrics.counter("driver.hop.suspended") > 0);
+    assert!(world.device("dev-0").tee.has_copy(&iri));
+    chaos::check_invariants(&world).expect("invariants");
+}
+
+#[test]
+fn permanently_crashed_pod_yields_typed_give_up_and_no_copy() {
+    let (mut world, iri) = market_world(7);
+    let pod_ep = world.owner(BOB).endpoint;
+    let now = world.clock.now();
+    world.set_fault_plan(FaultPlan::none().crash_forever(pod_ep, now));
+    let ticket = world.submit(Request::ResourceAccess {
+        device: "dev-0".into(),
+        resource: iri.clone(),
+    });
+    world.run_until_idle();
+    assert_eq!(world.in_flight(), 0, "a permanent crash may not hang the driver");
+    let Some(Err(err)) = ticket.poll(&mut world) else {
+        panic!("typed failure expected");
+    };
+    assert!(
+        matches!(
+            err,
+            ProcessError::Oracle(OracleError::GaveUp { hop: HopKind::PodRequest, .. })
+        ),
+        "{err}"
+    );
+    assert!(!world.device("dev-0").tee.has_copy(&iri), "no copy was minted");
+    chaos::check_invariants(&world).expect("invariants");
+}
+
+#[test]
 fn crashed_device_endpoint_blocks_only_that_device() {
     let mut world = World::new(WorldConfig {
-        seed: 6,
+        seed: 8,
         link: steady_link(),
         ..WorldConfig::default()
     });
@@ -210,10 +317,18 @@ fn crashed_device_endpoint_blocks_only_that_device() {
         world.resource_indexing(d, &iri).unwrap();
         world.resource_access(d, &iri).unwrap();
     }
-    // dev-a's host crashes.
+    // dev-a's host crashes for longer than the probe budget.
     let ep = world.device("dev-a").endpoint;
-    world.net.set_down(ep, true);
-    let outcome = world.policy_monitoring(BOB, "data/x").expect("round");
+    let now = world.clock.now();
+    world.set_fault_plan(FaultPlan::none().crash(ep, now, now + SimDuration::from_secs(300)));
+    let ticket = world.submit(Request::PolicyMonitoring {
+        webid: BOB.into(),
+        path: "data/x".into(),
+    });
+    world.run_until_idle();
+    let Some(Ok(Outcome::Monitored(outcome))) = ticket.poll(&mut world) else {
+        panic!("round");
+    };
     assert_eq!(outcome.expected, 2);
     assert_eq!(outcome.evidence, 1, "dev-b still answers");
 }
