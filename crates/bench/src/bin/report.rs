@@ -36,6 +36,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e10", experiments::e10_baseline),
     ("e11", experiments::e11_enforcement),
     ("e12", experiments::e12_chain_scale),
+    ("e13", experiments::e13_backends),
 ];
 
 /// Runs experiment `index` on first use, then serves the cached tables.
@@ -102,14 +103,24 @@ fn json_document(cache: &mut [Option<Vec<Table>>]) -> String {
                 "        \"table\": {},\n",
                 json_string(table.title())
             ));
+            // Backend-comparison tables report per-row records instead of
+            // medians: a median over mixed single+sharded rows would track
+            // the shard-count selection, not performance.
+            let rows = backend_rows(table);
+            let median = |needle| {
+                if rows.is_empty() {
+                    json_number(median_of_column(table, needle))
+                } else {
+                    "null".to_string()
+                }
+            };
             out.push_str(&format!(
                 "        \"median_latency_ms\": {},\n",
-                json_number(median_of_column(table, "ms"))
+                median("ms")
             ));
-            out.push_str(&format!(
-                "        \"median_gas\": {}\n",
-                json_number(median_of_column(table, "gas"))
-            ));
+            out.push_str(&format!("        \"median_gas\": {}", median("gas")));
+            out.push_str(&rows);
+            out.push('\n');
             out.push_str(if j + 1 < tables.len() {
                 "      },\n"
             } else {
@@ -123,6 +134,38 @@ fn json_document(cache: &mut [Option<Vec<Table>>]) -> String {
         });
     }
     out.push_str("  }\n}\n");
+    out
+}
+
+/// For tables comparing ledger backends (a `backend` plus a `shards`
+/// column, e.g. E13): one JSON record per row, so BENCH_*.json tracks
+/// single-vs-sharded throughput across PRs. Empty for every other table.
+fn backend_rows(table: &Table) -> String {
+    let col = |needle: &str| {
+        table
+            .columns()
+            .iter()
+            .position(|c| c.to_lowercase().contains(needle))
+    };
+    let (Some(backend), Some(shards)) = (col("backend"), col("shards")) else {
+        return String::new();
+    };
+    let numeric = |row: &[String], idx: Option<usize>| -> String {
+        json_number(idx.and_then(|i| row.get(i)).and_then(|c| c.trim().parse().ok()))
+    };
+    let mut out = String::from(",\n        \"backends\": [\n");
+    for (i, row) in table.rows().iter().enumerate() {
+        out.push_str(&format!(
+            "          {{\"backend\": {}, \"shards\": {}, \"makespan_ms\": {}, \"req_per_s\": {}, \"speedup\": {}}}{}\n",
+            json_string(row.get(backend).map_or("", String::as_str)),
+            numeric(row, Some(shards)),
+            numeric(row, col("makespan")),
+            numeric(row, col("req/s")),
+            numeric(row, col("speedup")),
+            if i + 1 < table.rows().len() { "," } else { "" },
+        ));
+    }
+    out.push_str("        ]");
     out
 }
 

@@ -567,8 +567,22 @@ impl Blockchain {
     }
 
     /// Events from blocks strictly above `height`, with their heights.
+    ///
+    /// The event log is appended block-by-block, so it is height-sorted;
+    /// a binary search finds the cursor position and the scan starts there
+    /// instead of filtering the whole log — oracle polls (pull-in,
+    /// push-out) hit this on every round, and an idle poll is O(log n)
+    /// instead of O(n).
     pub fn events_since(&self, height: u64) -> impl Iterator<Item = &(u64, Event)> {
-        self.event_log.iter().filter(move |(h, _)| *h > height)
+        self.events_slice_since(height).iter()
+    }
+
+    /// The height-sorted tail of the event log strictly above `height`
+    /// (the zero-copy form behind [`Blockchain::events_since`] and the
+    /// `Ledger` impl).
+    pub fn events_slice_since(&self, height: u64) -> &[(u64, Event)] {
+        let start = self.event_log.partition_point(|(h, _)| *h <= height);
+        &self.event_log[start..]
     }
 
     /// Executes a read-only contract call against current state

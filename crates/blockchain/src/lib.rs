@@ -19,6 +19,10 @@
 //!   committee, mempool, block production clocked by the simulation,
 //!   event log for oracle subscriptions, and crash-fault injection for the
 //!   robustness experiments (E8).
+//! * [`ledger`] — the pluggable [`Ledger`] abstraction the rest of the
+//!   stack consumes: [`SingleChain`] (the chain above, byte-identical) and
+//!   [`ShardedLedger`] (N chains, deterministic routing, merged event
+//!   view; experiment E13).
 //!
 //! ## Consensus model
 //!
@@ -50,6 +54,7 @@ pub mod block;
 pub mod chain;
 pub mod contract;
 pub mod gas;
+pub mod ledger;
 pub mod state;
 pub mod tx;
 pub mod types;
@@ -58,6 +63,7 @@ pub use block::{Block, BlockHeader};
 pub use chain::{Blockchain, BlockchainBuilder, SubmitError};
 pub use contract::{CallCtx, Contract, ContractError, Event};
 pub use gas::{GasMeter, GasSchedule, OutOfGas};
+pub use ledger::{Ledger, RouteKey, RouterFn, ShardedLedger, SingleChain};
 pub use state::WorldState;
 pub use tx::{Receipt, SignedTransaction, Transaction, TxStatus};
 pub use types::{Address, Amount, ContractId, TxId};
@@ -68,6 +74,7 @@ pub mod prelude {
     pub use crate::chain::{Blockchain, BlockchainBuilder, SubmitError};
     pub use crate::contract::{CallCtx, Contract, ContractError, Event};
     pub use crate::gas::{GasMeter, GasSchedule};
+    pub use crate::ledger::{Ledger, RouteKey, RouterFn, ShardedLedger, SingleChain};
     pub use crate::state::WorldState;
     pub use crate::tx::{Receipt, SignedTransaction, Transaction, TxStatus};
     pub use crate::types::{Address, Amount, ContractId, TxId};

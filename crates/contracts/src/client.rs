@@ -3,7 +3,7 @@
 //! Off-chain components (pod managers, TEEs, oracles) talk to the DE App
 //! through this wrapper instead of hand-encoding ABI bytes.
 
-use duc_blockchain::{Address, Blockchain, ContractError, ContractId, SignedTransaction};
+use duc_blockchain::{Address, ContractError, ContractId, Ledger, SignedTransaction};
 use duc_codec::{decode_from_slice, encode_to_vec};
 use duc_crypto::{Digest, KeyPair, PublicKey};
 
@@ -44,9 +44,9 @@ impl DistExchangeClient {
     // ------------------------------------------------------- transactions
 
     /// Builds the one-time market initialization call.
-    pub fn init_tx(
+    pub fn init_tx<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         key: &KeyPair,
         fee: u128,
         validity_nanos: u64,
@@ -61,10 +61,31 @@ impl DistExchangeClient {
         )
     }
 
-    /// Builds a pod registration (paper process 1).
-    pub fn register_pod_tx(
+    /// Builds the market initialization call pinned to one shard (multi-
+    /// chain deployments run `init` once per shard at genesis).
+    pub fn init_tx_on<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
+        shard: usize,
+        key: &KeyPair,
+        fee: u128,
+        validity_nanos: u64,
+        treasury: Address,
+    ) -> SignedTransaction {
+        chain.build_call_on(
+            shard,
+            key,
+            self.contract.clone(),
+            "init",
+            encode_to_vec(&(fee, validity_nanos, treasury)),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds a pod registration (paper process 1).
+    pub fn register_pod_tx<L: Ledger>(
+        &self,
+        chain: &L,
         key: &KeyPair,
         owner_webid: &str,
         web_ref: &str,
@@ -81,9 +102,9 @@ impl DistExchangeClient {
 
     /// Builds a resource registration (paper process 2).
     #[allow(clippy::too_many_arguments)] // mirrors the contract ABI
-    pub fn register_resource_tx(
+    pub fn register_resource_tx<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         key: &KeyPair,
         resource: &str,
         location: &str,
@@ -107,9 +128,9 @@ impl DistExchangeClient {
     }
 
     /// Builds a policy update (paper process 5).
-    pub fn update_policy_tx(
+    pub fn update_policy_tx<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         key: &KeyPair,
         resource: &str,
         policy: PolicyEnvelope,
@@ -126,9 +147,9 @@ impl DistExchangeClient {
 
     /// Builds a copy registration (after a successful resource access,
     /// paper process 4).
-    pub fn register_copy_tx(
+    pub fn register_copy_tx<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         key: &KeyPair,
         resource: &str,
         device: &str,
@@ -150,9 +171,9 @@ impl DistExchangeClient {
     }
 
     /// Builds a copy removal (after obligation-driven deletion).
-    pub fn unregister_copy_tx(
+    pub fn unregister_copy_tx<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         key: &KeyPair,
         resource: &str,
         device: &str,
@@ -167,9 +188,9 @@ impl DistExchangeClient {
     }
 
     /// Builds a monitoring-round request (paper process 6).
-    pub fn start_monitoring_tx(
+    pub fn start_monitoring_tx<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         key: &KeyPair,
         resource: &str,
     ) -> SignedTransaction {
@@ -183,9 +204,9 @@ impl DistExchangeClient {
     }
 
     /// Builds an evidence submission.
-    pub fn record_evidence_tx(
+    pub fn record_evidence_tx<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         key: &KeyPair,
         submission: &EvidenceSubmission,
     ) -> SignedTransaction {
@@ -199,7 +220,12 @@ impl DistExchangeClient {
     }
 
     /// Builds a market subscription purchase.
-    pub fn subscribe_tx(&self, chain: &Blockchain, key: &KeyPair, webid: &str) -> SignedTransaction {
+    pub fn subscribe_tx<L: Ledger>(
+        &self,
+        chain: &L,
+        key: &KeyPair,
+        webid: &str,
+    ) -> SignedTransaction {
         chain.build_call(
             key,
             self.contract.clone(),
@@ -215,7 +241,11 @@ impl DistExchangeClient {
     ///
     /// # Errors
     /// Propagates contract/view errors.
-    pub fn get_pod(&self, chain: &Blockchain, owner_webid: &str) -> Result<Option<PodRecord>, ContractError> {
+    pub fn get_pod<L: Ledger>(
+        &self,
+        chain: &L,
+        owner_webid: &str,
+    ) -> Result<Option<PodRecord>, ContractError> {
         let out = chain.call_view(
             &self.contract,
             "get_pod",
@@ -228,9 +258,9 @@ impl DistExchangeClient {
     ///
     /// # Errors
     /// Propagates contract/view errors.
-    pub fn lookup_resource(
+    pub fn lookup_resource<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         resource: &str,
     ) -> Result<Option<ResourceRecord>, ContractError> {
         let out = chain.call_view(
@@ -241,22 +271,39 @@ impl DistExchangeClient {
         decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))
     }
 
-    /// Lists all indexed resource IRIs.
+    /// Lists all indexed resource IRIs. On multi-shard backends the view
+    /// fans out to every shard and merges (sorted, deduplicated); on a
+    /// single chain it is the plain contract view, insertion-ordered.
     ///
     /// # Errors
     /// Propagates contract/view errors.
-    pub fn list_resources(&self, chain: &Blockchain) -> Result<Vec<String>, ContractError> {
-        let out = chain.call_view(&self.contract, "list_resources", &[])?;
-        decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))
+    pub fn list_resources<L: Ledger>(
+        &self,
+        chain: &L,
+    ) -> Result<Vec<String>, ContractError> {
+        if chain.shard_count() == 1 {
+            let out = chain.call_view(&self.contract, "list_resources", &[])?;
+            return decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()));
+        }
+        let mut all: Vec<String> = Vec::new();
+        for shard in 0..chain.shard_count() {
+            let out = chain.call_view_on(shard, &self.contract, "list_resources", &[])?;
+            let names: Vec<String> = decode_from_slice(&out)
+                .map_err(|e| ContractError::BadArguments(e.to_string()))?;
+            all.extend(names);
+        }
+        all.sort_unstable();
+        all.dedup();
+        Ok(all)
     }
 
     /// Lists devices holding copies of a resource.
     ///
     /// # Errors
     /// Propagates contract/view errors.
-    pub fn list_copies(
+    pub fn list_copies<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         resource: &str,
     ) -> Result<Vec<CopyRecord>, ContractError> {
         let out = chain.call_view(
@@ -271,9 +318,9 @@ impl DistExchangeClient {
     ///
     /// # Errors
     /// Propagates contract/view errors.
-    pub fn get_round(
+    pub fn get_round<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         resource: &str,
         round: u64,
     ) -> Result<Option<MonitoringRound>, ContractError> {
@@ -289,9 +336,9 @@ impl DistExchangeClient {
     ///
     /// # Errors
     /// Propagates contract/view errors.
-    pub fn verify_certificate(
+    pub fn verify_certificate<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         certificate: &Digest,
         webid: &str,
     ) -> Result<bool, ContractError> {
@@ -309,9 +356,9 @@ impl DistExchangeClient {
     ///
     /// # Errors
     /// Propagates contract/view errors.
-    pub fn get_subscription(
+    pub fn get_subscription<L: Ledger>(
         &self,
-        chain: &Blockchain,
+        chain: &L,
         webid: &str,
     ) -> Result<Option<Subscription>, ContractError> {
         let out = chain.call_view(

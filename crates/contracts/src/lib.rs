@@ -23,6 +23,7 @@
 pub mod abi;
 pub mod client;
 pub mod dist_exchange;
+pub mod routing;
 
 pub use abi::{
     CopyRecord, EvidenceSubmission, MonitoringRound, PodRecord, PolicyEnvelope, ResourceRecord,

@@ -21,7 +21,8 @@
 //! - **Cursors never stranded** — the pull-in/push-out oracle cursors never
 //!   run ahead of the chain.
 
-use duc_sim::{EndpointId, FaultPlan, Rng, SimDuration};
+use duc_blockchain::Ledger;
+use duc_sim::{EndpointId, FaultPlan, LatencyModel, LinkConfig, Rng, SimDuration, SimTime};
 
 use crate::driver::{Outcome, Request, Ticket};
 use crate::process::ProcessError;
@@ -44,10 +45,40 @@ pub struct ChaosRun {
     pub makespan: SimDuration,
 }
 
+/// The canonical chaos-suite link profile — fixed `ms` latency, no random
+/// loss, 10 MB/s — shared by the chaos tests and the backend-conformance
+/// suite so both exercise the same network.
+pub fn fixed_link(ms: u64) -> LinkConfig {
+    LinkConfig {
+        latency: LatencyModel::Constant(SimDuration::from_millis(ms)),
+        drop_probability: 0.0,
+        bandwidth_bps: Some(10_000_000),
+    }
+}
+
+/// The canonical *healing* plan: a crash window over `endpoint`, then a
+/// partition on `endpoint` ↔ `relay`, both healing within 12 s of `now` —
+/// in-flight requests must suspend and recover, never fail or hang.
+pub fn healing_plan(now: SimTime, endpoint: EndpointId, relay: EndpointId) -> FaultPlan {
+    FaultPlan::none()
+        .crash(endpoint, now, now + SimDuration::from_secs(8))
+        .partition(
+            endpoint,
+            relay,
+            now + SimDuration::from_secs(8),
+            now + SimDuration::from_secs(12),
+        )
+}
+
 /// Generates a seeded random [`FaultPlan`] over every endpoint and
 /// validator of `world`, with windows starting within `horizon` of the
 /// current instant. Identical `(world, seed)` pairs yield identical plans.
-pub fn random_plan(world: &World, seed: u64, horizon: SimDuration, max_faults: usize) -> FaultPlan {
+pub fn random_plan<L: Ledger>(
+    world: &World<L>,
+    seed: u64,
+    horizon: SimDuration,
+    max_faults: usize,
+) -> FaultPlan {
     let mut endpoints: Vec<EndpointId> = (0..world.net.endpoint_count() as u32)
         .map(EndpointId)
         .collect();
@@ -79,8 +110,8 @@ pub fn random_plan(world: &World, seed: u64, horizon: SimDuration, max_faults: u
 /// # Errors
 /// A human-readable description of the first violated invariant (embed the
 /// seeds in the caller's panic message to make the case reproducible).
-pub fn run_chaos(
-    world: &mut World,
+pub fn run_chaos<L: Ledger>(
+    world: &mut World<L>,
     requests: Vec<Request>,
     plan: FaultPlan,
 ) -> Result<ChaosRun, String> {
@@ -121,7 +152,7 @@ pub fn run_chaos(
 ///
 /// # Errors
 /// A description of the first violated invariant.
-pub fn check_invariants(world: &World) -> Result<(), String> {
+pub fn check_invariants<L: Ledger>(world: &World<L>) -> Result<(), String> {
     if world.in_flight() != 0 {
         return Err(format!("{} requests still in flight", world.in_flight()));
     }
@@ -162,7 +193,7 @@ pub fn check_invariants(world: &World) -> Result<(), String> {
     }
 
     // Consistent gas accounting: consumed gas == proposer income.
-    let ledger_total: u64 = world.chain.gas_ledger().iter().map(|r| r.gas_used).sum();
+    let ledger_total: u64 = world.chain.gas_used_total();
     let validator_income: u128 = world
         .chain
         .validator_addresses()
@@ -198,7 +229,7 @@ pub fn check_invariants(world: &World) -> Result<(), String> {
 /// histograms, the structured trace, the clock, the chain height and the
 /// gas ledger — into one string. Identically-seeded runs must produce
 /// byte-identical fingerprints.
-pub fn fingerprint(world: &mut World) -> String {
+pub fn fingerprint<L: Ledger>(world: &mut World<L>) -> String {
     use std::fmt::Write as _;
 
     let mut out = String::new();
@@ -215,7 +246,7 @@ pub fn fingerprint(world: &mut World) -> String {
     }
     let _ = writeln!(out, "clock {}", world.clock.now());
     let _ = writeln!(out, "height {}", world.chain.height());
-    let gas: u64 = world.chain.gas_ledger().iter().map(|r| r.gas_used).sum();
+    let gas: u64 = world.chain.gas_used_total();
     let _ = writeln!(out, "gas {gas}");
     out
 }
@@ -255,9 +286,20 @@ pub fn launch_pad(
     n_devices: usize,
     config: crate::world::WorldConfig,
 ) -> (World, String) {
+    launch_pad_in(World::new(config), owner, path, n_devices)
+}
+
+/// [`launch_pad`] over a caller-supplied world — the backend-conformance
+/// suite uses this to throw the identical workload at every [`Ledger`]
+/// backend.
+pub fn launch_pad_in<L: Ledger>(
+    mut world: World<L>,
+    owner: &str,
+    path: &str,
+    n_devices: usize,
+) -> (World<L>, String) {
     use duc_policy::{Action, Constraint, Duty, Rule, UsagePolicy};
 
-    let mut world = World::new(config);
     world.add_owner(owner, "https://owner.pod/");
     for i in 0..n_devices {
         world.add_device(format!("device-{i}"), format!("https://c{i}.id/me"));

@@ -22,7 +22,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use duc_blockchain::{Event, Receipt, SignedTransaction, TxId};
+use duc_blockchain::{Event, Ledger, Receipt, SignedTransaction, TxId};
 use duc_contracts::{topics, DistExchangeClient, EvidenceSubmission};
 use duc_crypto::{Digest, PublicKey};
 use duc_oracle::{
@@ -93,8 +93,8 @@ pub(crate) enum HopPoll {
 }
 
 impl Hop {
-    pub(crate) fn new(
-        world: &World,
+    pub(crate) fn new<L: Ledger>(
+        world: &World<L>,
         from: EndpointId,
         to: EndpointId,
         size: u64,
@@ -110,7 +110,7 @@ impl Hop {
         }
     }
 
-    fn gave_up(&self, world: &mut World) -> HopPoll {
+    fn gave_up<L: Ledger>(&self, world: &mut World<L>) -> HopPoll {
         world.metrics.incr("driver.hop.gave_up");
         HopPoll::Failed(OracleError::GaveUp {
             hop: self.kind,
@@ -119,7 +119,7 @@ impl Hop {
         })
     }
 
-    pub(crate) fn step(&mut self, world: &mut World) -> HopPoll {
+    pub(crate) fn step<L: Ledger>(&mut self, world: &mut World<L>) -> HopPoll {
         let now = world.clock.now();
         // A declared crash/partition window blocks the pair outright:
         // suspend without burning wire attempts and resume exactly at
@@ -259,7 +259,7 @@ impl Ticket {
 
     /// Takes the completed outcome for this ticket, if the request has
     /// finished. Equivalent to [`World::poll_ticket`].
-    pub fn poll(self, world: &mut World) -> Option<Result<Outcome, ProcessError>> {
+    pub fn poll<L: Ledger>(self, world: &mut World<L>) -> Option<Result<Outcome, ProcessError>> {
         world.poll_ticket(self)
     }
 }
@@ -279,22 +279,22 @@ pub(crate) fn receipt_ok(receipt: Receipt) -> Result<Receipt, ProcessError> {
 /// flow signs at delivery time, so the nonce reflects every transaction
 /// that entered the mempool while this one was on the wire — concurrent
 /// flows from one sender serialize cleanly instead of colliding.
-pub(crate) type TxBuild = Box<dyn Fn(&World) -> SignedTransaction>;
+pub(crate) type TxBuild<L> = Box<dyn Fn(&World<L>) -> SignedTransaction>;
 
 /// Sub-machine: push-in submission (with retries) followed by a
 /// non-blocking inclusion wait. Reused by every process that sends a
 /// transaction.
-pub(crate) enum TxFlow {
+pub(crate) enum TxFlow<L> {
     /// Attempting the uplink hop to the relay.
     Send {
-        build: TxBuild,
+        build: TxBuild<L>,
         size: u64,
         from: EndpointId,
         attempt: u32,
         deadline: SimTime,
     },
     /// The transaction is on the wire; it reaches the chain at the wake.
-    Deliver { build: TxBuild },
+    Deliver { build: TxBuild<L> },
     /// In the mempool; polling for inclusion at slot boundaries.
     Await { id: TxId, deadline: SimTime },
     /// Transient placeholder while stepping.
@@ -309,15 +309,15 @@ pub(crate) enum FlowPoll {
     Done(Result<Receipt, OracleError>),
 }
 
-impl TxFlow {
+impl<L: Ledger> TxFlow<L> {
     /// Starts a flow: performs the first uplink attempt at the current
     /// instant. The builder runs once now (to price the wire size) and once
     /// more at delivery (to sign with a fresh nonce).
     pub(crate) fn start(
-        world: &mut World,
+        world: &mut World<L>,
         from: EndpointId,
-        build: impl Fn(&World) -> SignedTransaction + 'static,
-    ) -> (TxFlow, FlowPoll) {
+        build: impl Fn(&World<L>) -> SignedTransaction + 'static,
+    ) -> (TxFlow<L>, FlowPoll) {
         let size = build(world).encoded_size() as u64;
         let mut flow = TxFlow::Send {
             build: Box::new(build),
@@ -331,7 +331,7 @@ impl TxFlow {
     }
 
     /// Advances the flow at the current clock instant.
-    pub(crate) fn step(&mut self, world: &mut World) -> FlowPoll {
+    pub(crate) fn step(&mut self, world: &mut World<L>) -> FlowPoll {
         let now = world.clock.now();
         match std::mem::replace(self, TxFlow::Spent) {
             TxFlow::Send { build, size, from, attempt, deadline } => {
@@ -426,27 +426,27 @@ impl TxFlow {
 // ---------------------------------------------------------------- machines
 
 /// One advance of a process machine.
-pub(crate) enum Step {
+pub(crate) enum Step<L> {
     /// Store the machine back and wake it at the given instant (an instant
     /// not in the future means "re-step in this scheduling round").
-    Sleep(Machine, SimTime),
+    Sleep(Machine<L>, SimTime),
     /// The request completed.
     Done(Result<Outcome, ProcessError>),
 }
 
 /// The per-process state machines.
-pub(crate) enum Machine {
-    PodInit(PodInit),
-    ResInit(Box<ResInit>),
+pub(crate) enum Machine<L> {
+    PodInit(PodInit<L>),
+    ResInit(Box<ResInit<L>>),
     Indexing(Indexing),
-    Subscribe(Subscribe),
-    Access(Box<Access>),
-    PolicyMod(Box<PolicyMod>),
-    Monitoring(Box<Monitoring>),
+    Subscribe(Subscribe<L>),
+    Access(Box<Access<L>>),
+    PolicyMod(Box<PolicyMod<L>>),
+    Monitoring(Box<Monitoring<L>>),
 }
 
-impl Machine {
-    pub(crate) fn step(self, world: &mut World) -> Step {
+impl<L: Ledger> Machine<L> {
+    pub(crate) fn step(self, world: &mut World<L>) -> Step<L> {
         match self {
             Machine::PodInit(m) => m.step(world),
             Machine::ResInit(m) => m.step(world),
@@ -474,18 +474,18 @@ macro_rules! drive_flow {
 // -------------------------------------------------------------- process 1
 
 /// Process 1 — pod initiation.
-pub(crate) struct PodInit {
+pub(crate) struct PodInit<L> {
     webid: String,
     started: SimTime,
-    phase: PodInitPhase,
+    phase: PodInitPhase<L>,
 }
 
-enum PodInitPhase {
+enum PodInitPhase<L> {
     Start,
-    Confirm(TxFlow),
+    Confirm(TxFlow<L>),
 }
 
-impl PodInit {
+impl<L: Ledger> PodInit<L> {
     fn new(webid: String, started: SimTime) -> Self {
         PodInit {
             webid,
@@ -494,7 +494,7 @@ impl PodInit {
         }
     }
 
-    fn step(self, world: &mut World) -> Step {
+    fn step(self, world: &mut World<L>) -> Step<L> {
         let PodInit { webid, started, phase } = self;
         match phase {
             PodInitPhase::Start => {
@@ -518,7 +518,7 @@ impl PodInit {
                 let build = {
                     let webid = webid.clone();
                     let root = root.clone();
-                    move |w: &World| {
+                    move |w: &World<L>| {
                         w.dex
                             .register_pod_tx(&w.chain, &owner_key, &webid, &root, envelope.clone())
                     }
@@ -544,17 +544,17 @@ impl PodInit {
                     started,
                     phase: PodInitPhase::Confirm(flow),
                 }),
-                |world: &mut World, res| Self::finish(world, webid.clone(), started, res)
+                |world: &mut World<L>, res| Self::finish(world, webid.clone(), started, res)
             ),
         }
     }
 
     fn finish(
-        world: &mut World,
+        world: &mut World<L>,
         webid: String,
         started: SimTime,
         res: Result<Receipt, OracleError>,
-    ) -> Step {
+    ) -> Step<L> {
         let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
             Ok(receipt) => receipt,
             Err(e) => return Step::Done(Err(e)),
@@ -580,7 +580,7 @@ impl PodInit {
 // -------------------------------------------------------------- process 2
 
 /// Process 2 — resource initiation.
-pub(crate) struct ResInit {
+pub(crate) struct ResInit<L> {
     webid: String,
     path: String,
     body: Option<Body>,
@@ -588,16 +588,16 @@ pub(crate) struct ResInit {
     metadata: Vec<(String, String)>,
     resource_iri: String,
     started: SimTime,
-    phase: ResInitPhase,
+    phase: ResInitPhase<L>,
 }
 
-enum ResInitPhase {
+enum ResInitPhase<L> {
     Start,
-    Confirm(TxFlow),
+    Confirm(TxFlow<L>),
 }
 
-impl ResInit {
-    fn step(self, world: &mut World) -> Step {
+impl<L: Ledger> ResInit<L> {
+    fn step(self, world: &mut World<L>) -> Step<L> {
         let ResInit {
             webid,
             path,
@@ -651,7 +651,7 @@ impl ResInit {
                 let build = {
                     let iri = resource_iri.clone();
                     let webid = webid.clone();
-                    move |w: &World| {
+                    move |w: &World<L>| {
                         w.dex.register_resource_tx(
                             &w.chain,
                             &owner_key,
@@ -694,7 +694,7 @@ impl ResInit {
                     started,
                     phase: ResInitPhase::Confirm(flow),
                 })),
-                |world: &mut World, res| Self::finish(
+                |world: &mut World<L>, res| Self::finish(
                     world,
                     webid.clone(),
                     resource_iri.clone(),
@@ -706,12 +706,12 @@ impl ResInit {
     }
 
     fn finish(
-        world: &mut World,
+        world: &mut World<L>,
         webid: String,
         resource_iri: String,
         started: SimTime,
         res: Result<Receipt, OracleError>,
-    ) -> Step {
+    ) -> Step<L> {
         let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
             Ok(receipt) => receipt,
             Err(e) => return Step::Done(Err(e)),
@@ -750,7 +750,7 @@ enum IndexingPhase {
 }
 
 impl Indexing {
-    fn step(self, world: &mut World) -> Step {
+    fn step<L: Ledger>(self, world: &mut World<L>) -> Step<L> {
         let Indexing { device, resource, started, phase } = self;
         let now = world.clock.now();
         let wrap = |phase| {
@@ -763,7 +763,7 @@ impl Indexing {
         };
         match phase {
             IndexingPhase::Start => {
-                let Some(dev) = world.devices.get(&device) else {
+                let Some(dev) = world.try_device(&device) else {
                     return Step::Done(Err(ProcessError::UnknownDevice(device)));
                 };
                 let dev_endpoint = dev.endpoint;
@@ -845,30 +845,30 @@ impl Indexing {
 // ---------------------------------------------------- market subscription
 
 /// Market subscription (prerequisite of process 4, cf. §II).
-pub(crate) struct Subscribe {
+pub(crate) struct Subscribe<L> {
     device: String,
     started: SimTime,
-    phase: SubscribePhase,
+    phase: SubscribePhase<L>,
 }
 
-enum SubscribePhase {
+enum SubscribePhase<L> {
     Start,
-    Confirm(TxFlow),
+    Confirm(TxFlow<L>),
 }
 
-impl Subscribe {
-    fn step(self, world: &mut World) -> Step {
+impl<L: Ledger> Subscribe<L> {
+    fn step(self, world: &mut World<L>) -> Step<L> {
         let Subscribe { device, started, phase } = self;
         match phase {
             SubscribePhase::Start => {
-                let Some(dev) = world.devices.get(&device) else {
+                let Some(dev) = world.try_device(&device) else {
                     return Step::Done(Err(ProcessError::UnknownDevice(device)));
                 };
                 let endpoint = dev.endpoint;
                 let key = dev.key;
                 let webid = dev.webid.clone();
                 let build =
-                    move |w: &World| w.dex.subscribe_tx(&w.chain, &key, &webid);
+                    move |w: &World<L>| w.dex.subscribe_tx(&w.chain, &key, &webid);
                 let (flow, poll) = TxFlow::start(world, endpoint, build);
                 match poll {
                     FlowPoll::Sleep(at) => Step::Sleep(
@@ -890,17 +890,17 @@ impl Subscribe {
                     started,
                     phase: SubscribePhase::Confirm(flow),
                 }),
-                |world: &mut World, res| Self::finish(world, device.clone(), started, res)
+                |world: &mut World<L>, res| Self::finish(world, device.clone(), started, res)
             ),
         }
     }
 
     fn finish(
-        world: &mut World,
+        world: &mut World<L>,
         device: String,
         started: SimTime,
         res: Result<Receipt, OracleError>,
-    ) -> Step {
+    ) -> Step<L> {
         let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
             Ok(receipt) => receipt,
             Err(e) => return Step::Done(Err(e)),
@@ -920,14 +920,14 @@ impl Subscribe {
 // -------------------------------------------------------------- process 4
 
 /// Process 4 — resource access into the TEE.
-pub(crate) struct Access {
+pub(crate) struct Access<L> {
     device: String,
     resource: String,
     started: SimTime,
-    phase: AccessPhase,
+    phase: AccessPhase<L>,
 }
 
-enum AccessPhase {
+enum AccessPhase<L> {
     Start,
     /// Request hop (device → pod manager), fault-aware.
     ToPod {
@@ -969,21 +969,21 @@ enum AccessPhase {
         enclave_key: PublicKey,
     },
     Confirm {
-        flow: TxFlow,
+        flow: TxFlow<L>,
         fetch: SimDuration,
         bytes_len: usize,
         dev_endpoint: EndpointId,
     },
 }
 
-impl Access {
+impl<L: Ledger> Access<L> {
     #[allow(clippy::too_many_lines)]
-    fn step(self, world: &mut World) -> Step {
+    fn step(self, world: &mut World<L>) -> Step<L> {
         let Access { device, resource, started, phase } = self;
         let now = world.clock.now();
         match phase {
             AccessPhase::Start => {
-                let Some(dev) = world.devices.get(&device) else {
+                let Some(dev) = world.try_device(&device) else {
                     return Step::Done(Err(ProcessError::UnknownDevice(device)));
                 };
                 let Some(entry) = dev.indexed.get(&resource).cloned() else {
@@ -1006,7 +1006,7 @@ impl Access {
                     ))));
                 };
 
-                let Some(owner) = world.owners.get(&entry.owner_webid) else {
+                let Some(owner) = world.try_owner(&entry.owner_webid) else {
                     return Step::Done(Err(ProcessError::UnknownOwner(entry.owner_webid)));
                 };
                 let owner_endpoint = owner.endpoint;
@@ -1218,7 +1218,7 @@ impl Access {
                     let key = dev.key;
                     let resource = resource.clone();
                     let device = device.clone();
-                    move |w: &World| {
+                    move |w: &World<L>| {
                         w.dex.register_copy_tx(
                             &w.chain,
                             &key,
@@ -1264,7 +1264,7 @@ impl Access {
                     started,
                     phase: AccessPhase::Confirm { flow, fetch, bytes_len, dev_endpoint },
                 })),
-                |world: &mut World, res| Self::finish(
+                |world: &mut World<L>, res| Self::finish(
                     world,
                     device.clone(),
                     resource.clone(),
@@ -1280,7 +1280,7 @@ impl Access {
 
     #[allow(clippy::too_many_arguments)]
     fn finish(
-        world: &mut World,
+        world: &mut World<L>,
         device: String,
         resource: String,
         started: SimTime,
@@ -1288,7 +1288,7 @@ impl Access {
         bytes_len: usize,
         dev_endpoint: EndpointId,
         res: Result<Receipt, OracleError>,
-    ) -> Step {
+    ) -> Step<L> {
         let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
             Ok(receipt) => receipt,
             Err(e) => {
@@ -1340,20 +1340,20 @@ impl Access {
 // -------------------------------------------------------------- process 5
 
 /// Process 5 — policy modification and push-out fan-out.
-pub(crate) struct PolicyMod {
+pub(crate) struct PolicyMod<L> {
     webid: String,
     path: String,
     started: SimTime,
-    phase: PolicyModPhase,
+    phase: PolicyModPhase<L>,
 }
 
-enum PolicyModPhase {
+enum PolicyModPhase<L> {
     Start {
         rules: Vec<Rule>,
         duties: Vec<Duty>,
     },
     Confirm {
-        flow: TxFlow,
+        flow: TxFlow<L>,
         resource_iri: String,
         version: u64,
     },
@@ -1373,8 +1373,8 @@ struct FanoutState {
     current: Option<(TxId, SimTime)>,
 }
 
-impl PolicyMod {
-    fn step(self, world: &mut World) -> Step {
+impl<L: Ledger> PolicyMod<L> {
+    fn step(self, world: &mut World<L>) -> Step<L> {
         let PolicyMod { webid, path, started, phase } = self;
         let now = world.clock.now();
         match phase {
@@ -1399,7 +1399,7 @@ impl PolicyMod {
                 let version = amended.version;
                 let build = {
                     let iri = resource_iri.clone();
-                    move |w: &World| {
+                    move |w: &World<L>| {
                         w.dex
                             .update_policy_tx(&w.chain, &owner_key, &iri, envelope.clone(), version)
                     }
@@ -1433,7 +1433,7 @@ impl PolicyMod {
                         version,
                     },
                 })),
-                |world: &mut World, res| Self::after_confirm(
+                |world: &mut World<L>, res| Self::after_confirm(
                     world,
                     webid.clone(),
                     path.clone(),
@@ -1560,14 +1560,14 @@ impl PolicyMod {
     /// Transition out of the confirm phase: record gas, claim this
     /// resource's push-out deliveries and start the fan-out.
     fn after_confirm(
-        world: &mut World,
+        world: &mut World<L>,
         webid: String,
         path: String,
         started: SimTime,
         resource_iri: String,
         version: u64,
         res: Result<Receipt, OracleError>,
-    ) -> Step {
+    ) -> Step<L> {
         let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
             Ok(receipt) => receipt,
             Err(e) => return Step::Done(Err(e)),
@@ -1628,11 +1628,11 @@ fn decode_policy_update(data: &[u8]) -> Option<(String, u64, duc_contracts::Poli
 // -------------------------------------------------------------- process 6
 
 /// Process 6 — policy monitoring round.
-pub(crate) struct Monitoring {
+pub(crate) struct Monitoring<L> {
     webid: String,
     path: String,
     started: SimTime,
-    phase: MonPhase,
+    phase: MonPhase<L>,
 }
 
 /// Context accumulated while a monitoring round runs.
@@ -1646,10 +1646,10 @@ struct MonCtx {
     submissions: usize,
 }
 
-enum MonPhase {
+enum MonPhase<L> {
     Open,
     OpenConfirm {
-        flow: TxFlow,
+        flow: TxFlow<L>,
         resource_iri: String,
         endpoint: EndpointId,
     },
@@ -1686,13 +1686,13 @@ enum MonPhase {
     },
     EvidenceConfirm {
         ctx: MonCtx,
-        flow: TxFlow,
+        flow: TxFlow<L>,
     },
 }
 
-impl Monitoring {
+impl<L: Ledger> Monitoring<L> {
     #[allow(clippy::too_many_lines)]
-    fn step(self, world: &mut World) -> Step {
+    fn step(self, world: &mut World<L>) -> Step<L> {
         let Monitoring { webid, path, started, phase } = self;
         let now = world.clock.now();
         let wrap = |phase| Machine::Monitoring(Box::new(Monitoring {
@@ -1703,7 +1703,7 @@ impl Monitoring {
         }));
         match phase {
             MonPhase::Open => {
-                let Some(owner) = world.owners.get(&webid) else {
+                let Some(owner) = world.try_owner(&webid) else {
                     return Step::Done(Err(ProcessError::UnknownOwner(webid)));
                 };
                 let endpoint = owner.endpoint;
@@ -1713,7 +1713,7 @@ impl Monitoring {
                 // Open the round.
                 let build = {
                     let iri = resource_iri.clone();
-                    move |w: &World| w.dex.start_monitoring_tx(&w.chain, &owner_key, &iri)
+                    move |w: &World<L>| w.dex.start_monitoring_tx(&w.chain, &owner_key, &iri)
                 };
                 let (flow, poll) = TxFlow::start(world, endpoint, build);
                 match poll {
@@ -1830,7 +1830,7 @@ impl Monitoring {
                     let Some(device_name) = ctx.expected.pop_front() else {
                         return Self::finish(world, webid, started, ctx);
                     };
-                    let Some(device) = world.devices.get(&device_name) else {
+                    let Some(device) = world.try_device(&device_name) else {
                         continue;
                     };
                     let dev_endpoint = device.endpoint;
@@ -1870,7 +1870,7 @@ impl Monitoring {
                 }
             },
             MonPhase::DeviceReport { mut ctx, device } => {
-                let Some(dev) = world.devices.get(&device) else {
+                let Some(dev) = world.try_device(&device) else {
                     return Monitoring {
                         webid,
                         path,
@@ -1902,7 +1902,7 @@ impl Monitoring {
                 let dev_endpoint = dev.endpoint;
                 let build = {
                     let key = dev.key;
-                    move |w: &World| w.dex.record_evidence_tx(&w.chain, &key, &submission)
+                    move |w: &World<L>| w.dex.record_evidence_tx(&w.chain, &key, &submission)
                 };
                 let (flow, poll) = TxFlow::start(world, dev_endpoint, build);
                 match poll {
@@ -1938,7 +1938,7 @@ impl Monitoring {
 
     /// The round-opening transaction confirmed: decode the round number and
     /// start the pull-in poll.
-    fn open_confirmed(self, world: &mut World, res: Result<Receipt, OracleError>) -> Step {
+    fn open_confirmed(self, world: &mut World<L>, res: Result<Receipt, OracleError>) -> Step<L> {
         let Monitoring { webid, path, started, phase } = self;
         let MonPhase::OpenConfirm { resource_iri, endpoint, .. } = phase else {
             unreachable!("open_confirmed called outside OpenConfirm")
@@ -1987,7 +1987,7 @@ impl Monitoring {
 
     /// One device's evidence transaction confirmed: account for it and move
     /// on to the next device.
-    fn evidence_confirmed(self, world: &mut World, res: Result<Receipt, OracleError>) -> Step {
+    fn evidence_confirmed(self, world: &mut World<L>, res: Result<Receipt, OracleError>) -> Step<L> {
         let Monitoring { webid, path, started, phase } = self;
         let MonPhase::EvidenceConfirm { mut ctx, .. } = phase else {
             unreachable!("evidence_confirmed called outside EvidenceConfirm")
@@ -2009,7 +2009,7 @@ impl Monitoring {
 
     /// Every expected device was visited: read the verdict, deliver it to
     /// the pod manager (push-out) and complete.
-    fn finish(world: &mut World, webid: String, started: SimTime, ctx: MonCtx) -> Step {
+    fn finish(world: &mut World<L>, webid: String, started: SimTime, ctx: MonCtx) -> Step<L> {
         let record = match world.dex.get_round(&world.chain, &ctx.resource_iri, ctx.round) {
             Ok(Some(record)) => record,
             Ok(None) => return Step::Done(Err(ProcessError::Policy("round vanished".into()))),
@@ -2073,17 +2073,17 @@ fn decode_round_closed(data: &[u8]) -> Option<(String, u64)> {
 /// Per-world driver bookkeeping: in-flight machines, wake queue, completed
 /// outcomes, and the shared push-out/pull-in inboxes that keep concurrent
 /// processes from stealing each other's events.
-pub(crate) struct DriverState {
+pub(crate) struct DriverState<L> {
     next_ticket: u64,
-    inflight: HashMap<u64, Machine>,
+    inflight: HashMap<u64, Machine<L>>,
     woken: Rc<RefCell<VecDeque<u64>>>,
     completed: VecDeque<(Ticket, Result<Outcome, ProcessError>)>,
     pub(crate) inbox: Vec<OutboundDelivery>,
     pub(crate) monitoring_inbox: Vec<(u64, Event)>,
 }
 
-impl DriverState {
-    pub(crate) fn new() -> DriverState {
+impl<L> DriverState<L> {
+    pub(crate) fn new() -> DriverState<L> {
         DriverState {
             next_ticket: 0,
             inflight: HashMap::new(),
@@ -2095,7 +2095,7 @@ impl DriverState {
     }
 }
 
-impl World {
+impl<L: Ledger> World<L> {
     /// Submits a request to the driver and returns its ticket immediately.
     ///
     /// Unknown owners/devices complete at once with a typed error (no

@@ -8,6 +8,7 @@
 //! semantics are unchanged while the same state machines also serve
 //! hundreds of concurrent in-flight requests.
 
+use duc_blockchain::Ledger;
 use duc_crypto::Digest;
 use duc_oracle::OracleError;
 use duc_policy::{AclMode, AgentSpec, Authorization, Duty, Rule, UsagePolicy};
@@ -137,7 +138,7 @@ pub struct MonitoringOutcome {
     pub duration: SimDuration,
 }
 
-impl World {
+impl<L: Ledger> World<L> {
     /// Submits `request` alone, drives the event loop to idle and returns
     /// its outcome (the one-shot wrapper shared by all six processes).
     fn run_one(&mut self, request: Request) -> Result<Outcome, ProcessError> {

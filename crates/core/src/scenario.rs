@@ -7,6 +7,7 @@
 //! university hospital — retains access to Bob's data when he narrows its
 //! purpose to academic pursuits.
 
+use duc_blockchain::Ledger;
 use duc_policy::{Action, Constraint, Duty, Purpose, Rule, UsagePolicy};
 use duc_sim::SimDuration;
 use duc_solid::Body;
@@ -57,11 +58,17 @@ pub struct ScenarioReport {
 /// Builds the two-party world of §II.
 pub fn build_world(config: WorldConfig) -> World {
     let mut world = World::new(config);
+    populate(&mut world);
+    world
+}
+
+/// Registers the two owners and two devices of §II on any backend (the
+/// conformance suite runs the scenario against every [`Ledger`]).
+pub fn populate<L: Ledger>(world: &mut World<L>) {
     world.add_owner(ALICE, "https://alice.pod/");
     world.add_owner(BOB, "https://bob.pod/");
     world.add_device(ALICE_DEVICE, ALICE);
     world.add_device(BOB_DEVICE, BOB);
-    world
 }
 
 /// Bob's medical policy: use for medical purposes only; log accesses.
@@ -94,7 +101,7 @@ pub fn browsing_policy(resource_iri: &str, retention_days: u64) -> UsagePolicy {
 /// # Errors
 /// Propagates the first process failure (a fault-free default world runs
 /// cleanly; fault-injected worlds may legitimately fail here).
-pub fn run(world: &mut World) -> Result<ScenarioReport, ProcessError> {
+pub fn run<L: Ledger>(world: &mut World<L>) -> Result<ScenarioReport, ProcessError> {
     // --- Registration (process 1 for both owners).
     world.pod_initiation(ALICE)?;
     world.pod_initiation(BOB)?;
@@ -204,7 +211,7 @@ pub fn run(world: &mut World) -> Result<ScenarioReport, ProcessError> {
     let browsing_monitoring = world.policy_monitoring(ALICE, BROWSING_PATH)?;
     let medical_monitoring = world.policy_monitoring(BOB, MEDICAL_PATH)?;
 
-    let total_gas: u64 = world.chain.gas_ledger().iter().map(|r| r.gas_used).sum();
+    let total_gas: u64 = world.chain.gas_used_total();
     Ok(ScenarioReport {
         medical_iri,
         browsing_iri,

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use duc_blockchain::{Address, Blockchain, ContractId};
+use duc_blockchain::{Address, Blockchain, ContractId, Ledger, ShardedLedger};
 use duc_contracts::{topics, DistExchange, DistExchangeClient, PolicyEnvelope, DEX_CONTRACT_ID};
 use duc_crypto::KeyPair;
 use duc_policy::{PolicyEngine, UsagePolicy};
@@ -35,6 +35,9 @@ pub struct WorldConfig {
     pub trace: bool,
     /// Genesis balance for every participant.
     pub initial_balance: u128,
+    /// Shard count for multi-chain backends ([`World::new_sharded`]);
+    /// single-chain worlds ignore it.
+    pub shards: usize,
 }
 
 impl Default for WorldConfig {
@@ -49,6 +52,7 @@ impl Default for WorldConfig {
             encrypt_policies: false,
             trace: false,
             initial_balance: 10_000_000_000,
+            shards: 1,
         }
     }
 }
@@ -104,8 +108,11 @@ pub struct Device {
     pub indexed: HashMap<String, IndexEntry>,
 }
 
-/// One simulated deployment of the whole architecture.
-pub struct World {
+/// One simulated deployment of the whole architecture, generic over the
+/// [`Ledger`] backend hosting the DE App. The default is the legacy
+/// single-chain backend ([`World::new`]); [`World::new_sharded`] builds the
+/// same deployment over a [`ShardedLedger`].
+pub struct World<L = Blockchain> {
     /// Deployment configuration.
     pub config: WorldConfig,
     /// Logical clock shared by every component.
@@ -114,8 +121,8 @@ pub struct World {
     pub net: NetworkModel,
     /// Seeded randomness.
     pub rng: Rng,
-    /// The blockchain hosting the DE App.
-    pub chain: Blockchain,
+    /// The ledger hosting the DE App.
+    pub chain: L,
     /// Typed DE App client.
     pub dex: DistExchangeClient,
     /// Push-in oracle (off-chain → chain transactions).
@@ -142,7 +149,7 @@ pub struct World {
     /// (shares this world's clock).
     pub sched: Scheduler,
     /// Non-blocking request driver bookkeeping (see [`crate::driver`]).
-    pub(crate) driver: crate::driver::DriverState,
+    pub(crate) driver: crate::driver::DriverState<L>,
     /// The declarative fault plan driving chaos runs (see
     /// [`World::set_fault_plan`]).
     fault_plan: FaultPlan,
@@ -159,25 +166,53 @@ pub struct World {
 }
 
 impl World {
-    /// Builds a deployment: chain + DE App + oracles, no participants yet.
+    /// Builds a deployment over the legacy single-chain backend: chain +
+    /// DE App + oracles, no participants yet.
     pub fn new(config: WorldConfig) -> World {
-        let mut chain = Blockchain::builder()
+        let chain = Blockchain::builder()
             .validators(config.validators)
             .block_interval(config.block_interval)
             .build();
-        chain.deploy(ContractId::new(DEX_CONTRACT_ID), Box::new(DistExchange));
+        World::with_ledger(config, chain)
+    }
+}
+
+impl World<ShardedLedger> {
+    /// Builds the same deployment over a [`ShardedLedger`] with
+    /// [`WorldConfig::shards`] independent chains, the DE App deployed and
+    /// initialized on each, and the DE App router installed
+    /// (`duc_contracts::routing`).
+    pub fn new_sharded(config: WorldConfig) -> World<ShardedLedger> {
+        let chain =
+            ShardedLedger::new(config.shards.max(1), config.validators, config.block_interval)
+                .with_router(duc_contracts::routing::dex_router());
+        World::with_ledger(config, chain)
+    }
+}
+
+impl<L: Ledger> World<L> {
+    /// Builds a deployment on a caller-supplied [`Ledger`] backend: deploys
+    /// the DE App on every shard, runs the per-shard market initialization,
+    /// and wires the oracles. For the single-chain backend this is
+    /// step-for-step the pre-trait constructor (byte-identical runs).
+    pub fn with_ledger(config: WorldConfig, mut chain: L) -> World<L> {
+        chain.deploy_with(ContractId::new(DEX_CONTRACT_ID), &|| Box::new(DistExchange));
         let dex = DistExchangeClient::new();
 
-        // Market initialization by a deployment admin.
+        // Market initialization by a deployment admin, once per shard.
         let admin = chain.create_funded_account(b"duc/market-admin", 1_000_000_000);
-        let init = dex.init_tx(
-            &chain,
-            &admin,
-            config.market_fee,
-            config.cert_validity.as_nanos(),
-            Address::from_seed(b"duc/market-treasury"),
-        );
-        chain.submit(init).expect("genesis init is valid");
+        let treasury = Address::from_seed(b"duc/market-treasury");
+        for shard in 0..chain.shard_count() {
+            let init = dex.init_tx_on(
+                &chain,
+                shard,
+                &admin,
+                config.market_fee,
+                config.cert_validity.as_nanos(),
+                treasury,
+            );
+            chain.submit_on(shard, init).expect("genesis init is valid");
+        }
         chain.advance_to(duc_sim::SimTime::ZERO + config.block_interval);
 
         let mut net = NetworkModel::new(config.link.clone());
@@ -231,6 +266,9 @@ impl World {
         let key = self
             .chain
             .create_funded_account(webid.as_bytes(), self.config.initial_balance);
+        // Sharded backends co-locate everything the owner anchors: resource
+        // IRIs under the pod root route to the owner's shard.
+        self.chain.register_route_alias(&pod_root, &webid);
         let endpoint = self.net.add_endpoint(format!("pod-manager:{webid}"));
         self.owners.insert(
             webid.clone(),
@@ -487,21 +525,35 @@ impl World {
         all
     }
 
+    /// Immutable owner lookup; `None` when the WebID is unknown. Internal
+    /// callers that can legitimately see unknown ids (the driver validates
+    /// requests against arbitrary input) use this instead of panicking.
+    pub fn try_owner(&self, webid: &str) -> Option<&Owner> {
+        self.owners.get(webid)
+    }
+
+    /// Immutable device lookup; `None` when the device name is unknown.
+    pub fn try_device(&self, device: &str) -> Option<&Device> {
+        self.devices.get(device)
+    }
+
     /// Immutable owner lookup.
     ///
     /// # Panics
     /// Panics when the owner is unknown — worlds are built by the test or
-    /// bench harness, so a missing participant is a harness bug.
+    /// bench harness, so a missing participant is a harness bug. Use
+    /// [`World::try_owner`] for ids that may legitimately be unknown.
     pub fn owner(&self, webid: &str) -> &Owner {
-        self.owners.get(webid).expect("unknown owner webid")
+        self.try_owner(webid).expect("unknown owner webid")
     }
 
     /// Immutable device lookup.
     ///
     /// # Panics
-    /// Panics when the device is unknown (harness bug).
+    /// Panics when the device is unknown (harness bug). Use
+    /// [`World::try_device`] for ids that may legitimately be unknown.
     pub fn device(&self, device: &str) -> &Device {
-        self.devices.get(device).expect("unknown device")
+        self.try_device(device).expect("unknown device")
     }
 }
 

@@ -4,46 +4,53 @@
 //!
 //! Reproducing a failure: every assertion message carries the
 //! `(world_seed, chaos_seed)` pair; rerun with
-//! `DUC_CHAOS_SEEDS=<world_seed>` (see README § chaos harness).
+//! `DUC_CHAOS_SEEDS=<world_seed>` (see README § chaos harness). Set
+//! `DUC_LEDGER_BACKEND=sharded` to run the identical matrix over the
+//! [`duc_blockchain::ShardedLedger`] backend (CI runs both).
 
-use duc_core::chaos;
+use duc_blockchain::Ledger;
+use duc_core::chaos::{self, fixed_link};
 use duc_core::prelude::*;
-use duc_sim::{LatencyModel, LinkConfig, SimDuration};
+use duc_sim::SimDuration;
 use proptest::prelude::*;
 
 const OWNER: &str = "https://owner.id/me";
 const PATH: &str = "data/set.bin";
 
-fn fixed_link(ms: u64) -> LinkConfig {
-    LinkConfig {
-        latency: LatencyModel::Constant(SimDuration::from_millis(ms)),
-        drop_probability: 0.0,
-        bandwidth_bps: Some(10_000_000),
+fn world_config(seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        link: fixed_link(10),
+        trace: true,
+        shards: 4,
+        ..WorldConfig::default()
     }
 }
 
-/// The shared chaos launch pad (`chaos::launch_pad`), with tracing on so
-/// fingerprints cover the hop-level event stream.
-fn market_world(n: usize, seed: u64) -> (World, String) {
-    chaos::launch_pad(
-        OWNER,
-        PATH,
-        n,
-        WorldConfig {
-            seed,
-            link: fixed_link(10),
-            trace: true,
-            ..WorldConfig::default()
-        },
-    )
+/// Whether the matrix runs over the sharded backend
+/// (`DUC_LEDGER_BACKEND=sharded`; `single`/unset select the legacy chain).
+/// Any other value panics so a typo cannot silently test the wrong
+/// backend.
+fn sharded_backend() -> bool {
+    match std::env::var("DUC_LEDGER_BACKEND") {
+        Err(_) => false,
+        Ok(v) if v.eq_ignore_ascii_case("single") => false,
+        Ok(v) if v.eq_ignore_ascii_case("sharded") => true,
+        Ok(v) => panic!("DUC_LEDGER_BACKEND must be \"single\" or \"sharded\", got {v:?}"),
+    }
 }
 
-/// One chaos run: a seeded random fault plan against a mixed batch of `n`
-/// concurrent accesses plus two monitoring rounds. Returns the run
-/// fingerprint and the ok/failed split. Panics (with the seeds) on any
-/// violated invariant or unresolved ticket.
-fn chaos_run(world_seed: u64, chaos_seed: u64, n: usize) -> (String, usize, usize) {
-    let (mut world, resource) = market_world(n, world_seed);
+/// One chaos run on `world`: a seeded random fault plan against a mixed
+/// batch of `n` concurrent accesses plus two monitoring rounds. Returns
+/// the run fingerprint and the ok/failed split. Panics (with the seeds) on
+/// any violated invariant or unresolved ticket.
+fn chaos_run_in<L: Ledger>(
+    world: World<L>,
+    world_seed: u64,
+    chaos_seed: u64,
+    n: usize,
+) -> (String, usize, usize) {
+    let (mut world, resource) = chaos::launch_pad_in(world, OWNER, PATH, n);
     // Windows open within 15 s of submission, squarely over the batch's
     // active phase, so most plans genuinely hit in-flight hops.
     let plan = chaos::random_plan(&world, chaos_seed, SimDuration::from_secs(15), 5);
@@ -57,6 +64,21 @@ fn chaos_run(world_seed: u64, chaos_seed: u64, n: usize) -> (String, usize, usiz
         "world_seed={world_seed} chaos_seed={chaos_seed}: not every ticket resolved"
     );
     (chaos::fingerprint(&mut world), run.ok, run.failed)
+}
+
+/// Dispatches one chaos run onto the backend selected by
+/// `DUC_LEDGER_BACKEND`.
+fn chaos_run(world_seed: u64, chaos_seed: u64, n: usize) -> (String, usize, usize) {
+    if sharded_backend() {
+        chaos_run_in(
+            World::new_sharded(world_config(world_seed)),
+            world_seed,
+            chaos_seed,
+            n,
+        )
+    } else {
+        chaos_run_in(World::new(world_config(world_seed)), world_seed, chaos_seed, n)
+    }
 }
 
 /// The CI chaos gate: a small fixed seed matrix (overridable via
@@ -83,15 +105,12 @@ fn chaos_seed_matrix_resolves_and_replays() {
 /// — recovery, not just typed failure.
 #[test]
 fn healing_faults_still_complete_some_work() {
-    let (mut world, resource) = market_world(4, 9);
+    let (mut world, resource) = chaos::launch_pad_in(World::new(world_config(9)), OWNER, PATH, 4);
     let dev = world.device("device-0").endpoint;
     let relay = world.push_in.relay;
-    let now = world.clock.now();
-    // A crash window over the device and a partition on its uplink, both
-    // healing after 8 s; accesses suspend and resume.
-    let plan = duc_sim::FaultPlan::none()
-        .crash(dev, now, now + SimDuration::from_secs(8))
-        .partition(dev, relay, now + SimDuration::from_secs(8), now + SimDuration::from_secs(12));
+    // The canonical healing plan: a crash window over the device and a
+    // partition on its uplink, both healing; accesses suspend and resume.
+    let plan = chaos::healing_plan(world.clock.now(), dev, relay);
     let batch = chaos::mixed_batch(OWNER, PATH, &resource, 4);
     let run = chaos::run_chaos(&mut world, batch, plan).expect("invariants hold");
     assert_eq!(run.ok, run.outcomes.len(), "every request recovered: {:?}", run.outcomes);

@@ -1,0 +1,154 @@
+//! Backend-conformance suite: the same scenario matrix and the same chaos
+//! plans run against every [`Ledger`] backend — the legacy [`SingleChain`]
+//! and the [`ShardedLedger`] — and the shared architecture invariants
+//! (`duc_core::chaos::check_invariants`: certificates verify, TEE↔registry
+//! copy consistency, gas conservation, cursors ≤ height) must hold on each.
+//!
+//! Timing differs across backends (that is the point of sharding), so the
+//! suite compares *outcomes* — what happened — not fingerprints, which are
+//! only required to replay byte-identically within one backend.
+
+use duc_blockchain::Ledger;
+use duc_core::chaos::{self, fixed_link};
+use duc_core::prelude::*;
+use duc_core::scenario;
+use duc_sim::SimDuration;
+
+const OWNER: &str = "https://owner.id/me";
+const PATH: &str = "data/set.bin";
+
+fn config(seed: u64, shards: usize) -> WorldConfig {
+    WorldConfig {
+        seed,
+        link: fixed_link(10),
+        trace: true,
+        shards,
+        ..WorldConfig::default()
+    }
+}
+
+/// The §II scenario — the seed process matrix (all six processes plus the
+/// market subscription) — must play out identically on any backend.
+fn scenario_on<L: Ledger>(mut world: World<L>) -> (scenario::ScenarioReport, World<L>) {
+    scenario::populate(&mut world);
+    let report = scenario::run(&mut world).expect("fault-free scenario runs on every backend");
+    (report, world)
+}
+
+#[test]
+fn scenario_matrix_is_backend_agnostic() {
+    let (single, single_world) = scenario_on(World::new(config(7, 1)));
+    let (sharded, world) = scenario_on(World::new_sharded(config(7, 4)));
+
+    // The observable outcome of every process is identical.
+    assert_eq!(single.medical_iri, sharded.medical_iri);
+    assert_eq!(single.browsing_iri, sharded.browsing_iri);
+    assert_eq!(single.alice_got_bytes, sharded.alice_got_bytes);
+    assert_eq!(single.bob_got_bytes, sharded.bob_got_bytes);
+    assert_eq!(single.bob_copy_deleted, sharded.bob_copy_deleted);
+    assert_eq!(single.alice_still_permitted, sharded.alice_still_permitted);
+    assert_eq!(
+        single.browsing_monitoring.violators,
+        sharded.browsing_monitoring.violators
+    );
+    assert_eq!(
+        single.medical_monitoring.evidence,
+        sharded.medical_monitoring.evidence
+    );
+    // Per-method gas matches: the same scenario transactions executed,
+    // just spread over more chains. (`init` is excluded — multi-chain
+    // genesis runs it once per shard by design.)
+    let gas_single = single_world.chain.gas_by_method();
+    let gas_sharded = world.chain.gas_by_method();
+    for (key, row) in &gas_single {
+        if key.1 == "init" {
+            continue;
+        }
+        assert_eq!(gas_sharded.get(key), Some(row), "gas drifted for {key:?}");
+    }
+
+    // The invariant sweep holds on the sharded world too.
+    chaos::check_invariants(&world).expect("invariants on sharded backend");
+    world.chain.validate_chains().expect("every shard validates");
+}
+
+#[test]
+fn sharded_world_routes_disjoint_owners_to_disjoint_shards() {
+    let mut world = World::new_sharded(config(11, 4));
+    for i in 0..6 {
+        world.add_owner(format!("https://o{i}.id/me"), format!("https://o{i}.pod/"));
+    }
+    let mut resources = Vec::new();
+    for i in 0..6 {
+        let owner = format!("https://o{i}.id/me");
+        world.pod_initiation(&owner).expect("pod init");
+        let resource = world
+            .resource_initiation(
+                &owner,
+                "data/r.bin",
+                duc_solid::Body::Binary(vec![0x5A; 1 << 10]),
+                UsagePolicy::default_for(format!("https://o{i}.pod/data/r.bin"), &owner),
+                vec![],
+            )
+            .expect("resource init");
+        resources.push(resource);
+    }
+    let heights = world.chain.shard_heights();
+    let busy = heights.iter().filter(|h| **h > 0).count();
+    assert!(busy >= 2, "6 disjoint owners spread over shards: {heights:?}");
+    // Every resource resolves through its routed view.
+    for (i, resource) in resources.iter().enumerate() {
+        let record = world
+            .dex
+            .lookup_resource(&world.chain, resource)
+            .expect("routed view")
+            .expect("registered");
+        assert_eq!(record.owner_webid, format!("https://o{i}.id/me"));
+    }
+    // The merged resource list spans every shard.
+    let all = world.dex.list_resources(&world.chain).expect("fan-out view");
+    assert_eq!(all.len(), 6);
+    chaos::check_invariants(&world).expect("invariants");
+}
+
+/// One fixed, hand-written chaos plan (a crash window plus a partition that
+/// both heal) and one seeded random plan, thrown at both backends.
+fn chaos_against<L: Ledger>(world: World<L>, chaos_seed: u64) -> (usize, usize, World<L>) {
+    let (mut world, resource) = chaos::launch_pad_in(world, OWNER, PATH, 4);
+    let dev = world.device("device-0").endpoint;
+    let relay = world.push_in.relay;
+    let fixed = chaos::healing_plan(world.clock.now(), dev, relay);
+    let batch = chaos::mixed_batch(OWNER, PATH, &resource, 4);
+    let run = chaos::run_chaos(&mut world, batch, fixed).expect("fixed-plan invariants");
+    assert_eq!(run.ok + run.failed, run.outcomes.len());
+
+    let random = chaos::random_plan(&world, chaos_seed, SimDuration::from_secs(15), 5);
+    let batch = chaos::mixed_batch(OWNER, PATH, &resource, 4);
+    let run2 = chaos::run_chaos(&mut world, batch, random).expect("random-plan invariants");
+    (run.ok + run2.ok, run.failed + run2.failed, world)
+}
+
+#[test]
+fn chaos_plans_hold_invariants_on_both_backends() {
+    let (ok_single, failed_single, _) = chaos_against(World::new(config(21, 1)), 99);
+    let (ok_sharded, failed_sharded, world) = chaos_against(World::new_sharded(config(21, 4)), 99);
+    // Both backends resolve every ticket (12 = 2 × (4 accesses + 2
+    // rounds)); the split may differ because timing differs.
+    assert_eq!(ok_single + failed_single, 12);
+    assert_eq!(ok_sharded + failed_sharded, 12);
+    world.chain.validate_chains().expect("shards validate after chaos");
+}
+
+#[test]
+fn sharded_runs_replay_byte_identically() {
+    let run = |seed: u64| {
+        let (mut world, resource) =
+            chaos::launch_pad_in(World::new_sharded(config(seed, 4)), OWNER, PATH, 4);
+        let plan = chaos::random_plan(&world, seed.wrapping_mul(31), SimDuration::from_secs(15), 5);
+        let batch = chaos::mixed_batch(OWNER, PATH, &resource, 4);
+        chaos::run_chaos(&mut world, batch, plan).expect("invariants");
+        chaos::fingerprint(&mut world)
+    };
+    assert_eq!(run(42), run(42), "identically-seeded sharded runs replay");
+    assert_ne!(run(42), run(43), "different seeds diverge");
+}

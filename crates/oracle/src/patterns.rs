@@ -1,7 +1,7 @@
 //! The four oracle patterns.
 
 use duc_blockchain::{
-    Blockchain, ContractError, Event, Receipt, SignedTransaction, SubmitError, TxId,
+    ContractError, Event, Ledger, Receipt, SignedTransaction, SubmitError, TxId,
 };
 use duc_codec::encode_to_vec;
 use duc_sim::{Clock, EndpointId, NetworkModel, Rng, SimDuration, SimTime};
@@ -130,23 +130,21 @@ pub enum InclusionStatus {
 /// schedules a wake-up at `retry_at` and re-polls, so hundreds of in-flight
 /// processes can wait for inclusion concurrently without serializing on the
 /// clock.
-pub fn poll_inclusion(
-    chain: &mut Blockchain,
+pub fn poll_inclusion<L: Ledger>(
+    chain: &mut L,
     now: SimTime,
     id: &TxId,
     deadline: SimTime,
 ) -> InclusionStatus {
     chain.advance_to(now);
     if let Some(receipt) = chain.receipt(id) {
-        return InclusionStatus::Included(receipt.clone());
+        return InclusionStatus::Included(receipt);
     }
     if now >= deadline {
         return InclusionStatus::TimedOut { deadline };
     }
-    let step = chain.block_interval().as_nanos().max(1);
-    let next = (now.as_nanos() / step + 1) * step;
     InclusionStatus::Pending {
-        retry_at: SimTime::from_nanos(next.min(deadline.as_nanos())),
+        retry_at: chain.next_slot_at(now).min(deadline),
     }
 }
 
@@ -156,8 +154,8 @@ pub fn poll_inclusion(
 /// # Errors
 /// [`OracleError::InclusionTimeout`] when the deadline passes — e.g. when
 /// crashed proposers stall the chain (robustness experiment E8).
-pub fn await_inclusion(
-    chain: &mut Blockchain,
+pub fn await_inclusion<L: Ledger>(
+    chain: &mut L,
     clock: &Clock,
     id: &TxId,
     timeout: SimDuration,
@@ -232,9 +230,9 @@ impl PushInOracle {
     /// # Errors
     /// [`OracleError::NetworkDropped`] after all attempts fail,
     /// [`OracleError::Rejected`] when the chain refuses the transaction.
-    pub fn submit(
+    pub fn submit<L: Ledger>(
         &mut self,
-        chain: &mut Blockchain,
+        chain: &mut L,
         net: &mut NetworkModel,
         clock: &Clock,
         rng: &mut Rng,
@@ -263,9 +261,9 @@ impl PushInOracle {
     /// # Errors
     /// Any error of [`PushInOracle::submit`] or [`await_inclusion`].
     #[allow(clippy::too_many_arguments)] // the full blocking conveniences
-    pub fn submit_and_confirm(
+    pub fn submit_and_confirm<L: Ledger>(
         &mut self,
-        chain: &mut Blockchain,
+        chain: &mut L,
         net: &mut NetworkModel,
         clock: &Clock,
         rng: &mut Rng,
@@ -335,9 +333,9 @@ impl PushOutOracle {
     /// messages are counted and omitted (at-most-once delivery, like a
     /// plain webhook relay — the monitoring process tolerates this by
     /// re-polling).
-    pub fn drain(
+    pub fn drain<L: Ledger>(
         &mut self,
-        chain: &Blockchain,
+        chain: &L,
         net: &mut NetworkModel,
         clock: &Clock,
         rng: &mut Rng,
@@ -450,9 +448,9 @@ impl PullOutOracle {
     /// [`OracleError::NetworkDropped`] on either hop,
     /// [`OracleError::View`] when the contract rejects the call.
     #[allow(clippy::too_many_arguments)] // the full blocking convenience
-    pub fn read(
+    pub fn read<L: Ledger>(
         &mut self,
-        chain: &Blockchain,
+        chain: &L,
         net: &mut NetworkModel,
         clock: &Clock,
         rng: &mut Rng,
@@ -520,9 +518,11 @@ impl PullInOracle {
     /// advanced here — the caller commits it with
     /// [`PullInOracle::commit_cursor`] once the response hop actually
     /// arrives, so a lost response never strands events behind the cursor.
-    pub fn collect_requests(&self, chain: &Blockchain) -> (Vec<(u64, Event)>, u64, u64) {
-        let events: Vec<(u64, Event)> = chain
-            .events_since(self.cursor)
+    pub fn collect_requests<L: Ledger>(&self, chain: &L) -> (Vec<(u64, Event)>, u64, u64) {
+        let fresh = chain.events_since(self.cursor);
+        let cursor_to = fresh.iter().map(|(h, _)| *h).max().unwrap_or(self.cursor);
+        let events: Vec<(u64, Event)> = fresh
+            .iter()
             .filter(|(_, e)| e.topic == self.topic)
             .cloned()
             .collect();
@@ -531,11 +531,6 @@ impl PullInOracle {
             .map(|(_, e)| e.data.len() as u64 + 64)
             .sum::<u64>()
             .max(32);
-        let cursor_to = chain
-            .events_since(self.cursor)
-            .map(|(h, _)| *h)
-            .max()
-            .unwrap_or(self.cursor);
         (events, response_size, cursor_to)
     }
 
@@ -563,9 +558,9 @@ impl PullInOracle {
     ///
     /// # Errors
     /// [`OracleError::NetworkDropped`] when the poll round-trip is lost.
-    pub fn poll_requests(
+    pub fn poll_requests<L: Ledger>(
         &mut self,
-        chain: &Blockchain,
+        chain: &L,
         net: &mut NetworkModel,
         clock: &Clock,
         rng: &mut Rng,
@@ -603,7 +598,7 @@ pub fn encode_args<T: duc_codec::Encode>(args: &T) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use duc_blockchain::{CallCtx, Contract, ContractError, ContractId};
+    use duc_blockchain::{Blockchain, CallCtx, Contract, ContractError, ContractId};
     use duc_codec::decode_from_slice;
     use duc_sim::{LatencyModel, LinkConfig};
 
