@@ -16,7 +16,13 @@ fn chain_with_dex() -> (Blockchain, duc_crypto::KeyPair, DistExchangeClient) {
     chain.deploy(ContractId::new(DEX_CONTRACT_ID), Box::new(DistExchange));
     let admin = chain.create_funded_account(b"admin", u64::MAX as u128);
     let dex = DistExchangeClient::new();
-    let init = dex.init_tx(&chain, &admin, 1, 1 << 40, duc_blockchain::Address::from_seed(b"t"));
+    let init = dex.init_tx(
+        &chain,
+        &admin,
+        1,
+        1 << 40,
+        duc_blockchain::Address::from_seed(b"t"),
+    );
     chain.submit(init).expect("init");
     chain.advance_to(SimTime::from_secs(2));
     (chain, admin, dex)
@@ -53,7 +59,13 @@ fn bench_chain_throughput(c: &mut Criterion) {
     // Read-only view call against a populated index.
     let (mut chain, admin, dex) = chain_with_dex();
     let policy = UsagePolicy::default_for("urn:r", "https://o.id/me");
-    let tx = dex.register_pod_tx(&chain, &admin, "https://o.id/me", "https://o.pod/", PolicyEnvelope::plain(&policy));
+    let tx = dex.register_pod_tx(
+        &chain,
+        &admin,
+        "https://o.id/me",
+        "https://o.pod/",
+        PolicyEnvelope::plain(&policy),
+    );
     chain.submit(tx).expect("mempool");
     for i in 0..200 {
         let iri = format!("https://o.pod/r{i}");
@@ -101,7 +113,11 @@ fn bench_processes(c: &mut Criterion) {
                     world.add_device(format!("d{i}"), format!("https://c{i}.id/me"));
                 }
                 world.pod_initiation("https://o.id/me").expect("pod");
-                let iri = world.owner("https://o.id/me").pod_manager.pod().iri_of("data/x");
+                let iri = world
+                    .owner("https://o.id/me")
+                    .pod_manager
+                    .pod()
+                    .iri_of("data/x");
                 let policy = UsagePolicy::default_for(iri.clone(), "https://o.id/me");
                 let resource = world
                     .resource_initiation(

@@ -23,7 +23,9 @@ fn bench_hashing(c: &mut Criterion) {
     });
     let cipher = ChaCha20::new([7; 32], [9; 12]);
     group.throughput(Throughput::Bytes(64 * 1024));
-    group.bench_function("chacha20/64KiB", |b| b.iter(|| cipher.encrypt(black_box(&data_64k))));
+    group.bench_function("chacha20/64KiB", |b| {
+        b.iter(|| cipher.encrypt(black_box(&data_64k)))
+    });
     group.finish();
 }
 
@@ -62,7 +64,9 @@ fn bench_codec(c: &mut Criterion) {
         .collect();
     let bytes = encode_to_vec(&value);
     group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("encode/64-records", |b| b.iter(|| encode_to_vec(black_box(&value))));
+    group.bench_function("encode/64-records", |b| {
+        b.iter(|| encode_to_vec(black_box(&value)))
+    });
     group.bench_function("decode/64-records", |b| {
         b.iter(|| {
             decode_from_slice::<Vec<(u64, String, Option<u64>)>>(black_box(&bytes)).expect("ok")

@@ -86,8 +86,7 @@ fn main() {
     }
     if json {
         let document = json_document(&mut cache);
-        std::fs::write(JSON_PATH, document)
-            .unwrap_or_else(|e| panic!("writing {JSON_PATH}: {e}"));
+        std::fs::write(JSON_PATH, document).unwrap_or_else(|e| panic!("writing {JSON_PATH}: {e}"));
         eprintln!("wrote {JSON_PATH}");
     }
 }
@@ -151,7 +150,10 @@ fn backend_rows(table: &Table) -> String {
         return String::new();
     };
     let numeric = |row: &[String], idx: Option<usize>| -> String {
-        json_number(idx.and_then(|i| row.get(i)).and_then(|c| c.trim().parse().ok()))
+        json_number(
+            idx.and_then(|i| row.get(i))
+                .and_then(|c| c.trim().parse().ok()),
+        )
     };
     let mut out = String::from(",\n        \"backends\": [\n");
     for (i, row) in table.rows().iter().enumerate() {

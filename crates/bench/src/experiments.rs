@@ -109,7 +109,9 @@ pub fn e1_pod_initiation() -> Vec<Table> {
             // a block boundary.
             let offset = world.rng.gen_range(2_000);
             world.advance(SimDuration::from_millis(offset));
-            world.pod_initiation(&format!("https://o{i}.id/me")).expect("init");
+            world
+                .pod_initiation(&format!("https://o{i}.id/me"))
+                .expect("init");
         }
         let gas = world.metrics.counter("process.pod_init.gas") / 20;
         let h = world.metrics.histogram_mut("process.pod_init.e2e");
@@ -186,7 +188,12 @@ pub fn e2_resource_initiation() -> Vec<Table> {
 pub fn e3_indexing() -> Vec<Table> {
     let mut table = Table::new(
         "E3 · resource indexing (Fig 2.3) — pull-out read vs index size",
-        &["index size", "lookup mean ms", "lookup p95 ms", "state slots"],
+        &[
+            "index size",
+            "lookup mean ms",
+            "lookup p95 ms",
+            "state slots",
+        ],
     );
     for index_size in [10usize, 100, 500] {
         let mut world = World::new(WorldConfig {
@@ -268,7 +275,14 @@ pub fn e4_access() -> Vec<Table> {
 pub fn e5_propagation() -> Vec<Table> {
     let mut table = Table::new(
         "E5 · policy modification (Fig 2.5) — push-out fan-out",
-        &["devices", "notified", "mean prop ms", "max prop ms", "e2e ms", "deletions"],
+        &[
+            "devices",
+            "notified",
+            "mean prop ms",
+            "max prop ms",
+            "e2e ms",
+            "deletions",
+        ],
     );
     for n in [1usize, 4, 16, 64] {
         let (mut world, _resource) = world_with_copies(n, 4 << 10, 5);
@@ -287,7 +301,9 @@ pub fn e5_propagation() -> Vec<Table> {
             .iter()
             .filter(|(_, a)| matches!(a, duc_tee::EnforcementAction::Deleted { .. }))
             .count();
-        let h = world.metrics.histogram_mut("process.policy_mod.propagation");
+        let h = world
+            .metrics
+            .histogram_mut("process.policy_mod.propagation");
         table.row(vec![
             n.to_string(),
             outcome.devices_notified.to_string(),
@@ -306,7 +322,14 @@ pub fn e5_propagation() -> Vec<Table> {
 pub fn e6_monitoring() -> Vec<Table> {
     let mut table = Table::new(
         "E6 · policy monitoring (Fig 2.6) — round scaling with injected violators",
-        &["devices", "violators injected", "detected", "round ms", "evidence bytes", "gas"],
+        &[
+            "devices",
+            "violators injected",
+            "detected",
+            "round ms",
+            "evidence bytes",
+            "gas",
+        ],
     );
     for n in [1usize, 4, 16, 64] {
         let (mut world, _resource) = world_with_copies(n, 4 << 10, 6);
@@ -318,7 +341,9 @@ pub fn e6_monitoring() -> Vec<Table> {
         }
         world.advance(SimDuration::from_days(8)); // past the 7-day bound
         let gas_before = world.metrics.counter("process.monitoring.gas");
-        let outcome = world.policy_monitoring(OWNER, "data/set.bin").expect("round");
+        let outcome = world
+            .policy_monitoring(OWNER, "data/set.bin")
+            .expect("round");
         let gas = world.metrics.counter("process.monitoring.gas") - gas_before;
         table.row(vec![
             n.to_string(),
@@ -364,9 +389,15 @@ pub fn e7_gas_table() -> Vec<Table> {
         "process.policy_mod.gas",
         "process.monitoring.gas",
     ] {
-        per_process.row(vec![key.to_string(), world.metrics.counter(key).to_string()]);
+        per_process.row(vec![
+            key.to_string(),
+            world.metrics.counter(key).to_string(),
+        ]);
     }
-    per_process.row(vec!["scenario total".to_string(), report.total_gas.to_string()]);
+    per_process.row(vec![
+        "scenario total".to_string(),
+        report.total_gas.to_string(),
+    ]);
     vec![per_method, per_process]
 }
 
@@ -407,7 +438,10 @@ fn e8_fault_plans(world: &World, n_devices: usize) -> Vec<(&'static str, FaultPl
                 plan.partition(dev(i), relay, t0, t0 + s(20))
             }),
         ),
-        ("30% uplink loss 0–60 s", lossy_uplinks(FaultPlan::none(), 300)),
+        (
+            "30% uplink loss 0–60 s",
+            lossy_uplinks(FaultPlan::none(), 300),
+        ),
         (
             "validator stall 3/5 0–30 s",
             (0..3).fold(FaultPlan::none(), |plan, i| {
@@ -459,7 +493,11 @@ pub fn e8_robustness() -> Vec<Table> {
         let requests = batch.len();
         let run = duc_core::chaos::run_chaos(&mut world, batch, plan)
             .unwrap_or_else(|e| panic!("E8a plan {label:?}: {e}"));
-        assert_eq!(run.outcomes.len(), requests, "every ticket resolves under {label:?}");
+        assert_eq!(
+            run.outcomes.len(),
+            requests,
+            "every ticket resolves under {label:?}"
+        );
         // Surface the network counters through the metrics registry; the
         // row is read back from the registry and cross-checked against the
         // model's own counters.
@@ -496,7 +534,14 @@ pub fn e8_robustness() -> Vec<Table> {
     // plans — completion statistics over the seed matrix.
     let mut sweep = Table::new(
         "E8b · seeded random chaos — completion under random fault plans (6 devices)",
-        &["chaos seed", "ok", "gave up", "hop drops", "suspends", "makespan ms"],
+        &[
+            "chaos seed",
+            "ok",
+            "gave up",
+            "hop drops",
+            "suspends",
+            "makespan ms",
+        ],
     );
     for chaos_seed in [2u64, 5, 9, 14, 17] {
         let (mut world, resource) = world_with_market(6, 81);
@@ -572,7 +617,9 @@ pub fn e8_robustness() -> Vec<Table> {
         };
         forged.signature = duc_crypto::KeyPair::from_seed(b"mallory").sign(&forged.signing_bytes());
         let dev_key = world.device("device-0").key;
-        let tx = world.dex.record_evidence_tx(&world.chain, &dev_key, &forged);
+        let tx = world
+            .dex
+            .record_evidence_tx(&world.chain, &dev_key, &forged);
         let id = world.chain.submit(tx).expect("mempool");
         world.advance(SimDuration::from_secs(2));
         let status = world.chain.receipt(&id).map(|r| r.status.clone());
@@ -620,7 +667,12 @@ pub fn e8_robustness() -> Vec<Table> {
 pub fn e9_privacy() -> Vec<Table> {
     let mut enc = Table::new(
         "E9a · encrypted vs plaintext on-chain policies",
-        &["mode", "register gas", "update gas", "policy readable from ledger"],
+        &[
+            "mode",
+            "register gas",
+            "update gas",
+            "policy readable from ledger",
+        ],
     );
     for encrypt in [false, true] {
         let mut world = World::new(WorldConfig {
@@ -658,8 +710,15 @@ pub fn e9_privacy() -> Vec<Table> {
             .expect("record");
         let readable = record.policy.open_plain().is_ok();
         enc.row(vec![
-            if encrypt { "encrypted".into() } else { "plaintext".to_string() },
-            world.metrics.counter("process.resource_init.gas").to_string(),
+            if encrypt {
+                "encrypted".into()
+            } else {
+                "plaintext".to_string()
+            },
+            world
+                .metrics
+                .counter("process.resource_init.gas")
+                .to_string(),
             world.metrics.counter("process.policy_mod.gas").to_string(),
             readable.to_string(),
         ]);
@@ -681,7 +740,10 @@ pub fn e9_privacy() -> Vec<Table> {
                 .access(&resource, Action::Read, Purpose::any(), now)
                 .expect("local access");
         }
-        locality.row(vec!["TEE local re-access".into(), ms(world.clock.now() - t0)]);
+        locality.row(vec![
+            "TEE local re-access".into(),
+            ms(world.clock.now() - t0),
+        ]);
         // Re-fetch from the pod over the network.
         let t0 = world.clock.now();
         PlainSolidBaseline::access(&mut world, "device-0", OWNER, "data/set.bin").expect("fetch");
@@ -703,8 +765,8 @@ pub fn e10_baseline() -> Vec<Table> {
         let mut m = world.metrics.clone();
         let full = m.histogram_mut("process.access.e2e").mean();
         let fetch_only = m.histogram_mut("process.access.fetch").mean();
-        let plain =
-            PlainSolidBaseline::access(&mut world, "device-0", OWNER, "data/set.bin").expect("plain");
+        let plain = PlainSolidBaseline::access(&mut world, "device-0", OWNER, "data/set.bin")
+            .expect("plain");
         access.row(vec!["plain Solid GET".into(), ms(plain), "none".into()]);
         access.row(vec![
             "usage-control fetch (pod hop only)".into(),
@@ -721,7 +783,13 @@ pub fn e10_baseline() -> Vec<Table> {
 
     let mut monitor = Table::new(
         "E10b · monitoring: on-chain round vs centralized polling (16 devices)",
-        &["variant", "duration ms", "bytes", "violators found", "tamper-proof evidence"],
+        &[
+            "variant",
+            "duration ms",
+            "bytes",
+            "violators found",
+            "tamper-proof evidence",
+        ],
     );
     {
         let (mut world, _resource) = world_with_copies(16, 4 << 10, 101);
@@ -729,7 +797,9 @@ pub fn e10_baseline() -> Vec<Table> {
             world.set_rogue_host(format!("device-{i}"), true);
         }
         world.advance(SimDuration::from_days(8));
-        let onchain = world.policy_monitoring(OWNER, "data/set.bin").expect("round");
+        let onchain = world
+            .policy_monitoring(OWNER, "data/set.bin")
+            .expect("round");
         monitor.row(vec![
             "on-chain monitoring (process 6)".into(),
             ms(onchain.duration),
@@ -801,16 +871,21 @@ pub fn e11_enforcement() -> Vec<Table> {
         // The owner updates on-chain only (no push-out fan-out): build and
         // confirm the update transaction directly.
         let owner_key = world.owner(OWNER).key;
-        let policy = world.owner(OWNER).pod_manager.policy_for("data/set.bin").expect("policy");
+        let policy = world
+            .owner(OWNER)
+            .pod_manager
+            .policy_for("data/set.bin")
+            .expect("policy");
         let amended = policy.amended(
             vec![Rule::permit([Action::Use])
                 .with_constraint(Constraint::MaxRetention(SimDuration::ZERO))],
             vec![Duty::DeleteWithin(SimDuration::ZERO)],
         );
         let env = world.envelope(&amended);
-        let tx = world
-            .dex
-            .update_policy_tx(&world.chain, &owner_key, &resource, env, amended.version);
+        let tx =
+            world
+                .dex
+                .update_policy_tx(&world.chain, &owner_key, &resource, env, amended.version);
         world.chain.submit(tx).expect("mempool");
         world.advance(SimDuration::from_secs(2));
         let update_time = world.clock.now();
@@ -826,7 +901,10 @@ pub fn e11_enforcement() -> Vec<Table> {
                 .expect("view")
                 .expect("record");
             let fresh = world.open_envelope(&record.policy).expect("policy");
-            let device = world.devices.get_mut(&format!("device-{i}")).expect("device");
+            let device = world
+                .devices
+                .get_mut(&format!("device-{i}"))
+                .expect("device");
             let actions = device.tee.apply_policy_update(&resource, fresh, poll_at);
             for a in actions {
                 if let duc_tee::EnforcementAction::Deleted { at, .. } = a {
@@ -866,9 +944,15 @@ pub fn e12_chain_scale() -> Vec<Table> {
             let iri = format!("https://owner.pod/data/res-{i:06}");
             let policy = retention_policy(&iri, 30);
             let env = world.envelope(&policy);
-            let tx = world
-                .dex
-                .register_resource_tx(&world.chain, &owner_key, &iri, &iri, OWNER, vec![], env);
+            let tx = world.dex.register_resource_tx(
+                &world.chain,
+                &owner_key,
+                &iri,
+                &iri,
+                OWNER,
+                vec![],
+                env,
+            );
             world.chain.submit(tx).expect("mempool");
         }
         while world.chain.pending_count() > 0 {
@@ -964,7 +1048,9 @@ pub fn e12_concurrency() -> Vec<Table> {
         // driver.
         let mut setup = Vec::new();
         for i in 0..n {
-            setup.push(world.submit(Request::MarketSubscribe { device: format!("device-{i}") }));
+            setup.push(world.submit(Request::MarketSubscribe {
+                device: format!("device-{i}"),
+            }));
             setup.push(world.submit(Request::ResourceIndexing {
                 device: format!("device-{i}"),
                 resource: resource.clone(),
@@ -1050,7 +1136,13 @@ fn disjoint_market<L: duc_blockchain::Ledger>(
             .duty(Duty::LogAccesses)
             .build();
         let resource = world
-            .resource_initiation(&webid, "data/set.bin", Body::Binary(vec![0xA5; 4 << 10]), policy, vec![])
+            .resource_initiation(
+                &webid,
+                "data/set.bin",
+                Body::Binary(vec![0xA5; 4 << 10]),
+                policy,
+                vec![],
+            )
             .expect("resource init");
         resources.push(resource);
     }
@@ -1059,7 +1151,9 @@ fn disjoint_market<L: duc_blockchain::Ledger>(
     let mut setup = Vec::new();
     for (o, resource) in resources.iter().enumerate() {
         for d in 0..devices_per {
-            setup.push(world.submit(Request::MarketSubscribe { device: device_name(o, d) }));
+            setup.push(world.submit(Request::MarketSubscribe {
+                device: device_name(o, d),
+            }));
             setup.push(world.submit(Request::ResourceIndexing {
                 device: device_name(o, d),
                 resource: resource.clone(),
@@ -1201,9 +1295,14 @@ mod tests {
         let (mut world, _resource) = world_with_copies(4, 1 << 10, 66);
         world.set_rogue_host("device-0", true);
         world.advance(SimDuration::from_days(8));
-        let outcome = world.policy_monitoring(OWNER, "data/set.bin").expect("round");
+        let outcome = world
+            .policy_monitoring(OWNER, "data/set.bin")
+            .expect("round");
         assert_eq!(outcome.violators, vec!["device-0".to_string()]);
-        assert_eq!(outcome.evidence, 1, "compliant devices already unregistered");
+        assert_eq!(
+            outcome.evidence, 1,
+            "compliant devices already unregistered"
+        );
     }
 
     #[test]
@@ -1226,7 +1325,9 @@ mod tests {
         }
         let mut setup = Vec::new();
         for i in 0..8 {
-            setup.push(world.submit(Request::MarketSubscribe { device: format!("racer-{i}") }));
+            setup.push(world.submit(Request::MarketSubscribe {
+                device: format!("racer-{i}"),
+            }));
             setup.push(world.submit(Request::ResourceIndexing {
                 device: format!("racer-{i}"),
                 resource: resource.clone(),
@@ -1262,7 +1363,10 @@ mod tests {
         let (world, resource) = world_with_copies(2, 1 << 10, 1234);
         assert!(world.device("device-0").tee.has_copy(&resource));
         assert!(world.device("device-1").tee.has_copy(&resource));
-        let copies = world.dex.list_copies(&world.chain, &resource).expect("view");
+        let copies = world
+            .dex
+            .list_copies(&world.chain, &resource)
+            .expect("view");
         assert_eq!(copies.len(), 2);
     }
 

@@ -45,7 +45,9 @@ impl BlockHeader {
 
     /// Verifies the proposer's signature.
     pub fn verify_signature(&self) -> bool {
-        self.proposer.verify(&self.signing_bytes(), &self.signature).is_ok()
+        self.proposer
+            .verify(&self.signing_bytes(), &self.signature)
+            .is_ok()
     }
 }
 
@@ -111,7 +113,10 @@ impl Block {
             signature: Signature { e: 0, s: 0 },
         };
         header.signature = proposer.sign(&header.signing_bytes());
-        Block { header, transactions }
+        Block {
+            header,
+            transactions,
+        }
     }
 
     /// Structural validity: signature, tx root, and every tx signature.
@@ -154,8 +159,12 @@ impl std::fmt::Display for BlockValidationError {
         match self {
             BlockValidationError::BadProposerSignature => f.write_str("bad proposer signature"),
             BlockValidationError::TxRootMismatch => f.write_str("tx merkle root mismatch"),
-            BlockValidationError::BadTransaction(i) => write!(f, "invalid transaction at index {i}"),
-            BlockValidationError::BrokenParentLink(h) => write!(f, "broken parent link at height {h}"),
+            BlockValidationError::BadTransaction(i) => {
+                write!(f, "invalid transaction at index {i}")
+            }
+            BlockValidationError::BrokenParentLink(h) => {
+                write!(f, "broken parent link at height {h}")
+            }
         }
     }
 }
@@ -211,7 +220,10 @@ mod tests {
     fn tampered_header_detected() {
         let mut b = sealed();
         b.header.height = 99;
-        assert_eq!(b.validate(), Err(BlockValidationError::BadProposerSignature));
+        assert_eq!(
+            b.validate(),
+            Err(BlockValidationError::BadProposerSignature)
+        );
     }
 
     #[test]
@@ -219,7 +231,10 @@ mod tests {
         let mut b = sealed();
         let mallory = KeyPair::from_seed(b"mallory");
         b.header.signature = mallory.sign(&b.header.signing_bytes());
-        assert_eq!(b.validate(), Err(BlockValidationError::BadProposerSignature));
+        assert_eq!(
+            b.validate(),
+            Err(BlockValidationError::BadProposerSignature)
+        );
     }
 
     #[test]

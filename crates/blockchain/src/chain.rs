@@ -206,7 +206,8 @@ impl Blockchain {
     /// Creates a key pair from `seed` and funds its account.
     pub fn create_funded_account(&mut self, seed: &[u8], amount: Amount) -> KeyPair {
         let key = KeyPair::from_seed(seed);
-        self.state.credit(Address::from_public_key(&key.public()), amount);
+        self.state
+            .credit(Address::from_public_key(&key.public()), amount);
         key
     }
 
@@ -411,11 +412,7 @@ impl Blockchain {
         for key in stale {
             self.mempool.remove(&key);
         }
-        let parent = self
-            .blocks
-            .last()
-            .map(|b| b.hash())
-            .unwrap_or(Digest::ZERO);
+        let parent = self.blocks.last().map(|b| b.hash()).unwrap_or(Digest::ZERO);
         let block = Block::seal(
             height,
             parent,
@@ -458,75 +455,85 @@ impl Blockchain {
             .saturating_add(self.gas_schedule.payload_byte * signed.encoded_size() as u64);
         let intrinsic_result = meter.charge(intrinsic);
 
-        let (status, events, return_data, method_label, contract_label) = if intrinsic_result
-            .is_err()
-        {
-            (TxStatus::OutOfGas, Vec::new(), Vec::new(), "intrinsic".to_string(), None)
-        } else {
-            match signed.tx.kind.clone() {
-                TxKind::Transfer { to, amount } => {
-                    let status = match self.state.debit(&from, amount) {
-                        Ok(()) => {
-                            self.state.credit(to, amount);
-                            TxStatus::Ok
-                        }
-                        Err(e) => TxStatus::Reverted(e.to_string()),
-                    };
-                    (status, Vec::new(), Vec::new(), "transfer".to_string(), None)
-                }
-                TxKind::Call { contract, method, args } => {
-                    match self.contracts.get(&contract) {
-                        None => (
-                            TxStatus::Reverted(format!("no contract {contract}")),
-                            Vec::new(),
-                            Vec::new(),
-                            method,
-                            Some(contract),
-                        ),
-                        Some(code) => {
-                            // Execute on a scratch copy; commit only on success.
-                            let mut scratch = self.state.clone();
-                            let mut ctx = CallCtx::new(
-                                from,
-                                height,
-                                timestamp,
-                                contract.clone(),
-                                &mut scratch,
-                                &mut meter,
-                            );
-                            match code.call(&mut ctx, &method, &args) {
-                                Ok(ret) => {
-                                    let events = ctx.into_events();
-                                    self.state = scratch;
-                                    (TxStatus::Ok, events, ret, method, Some(contract))
+        let (status, events, return_data, method_label, contract_label) =
+            if intrinsic_result.is_err() {
+                (
+                    TxStatus::OutOfGas,
+                    Vec::new(),
+                    Vec::new(),
+                    "intrinsic".to_string(),
+                    None,
+                )
+            } else {
+                match signed.tx.kind.clone() {
+                    TxKind::Transfer { to, amount } => {
+                        let status = match self.state.debit(&from, amount) {
+                            Ok(()) => {
+                                self.state.credit(to, amount);
+                                TxStatus::Ok
+                            }
+                            Err(e) => TxStatus::Reverted(e.to_string()),
+                        };
+                        (status, Vec::new(), Vec::new(), "transfer".to_string(), None)
+                    }
+                    TxKind::Call {
+                        contract,
+                        method,
+                        args,
+                    } => {
+                        match self.contracts.get(&contract) {
+                            None => (
+                                TxStatus::Reverted(format!("no contract {contract}")),
+                                Vec::new(),
+                                Vec::new(),
+                                method,
+                                Some(contract),
+                            ),
+                            Some(code) => {
+                                // Execute on a scratch copy; commit only on success.
+                                let mut scratch = self.state.clone();
+                                let mut ctx = CallCtx::new(
+                                    from,
+                                    height,
+                                    timestamp,
+                                    contract.clone(),
+                                    &mut scratch,
+                                    &mut meter,
+                                );
+                                match code.call(&mut ctx, &method, &args) {
+                                    Ok(ret) => {
+                                        let events = ctx.into_events();
+                                        self.state = scratch;
+                                        (TxStatus::Ok, events, ret, method, Some(contract))
+                                    }
+                                    Err(ContractError::OutOfGas) => (
+                                        TxStatus::OutOfGas,
+                                        Vec::new(),
+                                        Vec::new(),
+                                        method,
+                                        Some(contract),
+                                    ),
+                                    Err(e) => (
+                                        TxStatus::Reverted(e.to_string()),
+                                        Vec::new(),
+                                        Vec::new(),
+                                        method,
+                                        Some(contract),
+                                    ),
                                 }
-                                Err(ContractError::OutOfGas) => (
-                                    TxStatus::OutOfGas,
-                                    Vec::new(),
-                                    Vec::new(),
-                                    method,
-                                    Some(contract),
-                                ),
-                                Err(e) => (
-                                    TxStatus::Reverted(e.to_string()),
-                                    Vec::new(),
-                                    Vec::new(),
-                                    method,
-                                    Some(contract),
-                                ),
                             }
                         }
                     }
                 }
-            }
-        };
+            };
 
         let gas_used = meter.used().max(self.gas_schedule.tx_base);
         // Refund unused fee; pay the consumed fee to the proposer.
         let refund = (gas_limit - gas_used) as Amount * self.gas_price;
         self.state.credit(from, refund);
         let proposer_addr = Address::from_public_key(&self.validators[proposer_idx].public());
-        self.state.credit(proposer_addr, gas_used as Amount * self.gas_price);
+        self.state
+            .credit(proposer_addr, gas_used as Amount * self.gas_price);
 
         self.gas_ledger.push(GasRecord {
             contract: contract_label,
@@ -697,7 +704,10 @@ impl Blockchain {
 
     /// Storage growth metrics: `(slots, bytes)` (experiment E12).
     pub fn state_size(&self) -> (usize, usize) {
-        (self.state.storage_slot_count(), self.state.storage_byte_size())
+        (
+            self.state.storage_slot_count(),
+            self.state.storage_byte_size(),
+        )
     }
 
     /// The gas price.
@@ -763,7 +773,10 @@ mod tests {
         assert_eq!(chain.height(), 1);
         assert_eq!(chain.balance(&bob), 1_000);
         let alice_addr = Address::from_public_key(&alice.public());
-        assert!(chain.balance(&alice_addr) < 10_000_000 - 1_000, "fees charged");
+        assert!(
+            chain.balance(&alice_addr) < 10_000_000 - 1_000,
+            "fees charged"
+        );
     }
 
     #[test]
@@ -807,7 +820,9 @@ mod tests {
         let receipt = chain.receipt(&id2).unwrap();
         assert!(matches!(receipt.status, TxStatus::Reverted(_)));
         assert!(receipt.gas_used > 0);
-        let out = chain.call_view(&ContractId::new("counter"), "get", &[]).unwrap();
+        let out = chain
+            .call_view(&ContractId::new("counter"), "get", &[])
+            .unwrap();
         let (v,): (u64,) = decode_from_slice(&out).unwrap();
         assert_eq!(v, 1, "boom did not mutate state");
     }
@@ -825,7 +840,9 @@ mod tests {
         let id = chain.submit(tx).unwrap();
         chain.advance_to(SimTime::from_secs(2));
         assert_eq!(chain.receipt(&id).unwrap().status, TxStatus::OutOfGas);
-        let out = chain.call_view(&ContractId::new("counter"), "get", &[]).unwrap();
+        let out = chain
+            .call_view(&ContractId::new("counter"), "get", &[])
+            .unwrap();
         let (v,): (u64,) = decode_from_slice(&out).unwrap();
         assert_eq!(v, 0);
     }
@@ -888,7 +905,9 @@ mod tests {
             chain.submit(tx).unwrap();
         }
         chain.advance_to(SimTime::from_secs(2));
-        let out = chain.call_view(&ContractId::new("counter"), "get", &[]).unwrap();
+        let out = chain
+            .call_view(&ContractId::new("counter"), "get", &[])
+            .unwrap();
         let (v,): (u64,) = decode_from_slice(&out).unwrap();
         assert_eq!(v, 5, "all five sequential-nonce txs executed in one block");
     }
@@ -909,9 +928,16 @@ mod tests {
             200_000,
         );
         chain.submit(tx).unwrap();
-        assert_eq!(chain.advance_to(SimTime::from_secs(11)), 0, "slot not due yet");
+        assert_eq!(
+            chain.advance_to(SimTime::from_secs(11)),
+            0,
+            "slot not due yet"
+        );
         assert_eq!(chain.advance_to(SimTime::from_secs(12)), 1);
-        assert_eq!(chain.block(1).unwrap().header.timestamp, SimTime::from_secs(12));
+        assert_eq!(
+            chain.block(1).unwrap().header.timestamp,
+            SimTime::from_secs(12)
+        );
     }
 
     #[test]
@@ -920,7 +946,10 @@ mod tests {
         // A month of idle time must not seal a million empty blocks.
         chain.advance_to(SimTime::ZERO + SimDuration::from_days(31));
         assert_eq!(chain.height(), 0);
-        assert_eq!(chain.current_time(), SimTime::ZERO + SimDuration::from_days(31));
+        assert_eq!(
+            chain.current_time(),
+            SimTime::ZERO + SimDuration::from_days(31)
+        );
     }
 
     #[test]
@@ -941,7 +970,10 @@ mod tests {
         chain.advance_to(SimTime::from_secs(4));
         assert_eq!(chain.height(), 1);
         assert_eq!(chain.slots_missed(), 1);
-        assert_eq!(chain.block(1).unwrap().header.timestamp, SimTime::from_secs(4));
+        assert_eq!(
+            chain.block(1).unwrap().header.timestamp,
+            SimTime::from_secs(4)
+        );
         chain.set_validator_down(1, false);
         let tx = chain.build_call(
             &alice,
@@ -1053,7 +1085,9 @@ mod tests {
         chain.submit(tx).unwrap();
         chain.advance_to(SimTime::from_secs(2));
         let (s0, _) = chain.state_size();
-        let _ = chain.call_view(&ContractId::new("counter"), "get", &[]).unwrap();
+        let _ = chain
+            .call_view(&ContractId::new("counter"), "get", &[])
+            .unwrap();
         assert_eq!(chain.state_size().0, s0);
         assert!(chain
             .call_view(&ContractId::new("missing"), "get", &[])

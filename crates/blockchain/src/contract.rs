@@ -220,7 +220,12 @@ pub trait Contract: Send {
     /// # Errors
     /// Returning any [`ContractError`] reverts the transaction: state
     /// changes are discarded, gas remains charged.
-    fn call(&self, ctx: &mut CallCtx<'_>, method: &str, args: &[u8]) -> Result<Vec<u8>, ContractError>;
+    fn call(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError>;
 }
 
 #[cfg(test)]
@@ -272,7 +277,9 @@ mod tests {
         let mut state = WorldState::new();
         let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
         let mut ctx = ctx_on(&mut state, &mut meter);
-        let out = Counter.call(&mut ctx, "incr", &encode_to_vec(&(5u64,))).unwrap();
+        let out = Counter
+            .call(&mut ctx, "incr", &encode_to_vec(&(5u64,)))
+            .unwrap();
         let (value,): (u64,) = decode_from_slice(&out).unwrap();
         assert_eq!(value, 5);
         assert_eq!(ctx.events().len(), 1);
@@ -315,7 +322,11 @@ mod tests {
     #[test]
     fn typed_storage_detects_corruption() {
         let mut state = WorldState::new();
-        state.storage_set(&ContractId::new("counter"), b"count".to_vec(), vec![1, 2, 3]);
+        state.storage_set(
+            &ContractId::new("counter"),
+            b"count".to_vec(),
+            vec![1, 2, 3],
+        );
         let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
         let mut ctx = ctx_on(&mut state, &mut meter);
         let res: Result<Option<u64>, _> = ctx.get(b"count");
@@ -337,8 +348,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ContractError::UnknownMethod("m".into()).to_string().contains("m"));
-        assert!(ContractError::Reverted("why".into()).to_string().contains("why"));
-        assert_eq!(ContractError::from(OutOfGas { limit: 1 }), ContractError::OutOfGas);
+        assert!(ContractError::UnknownMethod("m".into())
+            .to_string()
+            .contains("m"));
+        assert!(ContractError::Reverted("why".into())
+            .to_string()
+            .contains("why"));
+        assert_eq!(
+            ContractError::from(OutOfGas { limit: 1 }),
+            ContractError::OutOfGas
+        );
     }
 }

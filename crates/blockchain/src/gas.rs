@@ -128,9 +128,11 @@ impl GasMeter {
     /// Charges for writing `bytes` to storage.
     pub fn charge_storage_write(&mut self, bytes: usize) -> Result<(), OutOfGas> {
         self.charge(
-            self.schedule
-                .storage_access
-                .saturating_add(self.schedule.storage_write_byte.saturating_mul(bytes as u64)),
+            self.schedule.storage_access.saturating_add(
+                self.schedule
+                    .storage_write_byte
+                    .saturating_mul(bytes as u64),
+            ),
         )
     }
 
@@ -179,7 +181,12 @@ mod tests {
         let mut r = GasMeter::new(u64::MAX, s);
         w.charge_storage_write(64).unwrap();
         r.charge_storage_read(64).unwrap();
-        assert!(w.used() > 10 * r.used(), "writes dominate: {} vs {}", w.used(), r.used());
+        assert!(
+            w.used() > 10 * r.used(),
+            "writes dominate: {} vs {}",
+            w.used(),
+            r.used()
+        );
     }
 
     #[test]

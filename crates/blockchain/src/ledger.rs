@@ -454,7 +454,11 @@ impl ShardedLedger {
 
     fn shard_of_tx(&self, tx: &SignedTransaction) -> usize {
         match &tx.tx.kind {
-            TxKind::Call { contract, method, args } => self.shard_of_call(contract, method, args),
+            TxKind::Call {
+                contract,
+                method,
+                args,
+            } => self.shard_of_call(contract, method, args),
             TxKind::Transfer { .. } => {
                 (fnv1a(tx.tx.from.0.as_bytes()) % self.shards.len() as u64) as usize
             }
@@ -774,10 +778,18 @@ mod tests {
         }
         ledger.advance_to(SimTime::from_secs(2));
         let busy = ledger.shard_heights().iter().filter(|h| **h > 0).count();
-        assert!(busy >= 2, "16 disjoint keys hit at least two shards: {:?}", ledger.shard_heights());
+        assert!(
+            busy >= 2,
+            "16 disjoint keys hit at least two shards: {:?}",
+            ledger.shard_heights()
+        );
         for k in &keys {
             let out = ledger
-                .call_view(&ContractId::new("counter"), "get", &encode_to_vec(&(k.clone(),)))
+                .call_view(
+                    &ContractId::new("counter"),
+                    "get",
+                    &encode_to_vec(&(k.clone(),)),
+                )
                 .expect("routed view");
             let (v,): (u64,) = decode_from_slice(&out).unwrap();
             assert_eq!(v, 1, "{k} readable on its own shard");
@@ -860,7 +872,9 @@ mod tests {
             .validators(2)
             .block_interval(SimDuration::from_secs(2))
             .build();
-        Ledger::deploy_with(&mut chain, ContractId::new("counter"), &|| Box::new(Counter));
+        Ledger::deploy_with(&mut chain, ContractId::new("counter"), &|| {
+            Box::new(Counter)
+        });
         let alice = Ledger::create_funded_account(&mut chain, b"alice", 1_000_000);
         let tx = Ledger::build_call(
             &chain,
@@ -874,7 +888,10 @@ mod tests {
         Ledger::advance_to(&mut chain, SimTime::from_secs(2));
         assert_eq!(Ledger::shard_count(&chain), 1);
         assert_eq!(Ledger::height(&chain), 1);
-        assert!(Ledger::receipt(&chain, &id).expect("included").status.is_ok());
+        assert!(Ledger::receipt(&chain, &id)
+            .expect("included")
+            .status
+            .is_ok());
         assert_eq!(Ledger::events_since(&chain, 0).len(), 1);
         assert_eq!(
             Ledger::next_slot_at(&chain, SimTime::from_secs(3)),

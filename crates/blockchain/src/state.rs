@@ -85,7 +85,9 @@ impl WorldState {
 
     /// Deletes a contract storage slot; returns whether it existed.
     pub fn storage_remove(&mut self, contract: &ContractId, key: &[u8]) -> bool {
-        self.storage.remove(&(contract.clone(), key.to_vec())).is_some()
+        self.storage
+            .remove(&(contract.clone(), key.to_vec()))
+            .is_some()
     }
 
     /// Iterates a contract's slots whose keys start with `prefix`, in key
@@ -185,7 +187,13 @@ mod tests {
         s.debit(&a, 40).unwrap();
         assert_eq!(s.balance(&a), 60);
         let err = s.debit(&a, 100).unwrap_err();
-        assert_eq!(err, InsufficientFunds { needed: 100, available: 60 });
+        assert_eq!(
+            err,
+            InsufficientFunds {
+                needed: 100,
+                available: 60
+            }
+        );
         assert_eq!(s.balance(&a), 60, "failed debit does not mutate");
         s.bump_nonce(&a);
         s.bump_nonce(&a);

@@ -35,7 +35,11 @@ impl Encode for TxKind {
                 to.encode(buf);
                 amount.encode(buf);
             }
-            TxKind::Call { contract, method, args } => {
+            TxKind::Call {
+                contract,
+                method,
+                args,
+            } => {
                 buf.push(1);
                 contract.encode(buf);
                 method.encode(buf);
@@ -57,7 +61,12 @@ impl Decode for TxKind {
                 method: String::decode(r)?,
                 args: Vec::decode(r)?,
             },
-            tag => return Err(DecodeError::InvalidTag { tag, type_name: "TxKind" }),
+            tag => {
+                return Err(DecodeError::InvalidTag {
+                    tag,
+                    type_name: "TxKind",
+                })
+            }
         })
     }
 }

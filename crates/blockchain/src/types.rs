@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn address_matches_public_key_derivation() {
         let kp = duc_crypto::KeyPair::from_seed(b"x");
-        assert_eq!(Address::from_seed(b"x"), Address::from_public_key(&kp.public()));
+        assert_eq!(
+            Address::from_seed(b"x"),
+            Address::from_public_key(&kp.public())
+        );
     }
 
     #[test]
@@ -141,6 +144,9 @@ mod tests {
         let t = TxId(duc_crypto::sha256(b"t"));
         assert_eq!(decode_from_slice::<TxId>(&encode_to_vec(&t)).unwrap(), t);
         let c = ContractId::new("dex");
-        assert_eq!(decode_from_slice::<ContractId>(&encode_to_vec(&c)).unwrap(), c);
+        assert_eq!(
+            decode_from_slice::<ContractId>(&encode_to_vec(&c)).unwrap(),
+            c
+        );
     }
 }

@@ -112,8 +112,14 @@ impl fmt::Display for DecodeError {
                 write!(f, "invalid tag {tag} for {type_name}")
             }
             DecodeError::InvalidUtf8 => f.write_str("invalid utf-8 in string"),
-            DecodeError::LengthOverflow { declared, available } => {
-                write!(f, "declared length {declared} exceeds available {available}")
+            DecodeError::LengthOverflow {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds available {available}"
+                )
             }
             DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
         }
@@ -205,7 +211,10 @@ impl Decode for bool {
         match r.read_u8()? {
             0 => Ok(false),
             1 => Ok(true),
-            tag => Err(DecodeError::InvalidTag { tag, type_name: "bool" }),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                type_name: "bool",
+            }),
         }
     }
 }
@@ -286,7 +295,10 @@ impl<T: Decode> Decode for Option<T> {
         match r.read_u8()? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            tag => Err(DecodeError::InvalidTag { tag, type_name: "Option" }),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                type_name: "Option",
+            }),
         }
     }
 }
@@ -480,7 +492,12 @@ mod tests {
             note: Option<String>,
             txs: Vec<u32>,
         }
-        impl_codec_struct!(Header { height, parent, note, txs });
+        impl_codec_struct!(Header {
+            height,
+            parent,
+            note,
+            txs
+        });
         let h = Header {
             height: 9,
             parent: duc_crypto::sha256(b"p"),
@@ -522,7 +539,10 @@ mod tests {
         let mut bytes = Vec::new();
         2u32.encode(&mut bytes);
         bytes.extend_from_slice(&[0xFF, 0xFE]);
-        assert_eq!(decode_from_slice::<String>(&bytes).unwrap_err(), DecodeError::InvalidUtf8);
+        assert_eq!(
+            decode_from_slice::<String>(&bytes).unwrap_err(),
+            DecodeError::InvalidUtf8
+        );
     }
 
     #[test]
@@ -545,7 +565,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = DecodeError::LengthOverflow { declared: 10, available: 2 };
+        let e = DecodeError::LengthOverflow {
+            declared: 10,
+            available: 2,
+        };
         assert!(e.to_string().contains("10"));
         assert!(DecodeError::InvalidUtf8.to_string().contains("utf-8"));
     }

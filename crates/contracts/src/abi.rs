@@ -468,10 +468,16 @@ mod tests {
             signature: Signature { e: 0, s: 0 },
         };
         ev.signature = enclave.sign(&ev.signing_bytes());
-        assert!(enclave.public().verify(&ev.signing_bytes(), &ev.signature).is_ok());
+        assert!(enclave
+            .public()
+            .verify(&ev.signing_bytes(), &ev.signature)
+            .is_ok());
         // Flipping the verdict invalidates the signature.
         ev.compliant = false;
-        assert!(enclave.public().verify(&ev.signing_bytes(), &ev.signature).is_err());
+        assert!(enclave
+            .public()
+            .verify(&ev.signing_bytes(), &ev.signature)
+            .is_err());
     }
 
     #[test]
@@ -481,7 +487,11 @@ mod tests {
             round: 1,
             device: device.into(),
             compliant,
-            violations: if compliant { vec![] } else { vec!["late".into()] },
+            violations: if compliant {
+                vec![]
+            } else {
+                vec!["late".into()]
+            },
             evidence_digest: Digest::ZERO,
             signature: Signature { e: 0, s: 0 },
         };

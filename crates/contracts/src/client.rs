@@ -277,10 +277,7 @@ impl DistExchangeClient {
     ///
     /// # Errors
     /// Propagates contract/view errors.
-    pub fn list_resources<L: Ledger>(
-        &self,
-        chain: &L,
-    ) -> Result<Vec<String>, ContractError> {
+    pub fn list_resources<L: Ledger>(&self, chain: &L) -> Result<Vec<String>, ContractError> {
         if chain.shard_count() == 1 {
             let out = chain.call_view(&self.contract, "list_resources", &[])?;
             return decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()));
@@ -288,8 +285,8 @@ impl DistExchangeClient {
         let mut all: Vec<String> = Vec::new();
         for shard in 0..chain.shard_count() {
             let out = chain.call_view_on(shard, &self.contract, "list_resources", &[])?;
-            let names: Vec<String> = decode_from_slice(&out)
-                .map_err(|e| ContractError::BadArguments(e.to_string()))?;
+            let names: Vec<String> =
+                decode_from_slice(&out).map_err(|e| ContractError::BadArguments(e.to_string()))?;
             all.extend(names);
         }
         all.sort_unstable();

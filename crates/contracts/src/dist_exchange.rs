@@ -114,7 +114,11 @@ impl DistExchange {
         Ok(encode_to_vec(&record))
     }
 
-    fn register_resource(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+    fn register_resource(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
         let (resource, location, owner_webid, metadata, policy): (
             String,
             String,
@@ -147,7 +151,11 @@ impl DistExchange {
         Ok(Vec::new())
     }
 
-    fn lookup_resource(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+    fn lookup_resource(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
         let (resource,): (String,) = decode_from_slice(args)?;
         let record: Option<ResourceRecord> = ctx.get(&res_key(&resource))?;
         Ok(encode_to_vec(&record))
@@ -210,7 +218,11 @@ impl DistExchange {
         Ok(Vec::new())
     }
 
-    fn unregister_copy(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+    fn unregister_copy(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
         let (resource, device): (String, String) = decode_from_slice(args)?;
         let existed = ctx.remove_raw(&copy_key(&resource, &device))?;
         if !existed {
@@ -241,7 +253,11 @@ impl DistExchange {
         Ok(copies)
     }
 
-    fn start_monitoring(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+    fn start_monitoring(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
         let (resource,): (String,) = decode_from_slice(args)?;
         let record: ResourceRecord = ctx
             .get(&res_key(&resource))?
@@ -272,12 +288,19 @@ impl DistExchange {
             encode_to_vec(&(resource.clone(), round, expected)),
         )?;
         if round_record.closed {
-            ctx.emit(topics::ROUND_CLOSED, encode_to_vec(&(resource, round, 0u64, Vec::<String>::new())))?;
+            ctx.emit(
+                topics::ROUND_CLOSED,
+                encode_to_vec(&(resource, round, 0u64, Vec::<String>::new())),
+            )?;
         }
         Ok(encode_to_vec(&(round,)))
     }
 
-    fn record_evidence(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+    fn record_evidence(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
         let submission: EvidenceSubmission = decode_from_slice(args)?;
         let rkey = round_key(&submission.resource, submission.round);
         let mut round: MonitoringRound = ctx
@@ -319,11 +342,8 @@ impl DistExchange {
         round.evidence.push(submission);
         if round.complete() {
             round.closed = true;
-            let violators: Vec<String> = round
-                .violators()
-                .iter()
-                .map(|e| e.device.clone())
-                .collect();
+            let violators: Vec<String> =
+                round.violators().iter().map(|e| e.device.clone()).collect();
             let compliant_count = round.evidence.iter().filter(|e| e.compliant).count() as u64;
             ctx.emit(
                 topics::ROUND_CLOSED,
@@ -370,11 +390,18 @@ impl DistExchange {
         };
         ctx.set(sub_key(&webid), &sub)?;
         ctx.set(cert_key(&certificate), &webid)?;
-        ctx.emit(topics::CERTIFICATE_ISSUED, encode_to_vec(&(webid, certificate)))?;
+        ctx.emit(
+            topics::CERTIFICATE_ISSUED,
+            encode_to_vec(&(webid, certificate)),
+        )?;
         Ok(encode_to_vec(&(certificate,)))
     }
 
-    fn verify_certificate(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+    fn verify_certificate(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
         let (certificate, webid): (Digest, String) = decode_from_slice(args)?;
         let valid = match ctx.get::<String>(&cert_key(&certificate))? {
             Some(owner) if owner == webid => {
@@ -387,7 +414,11 @@ impl DistExchange {
         Ok(encode_to_vec(&(valid,)))
     }
 
-    fn get_subscription(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+    fn get_subscription(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
         let (webid,): (String,) = decode_from_slice(args)?;
         let sub: Option<Subscription> = ctx.get(&sub_key(&webid))?;
         Ok(encode_to_vec(&sub))
@@ -395,7 +426,12 @@ impl DistExchange {
 }
 
 impl Contract for DistExchange {
-    fn call(&self, ctx: &mut CallCtx<'_>, method: &str, args: &[u8]) -> Result<Vec<u8>, ContractError> {
+    fn call(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
         match method {
             "init" => self.init(ctx, args),
             "register_pod" => self.register_pod(ctx, args),

@@ -93,13 +93,19 @@ mod tests {
             "https://o.pod/data/x".to_string(),
             "https://o.id/me".to_string(),
         ));
-        assert_eq!(dex_route("register_resource", &args), RouteKey::Key("https://o.id/me".into()));
+        assert_eq!(
+            dex_route("register_resource", &args),
+            RouteKey::Key("https://o.id/me".into())
+        );
     }
 
     #[test]
     fn market_calls_route_by_consumer_webid() {
         let args = encode_to_vec(&("https://c.id/me".to_string(),));
-        assert_eq!(dex_route("subscribe", &args), RouteKey::Key("https://c.id/me".into()));
+        assert_eq!(
+            dex_route("subscribe", &args),
+            RouteKey::Key("https://c.id/me".into())
+        );
         let args = encode_to_vec(&(duc_crypto::sha256(b"cert"), "https://c.id/me".to_string()));
         assert_eq!(
             dex_route("verify_certificate", &args),

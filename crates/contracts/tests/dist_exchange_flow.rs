@@ -115,14 +115,25 @@ fn pod_and_resource_registration() {
     assert_eq!(pod.web_ref, "https://bob.pod/");
     assert_eq!(pod.owner_addr, Address::from_seed(b"bob"));
 
-    let res = w.dex.lookup_resource(&w.chain, MEDICAL).unwrap().expect("resource");
+    let res = w
+        .dex
+        .lookup_resource(&w.chain, MEDICAL)
+        .unwrap()
+        .expect("resource");
     assert_eq!(res.policy_version, 1);
     assert_eq!(res.owner_webid, BOB_WEBID);
     let policy = res.policy.open_plain().unwrap();
     assert_eq!(policy.owner, BOB_WEBID);
 
-    assert_eq!(w.dex.list_resources(&w.chain).unwrap(), vec![MEDICAL.to_string()]);
-    assert!(w.dex.lookup_resource(&w.chain, "urn:missing").unwrap().is_none());
+    assert_eq!(
+        w.dex.list_resources(&w.chain).unwrap(),
+        vec![MEDICAL.to_string()]
+    );
+    assert!(w
+        .dex
+        .lookup_resource(&w.chain, "urn:missing")
+        .unwrap()
+        .is_none());
 }
 
 #[test]
@@ -177,19 +188,43 @@ fn policy_update_requires_owner_and_version_increment() {
     );
 
     // Wrong caller.
-    let tx = w.dex.update_policy_tx(&w.chain, &w.alice, MEDICAL, PolicyEnvelope::plain(&amended), 2);
+    let tx = w.dex.update_policy_tx(
+        &w.chain,
+        &w.alice,
+        MEDICAL,
+        PolicyEnvelope::plain(&amended),
+        2,
+    );
     let id = w.chain.submit(tx).unwrap();
     w.step();
-    assert!(matches!(w.chain.receipt(&id).unwrap().status, TxStatus::Reverted(_)));
+    assert!(matches!(
+        w.chain.receipt(&id).unwrap().status,
+        TxStatus::Reverted(_)
+    ));
 
     // Wrong version.
-    let tx = w.dex.update_policy_tx(&w.chain, &w.bob, MEDICAL, PolicyEnvelope::plain(&amended), 5);
+    let tx = w.dex.update_policy_tx(
+        &w.chain,
+        &w.bob,
+        MEDICAL,
+        PolicyEnvelope::plain(&amended),
+        5,
+    );
     let id = w.chain.submit(tx).unwrap();
     w.step();
-    assert!(matches!(w.chain.receipt(&id).unwrap().status, TxStatus::Reverted(_)));
+    assert!(matches!(
+        w.chain.receipt(&id).unwrap().status,
+        TxStatus::Reverted(_)
+    ));
 
     // Correct update.
-    let tx = w.dex.update_policy_tx(&w.chain, &w.bob, MEDICAL, PolicyEnvelope::plain(&amended), 2);
+    let tx = w.dex.update_policy_tx(
+        &w.chain,
+        &w.bob,
+        MEDICAL,
+        PolicyEnvelope::plain(&amended),
+        2,
+    );
     let id = w.chain.submit(tx).unwrap();
     w.step();
     assert!(w.chain.receipt(&id).unwrap().status.is_ok());
@@ -213,7 +248,9 @@ fn copy_tracking() {
     w.register_alice_copy("alice-phone");
     let copies = w.dex.list_copies(&w.chain, MEDICAL).unwrap();
     assert_eq!(copies.len(), 2);
-    let tx = w.dex.unregister_copy_tx(&w.chain, &w.alice, MEDICAL, "alice-phone");
+    let tx = w
+        .dex
+        .unregister_copy_tx(&w.chain, &w.alice, MEDICAL, "alice-phone");
     w.chain.submit(tx).unwrap();
     w.step();
     let copies = w.dex.list_copies(&w.chain, MEDICAL).unwrap();
@@ -364,14 +401,24 @@ fn market_subscription_and_certificate() {
     let cert = DistExchangeClient::decode_certificate(&receipt.return_data).unwrap();
 
     assert_eq!(w.chain.balance(&treasury), before + 10_000, "fee collected");
-    assert!(w.dex.verify_certificate(&w.chain, &cert, ALICE_WEBID).unwrap());
-    assert!(!w.dex.verify_certificate(&w.chain, &cert, BOB_WEBID).unwrap());
+    assert!(w
+        .dex
+        .verify_certificate(&w.chain, &cert, ALICE_WEBID)
+        .unwrap());
+    assert!(!w
+        .dex
+        .verify_certificate(&w.chain, &cert, BOB_WEBID)
+        .unwrap());
     assert!(!w
         .dex
         .verify_certificate(&w.chain, &sha256(b"forged"), ALICE_WEBID)
         .unwrap());
 
-    let sub = w.dex.get_subscription(&w.chain, ALICE_WEBID).unwrap().unwrap();
+    let sub = w
+        .dex
+        .get_subscription(&w.chain, ALICE_WEBID)
+        .unwrap()
+        .unwrap();
     assert_eq!(sub.certificate, cert);
     assert!(sub.valid_at(w.now));
 }
@@ -384,11 +431,17 @@ fn certificate_expires() {
     w.step();
     let cert =
         DistExchangeClient::decode_certificate(&w.chain.receipt(&id).unwrap().return_data).unwrap();
-    assert!(w.dex.verify_certificate(&w.chain, &cert, ALICE_WEBID).unwrap());
+    assert!(w
+        .dex
+        .verify_certificate(&w.chain, &cert, ALICE_WEBID)
+        .unwrap());
     // 31 days later the certificate is expired (validity 30 days).
     w.now += SimDuration::from_days(31);
     w.chain.advance_to(w.now);
-    assert!(!w.dex.verify_certificate(&w.chain, &cert, ALICE_WEBID).unwrap());
+    assert!(!w
+        .dex
+        .verify_certificate(&w.chain, &cert, ALICE_WEBID)
+        .unwrap());
 }
 
 #[test]

@@ -55,14 +55,21 @@ impl PlainSolidBaseline {
         let request = SolidRequest::get(webid, path).with_certificate(sha256(b"n/a"));
         let hop = world
             .net
-            .transmit(dev_endpoint, owner_endpoint, request.size() as u64, &mut world.rng)
+            .transmit(
+                dev_endpoint,
+                owner_endpoint,
+                request.size() as u64,
+                &mut world.rng,
+            )
             .delay()
             .ok_or(ProcessError::Oracle(OracleError::NetworkDropped))?;
         world.clock.advance(hop);
 
         let owner = world.owners.get_mut(owner_webid).expect("checked above");
         let accept_all = |_: &duc_crypto::Digest, _: &str| true;
-        let resp = owner.pod_manager.handle_with_verifier(&request, &accept_all);
+        let resp = owner
+            .pod_manager
+            .handle_with_verifier(&request, &accept_all);
         if resp.status != Status::Ok {
             return Err(ProcessError::Solid {
                 status: resp.status,
@@ -71,7 +78,12 @@ impl PlainSolidBaseline {
         }
         let hop_back = world
             .net
-            .transmit(owner_endpoint, dev_endpoint, resp.size() as u64, &mut world.rng)
+            .transmit(
+                owner_endpoint,
+                dev_endpoint,
+                resp.size() as u64,
+                &mut world.rng,
+            )
             .delay()
             .ok_or(ProcessError::Oracle(OracleError::NetworkDropped))?;
         world.clock.advance(hop_back);
@@ -142,7 +154,12 @@ impl CentralizedAuditBaseline {
             let report_size = 128 + report.violations.iter().map(String::len).sum::<usize>();
             let Some(hop_back) = world
                 .net
-                .transmit(dev_endpoint, owner_endpoint, report_size as u64, &mut world.rng)
+                .transmit(
+                    dev_endpoint,
+                    owner_endpoint,
+                    report_size as u64,
+                    &mut world.rng,
+                )
                 .delay()
             else {
                 continue;
@@ -155,7 +172,9 @@ impl CentralizedAuditBaseline {
             }
         }
         let duration = world.clock.now() - start;
-        world.metrics.record("baseline.central_audit.round", duration);
+        world
+            .metrics
+            .record("baseline.central_audit.round", duration);
         Ok(CentralizedAuditOutcome {
             polled,
             violators,

@@ -162,10 +162,15 @@ pub fn check_invariants<L: Ledger>(world: &World<L>) -> Result<(), String> {
     devices.sort_by_key(|(name, _)| name.as_str());
     for (name, device) in &devices {
         if let Some(cert) = device.certificate {
-            match world.dex.verify_certificate(&world.chain, &cert, &device.webid) {
+            match world
+                .dex
+                .verify_certificate(&world.chain, &cert, &device.webid)
+            {
                 Ok(true) => {}
                 Ok(false) => {
-                    return Err(format!("device {name} holds a certificate the chain rejects"))
+                    return Err(format!(
+                        "device {name} holds a certificate the chain rejects"
+                    ))
                 }
                 Err(e) => return Err(format!("certificate check for {name} failed: {e}")),
             }
@@ -325,7 +330,9 @@ pub fn launch_pad_in<L: Ledger>(
         .expect("resource init");
     let mut tickets = Vec::new();
     for i in 0..n_devices {
-        tickets.push(world.submit(Request::MarketSubscribe { device: format!("device-{i}") }));
+        tickets.push(world.submit(Request::MarketSubscribe {
+            device: format!("device-{i}"),
+        }));
         tickets.push(world.submit(Request::ResourceIndexing {
             device: format!("device-{i}"),
             resource: resource.clone(),
@@ -344,7 +351,9 @@ pub fn launch_pad_in<L: Ledger>(
     }
     world.run_until_idle();
     for t in accesses {
-        t.poll(&mut world).expect("completed").expect("initial access ok");
+        t.poll(&mut world)
+            .expect("completed")
+            .expect("initial access ok");
     }
     (world, resource)
 }

@@ -33,9 +33,7 @@ use duc_sim::{EndpointId, SimDuration, SimTime};
 use duc_solid::{Body, SolidRequest, Status};
 use duc_tee::EnforcementAction;
 
-use crate::process::{
-    AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome,
-};
+use crate::process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
 use crate::world::{IndexEntry, World};
 
 /// Confirmation timeout for on-chain operations.
@@ -334,7 +332,13 @@ impl<L: Ledger> TxFlow<L> {
     pub(crate) fn step(&mut self, world: &mut World<L>) -> FlowPoll {
         let now = world.clock.now();
         match std::mem::replace(self, TxFlow::Spent) {
-            TxFlow::Send { build, size, from, attempt, deadline } => {
+            TxFlow::Send {
+                build,
+                size,
+                from,
+                attempt,
+                deadline,
+            } => {
                 // Unlike raw [`Hop`]s, the uplink keeps the push-in
                 // oracle's own retry contract — its attempt counters, its
                 // linear backoff, its `max_attempts`, and the legacy
@@ -350,7 +354,13 @@ impl<L: Ledger> TxFlow<L> {
                     world.metrics.incr("driver.hop.suspended");
                     return match world.fault_plan().next_clear(from, relay, now) {
                         Some(at) if at <= deadline => {
-                            *self = TxFlow::Send { build, size, from, attempt, deadline };
+                            *self = TxFlow::Send {
+                                build,
+                                size,
+                                from,
+                                attempt,
+                                deadline,
+                            };
                             FlowPoll::Sleep(at)
                         }
                         _ => {
@@ -386,7 +396,13 @@ impl<L: Ledger> TxFlow<L> {
                                     deadline,
                                 }))
                             } else {
-                                *self = TxFlow::Send { build, size, from, attempt: next, deadline };
+                                *self = TxFlow::Send {
+                                    build,
+                                    size,
+                                    from,
+                                    attempt: next,
+                                    deadline,
+                                };
                                 FlowPoll::Sleep(at)
                             }
                         }
@@ -495,7 +511,11 @@ impl<L: Ledger> PodInit<L> {
     }
 
     fn step(self, world: &mut World<L>) -> Step<L> {
-        let PodInit { webid, started, phase } = self;
+        let PodInit {
+            webid,
+            started,
+            phase,
+        } = self;
         match phase {
             PodInitPhase::Start => {
                 let Some(owner) = world.owners.get_mut(&webid) else {
@@ -717,15 +737,21 @@ impl<L: Ledger> ResInit<L> {
             Err(e) => return Step::Done(Err(e)),
         };
         let now = world.clock.now();
-        world.metrics.record("process.resource_init.e2e", now - started);
-        world.metrics.add("process.resource_init.gas", receipt.gas_used);
+        world
+            .metrics
+            .record("process.resource_init.e2e", now - started);
+        world
+            .metrics
+            .add("process.resource_init.gas", receipt.gas_used);
         world.trace.record(
             now,
             format!("pm:{webid}"),
             "resource.registered",
             resource_iri.clone(),
         );
-        Step::Done(Ok(Outcome::ResourceInitiated { resource: resource_iri }))
+        Step::Done(Ok(Outcome::ResourceInitiated {
+            resource: resource_iri,
+        }))
     }
 }
 
@@ -742,16 +768,33 @@ pub(crate) struct Indexing {
 enum IndexingPhase {
     Start,
     /// Request hop (device → relay), fault-aware.
-    Request { hop: Hop, args: Vec<u8>, dev_endpoint: EndpointId },
-    AtRelay { args: Vec<u8>, dev_endpoint: EndpointId },
+    Request {
+        hop: Hop,
+        args: Vec<u8>,
+        dev_endpoint: EndpointId,
+    },
+    AtRelay {
+        args: Vec<u8>,
+        dev_endpoint: EndpointId,
+    },
     /// Response hop (relay → device), fault-aware.
-    Respond { hop: Hop, out: Vec<u8> },
-    Arrived { out: Vec<u8> },
+    Respond {
+        hop: Hop,
+        out: Vec<u8>,
+    },
+    Arrived {
+        out: Vec<u8>,
+    },
 }
 
 impl Indexing {
     fn step<L: Ledger>(self, world: &mut World<L>) -> Step<L> {
-        let Indexing { device, resource, started, phase } = self;
+        let Indexing {
+            device,
+            resource,
+            started,
+            phase,
+        } = self;
         let now = world.clock.now();
         let wrap = |phase| {
             Machine::Indexing(Indexing {
@@ -776,25 +819,44 @@ impl Indexing {
                     PullOutOracle::request_size("lookup_resource", &args),
                     HopKind::PullOutRequest,
                 );
-                Step::Sleep(wrap(IndexingPhase::Request { hop, args, dev_endpoint }), now)
+                Step::Sleep(
+                    wrap(IndexingPhase::Request {
+                        hop,
+                        args,
+                        dev_endpoint,
+                    }),
+                    now,
+                )
             }
-            IndexingPhase::Request { mut hop, args, dev_endpoint } => match hop.step(world) {
+            IndexingPhase::Request {
+                mut hop,
+                args,
+                dev_endpoint,
+            } => match hop.step(world) {
                 HopPoll::Sent { arrives } => {
                     Step::Sleep(wrap(IndexingPhase::AtRelay { args, dev_endpoint }), arrives)
                 }
-                HopPoll::Retry { at } => {
-                    Step::Sleep(wrap(IndexingPhase::Request { hop, args, dev_endpoint }), at)
-                }
+                HopPoll::Retry { at } => Step::Sleep(
+                    wrap(IndexingPhase::Request {
+                        hop,
+                        args,
+                        dev_endpoint,
+                    }),
+                    at,
+                ),
                 HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
             },
             IndexingPhase::AtRelay { args, dev_endpoint } => {
-                let out = match world
-                    .chain
-                    .call_view(world.dex.contract_id(), "lookup_resource", &args)
-                {
-                    Ok(out) => out,
-                    Err(e) => return Step::Done(Err(ProcessError::Oracle(OracleError::View(e)))),
-                };
+                let out =
+                    match world
+                        .chain
+                        .call_view(world.dex.contract_id(), "lookup_resource", &args)
+                    {
+                        Ok(out) => out,
+                        Err(e) => {
+                            return Step::Done(Err(ProcessError::Oracle(OracleError::View(e))))
+                        }
+                    };
                 let hop = Hop::new(
                     world,
                     world.pull_out.relay,
@@ -858,7 +920,11 @@ enum SubscribePhase<L> {
 
 impl<L: Ledger> Subscribe<L> {
     fn step(self, world: &mut World<L>) -> Step<L> {
-        let Subscribe { device, started, phase } = self;
+        let Subscribe {
+            device,
+            started,
+            phase,
+        } = self;
         match phase {
             SubscribePhase::Start => {
                 let Some(dev) = world.try_device(&device) else {
@@ -867,8 +933,7 @@ impl<L: Ledger> Subscribe<L> {
                 let endpoint = dev.endpoint;
                 let key = dev.key;
                 let webid = dev.webid.clone();
-                let build =
-                    move |w: &World<L>| w.dex.subscribe_tx(&w.chain, &key, &webid);
+                let build = move |w: &World<L>| w.dex.subscribe_tx(&w.chain, &key, &webid);
                 let (flow, poll) = TxFlow::start(world, endpoint, build);
                 match poll {
                     FlowPoll::Sleep(at) => Step::Sleep(
@@ -909,7 +974,11 @@ impl<L: Ledger> Subscribe<L> {
             Ok(cert) => cert,
             Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
         };
-        world.devices.get_mut(&device).expect("validated at submit").certificate = Some(cert);
+        world
+            .devices
+            .get_mut(&device)
+            .expect("validated at submit")
+            .certificate = Some(cert);
         let now = world.clock.now();
         world.metrics.record("process.subscribe.e2e", now - started);
         world.metrics.add("process.subscribe.gas", receipt.gas_used);
@@ -979,7 +1048,12 @@ enum AccessPhase<L> {
 impl<L: Ledger> Access<L> {
     #[allow(clippy::too_many_lines)]
     fn step(self, world: &mut World<L>) -> Step<L> {
-        let Access { device, resource, started, phase } = self;
+        let Access {
+            device,
+            resource,
+            started,
+            phase,
+        } = self;
         let now = world.clock.now();
         match phase {
             AccessPhase::Start => {
@@ -987,10 +1061,7 @@ impl<L: Ledger> Access<L> {
                     return Step::Done(Err(ProcessError::UnknownDevice(device)));
                 };
                 let Some(entry) = dev.indexed.get(&resource).cloned() else {
-                    return Step::Done(Err(ProcessError::NotIndexed {
-                        device,
-                        resource,
-                    }));
+                    return Step::Done(Err(ProcessError::NotIndexed { device, resource }));
                 };
                 let Some(certificate) = dev.certificate else {
                     return Step::Done(Err(ProcessError::NoCertificate(dev.webid.clone())));
@@ -1020,7 +1091,9 @@ impl<L: Ledger> Access<L> {
                 // The pod manager verifies the certificate against the DE
                 // App (its own blockchain interaction module does a view
                 // call).
-                let cert_ok = match world.dex.verify_certificate(&world.chain, &certificate, &webid)
+                let cert_ok = match world
+                    .dex
+                    .verify_certificate(&world.chain, &certificate, &webid)
                 {
                     Ok(ok) => ok,
                     Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
@@ -1065,48 +1138,46 @@ impl<L: Ledger> Access<L> {
                 cert_ok,
                 entry,
                 enclave_key,
-            } => {
-                match hop.step(world) {
-                    HopPoll::Sent { arrives } => Step::Sleep(
-                        Machine::Access(Box::new(Access {
-                            device,
-                            resource,
-                            started,
-                            phase: AccessPhase::AtPod {
-                                fetch_start,
-                                request,
-                                owner_webid,
-                                owner_endpoint,
-                                dev_endpoint,
-                                cert_ok,
-                                entry,
-                                enclave_key,
-                            },
-                        })),
-                        arrives,
-                    ),
-                    HopPoll::Retry { at } => Step::Sleep(
-                        Machine::Access(Box::new(Access {
-                            device,
-                            resource,
-                            started,
-                            phase: AccessPhase::ToPod {
-                                hop,
-                                fetch_start,
-                                request,
-                                owner_webid,
-                                owner_endpoint,
-                                dev_endpoint,
-                                cert_ok,
-                                entry,
-                                enclave_key,
-                            },
-                        })),
-                        at,
-                    ),
-                    HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
-                }
-            }
+            } => match hop.step(world) {
+                HopPoll::Sent { arrives } => Step::Sleep(
+                    Machine::Access(Box::new(Access {
+                        device,
+                        resource,
+                        started,
+                        phase: AccessPhase::AtPod {
+                            fetch_start,
+                            request,
+                            owner_webid,
+                            owner_endpoint,
+                            dev_endpoint,
+                            cert_ok,
+                            entry,
+                            enclave_key,
+                        },
+                    })),
+                    arrives,
+                ),
+                HopPoll::Retry { at } => Step::Sleep(
+                    Machine::Access(Box::new(Access {
+                        device,
+                        resource,
+                        started,
+                        phase: AccessPhase::ToPod {
+                            hop,
+                            fetch_start,
+                            request,
+                            owner_webid,
+                            owner_endpoint,
+                            dev_endpoint,
+                            cert_ok,
+                            entry,
+                            enclave_key,
+                        },
+                    })),
+                    at,
+                ),
+                HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
+            },
             AccessPhase::AtPod {
                 fetch_start,
                 request,
@@ -1117,7 +1188,10 @@ impl<L: Ledger> Access<L> {
                 entry,
                 enclave_key,
             } => {
-                let owner = world.owners.get_mut(&owner_webid).expect("checked at start");
+                let owner = world
+                    .owners
+                    .get_mut(&owner_webid)
+                    .expect("checked at start");
                 let verifier = move |_: &Digest, _: &str| cert_ok;
                 let resp = owner.pod_manager.handle_with_verifier(&request, &verifier);
                 if resp.status != Status::Ok {
@@ -1244,25 +1318,52 @@ impl<L: Ledger> Access<L> {
                 match poll {
                     FlowPoll::Sleep(at) => Step::Sleep(Machine::Access(Box::new(next)), at),
                     FlowPoll::Done(res) => {
-                        let Access { device, resource, started, phase } = next;
-                        let AccessPhase::Confirm { fetch, bytes_len, dev_endpoint, .. } = phase
+                        let Access {
+                            device,
+                            resource,
+                            started,
+                            phase,
+                        } = next;
+                        let AccessPhase::Confirm {
+                            fetch,
+                            bytes_len,
+                            dev_endpoint,
+                            ..
+                        } = phase
                         else {
                             unreachable!()
                         };
                         Self::finish(
-                            world, device, resource, started, fetch, bytes_len, dev_endpoint, res,
+                            world,
+                            device,
+                            resource,
+                            started,
+                            fetch,
+                            bytes_len,
+                            dev_endpoint,
+                            res,
                         )
                     }
                 }
             }
-            AccessPhase::Confirm { flow, fetch, bytes_len, dev_endpoint } => drive_flow!(
+            AccessPhase::Confirm {
+                flow,
+                fetch,
+                bytes_len,
+                dev_endpoint,
+            } => drive_flow!(
                 world,
                 flow,
                 |flow| Machine::Access(Box::new(Access {
                     device: device.clone(),
                     resource: resource.clone(),
                     started,
-                    phase: AccessPhase::Confirm { flow, fetch, bytes_len, dev_endpoint },
+                    phase: AccessPhase::Confirm {
+                        flow,
+                        fetch,
+                        bytes_len,
+                        dev_endpoint
+                    },
                 })),
                 |world: &mut World<L>, res| Self::finish(
                     world,
@@ -1318,7 +1419,9 @@ impl<L: Ledger> Access<L> {
                 return Step::Done(Err(e));
             }
         };
-        world.push_out.subscribe(topics::POLICY_UPDATED, dev_endpoint);
+        world
+            .push_out
+            .subscribe(topics::POLICY_UPDATED, dev_endpoint);
 
         let now = world.clock.now();
         let e2e = now - started;
@@ -1375,7 +1478,12 @@ struct FanoutState {
 
 impl<L: Ledger> PolicyMod<L> {
     fn step(self, world: &mut World<L>) -> Step<L> {
-        let PolicyMod { webid, path, started, phase } = self;
+        let PolicyMod {
+            webid,
+            path,
+            started,
+            phase,
+        } = self;
         let now = world.clock.now();
         match phase {
             PolicyModPhase::Start { rules, duties } => {
@@ -1384,7 +1492,10 @@ impl<L: Ledger> PolicyMod<L> {
                 };
                 let endpoint = owner.endpoint;
                 let owner_key = owner.key;
-                let amended = match owner.pod_manager.modify_policy(&webid, &path, rules, duties) {
+                let amended = match owner
+                    .pod_manager
+                    .modify_policy(&webid, &path, rules, duties)
+                {
                     Ok(amended) => amended,
                     Err(status) => {
                         return Step::Done(Err(ProcessError::Solid {
@@ -1400,8 +1511,13 @@ impl<L: Ledger> PolicyMod<L> {
                 let build = {
                     let iri = resource_iri.clone();
                     move |w: &World<L>| {
-                        w.dex
-                            .update_policy_tx(&w.chain, &owner_key, &iri, envelope.clone(), version)
+                        w.dex.update_policy_tx(
+                            &w.chain,
+                            &owner_key,
+                            &iri,
+                            envelope.clone(),
+                            version,
+                        )
                     }
                 };
                 let (flow, poll) = TxFlow::start(world, endpoint, build);
@@ -1411,7 +1527,11 @@ impl<L: Ledger> PolicyMod<L> {
                             webid,
                             path,
                             started,
-                            phase: PolicyModPhase::Confirm { flow, resource_iri, version },
+                            phase: PolicyModPhase::Confirm {
+                                flow,
+                                resource_iri,
+                                version,
+                            },
                         })),
                         at,
                     ),
@@ -1420,7 +1540,11 @@ impl<L: Ledger> PolicyMod<L> {
                     }
                 }
             }
-            PolicyModPhase::Confirm { flow, resource_iri, version } => drive_flow!(
+            PolicyModPhase::Confirm {
+                flow,
+                resource_iri,
+                version,
+            } => drive_flow!(
                 world,
                 flow,
                 |flow| Machine::PolicyMod(Box::new(PolicyMod {
@@ -1467,9 +1591,10 @@ impl<L: Ledger> PolicyMod<L> {
                         policy,
                         delivery.arrives_at,
                     );
-                    world
-                        .metrics
-                        .record("process.policy_mod.propagation", delivery.arrives_at - started);
+                    world.metrics.record(
+                        "process.policy_mod.propagation",
+                        delivery.arrives_at - started,
+                    );
                     state.notified += 1;
                     for action in actions {
                         if let EnforcementAction::Deleted { .. } = &action {
@@ -1572,7 +1697,9 @@ impl<L: Ledger> PolicyMod<L> {
             Ok(receipt) => receipt,
             Err(e) => return Step::Done(Err(e)),
         };
-        world.metrics.add("process.policy_mod.gas", receipt.gas_used);
+        world
+            .metrics
+            .add("process.policy_mod.gas", receipt.gas_used);
 
         // Push-out fan-out to subscribed devices: claim the deliveries that
         // belong to *this* resource; others stay in the shared inbox for
@@ -1580,8 +1707,7 @@ impl<L: Ledger> PolicyMod<L> {
         let iri = resource_iri.clone();
         let claimed = world.claim_deliveries(|d| {
             d.event.topic == topics::POLICY_UPDATED
-                && decode_policy_update(&d.event.data)
-                    .is_some_and(|(res, _, _)| res == iri)
+                && decode_policy_update(&d.event.data).is_some_and(|(res, _, _)| res == iri)
         });
         let mut deliveries: Vec<(OutboundDelivery, UsagePolicy)> = Vec::new();
         for delivery in claimed {
@@ -1693,14 +1819,21 @@ enum MonPhase<L> {
 impl<L: Ledger> Monitoring<L> {
     #[allow(clippy::too_many_lines)]
     fn step(self, world: &mut World<L>) -> Step<L> {
-        let Monitoring { webid, path, started, phase } = self;
-        let now = world.clock.now();
-        let wrap = |phase| Machine::Monitoring(Box::new(Monitoring {
-            webid: webid.clone(),
-            path: path.clone(),
+        let Monitoring {
+            webid,
+            path,
             started,
             phase,
-        }));
+        } = self;
+        let now = world.clock.now();
+        let wrap = |phase| {
+            Machine::Monitoring(Box::new(Monitoring {
+                webid: webid.clone(),
+                path: path.clone(),
+                started,
+                phase,
+            }))
+        };
         match phase {
             MonPhase::Open => {
                 let Some(owner) = world.try_owner(&webid) else {
@@ -1718,7 +1851,11 @@ impl<L: Ledger> Monitoring<L> {
                 let (flow, poll) = TxFlow::start(world, endpoint, build);
                 match poll {
                     FlowPoll::Sleep(at) => Step::Sleep(
-                        wrap(MonPhase::OpenConfirm { flow, resource_iri, endpoint }),
+                        wrap(MonPhase::OpenConfirm {
+                            flow,
+                            resource_iri,
+                            endpoint,
+                        }),
                         at,
                     ),
                     FlowPoll::Done(res) => Monitoring {
@@ -1734,18 +1871,30 @@ impl<L: Ledger> Monitoring<L> {
                     .open_confirmed(world, res),
                 }
             }
-            MonPhase::OpenConfirm { flow, resource_iri, endpoint } => {
+            MonPhase::OpenConfirm {
+                flow,
+                resource_iri,
+                endpoint,
+            } => {
                 let mut flow = flow;
                 match flow.step(world) {
                     FlowPoll::Sleep(at) => Step::Sleep(
-                        wrap(MonPhase::OpenConfirm { flow, resource_iri, endpoint }),
+                        wrap(MonPhase::OpenConfirm {
+                            flow,
+                            resource_iri,
+                            endpoint,
+                        }),
                         at,
                     ),
                     FlowPoll::Done(res) => Monitoring {
                         webid,
                         path,
                         started,
-                        phase: MonPhase::OpenConfirm { flow: TxFlow::Spent, resource_iri, endpoint },
+                        phase: MonPhase::OpenConfirm {
+                            flow: TxFlow::Spent,
+                            resource_iri,
+                            endpoint,
+                        },
                     }
                     .open_confirmed(world, res),
                 }
@@ -1768,19 +1917,46 @@ impl<L: Ledger> Monitoring<L> {
                     response_size,
                     HopKind::PullInReturn,
                 );
-                Step::Sleep(wrap(MonPhase::PollReturn { ctx, events, cursor_to, hop }), now)
+                Step::Sleep(
+                    wrap(MonPhase::PollReturn {
+                        ctx,
+                        events,
+                        cursor_to,
+                        hop,
+                    }),
+                    now,
+                )
             }
-            MonPhase::PollReturn { ctx, events, cursor_to, mut hop } => match hop.step(world) {
+            MonPhase::PollReturn {
+                ctx,
+                events,
+                cursor_to,
+                mut hop,
+            } => match hop.step(world) {
                 HopPoll::Sent { arrives } => Step::Sleep(
-                    wrap(MonPhase::PollArrived { ctx, events, cursor_to }),
+                    wrap(MonPhase::PollArrived {
+                        ctx,
+                        events,
+                        cursor_to,
+                    }),
                     arrives,
                 ),
-                HopPoll::Retry { at } => {
-                    Step::Sleep(wrap(MonPhase::PollReturn { ctx, events, cursor_to, hop }), at)
-                }
+                HopPoll::Retry { at } => Step::Sleep(
+                    wrap(MonPhase::PollReturn {
+                        ctx,
+                        events,
+                        cursor_to,
+                        hop,
+                    }),
+                    at,
+                ),
                 HopPoll::Failed(e) => Step::Done(Err(ProcessError::Oracle(e))),
             },
-            MonPhase::PollArrived { mut ctx, events, cursor_to } => {
+            MonPhase::PollArrived {
+                mut ctx,
+                events,
+                cursor_to,
+            } => {
                 world.pull_in.commit_cursor(cursor_to);
                 // Find our round's request among the fresh events and any
                 // stashed by sibling rounds; stash the rest for them.
@@ -1843,12 +2019,20 @@ impl<L: Ledger> Monitoring<L> {
                         HopKind::DeviceProbe,
                     );
                     return Step::Sleep(
-                        wrap(MonPhase::DeviceProbe { ctx, device: device_name, hop }),
+                        wrap(MonPhase::DeviceProbe {
+                            ctx,
+                            device: device_name,
+                            hop,
+                        }),
                         now,
                     );
                 }
             }
-            MonPhase::DeviceProbe { ctx, device, mut hop } => match hop.step(world) {
+            MonPhase::DeviceProbe {
+                ctx,
+                device,
+                mut hop,
+            } => match hop.step(world) {
                 HopPoll::Sent { arrives } => {
                     Step::Sleep(wrap(MonPhase::DeviceReport { ctx, device }), arrives)
                 }
@@ -1913,7 +2097,10 @@ impl<L: Ledger> Monitoring<L> {
                         webid,
                         path,
                         started,
-                        phase: MonPhase::EvidenceConfirm { ctx, flow: TxFlow::Spent },
+                        phase: MonPhase::EvidenceConfirm {
+                            ctx,
+                            flow: TxFlow::Spent,
+                        },
                     }
                     .evidence_confirmed(world, res),
                 }
@@ -1928,7 +2115,10 @@ impl<L: Ledger> Monitoring<L> {
                         webid,
                         path,
                         started,
-                        phase: MonPhase::EvidenceConfirm { ctx, flow: TxFlow::Spent },
+                        phase: MonPhase::EvidenceConfirm {
+                            ctx,
+                            flow: TxFlow::Spent,
+                        },
                     }
                     .evidence_confirmed(world, res),
                 }
@@ -1939,8 +2129,18 @@ impl<L: Ledger> Monitoring<L> {
     /// The round-opening transaction confirmed: decode the round number and
     /// start the pull-in poll.
     fn open_confirmed(self, world: &mut World<L>, res: Result<Receipt, OracleError>) -> Step<L> {
-        let Monitoring { webid, path, started, phase } = self;
-        let MonPhase::OpenConfirm { resource_iri, endpoint, .. } = phase else {
+        let Monitoring {
+            webid,
+            path,
+            started,
+            phase,
+        } = self;
+        let MonPhase::OpenConfirm {
+            resource_iri,
+            endpoint,
+            ..
+        } = phase
+        else {
             unreachable!("open_confirmed called outside OpenConfirm")
         };
         let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
@@ -1951,7 +2151,9 @@ impl<L: Ledger> Monitoring<L> {
             Ok(round) => round,
             Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
         };
-        world.metrics.add("process.monitoring.gas", receipt.gas_used);
+        world
+            .metrics
+            .add("process.monitoring.gas", receipt.gas_used);
 
         // Pull-in oracle: poll the gateway for the request event
         // (fault-aware hop).
@@ -1987,8 +2189,17 @@ impl<L: Ledger> Monitoring<L> {
 
     /// One device's evidence transaction confirmed: account for it and move
     /// on to the next device.
-    fn evidence_confirmed(self, world: &mut World<L>, res: Result<Receipt, OracleError>) -> Step<L> {
-        let Monitoring { webid, path, started, phase } = self;
+    fn evidence_confirmed(
+        self,
+        world: &mut World<L>,
+        res: Result<Receipt, OracleError>,
+    ) -> Step<L> {
+        let Monitoring {
+            webid,
+            path,
+            started,
+            phase,
+        } = self;
         let MonPhase::EvidenceConfirm { mut ctx, .. } = phase else {
             unreachable!("evidence_confirmed called outside EvidenceConfirm")
         };
@@ -1996,7 +2207,9 @@ impl<L: Ledger> Monitoring<L> {
             Ok(receipt) => receipt,
             Err(e) => return Step::Done(Err(e)),
         };
-        world.metrics.add("process.monitoring.gas", receipt.gas_used);
+        world
+            .metrics
+            .add("process.monitoring.gas", receipt.gas_used);
         ctx.submissions += 1;
         Monitoring {
             webid,
@@ -2010,7 +2223,10 @@ impl<L: Ledger> Monitoring<L> {
     /// Every expected device was visited: read the verdict, deliver it to
     /// the pod manager (push-out) and complete.
     fn finish(world: &mut World<L>, webid: String, started: SimTime, ctx: MonCtx) -> Step<L> {
-        let record = match world.dex.get_round(&world.chain, &ctx.resource_iri, ctx.round) {
+        let record = match world
+            .dex
+            .get_round(&world.chain, &ctx.resource_iri, ctx.round)
+        {
             Ok(Some(record)) => record,
             Ok(None) => return Step::Done(Err(ProcessError::Policy("round vanished".into()))),
             Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
@@ -2031,9 +2247,10 @@ impl<L: Ledger> Monitoring<L> {
         let now = world.clock.now();
         let duration = now - started;
         world.metrics.record("process.monitoring.e2e", duration);
-        world
-            .metrics
-            .add("process.monitoring.evidence_bytes", ctx.evidence_bytes as u64);
+        world.metrics.add(
+            "process.monitoring.evidence_bytes",
+            ctx.evidence_bytes as u64,
+        );
         world.trace.record(
             now,
             format!("pm:{webid}"),
@@ -2049,7 +2266,11 @@ impl<L: Ledger> Monitoring<L> {
             round: ctx.round,
             expected: ctx.expected_total,
             evidence: ctx.submissions,
-            violators: record.violators().iter().map(|e| e.device.clone()).collect(),
+            violators: record
+                .violators()
+                .iter()
+                .map(|e| e.device.clone())
+                .collect(),
             evidence_bytes: ctx.evidence_bytes,
             duration,
         })))
@@ -2125,18 +2346,22 @@ impl<L: Ledger> World<L> {
 
         let machine = match request {
             Request::PodInitiation { webid } => Machine::PodInit(PodInit::new(webid, started)),
-            Request::ResourceInitiation { webid, path, body, policy, metadata } => {
-                Machine::ResInit(Box::new(ResInit {
-                    webid,
-                    path,
-                    body: Some(body),
-                    policy: Some(policy),
-                    metadata,
-                    resource_iri: String::new(),
-                    started,
-                    phase: ResInitPhase::Start,
-                }))
-            }
+            Request::ResourceInitiation {
+                webid,
+                path,
+                body,
+                policy,
+                metadata,
+            } => Machine::ResInit(Box::new(ResInit {
+                webid,
+                path,
+                body: Some(body),
+                policy: Some(policy),
+                metadata,
+                resource_iri: String::new(),
+                started,
+                phase: ResInitPhase::Start,
+            })),
             Request::ResourceIndexing { device, resource } => Machine::Indexing(Indexing {
                 device,
                 resource,
@@ -2154,14 +2379,17 @@ impl<L: Ledger> World<L> {
                 started,
                 phase: AccessPhase::Start,
             })),
-            Request::PolicyModification { webid, path, rules, duties } => {
-                Machine::PolicyMod(Box::new(PolicyMod {
-                    webid,
-                    path,
-                    started,
-                    phase: PolicyModPhase::Start { rules, duties },
-                }))
-            }
+            Request::PolicyModification {
+                webid,
+                path,
+                rules,
+                duties,
+            } => Machine::PolicyMod(Box::new(PolicyMod {
+                webid,
+                path,
+                started,
+                phase: PolicyModPhase::Start { rules, duties },
+            })),
             Request::PolicyMonitoring { webid, path } => {
                 Machine::Monitoring(Box::new(Monitoring {
                     webid,

@@ -155,7 +155,9 @@ impl<L: Ledger> World<L> {
     /// # Errors
     /// Fails on unknown owners, oracle loss or an on-chain revert.
     pub fn pod_initiation(&mut self, webid: &str) -> Result<(), ProcessError> {
-        match self.run_one(Request::PodInitiation { webid: webid.to_string() })? {
+        match self.run_one(Request::PodInitiation {
+            webid: webid.to_string(),
+        })? {
             Outcome::PodInitiated { .. } => Ok(()),
             other => unreachable!("pod initiation yielded {other:?}"),
         }
@@ -220,7 +222,11 @@ impl<L: Ledger> World<L> {
     ///
     /// # Errors
     /// Fails on unknown devices/resources or oracle loss.
-    pub fn resource_indexing(&mut self, device: &str, resource: &str) -> Result<IndexEntry, ProcessError> {
+    pub fn resource_indexing(
+        &mut self,
+        device: &str,
+        resource: &str,
+    ) -> Result<IndexEntry, ProcessError> {
         match self.run_one(Request::ResourceIndexing {
             device: device.to_string(),
             resource: resource.to_string(),
@@ -236,7 +242,9 @@ impl<L: Ledger> World<L> {
     /// # Errors
     /// Fails on unknown devices, oracle loss or revert.
     pub fn market_subscribe(&mut self, device: &str) -> Result<Digest, ProcessError> {
-        match self.run_one(Request::MarketSubscribe { device: device.to_string() })? {
+        match self.run_one(Request::MarketSubscribe {
+            device: device.to_string(),
+        })? {
             Outcome::Subscribed { certificate } => Ok(certificate),
             other => unreachable!("market subscription yielded {other:?}"),
         }
@@ -252,7 +260,11 @@ impl<L: Ledger> World<L> {
     /// Fails when the device lacks an index entry or certificate, the pod
     /// manager refuses the request, attestation fails, or the on-chain copy
     /// registration fails.
-    pub fn resource_access(&mut self, device: &str, resource: &str) -> Result<AccessOutcome, ProcessError> {
+    pub fn resource_access(
+        &mut self,
+        device: &str,
+        resource: &str,
+    ) -> Result<AccessOutcome, ProcessError> {
         match self.run_one(Request::ResourceAccess {
             device: device.to_string(),
             resource: resource.to_string(),
@@ -296,7 +308,11 @@ impl<L: Ledger> World<L> {
     ///
     /// # Errors
     /// Fails on unknown participants or oracle/chain errors.
-    pub fn policy_monitoring(&mut self, webid: &str, path: &str) -> Result<MonitoringOutcome, ProcessError> {
+    pub fn policy_monitoring(
+        &mut self,
+        webid: &str,
+        path: &str,
+    ) -> Result<MonitoringOutcome, ProcessError> {
         match self.run_one(Request::PolicyMonitoring {
             webid: webid.to_string(),
             path: path.to_string(),

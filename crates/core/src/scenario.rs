@@ -167,7 +167,10 @@ pub fn run<L: Ledger>(world: &mut World<L>) -> Result<ScenarioReport, ProcessErr
         BROWSING_PATH,
         vec![Rule::permit([Action::Use])
             .with_constraint(Constraint::MaxRetention(SimDuration::from_days(7)))],
-        vec![Duty::DeleteWithin(SimDuration::from_days(7)), Duty::LogAccesses],
+        vec![
+            Duty::DeleteWithin(SimDuration::from_days(7)),
+            Duty::LogAccesses,
+        ],
     )?;
     debug_assert_eq!(tightened.version, 2);
     world.policy_modification(
@@ -236,7 +239,10 @@ mod tests {
 
         assert!(report.alice_got_bytes > 0);
         assert!(report.bob_got_bytes > 0);
-        assert!(report.bob_copy_deleted, "retention tightening erased Bob's copy");
+        assert!(
+            report.bob_copy_deleted,
+            "retention tightening erased Bob's copy"
+        );
         assert!(
             report.alice_still_permitted,
             "university-hospital research satisfies the academic narrowing"
@@ -246,7 +252,10 @@ mod tests {
         // compliant device.
         assert!(report.browsing_monitoring.violators.is_empty());
         assert!(report.medical_monitoring.violators.is_empty());
-        assert_eq!(report.medical_monitoring.evidence, report.medical_monitoring.expected);
+        assert_eq!(
+            report.medical_monitoring.evidence,
+            report.medical_monitoring.expected
+        );
         assert!(report.total_gas > 0);
     }
 

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use duc_blockchain::{Address, Blockchain, ContractId, Ledger, ShardedLedger};
 use duc_contracts::{topics, DistExchange, DistExchangeClient, PolicyEnvelope, DEX_CONTRACT_ID};
 use duc_crypto::KeyPair;
+use duc_oracle::{PullInOracle, PullOutOracle, PushInOracle, PushOutOracle};
 use duc_policy::{PolicyEngine, UsagePolicy};
 use duc_sim::{
     Clock, EndpointId, FaultPlan, LinkConfig, MetricsRegistry, NetworkModel, Rng, Scheduler,
@@ -12,7 +13,6 @@ use duc_sim::{
 };
 use duc_solid::PodManager;
 use duc_tee::{AttestationAuthority, Enclave, TrustedApplication};
-use duc_oracle::{PullInOracle, PullOutOracle, PushInOracle, PushOutOracle};
 
 /// Configuration for one simulated deployment.
 #[derive(Debug, Clone)]
@@ -183,9 +183,12 @@ impl World<ShardedLedger> {
     /// initialized on each, and the DE App router installed
     /// (`duc_contracts::routing`).
     pub fn new_sharded(config: WorldConfig) -> World<ShardedLedger> {
-        let chain =
-            ShardedLedger::new(config.shards.max(1), config.validators, config.block_interval)
-                .with_router(duc_contracts::routing::dex_router());
+        let chain = ShardedLedger::new(
+            config.shards.max(1),
+            config.validators,
+            config.block_interval,
+        )
+        .with_router(duc_contracts::routing::dex_router());
         World::with_ledger(config, chain)
     }
 }
@@ -320,7 +323,10 @@ impl<L: Ledger> World<L> {
     ///
     /// # Errors
     /// Propagates envelope decode errors (wrong key, corrupt bytes).
-    pub fn open_envelope(&self, env: &PolicyEnvelope) -> Result<UsagePolicy, duc_codec::DecodeError> {
+    pub fn open_envelope(
+        &self,
+        env: &PolicyEnvelope,
+    ) -> Result<UsagePolicy, duc_codec::DecodeError> {
         if env.encrypted {
             env.open(Some(self.policy_key))
         } else {
@@ -395,7 +401,11 @@ impl<L: Ledger> World<L> {
         applied.partitioned = partitioned;
 
         let lossy = self.fault_plan.lossy_at(now);
-        for (pair, _) in applied.lossy.iter().filter(|(p, _)| !lossy.contains_key(*p)) {
+        for (pair, _) in applied
+            .lossy
+            .iter()
+            .filter(|(p, _)| !lossy.contains_key(*p))
+        {
             self.net.clear_extra_drop(pair.0, pair.1);
         }
         for (pair, per_mille) in &lossy {
@@ -499,9 +509,9 @@ impl<L: Ledger> World<L> {
             for action in device.tee.sweep(now) {
                 if let duc_tee::EnforcementAction::Deleted { resource, .. } = &action {
                     self.metrics.incr("enforcement.deletions");
-                    let tx =
-                        self.dex
-                            .unregister_copy_tx(&self.chain, &device.key, resource, &name);
+                    let tx = self
+                        .dex
+                        .unregister_copy_tx(&self.chain, &device.key, resource, &name);
                     if let Ok(id) = self.chain.submit(tx) {
                         pending.push(id);
                     }
@@ -575,8 +585,16 @@ mod tests {
         world.add_owner("https://alice.id/me", "https://alice.pod/");
         world.add_device("alice-laptop", "https://alice.id/me");
         let owner = world.owner("https://alice.id/me");
-        assert!(world.chain.balance(&Address::from_public_key(&owner.key.public())) > 0);
-        assert_eq!(world.net.endpoint_name(owner.endpoint), "pod-manager:https://alice.id/me");
+        assert!(
+            world
+                .chain
+                .balance(&Address::from_public_key(&owner.key.public()))
+                > 0
+        );
+        assert_eq!(
+            world.net.endpoint_name(owner.endpoint),
+            "pod-manager:https://alice.id/me"
+        );
         let device = world.device("alice-laptop");
         assert_eq!(device.webid, "https://alice.id/me");
         assert!(device.certificate.is_none());
@@ -594,7 +612,12 @@ mod tests {
         let env = sealed_world.envelope(&policy);
         assert!(env.encrypted);
         assert_eq!(sealed_world.open_envelope(&env).unwrap(), policy);
-        assert_eq!(plain_world.open_envelope(&plain_world.envelope(&policy)).unwrap(), policy);
+        assert_eq!(
+            plain_world
+                .open_envelope(&plain_world.envelope(&policy))
+                .unwrap(),
+            policy
+        );
     }
 
     #[test]

@@ -77,7 +77,12 @@ fn chaos_run(world_seed: u64, chaos_seed: u64, n: usize) -> (String, usize, usiz
             n,
         )
     } else {
-        chaos_run_in(World::new(world_config(world_seed)), world_seed, chaos_seed, n)
+        chaos_run_in(
+            World::new(world_config(world_seed)),
+            world_seed,
+            chaos_seed,
+            n,
+        )
     }
 }
 
@@ -113,7 +118,12 @@ fn healing_faults_still_complete_some_work() {
     let plan = chaos::healing_plan(world.clock.now(), dev, relay);
     let batch = chaos::mixed_batch(OWNER, PATH, &resource, 4);
     let run = chaos::run_chaos(&mut world, batch, plan).expect("invariants hold");
-    assert_eq!(run.ok, run.outcomes.len(), "every request recovered: {:?}", run.outcomes);
+    assert_eq!(
+        run.ok,
+        run.outcomes.len(),
+        "every request recovered: {:?}",
+        run.outcomes
+    );
     assert!(
         world.metrics.counter("driver.hop.suspended") > 0,
         "the crash window suspended at least one hop"

@@ -69,7 +69,10 @@ fn scenario_matrix_is_backend_agnostic() {
 
     // The invariant sweep holds on the sharded world too.
     chaos::check_invariants(&world).expect("invariants on sharded backend");
-    world.chain.validate_chains().expect("every shard validates");
+    world
+        .chain
+        .validate_chains()
+        .expect("every shard validates");
 }
 
 #[test]
@@ -95,7 +98,10 @@ fn sharded_world_routes_disjoint_owners_to_disjoint_shards() {
     }
     let heights = world.chain.shard_heights();
     let busy = heights.iter().filter(|h| **h > 0).count();
-    assert!(busy >= 2, "6 disjoint owners spread over shards: {heights:?}");
+    assert!(
+        busy >= 2,
+        "6 disjoint owners spread over shards: {heights:?}"
+    );
     // Every resource resolves through its routed view.
     for (i, resource) in resources.iter().enumerate() {
         let record = world
@@ -106,7 +112,10 @@ fn sharded_world_routes_disjoint_owners_to_disjoint_shards() {
         assert_eq!(record.owner_webid, format!("https://o{i}.id/me"));
     }
     // The merged resource list spans every shard.
-    let all = world.dex.list_resources(&world.chain).expect("fan-out view");
+    let all = world
+        .dex
+        .list_resources(&world.chain)
+        .expect("fan-out view");
     assert_eq!(all.len(), 6);
     chaos::check_invariants(&world).expect("invariants");
 }
@@ -136,7 +145,10 @@ fn chaos_plans_hold_invariants_on_both_backends() {
     // rounds)); the split may differ because timing differs.
     assert_eq!(ok_single + failed_single, 12);
     assert_eq!(ok_sharded + failed_sharded, 12);
-    world.chain.validate_chains().expect("shards validate after chaos");
+    world
+        .chain
+        .validate_chains()
+        .expect("shards validate after chaos");
 }
 
 #[test]

@@ -60,7 +60,9 @@ fn market_world_on(n: usize, seed: u64, trace: bool, link: LinkConfig) -> (World
     // Subscriptions and indexing race each other through the driver too.
     let mut tickets = Vec::new();
     for i in 0..n {
-        tickets.push(world.submit(Request::MarketSubscribe { device: format!("device-{i}") }));
+        tickets.push(world.submit(Request::MarketSubscribe {
+            device: format!("device-{i}"),
+        }));
         tickets.push(world.submit(Request::ResourceIndexing {
             device: format!("device-{i}"),
             resource: resource.clone(),
@@ -68,7 +70,9 @@ fn market_world_on(n: usize, seed: u64, trace: bool, link: LinkConfig) -> (World
     }
     world.run_until_idle();
     for t in tickets {
-        t.poll(&mut world).expect("completed").expect("setup succeeds");
+        t.poll(&mut world)
+            .expect("completed")
+            .expect("setup succeeds");
     }
     (world, resource)
 }
@@ -84,7 +88,11 @@ fn sixty_four_concurrent_accesses_complete() {
             })
         })
         .collect();
-    assert_eq!(world.in_flight(), 64, "all 64 requests are in flight at once");
+    assert_eq!(
+        world.in_flight(),
+        64,
+        "all 64 requests are in flight at once"
+    );
 
     world.run_until_idle();
     assert_eq!(world.in_flight(), 0);
@@ -95,7 +103,10 @@ fn sixty_four_concurrent_accesses_complete() {
         }
     }
     // Every copy is registered on-chain exactly once.
-    let copies = world.dex.list_copies(&world.chain, &resource).expect("view");
+    let copies = world
+        .dex
+        .list_copies(&world.chain, &resource)
+        .expect("view");
     assert_eq!(copies.len(), 64);
     // Concurrent requests share block slots: the whole batch fits into far
     // fewer block rounds than sequential execution would need.
@@ -113,12 +124,16 @@ fn unknown_participants_fail_with_typed_errors_not_panics() {
     let mut world = World::new(WorldConfig::default());
     world.add_owner(OWNER, "https://owner.pod/");
 
-    let t1 = world.submit(Request::PodInitiation { webid: "https://ghost.id/me".into() });
+    let t1 = world.submit(Request::PodInitiation {
+        webid: "https://ghost.id/me".into(),
+    });
     let t2 = world.submit(Request::ResourceAccess {
         device: "no-such-device".into(),
         resource: "urn:r".into(),
     });
-    let t3 = world.submit(Request::MarketSubscribe { device: "no-such-device".into() });
+    let t3 = world.submit(Request::MarketSubscribe {
+        device: "no-such-device".into(),
+    });
     let t4 = world.submit(Request::PolicyMonitoring {
         webid: "https://ghost.id/me".into(),
         path: "data/x".into(),
@@ -134,8 +149,14 @@ fn unknown_participants_fail_with_typed_errors_not_panics() {
         t2.poll(&mut world),
         Some(Err(ProcessError::UnknownDevice(d))) if d == "no-such-device"
     ));
-    assert!(matches!(t3.poll(&mut world), Some(Err(ProcessError::UnknownDevice(_)))));
-    assert!(matches!(t4.poll(&mut world), Some(Err(ProcessError::UnknownOwner(_)))));
+    assert!(matches!(
+        t3.poll(&mut world),
+        Some(Err(ProcessError::UnknownDevice(_)))
+    ));
+    assert!(matches!(
+        t4.poll(&mut world),
+        Some(Err(ProcessError::UnknownOwner(_)))
+    ));
 }
 
 #[test]
@@ -178,7 +199,10 @@ fn interleaved_run(seed: u64) -> String {
         path: "data/set.bin".into(),
         rules: vec![Rule::permit([Action::Use])
             .with_constraint(Constraint::MaxRetention(SimDuration::from_days(3)))],
-        duties: vec![Duty::DeleteWithin(SimDuration::from_days(3)), Duty::LogAccesses],
+        duties: vec![
+            Duty::DeleteWithin(SimDuration::from_days(3)),
+            Duty::LogAccesses,
+        ],
     }));
     tickets.push(world.submit(Request::PolicyMonitoring {
         webid: OWNER.into(),

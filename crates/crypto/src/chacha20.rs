@@ -104,8 +104,10 @@ mod tests {
     #[test]
     fn rfc8439_block_vector() {
         let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
-        let nonce: [u8; 12] =
-            hex::decode("000000090000004a00000000").unwrap().try_into().unwrap();
+        let nonce: [u8; 12] = hex::decode("000000090000004a00000000")
+            .unwrap()
+            .try_into()
+            .unwrap();
         let cipher = ChaCha20::new(key, nonce);
         let block = cipher.block(1);
         assert_eq!(
@@ -120,8 +122,10 @@ mod tests {
     #[test]
     fn rfc8439_encryption_vector() {
         let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
-        let nonce: [u8; 12] =
-            hex::decode("000000000000004a00000000").unwrap().try_into().unwrap();
+        let nonce: [u8; 12] = hex::decode("000000000000004a00000000")
+            .unwrap()
+            .try_into()
+            .unwrap();
         let cipher = ChaCha20::new(key, nonce);
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it.";

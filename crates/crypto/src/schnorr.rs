@@ -329,8 +329,14 @@ mod tests {
     fn mangled_signature_rejected() {
         let kp = KeyPair::from_seed(b"carol");
         let sig = kp.sign(b"payload");
-        let bad_e = Signature { e: sig.e ^ 1, ..sig };
-        let bad_s = Signature { s: sig.s ^ 1, ..sig };
+        let bad_e = Signature {
+            e: sig.e ^ 1,
+            ..sig
+        };
+        let bad_s = Signature {
+            s: sig.s ^ 1,
+            ..sig
+        };
         assert!(kp.public().verify(b"payload", &bad_e).is_err());
         assert!(kp.public().verify(b"payload", &bad_s).is_err());
     }
@@ -349,7 +355,11 @@ mod tests {
         let a2 = KeyPair::from_seed(b"alice");
         assert_eq!(a1.public(), a2.public());
         assert_eq!(a1.sign(b"m"), a2.sign(b"m"));
-        assert_ne!(a1.sign(b"m"), a1.sign(b"n"), "different messages, different sigs");
+        assert_ne!(
+            a1.sign(b"m"),
+            a1.sign(b"n"),
+            "different messages, different sigs"
+        );
     }
 
     #[test]
@@ -366,7 +376,10 @@ mod tests {
         let kp = KeyPair::from_seed(b"frank");
         let shown = format!("{kp:?}");
         assert!(shown.contains("redacted"), "{shown}");
-        assert!(!shown.contains(&kp.secret.0.to_string()), "scalar leaked: {shown}");
+        assert!(
+            !shown.contains(&kp.secret.0.to_string()),
+            "scalar leaked: {shown}"
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! The four oracle patterns.
 
-use duc_blockchain::{
-    ContractError, Event, Ledger, Receipt, SignedTransaction, SubmitError, TxId,
-};
+use duc_blockchain::{ContractError, Event, Ledger, Receipt, SignedTransaction, SubmitError, TxId};
 use duc_codec::encode_to_vec;
 use duc_sim::{Clock, EndpointId, NetworkModel, Rng, SimDuration, SimTime};
 
@@ -89,8 +87,15 @@ impl std::fmt::Display for OracleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OracleError::NetworkDropped => f.write_str("message dropped by network"),
-            OracleError::GaveUp { hop, attempts, deadline } => {
-                write!(f, "gave up on {hop} after {attempts} attempts (deadline {deadline})")
+            OracleError::GaveUp {
+                hop,
+                attempts,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "gave up on {hop} after {attempts} attempts (deadline {deadline})"
+                )
             }
             OracleError::Rejected(e) => write!(f, "transaction rejected: {e}"),
             OracleError::InclusionTimeout { deadline } => {
@@ -549,7 +554,8 @@ impl PullInOracle {
         gateway_ep: EndpointId,
         response_size: u64,
     ) -> Option<SimDuration> {
-        net.transmit(gateway_ep, self.relay, response_size, rng).delay()
+        net.transmit(gateway_ep, self.relay, response_size, rng)
+            .delay()
     }
 
     /// New request events since the last poll (the off-chain half's work
@@ -808,7 +814,9 @@ mod tests {
             assert_eq!(d.arrives_at, s.clock.now() + SimDuration::from_millis(10));
         }
         // A second drain yields nothing (cursor advanced).
-        assert!(push_out.drain(&s.chain, &mut s.net, &s.clock, &mut s.rng).is_empty());
+        assert!(push_out
+            .drain(&s.chain, &mut s.net, &s.clock, &mut s.rng)
+            .is_empty());
         assert_eq!(push_out.stats(), (2, 0));
         // Unsubscribe stops delivery.
         push_out.unsubscribe("Stored", d2);
@@ -866,7 +874,11 @@ mod tests {
             .expect("view ok");
         let (v,): (u64,) = decode_from_slice(&out).unwrap();
         assert_eq!(v, 7);
-        assert_eq!(s.clock.now() - before, SimDuration::from_millis(50), "two 25 ms hops");
+        assert_eq!(
+            s.clock.now() - before,
+            SimDuration::from_millis(50),
+            "two 25 ms hops"
+        );
         assert_eq!(pull_out.reads(), 1);
         // Bad method surfaces as a view error.
         assert!(matches!(

@@ -27,7 +27,12 @@ pub enum AclMode {
 
 impl AclMode {
     /// All modes, for iteration.
-    pub const ALL: [AclMode; 4] = [AclMode::Read, AclMode::Write, AclMode::Append, AclMode::Control];
+    pub const ALL: [AclMode; 4] = [
+        AclMode::Read,
+        AclMode::Write,
+        AclMode::Append,
+        AclMode::Control,
+    ];
 
     fn to_iri(self) -> Iri {
         match self {
@@ -76,7 +81,12 @@ impl Decode for AclMode {
             1 => AclMode::Write,
             2 => AclMode::Append,
             3 => AclMode::Control,
-            tag => return Err(DecodeError::InvalidTag { tag, type_name: "AclMode" }),
+            tag => {
+                return Err(DecodeError::InvalidTag {
+                    tag,
+                    type_name: "AclMode",
+                })
+            }
         })
     }
 }
@@ -163,8 +173,7 @@ impl Authorization {
     }
 
     fn grants(&self, agent: Option<&str>, mode: AclMode) -> bool {
-        self.agents.iter().any(|a| a.matches(agent))
-            && self.modes.iter().any(|m| m.implies(mode))
+        self.agents.iter().any(|a| a.matches(agent)) && self.modes.iter().any(|m| m.implies(mode))
     }
 }
 
@@ -214,7 +223,11 @@ impl AclDocument {
             let subject = Iri::new(format!("{doc_base}#{}", auth.id))
                 .map_err(|e| PolicyError::Invalid(e.to_string()))?;
             let s = Term::Iri(subject.clone());
-            g.insert(Triple::new(s.clone(), rdf::type_(), Term::Iri(acl::authorization())));
+            g.insert(Triple::new(
+                s.clone(),
+                rdf::type_(),
+                Term::Iri(acl::authorization()),
+            ));
             for agent in &auth.agents {
                 match agent {
                     AgentSpec::Agent(webid) => {
@@ -239,14 +252,20 @@ impl AclDocument {
                 }
             }
             for mode in &auth.modes {
-                g.insert(Triple::new(s.clone(), acl::mode(), Term::Iri(mode.to_iri())));
+                g.insert(Triple::new(
+                    s.clone(),
+                    acl::mode(),
+                    Term::Iri(mode.to_iri()),
+                ));
             }
             if let Some(resource) = &auth.access_to {
-                let iri = Iri::new(resource.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
+                let iri =
+                    Iri::new(resource.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
                 g.insert(Triple::new(s.clone(), acl::access_to(), Term::Iri(iri)));
             }
             if let Some(container) = &auth.default_for {
-                let iri = Iri::new(container.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
+                let iri =
+                    Iri::new(container.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
                 g.insert(Triple::new(s.clone(), acl::default(), Term::Iri(iri)));
             }
         }
@@ -261,10 +280,7 @@ impl AclDocument {
     pub fn from_graph(graph: &Graph) -> Result<AclDocument, PolicyError> {
         let mut doc = AclDocument::new();
         let auth_type = Term::Iri(acl::authorization());
-        let subjects: Vec<Term> = graph
-            .subjects(&rdf::type_(), &auth_type)
-            .cloned()
-            .collect();
+        let subjects: Vec<Term> = graph.subjects(&rdf::type_(), &auth_type).cloned().collect();
         for subject in subjects {
             let subject_iri = match &subject {
                 Term::Iri(iri) => iri.clone(),
@@ -341,7 +357,12 @@ impl Decode for AgentSpec {
             0 => AgentSpec::Agent(String::decode(r)?),
             1 => AgentSpec::AuthenticatedAgent,
             2 => AgentSpec::Public,
-            tag => return Err(DecodeError::InvalidTag { tag, type_name: "AgentSpec" }),
+            tag => {
+                return Err(DecodeError::InvalidTag {
+                    tag,
+                    type_name: "AgentSpec",
+                })
+            }
         })
     }
 }
@@ -389,7 +410,10 @@ mod tests {
         let d = doc();
         assert!(d.allows(Some(BOB), AclMode::Read, RES));
         assert!(!d.allows(Some(BOB), AclMode::Write, RES));
-        assert!(!d.allows(None, AclMode::Read, RES), "unauthenticated denied");
+        assert!(
+            !d.allows(None, AclMode::Read, RES),
+            "unauthenticated denied"
+        );
     }
 
     #[test]
@@ -427,7 +451,9 @@ mod tests {
     #[test]
     fn rdf_roundtrip() {
         let original = doc();
-        let g = original.to_graph("https://alice.pod/.acl").expect("to_graph");
+        let g = original
+            .to_graph("https://alice.pod/.acl")
+            .expect("to_graph");
         let parsed = AclDocument::from_graph(&g).expect("from_graph");
         // Order of authorizations may differ; compare as sets.
         assert_eq!(parsed.authorizations.len(), original.authorizations.len());

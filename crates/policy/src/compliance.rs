@@ -42,7 +42,11 @@ pub struct CopyState {
 
 impl CopyState {
     /// A fresh copy acquired at `acquired_at` by `holder`.
-    pub fn new(resource: impl Into<String>, holder: impl Into<String>, acquired_at: SimTime) -> Self {
+    pub fn new(
+        resource: impl Into<String>,
+        holder: impl Into<String>,
+        acquired_at: SimTime,
+    ) -> Self {
         CopyState {
             resource: resource.into(),
             holder: holder.into(),
@@ -110,7 +114,12 @@ impl ComplianceReport {
 /// * the retention bound ([`UsagePolicy::retention_bound`]) against the
 ///   deletion timestamp;
 /// * the absolute expiry against the last access.
-pub fn audit(policy: &UsagePolicy, copy: &CopyState, now: SimTime, engine: &PolicyEngine) -> ComplianceReport {
+pub fn audit(
+    policy: &UsagePolicy,
+    copy: &CopyState,
+    now: SimTime,
+    engine: &PolicyEngine,
+) -> ComplianceReport {
     audit_with_due(policy, copy, now, engine, None)
 }
 
@@ -255,7 +264,10 @@ mod tests {
         assert_eq!(report.violations.len(), 1);
         assert!(matches!(
             report.violations[0].kind,
-            ViolationKind::UnauthorizedAccess { action: Action::Read, .. }
+            ViolationKind::UnauthorizedAccess {
+                action: Action::Read,
+                ..
+            }
         ));
     }
 
@@ -279,7 +291,12 @@ mod tests {
         let policy = research_policy();
         let mut copy = CopyState::new("urn:res", "urn:alice", SimTime::from_secs(0));
         copy.deleted_at = Some(SimTime::ZERO + SimDuration::from_days(9));
-        let report = audit(&policy, &copy, SimTime::ZERO + SimDuration::from_days(30), &engine());
+        let report = audit(
+            &policy,
+            &copy,
+            SimTime::ZERO + SimDuration::from_days(30),
+            &engine(),
+        );
         assert!(!report.is_compliant());
     }
 
@@ -288,7 +305,12 @@ mod tests {
         let policy = research_policy();
         let mut copy = CopyState::new("urn:res", "urn:alice", SimTime::from_secs(0));
         copy.deleted_at = Some(SimTime::ZERO + SimDuration::from_days(6));
-        let report = audit(&policy, &copy, SimTime::ZERO + SimDuration::from_days(30), &engine());
+        let report = audit(
+            &policy,
+            &copy,
+            SimTime::ZERO + SimDuration::from_days(30),
+            &engine(),
+        );
         assert!(report.is_compliant());
     }
 
@@ -317,7 +339,12 @@ mod tests {
         let mut copy = CopyState::new("urn:res", "urn:alice", SimTime::from_secs(0));
         copy.log.push(access(9 * 86_400, "medical-research")); // after retention
         copy.log.push(access(50, "marketing")); // bad purpose, earlier
-        let report = audit(&policy, &copy, SimTime::ZERO + SimDuration::from_days(10), &engine());
+        let report = audit(
+            &policy,
+            &copy,
+            SimTime::ZERO + SimDuration::from_days(10),
+            &engine(),
+        );
         assert!(report.violations.len() >= 2);
         for pair in report.violations.windows(2) {
             assert!(pair[0].at <= pair[1].at);

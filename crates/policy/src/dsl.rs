@@ -266,9 +266,7 @@ impl P {
                     match self.next() {
                         Some(Tok::Ident(id)) => purposes.push(Purpose::new(id)),
                         Some(Tok::RBracket) if purposes.is_empty() => break,
-                        other => {
-                            return Err(self.err(format!("expected purpose, found {other:?}")))
-                        }
+                        other => return Err(self.err(format!("expected purpose, found {other:?}"))),
                     }
                     match self.next() {
                         Some(Tok::Comma) => continue,
@@ -419,7 +417,10 @@ fn constraint_to_dsl(c: &Constraint) -> String {
         Constraint::ExpiresAt(t) => format!("expires-at {}", duration_to_dsl(*t - SimTime::ZERO)),
         Constraint::Purpose(ps) => format!(
             "purpose in [{}]",
-            ps.iter().map(Purpose::as_str).collect::<Vec<_>>().join(", ")
+            ps.iter()
+                .map(Purpose::as_str)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         Constraint::MaxAccessCount(n) => format!("max-accesses {n}"),
         Constraint::AllowedRecipients(agents) => format!(
@@ -430,7 +431,10 @@ fn constraint_to_dsl(c: &Constraint) -> String {
                 .collect::<Vec<_>>()
                 .join(", ")
         ),
-        Constraint::TimeWindow { not_before, not_after } => format!(
+        Constraint::TimeWindow {
+            not_before,
+            not_after,
+        } => format!(
             "window {}..{}",
             duration_to_dsl(*not_before - SimTime::ZERO),
             duration_to_dsl(*not_after - SimTime::ZERO)
@@ -542,7 +546,10 @@ mod tests {
                 r#"policy "p" for "r" owner "o" {{ permit use where max-retention {text}; }}"#
             );
             let p = parse(&src).expect(text);
-            assert_eq!(p.rules[0].constraints[0], Constraint::MaxRetention(expected));
+            assert_eq!(
+                p.rules[0].constraints[0],
+                Constraint::MaxRetention(expected)
+            );
         }
     }
 
@@ -551,12 +558,27 @@ mod tests {
         for (src, what) in [
             ("", "empty"),
             (r#"policy "p" for "r" {}"#, "missing owner"),
-            (r#"policy "p" for "r" owner "o" { permit fly; }"#, "unknown action"),
-            (r#"policy "p" for "r" owner "o" { permit use where max-retention 5w; }"#, "bad unit"),
-            (r#"policy "p" for "r" owner "o" { permit use }"#, "missing semicolon"),
-            (r#"policy "p" for "r" owner "o" { duty vanish; }"#, "unknown duty"),
+            (
+                r#"policy "p" for "r" owner "o" { permit fly; }"#,
+                "unknown action",
+            ),
+            (
+                r#"policy "p" for "r" owner "o" { permit use where max-retention 5w; }"#,
+                "bad unit",
+            ),
+            (
+                r#"policy "p" for "r" owner "o" { permit use }"#,
+                "missing semicolon",
+            ),
+            (
+                r#"policy "p" for "r" owner "o" { duty vanish; }"#,
+                "unknown duty",
+            ),
             (r#"policy "p" for "r" owner "o" {} trailing"#, "trailing"),
-            (r#"policy "p" for "r" owner "o" { permit use where purpose in [; }"#, "bad list"),
+            (
+                r#"policy "p" for "r" owner "o" { permit use where purpose in [; }"#,
+                "bad list",
+            ),
         ] {
             assert!(parse(src).is_err(), "should fail: {what}");
         }
@@ -596,10 +618,8 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let p = parse(
-            "# heading\npolicy \"p\" for \"r\" owner \"o\" { # inline\n permit use; }",
-        )
-        .unwrap();
+        let p = parse("# heading\npolicy \"p\" for \"r\" owner \"o\" { # inline\n permit use; }")
+            .unwrap();
         assert_eq!(p.rules.len(), 1);
     }
 }

@@ -181,7 +181,10 @@ impl PolicyEngine {
                         reasons.push(DenyReason::RecipientNotAllowed(ctx.consumer.clone()));
                     }
                 }
-                Constraint::TimeWindow { not_before, not_after } => {
+                Constraint::TimeWindow {
+                    not_before,
+                    not_after,
+                } => {
                     if ctx.now < *not_before || ctx.now >= *not_after {
                         reasons.push(DenyReason::OutsideTimeWindow);
                     }
@@ -218,7 +221,9 @@ mod tests {
     }
 
     fn policy_with(rule: Rule) -> UsagePolicy {
-        UsagePolicy::builder("p", "urn:r", "urn:owner").permit(rule).build()
+        UsagePolicy::builder("p", "urn:r", "urn:owner")
+            .permit(rule)
+            .build()
     }
 
     #[test]
@@ -269,7 +274,8 @@ mod tests {
     #[test]
     fn expiry_constraint_enforced() {
         let p = policy_with(
-            Rule::permit([Action::Use]).with_constraint(Constraint::ExpiresAt(SimTime::from_secs(700))),
+            Rule::permit([Action::Use])
+                .with_constraint(Constraint::ExpiresAt(SimTime::from_secs(700))),
         );
         let mut c = ctx();
         c.now = SimTime::from_secs(699);
@@ -284,7 +290,10 @@ mod tests {
             Rule::permit([Action::Use])
                 .with_constraint(Constraint::Purpose(vec![Purpose::new("medical")])),
         );
-        assert!(engine().evaluate(&p, &ctx()).is_permit(), "medical-research < medical");
+        assert!(
+            engine().evaluate(&p, &ctx()).is_permit(),
+            "medical-research < medical"
+        );
         let mut c = ctx();
         c.purpose = Purpose::new("marketing");
         match &engine().evaluate(&p, &c).reasons()[0] {
@@ -295,9 +304,8 @@ mod tests {
 
     #[test]
     fn access_count_constraint() {
-        let p = policy_with(
-            Rule::permit([Action::Use]).with_constraint(Constraint::MaxAccessCount(3)),
-        );
+        let p =
+            policy_with(Rule::permit([Action::Use]).with_constraint(Constraint::MaxAccessCount(3)));
         let mut c = ctx();
         c.access_count = 3;
         assert!(engine().evaluate(&p, &c).is_permit(), "at limit is fine");
@@ -323,16 +331,24 @@ mod tests {
 
     #[test]
     fn time_window_constraint() {
-        let p = policy_with(Rule::permit([Action::Use]).with_constraint(Constraint::TimeWindow {
-            not_before: SimTime::from_secs(900),
-            not_after: SimTime::from_secs(1100),
-        }));
+        let p = policy_with(
+            Rule::permit([Action::Use]).with_constraint(Constraint::TimeWindow {
+                not_before: SimTime::from_secs(900),
+                not_after: SimTime::from_secs(1100),
+            }),
+        );
         assert!(engine().evaluate(&p, &ctx()).is_permit());
         let mut c = ctx();
         c.now = SimTime::from_secs(1100);
-        assert_eq!(engine().evaluate(&p, &c).reasons(), &[DenyReason::OutsideTimeWindow]);
+        assert_eq!(
+            engine().evaluate(&p, &c).reasons(),
+            &[DenyReason::OutsideTimeWindow]
+        );
         c.now = SimTime::from_secs(899);
-        assert_eq!(engine().evaluate(&p, &c).reasons(), &[DenyReason::OutsideTimeWindow]);
+        assert_eq!(
+            engine().evaluate(&p, &c).reasons(),
+            &[DenyReason::OutsideTimeWindow]
+        );
     }
 
     #[test]
@@ -348,7 +364,10 @@ mod tests {
                     .with_constraint(Constraint::Purpose(vec![Purpose::new("research")])),
             )
             .build();
-        assert!(engine().evaluate(&p, &ctx()).is_permit(), "second rule matches");
+        assert!(
+            engine().evaluate(&p, &ctx()).is_permit(),
+            "second rule matches"
+        );
     }
 
     #[test]
@@ -387,7 +406,9 @@ mod tests {
 
     #[test]
     fn deny_reason_display() {
-        assert!(DenyReason::RetentionExceeded.to_string().contains("retention"));
+        assert!(DenyReason::RetentionExceeded
+            .to_string()
+            .contains("retention"));
         assert!(DenyReason::AccessCountExhausted { limit: 2 }
             .to_string()
             .contains('2'));

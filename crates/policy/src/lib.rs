@@ -61,7 +61,9 @@ pub use taxonomy::PurposeTaxonomy;
 /// Common imports for downstream crates.
 pub mod prelude {
     pub use crate::acl::{AclDocument, AclMode, AgentSpec, Authorization};
-    pub use crate::compliance::{AccessRecord, ComplianceReport, CopyState, Violation, ViolationKind};
+    pub use crate::compliance::{
+        AccessRecord, ComplianceReport, CopyState, Violation, ViolationKind,
+    };
     pub use crate::engine::{Decision, DenyReason, PolicyEngine, UsageContext};
     pub use crate::model::{Action, Constraint, Duty, Effect, Purpose, Rule, UsagePolicy};
     pub use crate::taxonomy::PurposeTaxonomy;

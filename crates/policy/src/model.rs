@@ -103,7 +103,10 @@ impl Encode for Action {
 impl Decode for Action {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let tag = r.read_u8()?;
-        Action::from_tag(tag).ok_or(DecodeError::InvalidTag { tag, type_name: "Action" })
+        Action::from_tag(tag).ok_or(DecodeError::InvalidTag {
+            tag,
+            type_name: "Action",
+        })
     }
 }
 
@@ -167,7 +170,10 @@ impl Decode for Effect {
         match r.read_u8()? {
             0 => Ok(Effect::Permit),
             1 => Ok(Effect::Prohibit),
-            tag => Err(DecodeError::InvalidTag { tag, type_name: "Effect" }),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                type_name: "Effect",
+            }),
         }
     }
 }
@@ -224,7 +230,10 @@ impl Encode for Constraint {
                 buf.push(CONSTRAINT_RECIPIENTS);
                 agents.encode(buf);
             }
-            Constraint::TimeWindow { not_before, not_after } => {
+            Constraint::TimeWindow {
+                not_before,
+                not_after,
+            } => {
                 buf.push(CONSTRAINT_TIME_WINDOW);
                 not_before.as_nanos().encode(buf);
                 not_after.as_nanos().encode(buf);
@@ -248,7 +257,12 @@ impl Decode for Constraint {
                 not_before: SimTime::from_nanos(u64::decode(r)?),
                 not_after: SimTime::from_nanos(u64::decode(r)?),
             },
-            _ => return Err(DecodeError::InvalidTag { tag, type_name: "Constraint" }),
+            _ => {
+                return Err(DecodeError::InvalidTag {
+                    tag,
+                    type_name: "Constraint",
+                })
+            }
         })
     }
 }
@@ -291,7 +305,12 @@ impl Decode for Duty {
             DUTY_DELETE_WITHIN => Duty::DeleteWithin(SimDuration::from_nanos(u64::decode(r)?)),
             DUTY_NOTIFY => Duty::NotifyOwnerWithin(SimDuration::from_nanos(u64::decode(r)?)),
             DUTY_LOG => Duty::LogAccesses,
-            _ => return Err(DecodeError::InvalidTag { tag, type_name: "Duty" }),
+            _ => {
+                return Err(DecodeError::InvalidTag {
+                    tag,
+                    type_name: "Duty",
+                })
+            }
         })
     }
 }
@@ -545,7 +564,10 @@ mod tests {
     fn action_subsumption() {
         assert!(Action::Use.subsumes(Action::Read));
         assert!(Action::Use.subsumes(Action::Modify));
-        assert!(!Action::Use.subsumes(Action::Distribute), "distribute needs explicit grant");
+        assert!(
+            !Action::Use.subsumes(Action::Distribute),
+            "distribute needs explicit grant"
+        );
         assert!(Action::Read.subsumes(Action::Read));
         assert!(!Action::Read.subsumes(Action::Modify));
     }

@@ -55,15 +55,33 @@ fn int_literal(v: u64) -> Term {
 /// does not).
 pub fn policy_to_graph(policy: &UsagePolicy) -> Result<Graph, PolicyError> {
     let mut g = Graph::new();
-    let policy_iri = Iri::new(policy.id.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
+    let policy_iri =
+        Iri::new(policy.id.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
     let resource_iri =
         Iri::new(policy.resource.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
-    let owner_iri = Iri::new(policy.owner.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
+    let owner_iri =
+        Iri::new(policy.owner.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
     let s = Term::Iri(policy_iri.clone());
-    g.insert(Triple::new(s.clone(), rdf::type_(), Term::Iri(duc::usage_policy())));
-    g.insert(Triple::new(s.clone(), odrl::target(), Term::Iri(resource_iri)));
-    g.insert(Triple::new(s.clone(), odrl::assigner(), Term::Iri(owner_iri)));
-    g.insert(Triple::new(s.clone(), duc::policy_version(), int_literal(policy.version)));
+    g.insert(Triple::new(
+        s.clone(),
+        rdf::type_(),
+        Term::Iri(duc::usage_policy()),
+    ));
+    g.insert(Triple::new(
+        s.clone(),
+        odrl::target(),
+        Term::Iri(resource_iri),
+    ));
+    g.insert(Triple::new(
+        s.clone(),
+        odrl::assigner(),
+        Term::Iri(owner_iri),
+    ));
+    g.insert(Triple::new(
+        s.clone(),
+        duc::policy_version(),
+        int_literal(policy.version),
+    ));
 
     for (ri, rule) in policy.rules.iter().enumerate() {
         let rule_node = Term::Blank(format!("rule{ri}"));
@@ -73,25 +91,65 @@ pub fn policy_to_graph(policy: &UsagePolicy) -> Result<Graph, PolicyError> {
         };
         g.insert(Triple::new(s.clone(), link, rule_node.clone()));
         for action in &rule.actions {
-            g.insert(Triple::new(rule_node.clone(), odrl::action(), Term::Iri(action_iri(*action))));
+            g.insert(Triple::new(
+                rule_node.clone(),
+                odrl::action(),
+                Term::Iri(action_iri(*action)),
+            ));
         }
         for (ci, c) in rule.constraints.iter().enumerate() {
             let c_node = Term::Blank(format!("rule{ri}c{ci}"));
-            g.insert(Triple::new(rule_node.clone(), odrl::constraint(), c_node.clone()));
+            g.insert(Triple::new(
+                rule_node.clone(),
+                odrl::constraint(),
+                c_node.clone(),
+            ));
             match c {
                 Constraint::MaxRetention(d) => {
-                    g.insert(Triple::new(c_node.clone(), odrl::left_operand(), Term::Iri(duc::retention_limit())));
-                    g.insert(Triple::new(c_node.clone(), odrl::operator(), Term::Iri(odrl::lteq())));
-                    g.insert(Triple::new(c_node, odrl::right_operand(), int_literal(d.as_nanos())));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::left_operand(),
+                        Term::Iri(duc::retention_limit()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::operator(),
+                        Term::Iri(odrl::lteq()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node,
+                        odrl::right_operand(),
+                        int_literal(d.as_nanos()),
+                    ));
                 }
                 Constraint::ExpiresAt(t) => {
-                    g.insert(Triple::new(c_node.clone(), odrl::left_operand(), Term::Iri(odrl::date_time())));
-                    g.insert(Triple::new(c_node.clone(), odrl::operator(), Term::Iri(odrl::lteq())));
-                    g.insert(Triple::new(c_node, odrl::right_operand(), int_literal(t.as_nanos())));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::left_operand(),
+                        Term::Iri(odrl::date_time()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::operator(),
+                        Term::Iri(odrl::lteq()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node,
+                        odrl::right_operand(),
+                        int_literal(t.as_nanos()),
+                    ));
                 }
                 Constraint::Purpose(purposes) => {
-                    g.insert(Triple::new(c_node.clone(), odrl::left_operand(), Term::Iri(odrl::purpose())));
-                    g.insert(Triple::new(c_node.clone(), odrl::operator(), Term::Iri(odrl::is_any_of())));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::left_operand(),
+                        Term::Iri(odrl::purpose()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::operator(),
+                        Term::Iri(odrl::is_any_of()),
+                    ));
                     for p in purposes {
                         g.insert(Triple::new(
                             c_node.clone(),
@@ -101,22 +159,58 @@ pub fn policy_to_graph(policy: &UsagePolicy) -> Result<Graph, PolicyError> {
                     }
                 }
                 Constraint::MaxAccessCount(n) => {
-                    g.insert(Triple::new(c_node.clone(), odrl::left_operand(), Term::Iri(odrl::count())));
-                    g.insert(Triple::new(c_node.clone(), odrl::operator(), Term::Iri(odrl::lteq())));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::left_operand(),
+                        Term::Iri(odrl::count()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::operator(),
+                        Term::Iri(odrl::lteq()),
+                    ));
                     g.insert(Triple::new(c_node, odrl::right_operand(), int_literal(*n)));
                 }
                 Constraint::AllowedRecipients(agents) => {
-                    g.insert(Triple::new(c_node.clone(), odrl::left_operand(), Term::Iri(duc::allowed_recipient())));
-                    g.insert(Triple::new(c_node.clone(), odrl::operator(), Term::Iri(odrl::is_any_of())));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::left_operand(),
+                        Term::Iri(duc::allowed_recipient()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::operator(),
+                        Term::Iri(odrl::is_any_of()),
+                    ));
                     for a in agents {
-                        let iri = Iri::new(a.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
-                        g.insert(Triple::new(c_node.clone(), odrl::right_operand(), Term::Iri(iri)));
+                        let iri =
+                            Iri::new(a.clone()).map_err(|e| PolicyError::Invalid(e.to_string()))?;
+                        g.insert(Triple::new(
+                            c_node.clone(),
+                            odrl::right_operand(),
+                            Term::Iri(iri),
+                        ));
                     }
                 }
-                Constraint::TimeWindow { not_before, not_after } => {
-                    g.insert(Triple::new(c_node.clone(), odrl::left_operand(), Term::Iri(odrl::date_time())));
-                    g.insert(Triple::new(c_node.clone(), duc::not_before(), int_literal(not_before.as_nanos())));
-                    g.insert(Triple::new(c_node, duc::not_after(), int_literal(not_after.as_nanos())));
+                Constraint::TimeWindow {
+                    not_before,
+                    not_after,
+                } => {
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        odrl::left_operand(),
+                        Term::Iri(odrl::date_time()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node.clone(),
+                        duc::not_before(),
+                        int_literal(not_before.as_nanos()),
+                    ));
+                    g.insert(Triple::new(
+                        c_node,
+                        duc::not_after(),
+                        int_literal(not_after.as_nanos()),
+                    ));
                 }
             }
         }
@@ -126,13 +220,25 @@ pub fn policy_to_graph(policy: &UsagePolicy) -> Result<Graph, PolicyError> {
         g.insert(Triple::new(s.clone(), odrl::duty(), d_node.clone()));
         match duty {
             Duty::DeleteWithin(d) => {
-                g.insert(Triple::new(d_node, duc::deletion_obligation(), int_literal(d.as_nanos())));
+                g.insert(Triple::new(
+                    d_node,
+                    duc::deletion_obligation(),
+                    int_literal(d.as_nanos()),
+                ));
             }
             Duty::NotifyOwnerWithin(d) => {
-                g.insert(Triple::new(d_node, duc::notify_obligation(), int_literal(d.as_nanos())));
+                g.insert(Triple::new(
+                    d_node,
+                    duc::notify_obligation(),
+                    int_literal(d.as_nanos()),
+                ));
             }
             Duty::LogAccesses => {
-                g.insert(Triple::new(d_node, duc::log_obligation(), Term::Literal(Literal::boolean(true))));
+                g.insert(Triple::new(
+                    d_node,
+                    duc::log_obligation(),
+                    Term::Literal(Literal::boolean(true)),
+                ));
             }
         }
     }
@@ -179,7 +285,10 @@ pub fn policy_from_graph(graph: &Graph) -> Result<UsagePolicy, PolicyError> {
     let version = get_int(graph, &policy_subject, &duc::policy_version()).unwrap_or(1);
 
     let mut rules = Vec::new();
-    for (effect, link) in [(Effect::Permit, odrl::permission()), (Effect::Prohibit, odrl::prohibition())] {
+    for (effect, link) in [
+        (Effect::Permit, odrl::permission()),
+        (Effect::Prohibit, odrl::prohibition()),
+    ] {
         for t in graph.matching(Some(&policy_subject), Some(&link), None) {
             let rule_node = t.object.clone();
             let actions: Vec<Action> = graph
@@ -268,7 +377,9 @@ fn parse_constraint(graph: &Graph, c_node: &Term) -> Result<Constraint, PolicyEr
             .collect();
         Ok(Constraint::AllowedRecipients(agents))
     } else {
-        Err(PolicyError::Invalid(format!("unknown constraint operand {left}")))
+        Err(PolicyError::Invalid(format!(
+            "unknown constraint operand {left}"
+        )))
     }
 }
 
@@ -292,7 +403,7 @@ mod tests {
                 .with_constraint(Constraint::MaxRetention(SimDuration::from_days(30)))
                 .with_constraint(Constraint::MaxAccessCount(100))
                 .with_constraint(Constraint::AllowedRecipients(vec![
-                    "https://alice.id/me".into(),
+                    "https://alice.id/me".into()
                 ]))
                 .with_constraint(Constraint::ExpiresAt(SimTime::from_secs(1_000_000)))
                 .with_constraint(Constraint::TimeWindow {

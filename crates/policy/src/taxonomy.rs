@@ -177,10 +177,20 @@ mod tests {
     fn ancestors_are_transitive() {
         let t = PurposeTaxonomy::standard();
         let a = t.ancestors(&p("university-hospital-research"));
-        for expected in ["medical-research", "academic-research", "medical", "academic", "research", "any"] {
+        for expected in [
+            "medical-research",
+            "academic-research",
+            "medical",
+            "academic",
+            "research",
+            "any",
+        ] {
             assert!(a.contains(&p(expected)), "missing ancestor {expected}");
         }
-        assert!(!a.contains(&p("university-hospital-research")), "not its own ancestor");
+        assert!(
+            !a.contains(&p("university-hospital-research")),
+            "not its own ancestor"
+        );
     }
 
     #[test]

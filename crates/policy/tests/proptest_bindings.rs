@@ -31,7 +31,10 @@ fn arb_constraint() -> impl Strategy<Value = Constraint> {
         (0u64..1000).prop_map(Constraint::MaxAccessCount),
         proptest::collection::vec("[a-z]{1,8}", 1..3).prop_map(|agents| {
             Constraint::AllowedRecipients(
-                agents.into_iter().map(|a| format!("urn:agent:{a}")).collect(),
+                agents
+                    .into_iter()
+                    .map(|a| format!("urn:agent:{a}"))
+                    .collect(),
             )
         }),
         (0u64..500, 500u64..1000).prop_map(|(a, b)| Constraint::TimeWindow {

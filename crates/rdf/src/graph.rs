@@ -40,8 +40,14 @@ impl Graph {
             return false;
         }
         let idx = self.triples.len();
-        self.by_subject.entry(triple.subject.clone()).or_default().push(idx);
-        self.by_predicate.entry(triple.predicate.clone()).or_default().push(idx);
+        self.by_subject
+            .entry(triple.subject.clone())
+            .or_default()
+            .push(idx);
+        self.by_predicate
+            .entry(triple.predicate.clone())
+            .or_default()
+            .push(idx);
         self.present.insert(triple.clone());
         self.triples.push(triple);
         true
@@ -73,7 +79,10 @@ impl Graph {
     }
 
     /// Triples with the given subject.
-    pub fn triples_for_subject<'a>(&'a self, subject: &'a Term) -> impl Iterator<Item = &'a Triple> {
+    pub fn triples_for_subject<'a>(
+        &'a self,
+        subject: &'a Term,
+    ) -> impl Iterator<Item = &'a Triple> {
         self.by_subject
             .get(subject)
             .into_iter()
@@ -84,7 +93,10 @@ impl Graph {
     }
 
     /// Triples with the given predicate.
-    pub fn triples_for_predicate<'a>(&'a self, predicate: &'a Iri) -> impl Iterator<Item = &'a Triple> {
+    pub fn triples_for_predicate<'a>(
+        &'a self,
+        predicate: &'a Iri,
+    ) -> impl Iterator<Item = &'a Triple> {
         self.by_predicate
             .get(predicate)
             .into_iter()
@@ -134,7 +146,11 @@ impl Graph {
     ///
     /// The returned iterator borrows only the graph, so callers may pass
     /// temporary predicate/object references.
-    pub fn subjects<'a>(&'a self, predicate: &Iri, object: &Term) -> impl Iterator<Item = &'a Term> {
+    pub fn subjects<'a>(
+        &'a self,
+        predicate: &Iri,
+        object: &Term,
+    ) -> impl Iterator<Item = &'a Term> {
         let predicate = predicate.clone();
         let object = object.clone();
         self.by_predicate
@@ -264,7 +280,11 @@ mod tests {
     #[test]
     fn object_and_subjects_lookups() {
         let mut g = Graph::new();
-        g.insert(t("urn:alice", rdf::type_().as_str(), Term::iri("urn:Person")));
+        g.insert(t(
+            "urn:alice",
+            rdf::type_().as_str(),
+            Term::iri("urn:Person"),
+        ));
         g.insert(t("urn:bob", rdf::type_().as_str(), Term::iri("urn:Person")));
         let alice = iri("urn:alice");
         assert_eq!(

@@ -58,7 +58,9 @@ impl std::fmt::Display for RdfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RdfError::InvalidIri(iri) => write!(f, "invalid iri: {iri:?}"),
-            RdfError::Parse { line, message } => write!(f, "turtle parse error (line {line}): {message}"),
+            RdfError::Parse { line, message } => {
+                write!(f, "turtle parse error (line {line}): {message}")
+            }
             RdfError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
         }
     }

@@ -20,7 +20,10 @@ impl Iri {
     /// whitespace, `<`, `>` or `"`.
     pub fn new(s: impl Into<String>) -> Result<Iri, RdfError> {
         let s = s.into();
-        if s.is_empty() || s.chars().any(|c| c.is_whitespace() || matches!(c, '<' | '>' | '"')) {
+        if s.is_empty()
+            || s.chars()
+                .any(|c| c.is_whitespace() || matches!(c, '<' | '>' | '"'))
+        {
             return Err(RdfError::InvalidIri(s));
         }
         Ok(Iri(s))
@@ -277,7 +280,10 @@ mod tests {
     #[test]
     fn iri_join_builds_namespaced_terms() {
         let ns = Iri::new("https://example.org/ns#").unwrap();
-        assert_eq!(ns.join("thing").unwrap().as_str(), "https://example.org/ns#thing");
+        assert_eq!(
+            ns.join("thing").unwrap().as_str(),
+            "https://example.org/ns#thing"
+        );
         assert!(ns.join("bad term").is_err());
     }
 
@@ -295,11 +301,10 @@ mod tests {
         assert_eq!(Term::iri("urn:a").to_string(), "<urn:a>");
         assert_eq!(Term::Blank("b0".into()).to_string(), "_:b0");
         assert_eq!(Term::literal_str("hi").to_string(), "\"hi\"");
-        assert_eq!(
-            Literal::lang_string("hi", "en").to_string(),
-            "\"hi\"@en"
-        );
-        assert!(Literal::integer(5).to_string().contains("^^<http://www.w3.org/2001/XMLSchema#integer>"));
+        assert_eq!(Literal::lang_string("hi", "en").to_string(), "\"hi\"@en");
+        assert!(Literal::integer(5)
+            .to_string()
+            .contains("^^<http://www.w3.org/2001/XMLSchema#integer>"));
     }
 
     #[test]

@@ -363,9 +363,7 @@ impl Parser {
                     continue;
                 }
                 Some(Token::Dot) => return Ok(()),
-                other => {
-                    return Err(self.error_at(format!("expected ';' or '.', found {other:?}")))
-                }
+                other => return Err(self.error_at(format!("expected ';' or '.', found {other:?}"))),
             }
         }
     }
@@ -590,10 +588,7 @@ mod tests {
 
     #[test]
     fn parse_comments_and_whitespace() {
-        let g = parse(
-            "# leading comment\n<urn:s> <urn:p> <urn:o> . # trailing\n# done\n",
-        )
-        .unwrap();
+        let g = parse("# leading comment\n<urn:s> <urn:p> <urn:o> . # trailing\n# done\n").unwrap();
         assert_eq!(g.len(), 1);
     }
 
@@ -678,10 +673,7 @@ mod tests {
     #[test]
     fn dotted_local_names_parse() {
         // Local name containing a dot followed by '.' terminator.
-        let g = parse(
-            "@prefix ex: <urn:ns/> .\nex:file.txt <urn:p> ex:v1.2 .",
-        )
-        .unwrap();
+        let g = parse("@prefix ex: <urn:ns/> .\nex:file.txt <urn:p> ex:v1.2 .").unwrap();
         assert_eq!(g.len(), 1);
         let t = g.iter().next().unwrap();
         assert_eq!(t.subject, Term::iri("urn:ns/file.txt"));

@@ -131,11 +131,23 @@ mod tests {
 
     #[test]
     fn namespaces_are_valid_iris() {
-        assert_eq!(rdf::type_().as_str(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
-        assert_eq!(xsd::integer().as_str(), "http://www.w3.org/2001/XMLSchema#integer");
+        assert_eq!(
+            rdf::type_().as_str(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        );
+        assert_eq!(
+            xsd::integer().as_str(),
+            "http://www.w3.org/2001/XMLSchema#integer"
+        );
         assert_eq!(acl::read().as_str(), "http://www.w3.org/ns/auth/acl#Read");
-        assert_eq!(odrl::permission().as_str(), "http://www.w3.org/ns/odrl/2/permission");
-        assert_eq!(duc::retention_limit().as_str(), "https://w3id.org/duc/ns#retentionLimit");
+        assert_eq!(
+            odrl::permission().as_str(),
+            "http://www.w3.org/ns/odrl/2/permission"
+        );
+        assert_eq!(
+            duc::retention_limit().as_str(),
+            "https://w3id.org/duc/ns#retentionLimit"
+        );
     }
 
     #[test]

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 fn arb_iri() -> impl Strategy<Value = Iri> {
     // Program-generated IRIs: scheme + safe path characters.
-    "[a-z][a-z0-9]{0,8}"
-        .prop_map(|s| Iri::new(format!("urn:duc:{s}")).expect("safe iri"))
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| Iri::new(format!("urn:duc:{s}")).expect("safe iri"))
 }
 
 fn arb_literal() -> impl Strategy<Value = Literal> {
@@ -36,14 +35,12 @@ fn arb_object() -> impl Strategy<Value = Term> {
 }
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    proptest::collection::vec((arb_subject(), arb_iri(), arb_object()), 0..40).prop_map(
-        |triples| {
-            triples
-                .into_iter()
-                .map(|(s, p, o)| Triple::new(s, p, o))
-                .collect()
-        },
-    )
+    proptest::collection::vec((arb_subject(), arb_iri(), arb_object()), 0..40).prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(s, p, o)| Triple::new(s, p, o))
+            .collect()
+    })
 }
 
 proptest! {

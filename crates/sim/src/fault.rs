@@ -131,7 +131,11 @@ impl FaultPlan {
 
     /// Adds a crash window for an endpoint.
     pub fn crash(mut self, endpoint: EndpointId, from: SimTime, until: SimTime) -> Self {
-        self.faults.push(FaultSpec::Crash { endpoint, from, until });
+        self.faults.push(FaultSpec::Crash {
+            endpoint,
+            from,
+            until,
+        });
         self
     }
 
@@ -141,7 +145,13 @@ impl FaultPlan {
     }
 
     /// Adds a partition window between two endpoints.
-    pub fn partition(mut self, a: EndpointId, b: EndpointId, from: SimTime, until: SimTime) -> Self {
+    pub fn partition(
+        mut self,
+        a: EndpointId,
+        b: EndpointId,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
         self.faults.push(FaultSpec::Partition { a, b, from, until });
         self
     }
@@ -156,13 +166,23 @@ impl FaultPlan {
         until: SimTime,
         per_mille: u16,
     ) -> Self {
-        self.faults.push(FaultSpec::DropWindow { a, b, from, until, per_mille });
+        self.faults.push(FaultSpec::DropWindow {
+            a,
+            b,
+            from,
+            until,
+            per_mille,
+        });
         self
     }
 
     /// Adds a proposal-stall window for validator `validator`.
     pub fn validator_stall(mut self, validator: usize, from: SimTime, until: SimTime) -> Self {
-        self.faults.push(FaultSpec::ValidatorStall { validator, from, until });
+        self.faults.push(FaultSpec::ValidatorStall {
+            validator,
+            from,
+            until,
+        });
         self
     }
 
@@ -219,9 +239,7 @@ impl FaultPlan {
                 .filter(|f| f.active_at(at))
                 .filter(|f| match f {
                     FaultSpec::Crash { endpoint, .. } => *endpoint == from || *endpoint == to,
-                    FaultSpec::Partition { a, b, .. } => {
-                        pair(*a, *b) == pair(from, to)
-                    }
+                    FaultSpec::Partition { a, b, .. } => pair(*a, *b) == pair(from, to),
                     _ => false,
                 })
                 .map(|f| f.window().1)
@@ -263,7 +281,10 @@ impl FaultPlan {
     pub fn lossy_at(&self, t: SimTime) -> BTreeMap<(EndpointId, EndpointId), u16> {
         let mut out = BTreeMap::new();
         for f in self.faults.iter().filter(|f| f.active_at(t)) {
-            if let FaultSpec::DropWindow { a, b, per_mille, .. } = f {
+            if let FaultSpec::DropWindow {
+                a, b, per_mille, ..
+            } = f
+            {
                 let entry = out.entry(pair(*a, *b)).or_insert(0u16);
                 *entry = (*entry).max(*per_mille);
             }
@@ -342,9 +363,7 @@ impl FaultPlan {
             let until = from + SimDuration::from_nanos(len);
             let kind = rng.gen_range(4);
             plan = match kind {
-                0 if !endpoints.is_empty() => {
-                    plan.crash(*rng.choose(endpoints), from, until)
-                }
+                0 if !endpoints.is_empty() => plan.crash(*rng.choose(endpoints), from, until),
                 1 if endpoints.len() >= 2 => match distinct_pair(rng, endpoints) {
                     Some((a, b)) => plan.partition(a, b, from, until),
                     None => plan,
@@ -392,8 +411,7 @@ mod tests {
 
     #[test]
     fn partition_is_symmetric_and_windowed() {
-        let plan =
-            FaultPlan::none().partition(A, B, SimTime::from_secs(1), SimTime::from_secs(2));
+        let plan = FaultPlan::none().partition(A, B, SimTime::from_secs(1), SimTime::from_secs(2));
         let t = SimTime::from_millis(1500);
         assert!(plan.is_partitioned(A, B, t));
         assert!(plan.is_partitioned(B, A, t));
@@ -436,21 +454,30 @@ mod tests {
             .partition(A, B, SimTime::from_secs(18), SimTime::from_secs(30))
             .crash(B, SimTime::from_secs(29), SimTime::from_secs(35));
         // Clear before any window.
-        assert_eq!(plan.next_clear(A, B, SimTime::from_secs(5)), Some(SimTime::from_secs(5)));
+        assert_eq!(
+            plan.next_clear(A, B, SimTime::from_secs(5)),
+            Some(SimTime::from_secs(5))
+        );
         // Inside the chain: crash → partition → peer crash, clear at 35 s.
         assert_eq!(
             plan.next_clear(A, B, SimTime::from_secs(12)),
             Some(SimTime::from_secs(35))
         );
         // An uninvolved pair is never blocked.
-        assert_eq!(plan.next_clear(A, C, SimTime::from_secs(12)), Some(SimTime::from_secs(20)));
+        assert_eq!(
+            plan.next_clear(A, C, SimTime::from_secs(12)),
+            Some(SimTime::from_secs(20))
+        );
     }
 
     #[test]
     fn next_clear_reports_permanent_blocks() {
         let plan = FaultPlan::none().crash_forever(A, SimTime::from_secs(5));
         assert_eq!(plan.next_clear(A, B, SimTime::from_secs(10)), None);
-        assert_eq!(plan.next_clear(B, C, SimTime::from_secs(10)), Some(SimTime::from_secs(10)));
+        assert_eq!(
+            plan.next_clear(B, C, SimTime::from_secs(10)),
+            Some(SimTime::from_secs(10))
+        );
     }
 
     #[test]
@@ -460,7 +487,11 @@ mod tests {
             .drop_window(B, A, SimTime::from_secs(5), SimTime::from_secs(9), 500)
             .validator_stall(2, SimTime::from_secs(3), SimTime::from_secs(7));
         let t = SimTime::from_secs(6);
-        assert_eq!(plan.lossy_at(t).get(&(A, B)), Some(&500), "max over overlapping windows");
+        assert_eq!(
+            plan.lossy_at(t).get(&(A, B)),
+            Some(&500),
+            "max over overlapping windows"
+        );
         assert!(plan.is_validator_stalled(2, t));
         assert!(!plan.is_validator_stalled(0, t));
         assert_eq!(plan.stalled_at(t).len(), 1);
@@ -477,7 +508,11 @@ mod tests {
             .crash_forever(B, SimTime::from_secs(10));
         assert_eq!(
             plan.boundaries(),
-            vec![SimTime::from_secs(10), SimTime::from_secs(20), SimTime::from_secs(25)],
+            vec![
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                SimTime::from_secs(25)
+            ],
             "MAX end of the permanent crash is omitted"
         );
     }

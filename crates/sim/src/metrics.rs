@@ -173,7 +173,10 @@ impl MetricsRegistry {
 
     /// Records a duration sample under `name`.
     pub fn record(&mut self, name: &str, d: SimDuration) {
-        self.histograms.entry(name.to_string()).or_default().record(d);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
     }
 
     /// Mutable access to a histogram (created on first use).
@@ -226,7 +229,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} {} {}", self.at, self.actor, self.kind, self.detail)
+        write!(
+            f,
+            "[{}] {} {} {}",
+            self.at, self.actor, self.kind, self.detail
+        )
     }
 }
 
@@ -362,7 +369,12 @@ mod tests {
     fn trace_records_in_order_and_filters() {
         let mut t = TraceRecorder::new();
         t.record(SimTime::from_millis(1), "pm:alice", "pod.create", "pod-0");
-        t.record(SimTime::from_millis(2), "oracle", "oracle.push_in", "register_pod");
+        t.record(
+            SimTime::from_millis(2),
+            "oracle",
+            "oracle.push_in",
+            "register_pod",
+        );
         assert_eq!(t.events().len(), 2);
         assert!(t.contains_kind("oracle.push_in"));
         assert_eq!(t.of_kind("pod.create").count(), 1);

@@ -280,7 +280,10 @@ impl NetworkModel {
             self.dropped_down += 1;
             return Delivery::Dropped;
         }
-        let cfg = self.overrides.get(&(from, to)).unwrap_or(&self.default_link);
+        let cfg = self
+            .overrides
+            .get(&(from, to))
+            .unwrap_or(&self.default_link);
         // Combine link loss with any fault-window loss into one draw so a
         // fault-free run consumes the RNG — and decides each delivery —
         // exactly as before (the combine formula is skipped entirely when
@@ -456,7 +459,10 @@ mod tests {
             SimDuration::from_millis(99)
         );
         // Reverse direction still uses the default.
-        assert_eq!(net.transmit(b, a, 1, &mut r).delay().unwrap(), SimDuration::ZERO);
+        assert_eq!(
+            net.transmit(b, a, 1, &mut r).delay().unwrap(),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -473,7 +479,11 @@ mod tests {
         assert_eq!(net.transmit(a, c, 1, &mut r), Delivery::Dropped);
         net.set_down(c, false);
         net.set_extra_drop(a, b, 1.0);
-        assert_eq!(net.transmit(b, a, 1, &mut r), Delivery::Dropped, "extra drop is symmetric");
+        assert_eq!(
+            net.transmit(b, a, 1, &mut r),
+            Delivery::Dropped,
+            "extra drop is symmetric"
+        );
         net.clear_extra_drop(a, b);
         assert!(net.transmit(a, b, 1, &mut r).delay().is_some());
         assert_eq!(net.drop_breakdown(), (1, 1, 1));

@@ -51,10 +51,7 @@ impl Rng {
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -248,7 +245,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(6);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| rng.gen_exponential(10.0)).sum::<f64>() / n as f64;
-        assert!((mean - 10.0).abs() < 0.5, "sample mean {mean} too far from 10");
+        assert!(
+            (mean - 10.0).abs() < 0.5,
+            "sample mean {mean} too far from 10"
+        );
     }
 
     #[test]

@@ -43,7 +43,8 @@ impl Pod {
                 existing.version += 1;
             }
             None => {
-                self.resources.insert(path.clone(), Resource::new(path.clone(), kind));
+                self.resources
+                    .insert(path.clone(), Resource::new(path.clone(), kind));
             }
         }
         self.resources.get(&path).expect("just inserted")
@@ -100,7 +101,11 @@ mod tests {
         assert!(pod.contains("data/a.txt"));
         assert_eq!(pod.get("data/a.txt").unwrap().version, 1);
         pod.put("data/a.txt", ResourceKind::Text("two".into()));
-        assert_eq!(pod.get("data/a.txt").unwrap().version, 2, "replace bumps version");
+        assert_eq!(
+            pod.get("data/a.txt").unwrap().version,
+            2,
+            "replace bumps version"
+        );
         let removed = pod.delete("data/a.txt").expect("existed");
         assert_eq!(removed.version, 2);
         assert!(pod.get("data/a.txt").is_none());
@@ -123,7 +128,10 @@ mod tests {
         pod.put("other/d", ResourceKind::Text("4".into()));
         assert_eq!(pod.list("data/"), vec!["data/a", "data/b", "data/sub/c"]);
         assert_eq!(pod.list("data/sub/"), vec!["data/sub/c"]);
-        assert_eq!(pod.list(""), vec!["data/a", "data/b", "data/sub/c", "other/d"]);
+        assert_eq!(
+            pod.list(""),
+            vec!["data/a", "data/b", "data/sub/c", "other/d"]
+        );
         assert!(pod.list("nope/").is_empty());
     }
 

@@ -189,7 +189,9 @@ impl PodManager {
         {
             let webid = match agent {
                 Some(w) => w,
-                None => return SolidResponse::error(Status::Unauthorized, "authentication required"),
+                None => {
+                    return SolidResponse::error(Status::Unauthorized, "authentication required")
+                }
             };
             match &req.certificate {
                 None => {
@@ -222,7 +224,11 @@ impl PodManager {
                 };
                 let existed = self.pod.contains(&req.path);
                 self.pod.put(req.path.clone(), kind);
-                SolidResponse::status(if existed { Status::NoContent } else { Status::Created })
+                SolidResponse::status(if existed {
+                    Status::NoContent
+                } else {
+                    Status::Created
+                })
             }
             Method::Post => {
                 let kind = match req.body.clone().into_resource_kind() {
@@ -274,7 +280,8 @@ mod tests {
     fn owner_full_crud() {
         let mut pm = pm();
         assert_eq!(
-            pm.handle(&SolidRequest::get(OWNER, "data/notes.txt")).status,
+            pm.handle(&SolidRequest::get(OWNER, "data/notes.txt"))
+                .status,
             Status::Ok
         );
         let resp = pm.handle(
@@ -282,11 +289,13 @@ mod tests {
         );
         assert_eq!(resp.status, Status::NoContent);
         assert_eq!(
-            pm.handle(&SolidRequest::delete(OWNER, "data/notes.txt")).status,
+            pm.handle(&SolidRequest::delete(OWNER, "data/notes.txt"))
+                .status,
             Status::NoContent
         );
         assert_eq!(
-            pm.handle(&SolidRequest::get(OWNER, "data/notes.txt")).status,
+            pm.handle(&SolidRequest::get(OWNER, "data/notes.txt"))
+                .status,
             Status::NotFound
         );
     }
@@ -299,7 +308,8 @@ mod tests {
             Status::Forbidden
         );
         assert_eq!(
-            pm.handle(&SolidRequest::get_anonymous("data/notes.txt")).status,
+            pm.handle(&SolidRequest::get_anonymous("data/notes.txt"))
+                .status,
             Status::Unauthorized
         );
         assert_eq!(
@@ -320,7 +330,10 @@ mod tests {
             vec![AclMode::Read],
         ));
         pm.set_acl(acl);
-        assert_eq!(pm.handle(&SolidRequest::get(BOB, "data/notes.txt")).status, Status::Ok);
+        assert_eq!(
+            pm.handle(&SolidRequest::get(BOB, "data/notes.txt")).status,
+            Status::Ok
+        );
         // Still no write.
         assert_eq!(
             pm.handle(&SolidRequest::put(BOB, "data/notes.txt").with_body(Body::Text("x".into())))
@@ -350,16 +363,24 @@ mod tests {
         );
         // Bad certificate per verifier → 402.
         let reject_all = |_: &Digest, _: &str| false;
-        let req = SolidRequest::get(BOB, "data/notes.txt").with_certificate(duc_crypto::sha256(b"c"));
+        let req =
+            SolidRequest::get(BOB, "data/notes.txt").with_certificate(duc_crypto::sha256(b"c"));
         assert_eq!(
             pm.handle_with_verifier(&req, &reject_all).status,
             Status::PaymentRequired
         );
         // Valid certificate → 200.
         let accept_bob = |_: &Digest, webid: &str| webid == BOB;
-        assert_eq!(pm.handle_with_verifier(&req, &accept_bob).status, Status::Ok);
+        assert_eq!(
+            pm.handle_with_verifier(&req, &accept_bob).status,
+            Status::Ok
+        );
         // The owner never needs a certificate.
-        assert_eq!(pm.handle(&SolidRequest::get(OWNER, "data/notes.txt")).status, Status::Ok);
+        assert_eq!(
+            pm.handle(&SolidRequest::get(OWNER, "data/notes.txt"))
+                .status,
+            Status::Ok
+        );
     }
 
     #[test]
@@ -375,15 +396,13 @@ mod tests {
     #[test]
     fn post_creates_container_members() {
         let mut pm = pm();
-        let resp = pm.handle(
-            &SolidRequest {
-                agent: Some(OWNER.into()),
-                method: Method::Post,
-                path: "inbox/".into(),
-                body: Body::Text("msg".into()),
-                certificate: None,
-            },
-        );
+        let resp = pm.handle(&SolidRequest {
+            agent: Some(OWNER.into()),
+            method: Method::Post,
+            path: "inbox/".into(),
+            body: Body::Text("msg".into()),
+            certificate: None,
+        });
         assert_eq!(resp.status, Status::Created);
         match resp.body {
             Body::Text(member) => assert!(member.starts_with("inbox/member-")),
@@ -404,11 +423,19 @@ mod tests {
             Err(Status::Forbidden)
         );
         // Owner modification bumps version.
-        let amended = pm.modify_policy(OWNER, "data/notes.txt", vec![], vec![]).unwrap();
+        let amended = pm
+            .modify_policy(OWNER, "data/notes.txt", vec![], vec![])
+            .unwrap();
         assert_eq!(amended.version, policy.version + 1);
-        assert_eq!(pm.policy_for("data/notes.txt").unwrap().version, amended.version);
+        assert_eq!(
+            pm.policy_for("data/notes.txt").unwrap().version,
+            amended.version
+        );
         // Unknown path.
-        assert_eq!(pm.modify_policy(OWNER, "nope", vec![], vec![]), Err(Status::NotFound));
+        assert_eq!(
+            pm.modify_policy(OWNER, "nope", vec![], vec![]),
+            Err(Status::NotFound)
+        );
     }
 
     #[test]

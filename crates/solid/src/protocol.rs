@@ -231,7 +231,9 @@ mod tests {
             Body::Turtle("<urn:s> <urn:p> <urn:o> .".into()).into_resource_kind(),
             Ok(ResourceKind::Rdf(_))
         ));
-        assert!(Body::Turtle("not turtle @@@".into()).into_resource_kind().is_err());
+        assert!(Body::Turtle("not turtle @@@".into())
+            .into_resource_kind()
+            .is_err());
         assert_eq!(Body::Empty.size(), 0);
         assert_eq!(Body::Binary(vec![0; 9]).size(), 9);
     }

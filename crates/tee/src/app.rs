@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 
 use duc_crypto::{hash_parts, Digest};
 use duc_policy::compliance::{AccessRecord, CopyState};
-use duc_policy::{Action, Decision, DenyReason, Duty, PolicyEngine, Purpose, UsageContext, UsagePolicy};
+use duc_policy::{
+    Action, Decision, DenyReason, Duty, PolicyEngine, Purpose, UsageContext, UsagePolicy,
+};
 use duc_sim::SimTime;
 
 use crate::enclave::Enclave;
@@ -390,7 +392,9 @@ impl TrustedApplication {
                 None => now > due,
             };
             if violated {
-                violations.push(format!("retention violated: copy was due for deletion at {due}"));
+                violations.push(format!(
+                    "retention violated: copy was due for deletion at {due}"
+                ));
             }
         }
         if let Some(expiry) = entry.policy.expiry_bound() {
@@ -499,7 +503,8 @@ mod tests {
     fn missing_copy_errors() {
         let mut app = app();
         assert_eq!(
-            app.access("urn:none", Action::Read, Purpose::any(), t(0)).unwrap_err(),
+            app.access("urn:none", Action::Read, Purpose::any(), t(0))
+                .unwrap_err(),
             AccessError::NoCopy
         );
     }
@@ -510,10 +515,15 @@ mod tests {
         app.store_resource(RES, b"web logs", retention_policy(7), t(0));
         assert!(app.access(RES, Action::Read, Purpose::any(), t(6)).is_ok());
         // Day 8: the copy is overdue; the access itself triggers deletion.
-        let err = app.access(RES, Action::Read, Purpose::any(), t(8)).unwrap_err();
+        let err = app
+            .access(RES, Action::Read, Purpose::any(), t(8))
+            .unwrap_err();
         assert_eq!(err, AccessError::NoCopy);
         assert!(!app.has_copy(RES));
-        assert!(app.storage().host_view(RES).is_none(), "sealed bytes erased");
+        assert!(
+            app.storage().host_view(RES).is_none(),
+            "sealed bytes erased"
+        );
     }
 
     #[test]
@@ -524,7 +534,11 @@ mod tests {
         let actions = app.sweep(t(10));
         assert_eq!(actions.len(), 1, "only the 7-day copy is overdue");
         match &actions[0] {
-            EnforcementAction::Deleted { resource, at, reason } => {
+            EnforcementAction::Deleted {
+                resource,
+                at,
+                reason,
+            } => {
                 assert_eq!(resource, RES);
                 assert_eq!(*at, t(10));
                 assert!(reason.contains("retention"));
@@ -562,7 +576,9 @@ mod tests {
         let mut app = app();
         app.store_resource(RES, b"x", retention_policy(7), t(0));
         // Same version → ignored.
-        assert!(app.apply_policy_update(RES, retention_policy(7), t(1)).is_empty());
+        assert!(app
+            .apply_policy_update(RES, retention_policy(7), t(1))
+            .is_empty());
         assert_eq!(app.policy_version(RES), Some(1));
         // Mismatched resource → ignored.
         let mut other = retention_policy(7).amended(vec![], vec![]);
@@ -589,15 +605,18 @@ mod tests {
     fn report_reflects_log_and_versions() {
         let mut app = app();
         app.store_resource(RES, b"data", medical_policy(), t(0));
-        app.access(RES, Action::Read, Purpose::new("medical"), t(1)).unwrap();
-        app.access(RES, Action::Read, Purpose::new("medical"), t(2)).unwrap();
+        app.access(RES, Action::Read, Purpose::new("medical"), t(1))
+            .unwrap();
+        app.access(RES, Action::Read, Purpose::new("medical"), t(2))
+            .unwrap();
         let r1 = app.report(RES, t(3)).unwrap();
         assert_eq!(r1.accesses, 2);
         assert_eq!(r1.policy_version, 1);
         assert!(r1.compliant);
         assert_eq!(r1.device, "alice-laptop");
         // The log digest changes as the log grows.
-        app.access(RES, Action::Read, Purpose::new("medical"), t(4)).unwrap();
+        app.access(RES, Action::Read, Purpose::new("medical"), t(4))
+            .unwrap();
         let r2 = app.report(RES, t(5)).unwrap();
         assert_ne!(r1.log_digest, r2.log_digest);
         assert!(app.report("urn:missing", t(5)).is_none());
@@ -618,9 +637,7 @@ mod tests {
     #[test]
     fn absolute_expiry_enforced() {
         let policy = UsagePolicy::builder(format!("{RES}#p"), RES, "urn:o")
-            .permit(
-                Rule::permit([Action::Use]).with_constraint(Constraint::ExpiresAt(t(5))),
-            )
+            .permit(Rule::permit([Action::Use]).with_constraint(Constraint::ExpiresAt(t(5))))
             .build();
         let mut app = app();
         app.store_resource(RES, b"x", policy, t(0));

@@ -86,7 +86,9 @@ impl AttestationAuthority {
 
     /// Verifies a quote against this authority's key.
     pub fn verify_quote(authority_key: &PublicKey, quote: &Quote) -> bool {
-        authority_key.verify(&quote.signing_bytes(), &quote.signature).is_ok()
+        authority_key
+            .verify(&quote.signing_bytes(), &quote.signature)
+            .is_ok()
     }
 }
 
@@ -105,7 +107,10 @@ mod tests {
     fn quote_issuance_and_verification() {
         let (authority, enclave) = setup();
         let quote = authority.issue_quote(&enclave).expect("whitelisted");
-        assert!(AttestationAuthority::verify_quote(&authority.public_key(), &quote));
+        assert!(AttestationAuthority::verify_quote(
+            &authority.public_key(),
+            &quote
+        ));
         assert_eq!(quote.enclave_key, enclave.attestation_public_key());
     }
 
@@ -121,7 +126,10 @@ mod tests {
         let (authority, enclave) = setup();
         let mut quote = authority.issue_quote(&enclave).unwrap();
         quote.device = "other-device".into();
-        assert!(!AttestationAuthority::verify_quote(&authority.public_key(), &quote));
+        assert!(!AttestationAuthority::verify_quote(
+            &authority.public_key(),
+            &quote
+        ));
     }
 
     #[test]
@@ -131,7 +139,10 @@ mod tests {
         fake_authority.trust_measurement(enclave.measurement());
         let quote = fake_authority.issue_quote(&enclave).unwrap();
         let real = AttestationAuthority::new(b"vendor-root");
-        assert!(!AttestationAuthority::verify_quote(&real.public_key(), &quote));
+        assert!(!AttestationAuthority::verify_quote(
+            &real.public_key(),
+            &quote
+        ));
     }
 
     #[test]

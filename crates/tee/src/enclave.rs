@@ -23,7 +23,11 @@ impl Enclave {
     pub fn new(device: impl Into<String>, code_identity: &[u8]) -> Enclave {
         let device = device.into();
         let measurement = hash_parts(&[b"duc/enclave-measurement", code_identity]);
-        let seed = hash_parts(&[b"duc/enclave-seed", device.as_bytes(), measurement.as_bytes()]);
+        let seed = hash_parts(&[
+            b"duc/enclave-seed",
+            device.as_bytes(),
+            measurement.as_bytes(),
+        ]);
         let attestation_keys = KeyPair::from_seed(seed.as_bytes());
         let sealing_key = *derive_key(seed.as_bytes(), b"tee/sealing").as_bytes();
         Enclave {
@@ -78,14 +82,22 @@ mod tests {
         let v2 = Enclave::new("alice-laptop", b"trusted-app-v2");
         assert_ne!(v1.measurement(), v2.measurement());
         assert_ne!(v1.attestation_public_key(), v2.attestation_public_key());
-        assert_ne!(v1.sealing_key(), v2.sealing_key(), "sealing bound to code identity");
+        assert_ne!(
+            v1.sealing_key(),
+            v2.sealing_key(),
+            "sealing bound to code identity"
+        );
     }
 
     #[test]
     fn different_devices_different_keys() {
         let a = Enclave::new("alice-laptop", b"app");
         let b = Enclave::new("bob-laptop", b"app");
-        assert_eq!(a.measurement(), b.measurement(), "same code, same measurement");
+        assert_eq!(
+            a.measurement(),
+            b.measurement(),
+            "same code, same measurement"
+        );
         assert_ne!(a.attestation_public_key(), b.attestation_public_key());
     }
 
@@ -94,6 +106,9 @@ mod tests {
         let e = Enclave::new("d", b"app");
         let sig = e.sign(b"evidence");
         assert!(e.attestation_public_key().verify(b"evidence", &sig).is_ok());
-        assert!(e.attestation_public_key().verify(b"tampered", &sig).is_err());
+        assert!(e
+            .attestation_public_key()
+            .verify(b"tampered", &sig)
+            .is_err());
     }
 }

@@ -30,7 +30,8 @@ impl TrustedDataStorage {
     /// Seals `plaintext` under `name`.
     pub fn seal(&mut self, enclave: &Enclave, name: &str, plaintext: &[u8]) {
         let cipher = ChaCha20::new(enclave.sealing_key(), nonce_for(name));
-        self.sealed.insert(name.to_string(), cipher.encrypt(plaintext));
+        self.sealed
+            .insert(name.to_string(), cipher.encrypt(plaintext));
     }
 
     /// Unseals the entry under `name`.

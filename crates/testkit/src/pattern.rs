@@ -195,8 +195,15 @@ fn parse_quantifier(pattern: &str, it: &mut Peekable<Chars>) -> (usize, usize) {
                 Some('}') => (min, min),
                 Some(',') => {
                     let max = parse_number(pattern, it);
-                    assert_eq!(it.next(), Some('}'), "pattern strategy {pattern:?}: bad {{m,n}}");
-                    assert!(min <= max, "pattern strategy {pattern:?}: {{m,n}} with m > n");
+                    assert_eq!(
+                        it.next(),
+                        Some('}'),
+                        "pattern strategy {pattern:?}: bad {{m,n}}"
+                    );
+                    assert!(
+                        min <= max,
+                        "pattern strategy {pattern:?}: {{m,n}} with m > n"
+                    );
                     (min, max)
                 }
                 _ => panic!("pattern strategy {pattern:?}: bad quantifier"),
@@ -231,10 +238,7 @@ fn sample_class(class: &CharClass, rng: &mut TestRng) -> char {
 /// Picks a char uniformly across inclusive code-point ranges, weighted by
 /// range width.
 fn sample_ranges(ranges: &[(u32, u32)], rng: &mut TestRng) -> char {
-    let total: u64 = ranges
-        .iter()
-        .map(|(lo, hi)| u64::from(hi - lo) + 1)
-        .sum();
+    let total: u64 = ranges.iter().map(|(lo, hi)| u64::from(hi - lo) + 1).sum();
     let mut pick = rng.gen_range(total);
     for (lo, hi) in ranges {
         let width = u64::from(hi - lo) + 1;

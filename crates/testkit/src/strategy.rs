@@ -162,7 +162,10 @@ impl<V> Union<V> {
     /// Panics if `arms` is empty or all weights are zero.
     pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
         let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
-        assert!(total_weight > 0, "prop_oneof! requires a positive total weight");
+        assert!(
+            total_weight > 0,
+            "prop_oneof! requires a positive total weight"
+        );
         Union { arms, total_weight }
     }
 }

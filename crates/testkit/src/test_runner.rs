@@ -112,8 +112,14 @@ where
         // Cycle sizes so small and large inputs interleave from the start.
         let size = 4 + (case as usize % 61);
         if let Err(message) = run_case(&generate, &test, case_seed, size) {
-            let (seed, size, message, repr) =
-                shrink(&generate, &test, case_seed, size, message, config.max_shrink_iters);
+            let (seed, size, message, repr) = shrink(
+                &generate,
+                &test,
+                case_seed,
+                size,
+                message,
+                config.max_shrink_iters,
+            );
             return Err(format!(
                 "proptest property {name} failed after {case} passing case(s)\n\
                  minimal failing input (seed {seed:#018x}, size {size}):\n  {repr}\n\
@@ -184,7 +190,9 @@ where
     G: Fn(&mut TestRng, usize) -> V,
 {
     let mut rng = TestRng::seed_from_u64(seed);
-    match catch_unwind(AssertUnwindSafe(|| format!("{:?}", generate(&mut rng, size)))) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        format!("{:?}", generate(&mut rng, size))
+    })) {
         Ok(repr) => repr,
         Err(_) => "<generation panicked>".to_string(),
     }

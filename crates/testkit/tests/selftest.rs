@@ -170,10 +170,15 @@ fn pattern_strategies_match_their_patterns() {
         assert!(printable.chars().count() <= 24);
 
         let ws = "[ -~\\n\\t]{0,300}".generate(&mut rng, 16);
-        assert!(ws.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        assert!(ws
+            .chars()
+            .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
 
         let unicode = "[\\PC]{0,16}".generate(&mut rng, 16);
-        assert!(unicode.chars().all(|c| !c.is_control()), "control char in {unicode:?}");
+        assert!(
+            unicode.chars().all(|c| !c.is_control()),
+            "control char in {unicode:?}"
+        );
 
         let exact = "[a-z]{2}".generate(&mut rng, 16);
         assert_eq!(exact.chars().count(), 2);
@@ -189,7 +194,10 @@ fn unbounded_patterns_scale_with_the_size_hint() {
         assert!(s.chars().count() <= 64);
         saw_long |= s.chars().count() > 32;
     }
-    assert!(saw_long, "size hint 64 should sometimes produce long strings");
+    assert!(
+        saw_long,
+        "size hint 64 should sometimes produce long strings"
+    );
 }
 
 #[test]

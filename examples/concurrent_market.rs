@@ -52,7 +52,9 @@ fn main() -> Result<(), ProcessError> {
     // flight at once.
     let mut setup = Vec::new();
     for i in 0..DEVICES {
-        setup.push(world.submit(Request::MarketSubscribe { device: format!("device-{i}") }));
+        setup.push(world.submit(Request::MarketSubscribe {
+            device: format!("device-{i}"),
+        }));
         for resource in &resources {
             setup.push(world.submit(Request::ResourceIndexing {
                 device: format!("device-{i}"),
@@ -65,7 +67,11 @@ fn main() -> Result<(), ProcessError> {
     for ticket in setup {
         ticket.poll(&mut world).expect("completed")?;
     }
-    println!("phase 1 done at {} (chain height {})", world.clock.now(), world.chain.height());
+    println!(
+        "phase 1 done at {} (chain height {})",
+        world.clock.now(),
+        world.chain.height()
+    );
 
     // Phase 2 — every device fetches both resources while the owner runs a
     // monitoring round per resource, all concurrently.
@@ -82,7 +88,10 @@ fn main() -> Result<(), ProcessError> {
     let rounds: Vec<Ticket> = ["data/telemetry.csv", "data/survey.csv"]
         .into_iter()
         .map(|path| {
-            world.submit(Request::PolicyMonitoring { webid: OWNER.into(), path: path.into() })
+            world.submit(Request::PolicyMonitoring {
+                webid: OWNER.into(),
+                path: path.into(),
+            })
         })
         .collect();
     println!("phase 2: {} requests in flight", world.in_flight());

@@ -18,8 +18,14 @@ fn main() {
     println!("== The data market scenario (paper §II) ==\n");
     let report = scenario::run(&mut world).expect("fault-free run succeeds");
 
-    println!("Alice retrieved Bob's medical dataset: {} bytes", report.alice_got_bytes);
-    println!("Bob retrieved Alice's browsing dataset: {} bytes", report.bob_got_bytes);
+    println!(
+        "Alice retrieved Bob's medical dataset: {} bytes",
+        report.alice_got_bytes
+    );
+    println!(
+        "Bob retrieved Alice's browsing dataset: {} bytes",
+        report.bob_got_bytes
+    );
     println!();
     println!(
         "After Alice tightened retention (30d → 7d), Bob's copy was deleted: {}",
@@ -42,7 +48,10 @@ fn main() {
         report.medical_monitoring.evidence,
         report.medical_monitoring.violators
     );
-    println!("\nTotal gas spent across the scenario: {}", report.total_gas);
+    println!(
+        "\nTotal gas spent across the scenario: {}",
+        report.total_gas
+    );
 
     // Show the structured trace the architecture recorded.
     println!("\n== Trace (process hops) ==");

@@ -19,7 +19,10 @@ fn main() -> Result<(), ProcessError> {
 
     // Process 1 — pod initiation.
     world.pod_initiation("https://bob.id/me")?;
-    println!("1. pod registered on-chain (height {})", world.chain.height());
+    println!(
+        "1. pod registered on-chain (height {})",
+        world.chain.height()
+    );
 
     // Process 2 — resource initiation with a usage policy:
     // medical purposes only, delete after 30 days.
@@ -47,7 +50,10 @@ fn main() -> Result<(), ProcessError> {
     // Alice pays the market fee and discovers the resource (process 3).
     world.market_subscribe("alice-laptop")?;
     let entry = world.resource_indexing("alice-laptop", &resource)?;
-    println!("3. indexed at {} (policy v{})", entry.location, entry.policy.version);
+    println!(
+        "3. indexed at {} (policy v{})",
+        entry.location, entry.policy.version
+    );
 
     // Process 4 — fetch into the TEE's sealed storage.
     let outcome = world.resource_access("alice-laptop", &resource)?;
@@ -63,7 +69,12 @@ fn main() -> Result<(), ProcessError> {
         let now = world.clock.now();
         assert!(device
             .tee
-            .access(&resource, Action::Read, Purpose::new("medical-research"), now)
+            .access(
+                &resource,
+                Action::Read,
+                Purpose::new("medical-research"),
+                now
+            )
             .is_ok());
         let denied = device
             .tee
@@ -98,7 +109,12 @@ fn main() -> Result<(), ProcessError> {
 
     println!(
         "\ntotal gas spent: {}",
-        world.chain.gas_ledger().iter().map(|r| r.gas_used).sum::<u64>()
+        world
+            .chain
+            .gas_ledger()
+            .iter()
+            .map(|r| r.gas_used)
+            .sum::<u64>()
     );
     Ok(())
 }

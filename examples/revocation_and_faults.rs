@@ -90,7 +90,12 @@ fn main() -> Result<(), ProcessError> {
     let deletions = propagation
         .enforcement
         .iter()
-        .filter(|(_, a)| matches!(a, solid_usage_control::tee::EnforcementAction::Deleted { .. }))
+        .filter(|(_, a)| {
+            matches!(
+                a,
+                solid_usage_control::tee::EnforcementAction::Deleted { .. }
+            )
+        })
         .count();
     println!(
         "\nrevocation: policy v{} reached {} devices, {} copies erased, e2e {}",

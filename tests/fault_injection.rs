@@ -112,7 +112,10 @@ fn all_validators_stalled_means_typed_timeout_not_hang() {
         panic!("the ticket must resolve with an error");
     };
     assert!(
-        matches!(err, ProcessError::Oracle(OracleError::InclusionTimeout { .. })),
+        matches!(
+            err,
+            ProcessError::Oracle(OracleError::InclusionTimeout { .. })
+        ),
         "{err}"
     );
     assert!(err.is_transient(), "liveness failures are retry-worthy");
@@ -212,10 +215,16 @@ fn rogue_host_cannot_hide_from_monitoring() {
         path: MEDICAL_PATH.into(),
         rules: vec![Rule::permit([Action::Use])
             .with_constraint(Constraint::MaxRetention(SimDuration::from_days(7)))],
-        duties: vec![Duty::DeleteWithin(SimDuration::from_days(7)), Duty::LogAccesses],
+        duties: vec![
+            Duty::DeleteWithin(SimDuration::from_days(7)),
+            Duty::LogAccesses,
+        ],
     });
     world.run_until_idle();
-    assert!(matches!(mod_ticket.poll(&mut world), Some(Ok(_))), "tighten");
+    assert!(
+        matches!(mod_ticket.poll(&mut world), Some(Ok(_))),
+        "tighten"
+    );
     world.set_rogue_host("dev-0", true);
     world.advance(SimDuration::from_days(40)); // way past every obligation
     let ticket = world.submit(monitoring_request());
@@ -242,11 +251,7 @@ fn access_suspends_across_pod_crash_window_and_completes() {
     let now = world.clock.now();
     // The pod manager is down for 10 s, covering the in-flight request hop
     // of the access: the driver suspends and resumes at recovery.
-    world.set_fault_plan(FaultPlan::none().crash(
-        pod_ep,
-        now,
-        now + SimDuration::from_secs(10),
-    ));
+    world.set_fault_plan(FaultPlan::none().crash(pod_ep, now, now + SimDuration::from_secs(10)));
     let ticket = world.submit(Request::ResourceAccess {
         device: "dev-0".into(),
         resource: iri.clone(),
@@ -276,18 +281,28 @@ fn permanently_crashed_pod_yields_typed_give_up_and_no_copy() {
         resource: iri.clone(),
     });
     world.run_until_idle();
-    assert_eq!(world.in_flight(), 0, "a permanent crash may not hang the driver");
+    assert_eq!(
+        world.in_flight(),
+        0,
+        "a permanent crash may not hang the driver"
+    );
     let Some(Err(err)) = ticket.poll(&mut world) else {
         panic!("typed failure expected");
     };
     assert!(
         matches!(
             err,
-            ProcessError::Oracle(OracleError::GaveUp { hop: HopKind::PodRequest, .. })
+            ProcessError::Oracle(OracleError::GaveUp {
+                hop: HopKind::PodRequest,
+                ..
+            })
         ),
         "{err}"
     );
-    assert!(!world.device("dev-0").tee.has_copy(&iri), "no copy was minted");
+    assert!(
+        !world.device("dev-0").tee.has_copy(&iri),
+        "no copy was minted"
+    );
     chaos::check_invariants(&world).expect("invariants");
 }
 

@@ -114,9 +114,11 @@ fn policy_version_continuity_across_updates() {
             .policy_modification(
                 ALICE,
                 "data/browsing.csv",
-                vec![Rule::permit([Action::Use]).with_constraint(Constraint::MaxRetention(
-                    SimDuration::from_days(30 - expected_version),
-                ))],
+                vec![
+                    Rule::permit([Action::Use]).with_constraint(Constraint::MaxRetention(
+                        SimDuration::from_days(30 - expected_version),
+                    )),
+                ],
                 vec![Duty::LogAccesses],
             )
             .expect("update");
@@ -127,7 +129,11 @@ fn policy_version_continuity_across_updates() {
             "device tracks the on-chain version"
         );
     }
-    let record = world.dex.lookup_resource(&world.chain, &iri).unwrap().unwrap();
+    let record = world
+        .dex
+        .lookup_resource(&world.chain, &iri)
+        .unwrap()
+        .unwrap();
     assert_eq!(record.policy_version, 5);
 }
 
@@ -196,7 +202,9 @@ fn gas_accounting_is_conserved() {
             );
             world
                 .chain
-                .balance(&solid_usage_control::blockchain::Address::from_public_key(&key.public()))
+                .balance(&solid_usage_control::blockchain::Address::from_public_key(
+                    &key.public(),
+                ))
         })
         .sum();
     assert_eq!(

@@ -51,7 +51,11 @@ fn ledger_observer_cannot_read_encrypted_policies() {
         )
         .unwrap();
     // A ledger observer reads the raw record...
-    let record = world.dex.lookup_resource(&world.chain, &iri).unwrap().unwrap();
+    let record = world
+        .dex
+        .lookup_resource(&world.chain, &iri)
+        .unwrap()
+        .unwrap();
     assert!(record.policy.encrypted);
     assert!(record.policy.open_plain().is_err(), "ciphertext only");
     // ...while an authorized TEE (with the data-space key) still indexes it.
@@ -150,7 +154,9 @@ fn denied_attempts_do_not_leak_into_access_counts() {
     let now = world.clock.now();
     let device = world.devices.get_mut("alice-laptop").unwrap();
     for _ in 0..5 {
-        let _ = device.tee.access(&iri, Action::Read, Purpose::new("marketing"), now);
+        let _ = device
+            .tee
+            .access(&iri, Action::Read, Purpose::new("marketing"), now);
     }
     device
         .tee

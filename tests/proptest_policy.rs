@@ -1,8 +1,8 @@
 //! Property tests on policy invariants.
 
 use proptest::prelude::*;
-use solid_usage_control::policy::prelude::*;
 use solid_usage_control::policy::dsl;
+use solid_usage_control::policy::prelude::*;
 use solid_usage_control::sim::{SimDuration, SimTime};
 
 fn arb_action() -> impl Strategy<Value = Action> {
