@@ -37,6 +37,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e11", experiments::e11_enforcement),
     ("e12", experiments::e12_chain_scale),
     ("e13", experiments::e13_backends),
+    ("e14", experiments::e14_deadline_enforcement),
 ];
 
 /// Runs experiment `index` on first use, then serves the cached tables.
@@ -102,10 +103,13 @@ fn json_document(cache: &mut [Option<Vec<Table>>]) -> String {
                 "        \"table\": {},\n",
                 json_string(table.title())
             ));
-            // Backend-comparison tables report per-row records instead of
-            // medians: a median over mixed single+sharded rows would track
-            // the shard-count selection, not performance.
-            let rows = backend_rows(table);
+            // Backend-comparison (and enforcement-mode) tables report
+            // per-row records instead of medians: a median over mixed
+            // rows would track the row selection, not performance.
+            let mut rows = backend_rows(table);
+            if rows.is_empty() {
+                rows = mode_rows(table);
+            }
             let median = |needle| {
                 if rows.is_empty() {
                     json_number(median_of_column(table, needle))
@@ -164,6 +168,41 @@ fn backend_rows(table: &Table) -> String {
             numeric(row, col("makespan")),
             numeric(row, col("req/s")),
             numeric(row, col("speedup")),
+            if i + 1 < table.rows().len() { "," } else { "" },
+        ));
+    }
+    out.push_str("        ]");
+    out
+}
+
+/// For tables comparing enforcement modes (a `mode` plus a `mean lag`
+/// column, e.g. E14a): one JSON record per row, so BENCH_*.json tracks
+/// round-based vs deadline-driven enforcement latency across PRs. Empty
+/// for every other table.
+fn mode_rows(table: &Table) -> String {
+    let col = |needle: &str| {
+        table
+            .columns()
+            .iter()
+            .position(|c| c.to_lowercase().contains(needle))
+    };
+    let (Some(mode), Some(mean)) = (col("mode"), col("mean lag")) else {
+        return String::new();
+    };
+    let numeric = |row: &[String], idx: Option<usize>| -> String {
+        json_number(
+            idx.and_then(|i| row.get(i))
+                .and_then(|c| c.trim().parse().ok()),
+        )
+    };
+    let mut out = String::from(",\n        \"modes\": [\n");
+    for (i, row) in table.rows().iter().enumerate() {
+        out.push_str(&format!(
+            "          {{\"mode\": {}, \"mean_lag_ms\": {}, \"max_lag_ms\": {}, \"deletions\": {}}}{}\n",
+            json_string(row.get(mode).map_or("", String::as_str)),
+            numeric(row, Some(mean)),
+            numeric(row, col("max lag")),
+            numeric(row, col("deletions")),
             if i + 1 < table.rows().len() { "," } else { "" },
         ));
     }

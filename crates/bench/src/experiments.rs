@@ -27,21 +27,23 @@ fn retention_policy(iri: &str, days: u64) -> UsagePolicy {
         .build()
 }
 
-/// Builds a world with one owner, one shared resource of `body_bytes`, and
-/// `n_devices` devices that have subscribed, indexed and fetched a copy.
-fn world_with_copies(n_devices: usize, body_bytes: usize, seed: u64) -> (World, String) {
-    let mut world = World::new(WorldConfig {
-        seed,
-        link: fixed_link(10),
-        ..WorldConfig::default()
-    });
+/// Builds a world with one owner, one shared resource of `body_bytes`
+/// under a `retention_days` policy, and `n_devices` devices that have
+/// subscribed, indexed and fetched a copy.
+fn world_with_copies_in(
+    config: WorldConfig,
+    n_devices: usize,
+    body_bytes: usize,
+    retention_days: u64,
+) -> (World, String) {
+    let mut world = World::new(config);
     world.add_owner(OWNER, "https://owner.pod/");
     for i in 0..n_devices {
         world.add_device(format!("device-{i}"), format!("https://c{i}.id/me"));
     }
     world.pod_initiation(OWNER).expect("pod init");
     let iri = world.owner(OWNER).pod_manager.pod().iri_of("data/set.bin");
-    let policy = retention_policy(&iri, 7);
+    let policy = retention_policy(&iri, retention_days);
     let resource = world
         .resource_initiation(
             OWNER,
@@ -58,6 +60,20 @@ fn world_with_copies(n_devices: usize, body_bytes: usize, seed: u64) -> (World, 
         world.resource_access(&d, &resource).expect("access");
     }
     (world, resource)
+}
+
+/// [`world_with_copies_in`] with the default config and 7-day retention.
+fn world_with_copies(n_devices: usize, body_bytes: usize, seed: u64) -> (World, String) {
+    world_with_copies_in(
+        WorldConfig {
+            seed,
+            link: fixed_link(10),
+            ..WorldConfig::default()
+        },
+        n_devices,
+        body_bytes,
+        7,
+    )
 }
 
 /// The E8 launch pad: the canonical chaos world (`duc_core::chaos`) with
@@ -1247,6 +1263,167 @@ pub fn e13_backends() -> Vec<Table> {
     vec![table]
 }
 
+// --------------------------------------------------------------------- E14
+
+/// One E14 enforcement arm: `n` devices fetch a copy under a 1-day
+/// retention policy in the given [`EnforcementMode`]; advancing two days
+/// lets every obligation fire. Returns the world for metric extraction.
+fn e14_world(n: usize, enforcement: EnforcementMode, seed: u64) -> (World, String) {
+    world_with_copies_in(
+        WorldConfig {
+            seed,
+            link: fixed_link(10),
+            enforcement,
+            ..WorldConfig::default()
+        },
+        n,
+        4 << 10,
+        1,
+    )
+}
+
+/// E14 — deadline-driven enforcement: violation→enforcement latency and
+/// monitoring gas, round-based vs deadline-driven (the compiled-policy +
+/// obligation-scheduler pipeline).
+pub fn e14_deadline_enforcement() -> Vec<Table> {
+    const DEVICES: usize = 8;
+
+    // (a) Enforcement latency per mode. The copies all fall due one day
+    // after acquisition; the lag histogram records (enforcement instant −
+    // declared deadline) per copy.
+    let mut latency = Table::new(
+        "E14a · violation→enforcement latency — deadline-driven vs round-based (8 devices, 1-day retention)",
+        &["mode", "mean lag ms", "max lag ms", "deletions", "anchored on-chain"],
+    );
+    let mut mean_by_mode: Vec<(String, SimDuration)> = Vec::new();
+    for (label, enforcement) in [
+        ("deadline-driven".to_string(), EnforcementMode::Deadline),
+        (
+            "round-based 37 min".to_string(),
+            EnforcementMode::Periodic(SimDuration::from_mins(37)),
+        ),
+        (
+            "round-based 2 h".to_string(),
+            EnforcementMode::Periodic(SimDuration::from_hours(2)),
+        ),
+    ] {
+        let (mut world, resource) = e14_world(DEVICES, enforcement, 140);
+        world.advance(SimDuration::from_days(2));
+        assert!(
+            world
+                .dex
+                .list_copies(&world.chain, &resource)
+                .expect("view")
+                .is_empty(),
+            "every overdue copy was unregistered under {label}"
+        );
+        let deletions = world.metrics.counter("enforcement.deletions");
+        let anchored = world.metrics.counter("enforcement.evidence_anchored");
+        let lag = world.metrics.histogram_mut("enforcement.lag");
+        assert_eq!(lag.len() as u64, deletions, "one lag sample per deletion");
+        mean_by_mode.push((label.clone(), lag.mean()));
+        latency.row(vec![
+            label,
+            ms(lag.mean()),
+            ms(lag.max()),
+            deletions.to_string(),
+            anchored.to_string(),
+        ]);
+    }
+    let deadline_mean = mean_by_mode[0].1;
+    for (label, mean) in &mean_by_mode[1..] {
+        assert!(
+            deadline_mean < *mean,
+            "deadline-driven enforcement must strictly reduce mean lag: \
+             {deadline_mean} vs {mean} ({label})"
+        );
+    }
+
+    // (b) Monitoring gas: consecutive rounds over unchanged copies go
+    // through the reaffirmation path and must cost strictly less gas.
+    let mut monitoring = Table::new(
+        "E14b · incremental monitoring — per-round gas with unchanged vs advanced usage logs (8 devices)",
+        &["round", "gas", "evidence bytes", "reaffirmed"],
+    );
+    {
+        let (mut world, resource) = world_with_copies(DEVICES, 4 << 10, 141);
+        let round_metrics = |world: &mut World, label: &str| {
+            let gas_before = world.metrics.counter("process.monitoring.gas");
+            let reaff_before = world.metrics.counter("process.monitoring.reaffirmed");
+            let outcome = world.policy_monitoring(OWNER, "data/set.bin").expect(label);
+            assert_eq!(outcome.evidence, DEVICES);
+            (
+                world.metrics.counter("process.monitoring.gas") - gas_before,
+                outcome.evidence_bytes,
+                world.metrics.counter("process.monitoring.reaffirmed") - reaff_before,
+            )
+        };
+        let (full_gas, full_bytes, r0) = round_metrics(&mut world, "round 1");
+        assert_eq!(r0, 0, "the first round ships full evidence");
+        monitoring.row(vec![
+            "1 (full evidence)".into(),
+            full_gas.to_string(),
+            full_bytes.to_string(),
+            r0.to_string(),
+        ]);
+        let (reaff_gas, reaff_bytes, r1) = round_metrics(&mut world, "round 2");
+        assert_eq!(r1 as usize, DEVICES, "every unchanged copy reaffirms");
+        assert!(
+            reaff_gas < full_gas,
+            "reaffirmation rounds must be cheaper: {reaff_gas} vs {full_gas}"
+        );
+        monitoring.row(vec![
+            "2 (logs unchanged)".into(),
+            reaff_gas.to_string(),
+            reaff_bytes.to_string(),
+            r1.to_string(),
+        ]);
+        // Touch one copy: that device resubmits, the rest reaffirm.
+        {
+            let now = world.clock.now();
+            let device = world.devices.get_mut("device-0").expect("device");
+            device
+                .tee
+                .access(&resource, Action::Read, Purpose::any(), now)
+                .expect("local access");
+        }
+        let (mixed_gas, mixed_bytes, r2) = round_metrics(&mut world, "round 3");
+        assert_eq!(r2 as usize, DEVICES - 1);
+        monitoring.row(vec![
+            "3 (one log advanced)".into(),
+            mixed_gas.to_string(),
+            mixed_bytes.to_string(),
+            r2.to_string(),
+        ]);
+    }
+
+    // (c) The compiled-program decision cache on the TEE access hot path.
+    let mut cache = Table::new(
+        "E14c · compiled-policy decision cache — 256 repeated local accesses",
+        &["copies", "accesses", "cache hits", "programs evaluated"],
+    );
+    {
+        let (mut world, resource) = world_with_copies(1, 1 << 10, 142);
+        let now = world.clock.now();
+        let device = world.devices.get_mut("device-0").expect("device");
+        for _ in 0..256 {
+            device
+                .tee
+                .access(&resource, Action::Read, Purpose::any(), now)
+                .expect("local access");
+        }
+        let (hits, misses) = device.tee.decision_cache_stats();
+        assert!(hits >= 255, "repeats are cache-served: {hits}");
+        cache.row(vec![
+            "1".into(),
+            "256".into(),
+            hits.to_string(),
+            misses.to_string(),
+        ]);
+    }
+    vec![latency, monitoring, cache]
+}
+
 /// Runs every experiment in order.
 pub fn all() -> Vec<Table> {
     let mut tables = Vec::new();
@@ -1263,6 +1440,7 @@ pub fn all() -> Vec<Table> {
     tables.extend(e11_enforcement());
     tables.extend(e12_chain_scale());
     tables.extend(e13_backends());
+    tables.extend(e14_deadline_enforcement());
     tables
 }
 
@@ -1368,6 +1546,39 @@ mod tests {
             .list_copies(&world.chain, &resource)
             .expect("view");
         assert_eq!(copies.len(), 2);
+    }
+
+    #[test]
+    fn e14_deadline_beats_round_based_enforcement() {
+        // Small-n replica of the E14 harness (the full sweep and its gates
+        // run through the report binary): deadline-driven enforcement must
+        // strictly reduce mean violation→enforcement latency, and an
+        // unchanged second monitoring round must reaffirm for less gas.
+        let lag_mean = |enforcement: EnforcementMode| {
+            let (mut world, _resource) = e14_world(2, enforcement, 1400);
+            world.advance(SimDuration::from_days(2));
+            assert_eq!(world.metrics.counter("enforcement.deletions"), 2);
+            world.metrics.histogram_mut("enforcement.lag").mean()
+        };
+        let deadline = lag_mean(EnforcementMode::Deadline);
+        let periodic = lag_mean(EnforcementMode::Periodic(SimDuration::from_mins(37)));
+        assert!(
+            deadline < periodic,
+            "deadline {deadline} must beat round-based {periodic}"
+        );
+
+        let (mut world, _resource) = world_with_copies(3, 1 << 10, 1401);
+        let gas = |world: &mut World| {
+            let before = world.metrics.counter("process.monitoring.gas");
+            world
+                .policy_monitoring(OWNER, "data/set.bin")
+                .expect("round");
+            world.metrics.counter("process.monitoring.gas") - before
+        };
+        let full = gas(&mut world);
+        let reaffirmed = gas(&mut world);
+        assert_eq!(world.metrics.counter("process.monitoring.reaffirmed"), 3);
+        assert!(reaffirmed < full, "reaffirm {reaffirmed} vs full {full}");
     }
 
     #[test]

@@ -154,10 +154,20 @@ pub struct ResourceRecord {
     pub metadata: Vec<(String, String)>,
     /// The governing usage policy.
     pub policy: PolicyEnvelope,
+    /// Digest anchoring the exact policy bytes on-chain: devices verify a
+    /// pushed update against it before recompiling their local program.
+    pub policy_hash: Digest,
     /// Policy version (monotonic; the contract enforces increments).
     pub policy_version: u64,
     /// Registration block time.
     pub registered_at: SimTime,
+}
+
+impl PolicyEnvelope {
+    /// The digest anchored on-chain for this envelope's exact bytes.
+    pub fn digest(&self) -> Digest {
+        duc_crypto::hash_parts(&[b"duc/policy-envelope", &[self.encrypted as u8], &self.bytes])
+    }
 }
 
 impl Encode for ResourceRecord {
@@ -168,6 +178,7 @@ impl Encode for ResourceRecord {
         self.owner_addr.encode(buf);
         self.metadata.encode(buf);
         self.policy.encode(buf);
+        self.policy_hash.encode(buf);
         self.policy_version.encode(buf);
         self.registered_at.as_nanos().encode(buf);
     }
@@ -182,6 +193,7 @@ impl Decode for ResourceRecord {
             owner_addr: Address::decode(r)?,
             metadata: Vec::decode(r)?,
             policy: PolicyEnvelope::decode(r)?,
+            policy_hash: Digest::decode(r)?,
             policy_version: u64::decode(r)?,
             registered_at: SimTime::from_nanos(u64::decode(r)?),
         })
@@ -285,6 +297,69 @@ impl Decode for EvidenceSubmission {
     }
 }
 
+/// A lightweight follow-up to a prior [`EvidenceSubmission`]: the device
+/// attests that its usage log (hence its verdict) is unchanged since
+/// `prev_round`, so the contract copies the prior evidence into the new
+/// round instead of shipping and storing the full submission again — the
+/// incremental-monitoring path.
+///
+/// The signature covers `(resource, round, device, prev_round,
+/// evidence_digest)` and must verify against the device's registered
+/// attestation key, so a reaffirmation cannot be forged or replayed into a
+/// different round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvidenceReaffirmation {
+    /// The audited resource.
+    pub resource: String,
+    /// The round this reaffirmation answers.
+    pub round: u64,
+    /// The submitting device.
+    pub device: String,
+    /// The earlier round whose evidence still stands.
+    pub prev_round: u64,
+    /// The (unchanged) usage-log digest.
+    pub evidence_digest: Digest,
+    /// Enclave signature over the reaffirmation.
+    pub signature: Signature,
+}
+
+impl EvidenceReaffirmation {
+    /// The bytes the enclave signs.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.resource.encode(&mut buf);
+        self.round.encode(&mut buf);
+        self.device.encode(&mut buf);
+        self.prev_round.encode(&mut buf);
+        self.evidence_digest.encode(&mut buf);
+        buf
+    }
+}
+
+impl Encode for EvidenceReaffirmation {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.resource.encode(buf);
+        self.round.encode(buf);
+        self.device.encode(buf);
+        self.prev_round.encode(buf);
+        self.evidence_digest.encode(buf);
+        self.signature.encode(buf);
+    }
+}
+
+impl Decode for EvidenceReaffirmation {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(EvidenceReaffirmation {
+            resource: String::decode(r)?,
+            round: u64::decode(r)?,
+            device: String::decode(r)?,
+            prev_round: u64::decode(r)?,
+            evidence_digest: Digest::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
 /// The state of one monitoring round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MonitoringRound {
@@ -300,16 +375,28 @@ pub struct MonitoringRound {
     pub expected_devices: Vec<String>,
     /// Evidence received so far.
     pub evidence: Vec<EvidenceSubmission>,
+    /// Compliant devices that reaffirmed earlier evidence instead of
+    /// resubmitting: `(device, prev_round)` pairs. Kept compact so rounds
+    /// over unchanged copies stay cheap to store.
+    pub reaffirmed: Vec<(String, u64)>,
     /// Whether the round has been closed.
     pub closed: bool,
 }
 
 impl MonitoringRound {
-    /// Whether every expected device has answered.
+    /// Whether every expected device has answered (full evidence or a
+    /// verified reaffirmation).
     pub fn complete(&self) -> bool {
-        self.expected_devices
-            .iter()
-            .all(|d| self.evidence.iter().any(|e| &e.device == d))
+        self.expected_devices.iter().all(|d| {
+            self.evidence.iter().any(|e| &e.device == d)
+                || self.reaffirmed.iter().any(|(r, _)| r == d)
+        })
+    }
+
+    /// Devices that answered compliant, whether by full evidence or by
+    /// reaffirmation.
+    pub fn compliant_count(&self) -> u64 {
+        self.evidence.iter().filter(|e| e.compliant).count() as u64 + self.reaffirmed.len() as u64
     }
 
     /// Devices that reported violations.
@@ -326,6 +413,7 @@ impl Encode for MonitoringRound {
         self.started_at.as_nanos().encode(buf);
         self.expected_devices.encode(buf);
         self.evidence.encode(buf);
+        self.reaffirmed.encode(buf);
         self.closed.encode(buf);
     }
 }
@@ -339,6 +427,7 @@ impl Decode for MonitoringRound {
             started_at: SimTime::from_nanos(u64::decode(r)?),
             expected_devices: Vec::decode(r)?,
             evidence: Vec::decode(r)?,
+            reaffirmed: Vec::decode(r)?,
             closed: bool::decode(r)?,
         })
     }
@@ -448,6 +537,7 @@ mod tests {
             owner_addr: Address::from_seed(b"alice"),
             metadata: vec![("domain".into(), "health".into())],
             policy: PolicyEnvelope::plain(&policy()),
+            policy_hash: PolicyEnvelope::plain(&policy()).digest(),
             policy_version: 1,
             registered_at: SimTime::from_secs(5),
         };
@@ -502,6 +592,7 @@ mod tests {
             started_at: SimTime::ZERO,
             expected_devices: vec!["d1".into(), "d2".into()],
             evidence: vec![mk("d1", true)],
+            reaffirmed: Vec::new(),
             closed: false,
         };
         assert!(!round.complete());

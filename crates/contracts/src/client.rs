@@ -8,8 +8,8 @@ use duc_codec::{decode_from_slice, encode_to_vec};
 use duc_crypto::{Digest, KeyPair, PublicKey};
 
 use crate::abi::{
-    CopyRecord, EvidenceSubmission, MonitoringRound, PodRecord, PolicyEnvelope, ResourceRecord,
-    Subscription,
+    CopyRecord, EvidenceReaffirmation, EvidenceSubmission, MonitoringRound, PodRecord,
+    PolicyEnvelope, ResourceRecord, Subscription,
 };
 use crate::dist_exchange::DEX_CONTRACT_ID;
 
@@ -170,19 +170,22 @@ impl DistExchangeClient {
         )
     }
 
-    /// Builds a copy removal (after obligation-driven deletion).
+    /// Builds a copy removal (after obligation-driven deletion). `as_of`
+    /// is the deletion instant: the contract keeps any registration made
+    /// at or after it (a re-access that raced this unregister).
     pub fn unregister_copy_tx<L: Ledger>(
         &self,
         chain: &L,
         key: &KeyPair,
         resource: &str,
         device: &str,
+        as_of: duc_sim::SimTime,
     ) -> SignedTransaction {
         chain.build_call(
             key,
             self.contract.clone(),
             "unregister_copy",
-            encode_to_vec(&(resource.to_string(), device.to_string())),
+            encode_to_vec(&(resource.to_string(), device.to_string(), as_of.as_nanos())),
             DEFAULT_GAS,
         )
     }
@@ -215,6 +218,23 @@ impl DistExchangeClient {
             self.contract.clone(),
             "record_evidence",
             encode_to_vec(submission),
+            DEFAULT_GAS,
+        )
+    }
+
+    /// Builds an evidence reaffirmation (incremental monitoring: the
+    /// device's usage log is unchanged since `prev_round`).
+    pub fn reaffirm_evidence_tx<L: Ledger>(
+        &self,
+        chain: &L,
+        key: &KeyPair,
+        reaffirmation: &EvidenceReaffirmation,
+    ) -> SignedTransaction {
+        chain.build_call(
+            key,
+            self.contract.clone(),
+            "reaffirm_evidence",
+            encode_to_vec(reaffirmation),
             DEFAULT_GAS,
         )
     }

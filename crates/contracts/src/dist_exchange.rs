@@ -19,8 +19,8 @@ use duc_crypto::{hash_parts, Digest};
 use duc_sim::SimDuration;
 
 use crate::abi::{
-    CopyRecord, EvidenceSubmission, MonitoringRound, PodRecord, PolicyEnvelope, ResourceRecord,
-    Subscription,
+    CopyRecord, EvidenceReaffirmation, EvidenceSubmission, MonitoringRound, PodRecord,
+    PolicyEnvelope, ResourceRecord, Subscription,
 };
 use crate::topics;
 
@@ -142,6 +142,7 @@ impl DistExchange {
             owner_webid,
             owner_addr: ctx.caller,
             metadata,
+            policy_hash: policy.digest(),
             policy,
             policy_version: 1,
             registered_at: ctx.block_time,
@@ -186,12 +187,17 @@ impl DistExchange {
                 record.policy_version
             )));
         }
+        let policy_hash = policy.digest();
         record.policy = policy.clone();
+        record.policy_hash = policy_hash;
         record.policy_version = new_version;
         ctx.set(key, &record)?;
+        // The event anchors the new policy *hash* alongside the envelope:
+        // devices verify the pushed bytes against it before recompiling
+        // their local program and re-scheduling obligations.
         ctx.emit(
             topics::POLICY_UPDATED,
-            encode_to_vec(&(resource, new_version, policy)),
+            encode_to_vec(&(resource, new_version, policy, policy_hash)),
         )?;
         Ok(Vec::new())
     }
@@ -218,18 +224,26 @@ impl DistExchange {
         Ok(Vec::new())
     }
 
+    /// Removes a copy record, but only when it predates `as_of` — an
+    /// in-flight unregister (submitted when a TEE deleted its copy) must
+    /// not clobber a *newer* registration from a re-access that raced it;
+    /// the guarded case returns `(false,)` without touching the record.
     fn unregister_copy(
         &self,
         ctx: &mut CallCtx<'_>,
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
-        let (resource, device): (String, String) = decode_from_slice(args)?;
-        let existed = ctx.remove_raw(&copy_key(&resource, &device))?;
-        if !existed {
+        let (resource, device, as_of_nanos): (String, String, u64) = decode_from_slice(args)?;
+        let key = copy_key(&resource, &device);
+        let Some(record) = ctx.get::<CopyRecord>(&key)? else {
             return Err(revert("no such copy"));
+        };
+        if record.registered_at.as_nanos() >= as_of_nanos {
+            return Ok(encode_to_vec(&(false,)));
         }
+        ctx.remove_raw(&key)?;
         ctx.emit(topics::COPY_REMOVED, encode_to_vec(&(resource, device)))?;
-        Ok(Vec::new())
+        Ok(encode_to_vec(&(true,)))
     }
 
     fn list_copies(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
@@ -280,6 +294,7 @@ impl DistExchange {
             started_at: ctx.block_time,
             expected_devices: expected.clone(),
             evidence: Vec::new(),
+            reaffirmed: Vec::new(),
             closed: expected.is_empty(),
         };
         ctx.set(round_key(&resource, round), &round_record)?;
@@ -294,6 +309,31 @@ impl DistExchange {
             )?;
         }
         Ok(encode_to_vec(&(round,)))
+    }
+
+    /// Closes `round` and emits `RoundClosed` when every expected device
+    /// has answered (shared by full submissions and reaffirmations).
+    fn close_if_complete(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        round: &mut MonitoringRound,
+    ) -> Result<(), ContractError> {
+        if !round.complete() {
+            return Ok(());
+        }
+        round.closed = true;
+        let violators: Vec<String> = round.violators().iter().map(|e| e.device.clone()).collect();
+        let compliant_count = round.compliant_count();
+        ctx.emit(
+            topics::ROUND_CLOSED,
+            encode_to_vec(&(
+                round.resource.clone(),
+                round.round,
+                compliant_count,
+                violators,
+            )),
+        )?;
+        Ok(())
     }
 
     fn record_evidence(
@@ -315,7 +355,12 @@ impl DistExchange {
                 submission.device
             )));
         }
-        if round.evidence.iter().any(|e| e.device == submission.device) {
+        if round.evidence.iter().any(|e| e.device == submission.device)
+            || round
+                .reaffirmed
+                .iter()
+                .any(|(d, _)| *d == submission.device)
+        {
             return Err(revert("duplicate evidence for device"));
         }
         // Verify the enclave signature against the registered attestation
@@ -340,21 +385,74 @@ impl DistExchange {
             )),
         )?;
         round.evidence.push(submission);
-        if round.complete() {
-            round.closed = true;
-            let violators: Vec<String> =
-                round.violators().iter().map(|e| e.device.clone()).collect();
-            let compliant_count = round.evidence.iter().filter(|e| e.compliant).count() as u64;
-            ctx.emit(
-                topics::ROUND_CLOSED,
-                encode_to_vec(&(
-                    round.resource.clone(),
-                    round.round,
-                    compliant_count,
-                    violators,
-                )),
-            )?;
+        self.close_if_complete(ctx, &mut round)?;
+        ctx.set(rkey, &round)?;
+        Ok(Vec::new())
+    }
+
+    /// Copies a device's evidence from an earlier round into `round`,
+    /// after verifying the enclave's signed attestation that the usage log
+    /// is unchanged — the cheap incremental-monitoring path for copies
+    /// whose log did not advance since they were last audited.
+    fn reaffirm_evidence(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError> {
+        let reaff: EvidenceReaffirmation = decode_from_slice(args)?;
+        let rkey = round_key(&reaff.resource, reaff.round);
+        let mut round: MonitoringRound = ctx
+            .get(&rkey)?
+            .ok_or_else(|| revert("unknown monitoring round"))?;
+        if round.closed {
+            return Err(revert("round already closed"));
         }
+        if !round.expected_devices.contains(&reaff.device) {
+            return Err(revert(format!(
+                "device {} not expected in this round",
+                reaff.device
+            )));
+        }
+        if round.evidence.iter().any(|e| e.device == reaff.device)
+            || round.reaffirmed.iter().any(|(d, _)| *d == reaff.device)
+        {
+            return Err(revert("duplicate evidence for device"));
+        }
+        let copy: CopyRecord = ctx
+            .get(&copy_key(&reaff.resource, &reaff.device))?
+            .ok_or_else(|| revert("copy no longer registered"))?;
+        if copy
+            .attestation_key
+            .verify(&reaff.signing_bytes(), &reaff.signature)
+            .is_err()
+        {
+            return Err(revert("reaffirmation signature does not verify"));
+        }
+        // The prior evidence must exist, be compliant, and carry the very
+        // same digest — anything else requires a full resubmission.
+        let prev: MonitoringRound = ctx
+            .get(&round_key(&reaff.resource, reaff.prev_round))?
+            .ok_or_else(|| revert("unknown prior round"))?;
+        // `prev_round` must hold *full* evidence (devices always point
+        // their reaffirmations at the round of their last full
+        // submission), so the digest is checked against signed bytes.
+        let prior_ok = prev.evidence.iter().any(|e| {
+            e.device == reaff.device && e.compliant && e.evidence_digest == reaff.evidence_digest
+        });
+        if !prior_ok {
+            return Err(revert("no matching compliant prior evidence to reaffirm"));
+        }
+        ctx.emit(
+            topics::EVIDENCE_RECORDED,
+            encode_to_vec(&(
+                reaff.resource.clone(),
+                reaff.round,
+                reaff.device.clone(),
+                true,
+            )),
+        )?;
+        round.reaffirmed.push((reaff.device, reaff.prev_round));
+        self.close_if_complete(ctx, &mut round)?;
         ctx.set(rkey, &round)?;
         Ok(Vec::new())
     }
@@ -445,6 +543,7 @@ impl Contract for DistExchange {
             "list_copies" => self.list_copies(ctx, args),
             "start_monitoring" => self.start_monitoring(ctx, args),
             "record_evidence" => self.record_evidence(ctx, args),
+            "reaffirm_evidence" => self.reaffirm_evidence(ctx, args),
             "get_round" => self.get_round(ctx, args),
             "subscribe" => self.subscribe(ctx, args),
             "verify_certificate" => self.verify_certificate(ctx, args),

@@ -26,8 +26,8 @@ pub mod dist_exchange;
 pub mod routing;
 
 pub use abi::{
-    CopyRecord, EvidenceSubmission, MonitoringRound, PodRecord, PolicyEnvelope, ResourceRecord,
-    Subscription,
+    CopyRecord, EvidenceReaffirmation, EvidenceSubmission, MonitoringRound, PodRecord,
+    PolicyEnvelope, ResourceRecord, Subscription,
 };
 pub use client::DistExchangeClient;
 pub use dist_exchange::{DistExchange, DEX_CONTRACT_ID};

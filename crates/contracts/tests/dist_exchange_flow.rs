@@ -248,9 +248,16 @@ fn copy_tracking() {
     w.register_alice_copy("alice-phone");
     let copies = w.dex.list_copies(&w.chain, MEDICAL).unwrap();
     assert_eq!(copies.len(), 2);
-    let tx = w
-        .dex
-        .unregister_copy_tx(&w.chain, &w.alice, MEDICAL, "alice-phone");
+    // `as_of` must lie strictly after the registration block time: the
+    // freshness guard keeps records registered at or after it.
+    let after_registration = w.chain.current_time() + duc_sim::SimDuration::from_nanos(1);
+    let tx = w.dex.unregister_copy_tx(
+        &w.chain,
+        &w.alice,
+        MEDICAL,
+        "alice-phone",
+        after_registration,
+    );
     w.chain.submit(tx).unwrap();
     w.step();
     let copies = w.dex.list_copies(&w.chain, MEDICAL).unwrap();

@@ -279,6 +279,25 @@ pub fn mixed_batch(owner: &str, path: &str, resource: &str, devices: usize) -> V
     requests
 }
 
+/// A policy-churn batch: the [`mixed_batch`] workload plus a *mid-flight
+/// policy modification* that tightens retention to zero — every copy
+/// holder must delete on update receipt while re-accesses and monitoring
+/// rounds race the fan-out (the ongoing-authorization-on-policy-change
+/// scenario class of the deadline-enforcement refactor).
+pub fn policy_churn_batch(owner: &str, path: &str, resource: &str, devices: usize) -> Vec<Request> {
+    use duc_policy::{Action, Constraint, Duty, Rule};
+    use duc_sim::SimDuration as D;
+
+    let mut requests = mixed_batch(owner, path, resource, devices);
+    requests.push(Request::PolicyModification {
+        webid: owner.to_string(),
+        path: path.to_string(),
+        rules: vec![Rule::permit([Action::Use]).with_constraint(Constraint::MaxRetention(D::ZERO))],
+        duties: vec![Duty::DeleteWithin(D::ZERO), Duty::LogAccesses],
+    });
+    requests
+}
+
 /// Builds the canonical chaos launch pad: one owner at `owner` with the
 /// shared resource at `path` (4 KiB, 7-day retention), and `n_devices`
 /// devices that have subscribed, indexed and fetched a governed copy — so

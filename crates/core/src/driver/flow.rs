@@ -1,0 +1,191 @@
+//! The shared transaction sub-machine: push-in submission with bounded
+//! retries followed by a non-blocking inclusion wait.
+
+use duc_blockchain::{Ledger, Receipt, SignedTransaction, TxId};
+use duc_oracle::{HopKind, InclusionStatus, OracleError, PushInOracle};
+use duc_sim::{EndpointId, SimTime};
+
+use crate::world::World;
+
+use super::{CONFIRM_TIMEOUT, HOP_TIMEOUT};
+
+/// Builds a signed transaction against the chain's *current* state. The
+/// flow signs at delivery time, so the nonce reflects every transaction
+/// that entered the mempool while this one was on the wire — concurrent
+/// flows from one sender serialize cleanly instead of colliding.
+pub(crate) type TxBuild<L> = Box<dyn Fn(&World<L>) -> SignedTransaction>;
+
+/// Sub-machine: push-in submission (with retries) followed by a
+/// non-blocking inclusion wait. Reused by every process that sends a
+/// transaction.
+pub(crate) enum TxFlow<L> {
+    /// Attempting the uplink hop to the relay.
+    Send {
+        build: TxBuild<L>,
+        size: u64,
+        from: EndpointId,
+        attempt: u32,
+        deadline: SimTime,
+    },
+    /// The transaction is on the wire; it reaches the chain at the wake.
+    Deliver { build: TxBuild<L> },
+    /// In the mempool; polling for inclusion at slot boundaries.
+    Await { id: TxId, deadline: SimTime },
+    /// Transient placeholder while stepping.
+    Spent,
+}
+
+/// One advance of a [`TxFlow`].
+pub(crate) enum FlowPoll {
+    /// Re-step the flow at the given instant.
+    Sleep(SimTime),
+    /// The flow finished.
+    Done(Result<Receipt, OracleError>),
+}
+
+impl<L: Ledger> TxFlow<L> {
+    /// Starts a flow: performs the first uplink attempt at the current
+    /// instant. The builder runs once now (to price the wire size) and once
+    /// more at delivery (to sign with a fresh nonce).
+    pub(crate) fn start(
+        world: &mut World<L>,
+        from: EndpointId,
+        build: impl Fn(&World<L>) -> SignedTransaction + 'static,
+    ) -> (TxFlow<L>, FlowPoll) {
+        let size = build(world).encoded_size() as u64;
+        let mut flow = TxFlow::Send {
+            build: Box::new(build),
+            size,
+            from,
+            attempt: 0,
+            deadline: world.clock.now() + HOP_TIMEOUT,
+        };
+        let poll = flow.step(world);
+        (flow, poll)
+    }
+
+    /// Advances the flow at the current clock instant.
+    pub(crate) fn step(&mut self, world: &mut World<L>) -> FlowPoll {
+        let now = world.clock.now();
+        match std::mem::replace(self, TxFlow::Spent) {
+            TxFlow::Send {
+                build,
+                size,
+                from,
+                attempt,
+                deadline,
+            } => {
+                // Unlike raw [`Hop`]s, the uplink keeps the push-in
+                // oracle's own retry contract — its attempt counters, its
+                // linear backoff, its `max_attempts`, and the legacy
+                // `NetworkDropped` error on exhaustion. Only the
+                // fault-window handling (suspension below, deadline
+                // give-up) is the driver's.
+                //
+                // A declared crash/partition window on the uplink suspends
+                // the submission (the component is down or cut off, not
+                // retrying against a dead wire) and resumes at recovery.
+                let relay = world.push_in.relay;
+                if !world.fault_plan().allows(from, relay, now) {
+                    world.metrics.incr("driver.hop.suspended");
+                    return match world.fault_plan().next_clear(from, relay, now) {
+                        Some(at) if at <= deadline => {
+                            *self = TxFlow::Send {
+                                build,
+                                size,
+                                from,
+                                attempt,
+                                deadline,
+                            };
+                            FlowPoll::Sleep(at)
+                        }
+                        _ => {
+                            world.metrics.incr("driver.hop.gave_up");
+                            FlowPoll::Done(Err(OracleError::GaveUp {
+                                hop: HopKind::PushInUplink,
+                                attempts: attempt,
+                                deadline,
+                            }))
+                        }
+                    };
+                }
+                match world
+                    .push_in
+                    .attempt(&mut world.net, &mut world.rng, from, size, attempt)
+                {
+                    Some(hop) => {
+                        *self = TxFlow::Deliver { build };
+                        FlowPoll::Sleep(now + hop)
+                    }
+                    None => {
+                        world.metrics.incr("driver.hop.drops");
+                        let next = attempt + 1;
+                        if next >= world.push_in.max_attempts {
+                            FlowPoll::Done(Err(OracleError::NetworkDropped))
+                        } else {
+                            let at = now + PushInOracle::backoff(next);
+                            if at > deadline {
+                                world.metrics.incr("driver.hop.gave_up");
+                                FlowPoll::Done(Err(OracleError::GaveUp {
+                                    hop: HopKind::PushInUplink,
+                                    attempts: next,
+                                    deadline,
+                                }))
+                            } else {
+                                *self = TxFlow::Send {
+                                    build,
+                                    size,
+                                    from,
+                                    attempt: next,
+                                    deadline,
+                                };
+                                FlowPoll::Sleep(at)
+                            }
+                        }
+                    }
+                }
+            }
+            TxFlow::Deliver { build } => {
+                let tx = build(world);
+                match world.chain.submit(tx) {
+                    Err(e) => FlowPoll::Done(Err(OracleError::Rejected(e))),
+                    Ok(id) => {
+                        *self = TxFlow::Await {
+                            id,
+                            deadline: now + CONFIRM_TIMEOUT,
+                        };
+                        self.step(world)
+                    }
+                }
+            }
+            TxFlow::Await { id, deadline } => {
+                match duc_oracle::poll_inclusion(&mut world.chain, now, &id, deadline) {
+                    InclusionStatus::Included(receipt) => FlowPoll::Done(Ok(receipt)),
+                    InclusionStatus::TimedOut { deadline } => {
+                        FlowPoll::Done(Err(OracleError::InclusionTimeout { deadline }))
+                    }
+                    InclusionStatus::Pending { retry_at } => {
+                        *self = TxFlow::Await { id, deadline };
+                        FlowPoll::Sleep(retry_at)
+                    }
+                }
+            }
+            TxFlow::Spent => unreachable!("TxFlow stepped while spent"),
+        }
+    }
+}
+
+/// Shorthand: advance an embedded [`TxFlow`] and either sleep (wrapping the
+/// machine back up) or hand the receipt result to `finish`.
+macro_rules! drive_flow {
+    ($world:expr, $flow:expr, $wrap:expr, $finish:expr) => {{
+        let mut flow = $flow;
+        match flow.step($world) {
+            $crate::driver::flow::FlowPoll::Sleep(at) => {
+                $crate::driver::Step::Sleep($wrap(flow), at)
+            }
+            $crate::driver::flow::FlowPoll::Done(res) => $finish($world, res),
+        }
+    }};
+}
+pub(crate) use drive_flow;

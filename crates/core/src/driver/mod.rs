@@ -1,0 +1,501 @@
+//! The non-blocking request driver.
+//!
+//! The six paper processes (plus the market-subscription prerequisite) are
+//! expressed as per-process state machines that advance hop-by-hop on the
+//! [`duc_sim::Scheduler`]: every network hop and every block-inclusion wait
+//! is a scheduled continuation instead of an inline loop, so hundreds of
+//! requests from many owners and devices interleave deterministically
+//! across block boundaries.
+//!
+//! - [`World::submit`] enqueues a [`Request`] and returns a [`Ticket`]
+//!   immediately (unknown participants fail fast with a typed
+//!   [`ProcessError`] instead of panicking).
+//! - [`World::run_until_idle`] drives the event loop until no request is
+//!   in flight.
+//! - Completed work surfaces as [`Outcome`] events via [`Ticket::poll`] /
+//!   [`World::drain_events`].
+//!
+//! The legacy one-shot methods on [`World`] (see [`crate::process`]) are
+//! thin wrappers: submit, run to idle, unwrap the single outcome.
+//!
+//! ## Layout
+//!
+//! One file per process machine ([`pod_init`], [`res_init`], [`indexing`],
+//! [`subscribe`], [`access`], [`policy_mod`], [`monitoring`]) plus the
+//! shared machinery: the fault-aware [`hop::Hop`], the transaction
+//! sub-machine [`flow::TxFlow`], and this module's dispatch/state.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use duc_blockchain::{Event, Ledger, Receipt};
+use duc_crypto::Digest;
+use duc_oracle::OutboundDelivery;
+use duc_policy::{Duty, Rule, UsagePolicy};
+use duc_sim::{EventId, SimDuration, SimTime};
+use duc_solid::Body;
+
+use crate::process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
+use crate::world::{IndexEntry, World};
+
+mod access;
+mod flow;
+mod hop;
+mod indexing;
+mod monitoring;
+mod obligation;
+mod pod_init;
+mod policy_mod;
+mod res_init;
+mod subscribe;
+
+use access::Access;
+use indexing::Indexing;
+use monitoring::Monitoring;
+use obligation::ObligationRun;
+use pod_init::PodInit;
+use policy_mod::PolicyMod;
+use res_init::ResInit;
+use subscribe::Subscribe;
+
+/// Confirmation timeout for on-chain operations.
+pub const CONFIRM_TIMEOUT: SimDuration = SimDuration::from_secs(120);
+
+/// Retry budget window for a single network hop: a hop that cannot be
+/// delivered by then resolves with a typed
+/// [`duc_oracle::OracleError::GaveUp`] instead of waiting longer.
+pub const HOP_TIMEOUT: SimDuration = SimDuration::from_secs(60);
+
+/// Maximum delivery attempts per hop against transient loss.
+pub const MAX_HOP_ATTEMPTS: u32 = 8;
+
+/// Deterministic exponential backoff before retry number `attempt`
+/// (1-based): 50 ms, 100 ms, 200 ms, … capped at 12.8 s.
+pub fn hop_backoff(attempt: u32) -> SimDuration {
+    SimDuration::from_millis(50u64 << attempt.saturating_sub(1).min(8))
+}
+
+/// A typed request against the architecture: one variant per paper process
+/// (Fig. 2), plus the market-subscription prerequisite of process 4.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Process 1 — register `webid`'s pod on-chain.
+    PodInitiation {
+        /// Owner WebID.
+        webid: String,
+    },
+    /// Process 2 — upload a resource, attach a policy, index it on-chain.
+    ResourceInitiation {
+        /// Owner WebID.
+        webid: String,
+        /// Pod-relative path.
+        path: String,
+        /// Resource content.
+        body: Body,
+        /// Usage policy to attach.
+        policy: UsagePolicy,
+        /// DE App metadata key/value pairs.
+        metadata: Vec<(String, String)>,
+    },
+    /// Process 3 — a device reads a resource's location + policy from the
+    /// DE App.
+    ResourceIndexing {
+        /// Device name.
+        device: String,
+        /// Resource IRI.
+        resource: String,
+    },
+    /// Market subscription — buy the certificate required by process 4.
+    MarketSubscribe {
+        /// Device name.
+        device: String,
+    },
+    /// Process 4 — fetch a governed copy into the device's TEE.
+    ResourceAccess {
+        /// Device name.
+        device: String,
+        /// Resource IRI.
+        resource: String,
+    },
+    /// Process 5 — amend a policy and fan the update out to copy holders.
+    PolicyModification {
+        /// Owner WebID.
+        webid: String,
+        /// Pod-relative path.
+        path: String,
+        /// Replacement rules.
+        rules: Vec<Rule>,
+        /// Replacement duties.
+        duties: Vec<Duty>,
+    },
+    /// Process 6 — run a monitoring round over every copy holder.
+    PolicyMonitoring {
+        /// Owner WebID.
+        webid: String,
+        /// Pod-relative path.
+        path: String,
+    },
+}
+
+/// What a completed [`Request`] produced.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Process 1 finished; the pod is registered.
+    PodInitiated {
+        /// Owner WebID.
+        webid: String,
+    },
+    /// Process 2 finished; the resource is indexed on-chain.
+    ResourceInitiated {
+        /// The resource IRI.
+        resource: String,
+    },
+    /// Process 3 finished; the device stored the index entry.
+    Indexed {
+        /// What the device learned.
+        entry: IndexEntry,
+    },
+    /// The market subscription was bought.
+    Subscribed {
+        /// The payment certificate.
+        certificate: Digest,
+    },
+    /// Process 4 finished.
+    Accessed(AccessOutcome),
+    /// Process 5 finished.
+    PolicyPropagated(PropagationOutcome),
+    /// Process 6 finished.
+    Monitored(MonitoringOutcome),
+    /// An internal obligation wakeup ran its duties (never surfaced
+    /// through a user ticket; the obligation scheduler spawns these).
+    ObligationsEnforced {
+        /// The device whose TEE was woken.
+        device: String,
+        /// The governed copy.
+        resource: String,
+        /// Whether the copy was deleted (and the deletion anchored).
+        deleted: bool,
+    },
+}
+
+/// Handle on an in-flight (or completed) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(pub(crate) u64);
+
+impl Ticket {
+    /// The raw request id (submission order).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+
+    /// Takes the completed outcome for this ticket, if the request has
+    /// finished. Equivalent to [`World::poll_ticket`].
+    pub fn poll<L: Ledger>(self, world: &mut World<L>) -> Option<Result<Outcome, ProcessError>> {
+        world.poll_ticket(self)
+    }
+}
+
+/// Checks a receipt for contract-level success.
+pub(crate) fn receipt_ok(receipt: Receipt) -> Result<Receipt, ProcessError> {
+    match &receipt.status {
+        duc_blockchain::TxStatus::Ok => Ok(receipt),
+        duc_blockchain::TxStatus::Reverted(msg) => Err(ProcessError::Reverted(msg.clone())),
+        duc_blockchain::TxStatus::OutOfGas => Err(ProcessError::Reverted("out of gas".into())),
+    }
+}
+
+// ---------------------------------------------------------------- machines
+
+/// One advance of a process machine.
+pub(crate) enum Step<L> {
+    /// Store the machine back and wake it at the given instant (an instant
+    /// not in the future means "re-step in this scheduling round").
+    Sleep(Machine<L>, SimTime),
+    /// The request completed.
+    Done(Result<Outcome, ProcessError>),
+}
+
+/// The per-process state machines.
+pub(crate) enum Machine<L> {
+    PodInit(PodInit<L>),
+    ResInit(Box<ResInit<L>>),
+    Indexing(Indexing),
+    Subscribe(Subscribe<L>),
+    Access(Box<Access<L>>),
+    PolicyMod(Box<PolicyMod<L>>),
+    Monitoring(Box<Monitoring<L>>),
+    Obligation(Box<ObligationRun<L>>),
+}
+
+impl<L: Ledger> Machine<L> {
+    pub(crate) fn step(self, world: &mut World<L>) -> Step<L> {
+        match self {
+            Machine::PodInit(m) => m.step(world),
+            Machine::ResInit(m) => m.step(world),
+            Machine::Indexing(m) => m.step(world),
+            Machine::Subscribe(m) => m.step(world),
+            Machine::Access(m) => m.step(world),
+            Machine::PolicyMod(m) => m.step(world),
+            Machine::Monitoring(m) => m.step(world),
+            Machine::Obligation(m) => m.step(world),
+        }
+    }
+}
+
+// ------------------------------------------------------------ driver state
+
+/// Per-world driver bookkeeping: in-flight machines, wake queue, completed
+/// outcomes, and the shared push-out/pull-in inboxes that keep concurrent
+/// processes from stealing each other's events.
+pub(crate) struct DriverState<L> {
+    next_ticket: u64,
+    inflight: HashMap<u64, Machine<L>>,
+    woken: Rc<RefCell<VecDeque<u64>>>,
+    completed: VecDeque<(Ticket, Result<Outcome, ProcessError>)>,
+    pub(crate) inbox: Vec<OutboundDelivery>,
+    pub(crate) monitoring_inbox: Vec<(u64, Event)>,
+    /// Machine ids spawned by the obligation scheduler: their outcomes are
+    /// dropped on completion instead of surfacing through tickets.
+    internal: HashSet<u64>,
+    /// Obligation wakeups fired by the scheduler, waiting to materialize
+    /// as [`ObligationRun`] machines: `(device, resource)` pairs.
+    pub(crate) obligation_woken: Rc<RefCell<VecDeque<(String, String)>>>,
+    /// The wakeup currently registered per `(device, resource)`, so a
+    /// policy change re-arms (cancel + reschedule) instead of stacking.
+    pub(crate) scheduled_obligations: HashMap<(String, String), (SimTime, EventId)>,
+}
+
+impl<L> DriverState<L> {
+    pub(crate) fn new() -> DriverState<L> {
+        DriverState {
+            next_ticket: 0,
+            inflight: HashMap::new(),
+            woken: Rc::new(RefCell::new(VecDeque::new())),
+            completed: VecDeque::new(),
+            inbox: Vec::new(),
+            monitoring_inbox: Vec::new(),
+            internal: HashSet::new(),
+            obligation_woken: Rc::new(RefCell::new(VecDeque::new())),
+            scheduled_obligations: HashMap::new(),
+        }
+    }
+}
+
+impl<L: Ledger> World<L> {
+    /// Submits a request to the driver and returns its ticket immediately.
+    ///
+    /// Unknown owners/devices complete at once with a typed error (no
+    /// panic); everything else starts advancing when the event loop runs
+    /// ([`World::run_until_idle`], or [`World::advance`] up to a horizon).
+    pub fn submit(&mut self, request: Request) -> Ticket {
+        let ticket = Ticket(self.driver.next_ticket);
+        self.driver.next_ticket += 1;
+        let started = self.clock.now();
+
+        // Participant validation up front: a typed error, not a panic.
+        let rejection = match &request {
+            Request::PodInitiation { webid }
+            | Request::ResourceInitiation { webid, .. }
+            | Request::PolicyModification { webid, .. }
+            | Request::PolicyMonitoring { webid, .. } => (!self.owners.contains_key(webid))
+                .then(|| ProcessError::UnknownOwner(webid.clone())),
+            Request::ResourceIndexing { device, .. }
+            | Request::MarketSubscribe { device }
+            | Request::ResourceAccess { device, .. } => (!self.devices.contains_key(device))
+                .then(|| ProcessError::UnknownDevice(device.clone())),
+        };
+        if let Some(err) = rejection {
+            self.driver.completed.push_back((ticket, Err(err)));
+            return ticket;
+        }
+
+        let machine = match request {
+            Request::PodInitiation { webid } => Machine::PodInit(PodInit::new(webid, started)),
+            Request::ResourceInitiation {
+                webid,
+                path,
+                body,
+                policy,
+                metadata,
+            } => Machine::ResInit(Box::new(ResInit::new(
+                webid, path, body, policy, metadata, started,
+            ))),
+            Request::ResourceIndexing { device, resource } => {
+                Machine::Indexing(Indexing::new(device, resource, started))
+            }
+            Request::MarketSubscribe { device } => {
+                Machine::Subscribe(Subscribe::new(device, started))
+            }
+            Request::ResourceAccess { device, resource } => {
+                Machine::Access(Box::new(Access::new(device, resource, started)))
+            }
+            Request::PolicyModification {
+                webid,
+                path,
+                rules,
+                duties,
+            } => Machine::PolicyMod(Box::new(PolicyMod::new(
+                webid, path, rules, duties, started,
+            ))),
+            Request::PolicyMonitoring { webid, path } => {
+                Machine::Monitoring(Box::new(Monitoring::new(webid, path, started)))
+            }
+        };
+        self.driver.inflight.insert(ticket.0, machine);
+        self.driver.woken.borrow_mut().push_back(ticket.0);
+        ticket
+    }
+
+    /// Number of requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.driver.inflight.len()
+    }
+
+    /// Takes the completed outcome for `ticket`, if the request finished.
+    pub fn poll_ticket(&mut self, ticket: Ticket) -> Option<Result<Outcome, ProcessError>> {
+        let pos = self
+            .driver
+            .completed
+            .iter()
+            .position(|(t, _)| *t == ticket)?;
+        self.driver.completed.remove(pos).map(|(_, res)| res)
+    }
+
+    /// Drains every completed outcome, in completion order.
+    pub fn drain_events(&mut self) -> Vec<(Ticket, Result<Outcome, ProcessError>)> {
+        self.driver.completed.drain(..).collect()
+    }
+
+    /// Steps every process woken at the current instant, materializing
+    /// fired obligation wakeups into internal machines first. Returns the
+    /// number of process steps executed.
+    pub(crate) fn step_woken(&mut self) -> u64 {
+        let mut steps = 0;
+        loop {
+            self.spawn_due_obligations();
+            let Some(pid) = self.driver.woken.borrow_mut().pop_front() else {
+                break;
+            };
+            self.step_process(pid);
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Turns fired obligation wakeups into in-flight [`ObligationRun`]
+    /// machines (internal: their outcomes never surface through tickets).
+    fn spawn_due_obligations(&mut self) {
+        loop {
+            let Some((device, resource)) = self.driver.obligation_woken.borrow_mut().pop_front()
+            else {
+                break;
+            };
+            self.driver
+                .scheduled_obligations
+                .remove(&(device.clone(), resource.clone()));
+            let pid = self.driver.next_ticket;
+            self.driver.next_ticket += 1;
+            self.driver.internal.insert(pid);
+            self.driver.inflight.insert(
+                pid,
+                Machine::Obligation(Box::new(ObligationRun::new(device, resource))),
+            );
+            self.driver.woken.borrow_mut().push_back(pid);
+        }
+    }
+
+    fn step_process(&mut self, pid: u64) {
+        let Some(machine) = self.driver.inflight.remove(&pid) else {
+            return;
+        };
+        match machine.step(self) {
+            Step::Sleep(machine, at) => {
+                self.driver.inflight.insert(pid, machine);
+                if at <= self.clock.now() {
+                    self.driver.woken.borrow_mut().push_back(pid);
+                } else {
+                    let woken = self.driver.woken.clone();
+                    self.sched
+                        .schedule_at(at, move |_| woken.borrow_mut().push_back(pid));
+                }
+            }
+            Step::Done(result) => {
+                if self.driver.internal.remove(&pid) {
+                    // Internal obligation machines report through metrics,
+                    // not tickets.
+                    if result.is_err() {
+                        self.metrics.incr("driver.obligation.failed");
+                    }
+                } else {
+                    self.driver.completed.push_back((Ticket(pid), result));
+                }
+            }
+        }
+    }
+
+    /// Drives the event loop until no request is in flight: steps every
+    /// woken process, then hops the scheduler to the next wake, repeating.
+    /// Returns the number of process steps executed.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut steps = 0;
+        self.apply_faults();
+        loop {
+            steps += self.step_woken();
+            // Idle means no request in flight; remaining scheduler entries
+            // can only be fault-plan boundary markers or *future*
+            // obligation wakeups, which must not drag the clock forward on
+            // their own. Wakeups already due at this instant (e.g. a
+            // zero-retention copy registered this round) still fire first.
+            if self.driver.inflight.is_empty() {
+                match self.sched.next_event_at() {
+                    Some(at) if at <= self.clock.now() => {
+                        self.sched.run_until(at);
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            let Some(at) = self.sched.next_event_at() else {
+                break;
+            };
+            self.sched.run_until(at);
+            // The chain catches up under the pre-boundary fault state;
+            // plan transitions due at this instant flip afterwards.
+            self.chain.advance_to(self.clock.now());
+            self.apply_faults();
+        }
+        if self.driver.inflight.is_empty() {
+            // Nothing left to claim them: drop unclaimed deliveries, like
+            // the one-shot processes did.
+            self.driver.inbox.clear();
+            self.driver.monitoring_inbox.clear();
+        }
+        self.sync_chain();
+        steps
+    }
+
+    /// Drains fresh push-out deliveries into the shared inbox, then removes
+    /// and returns those matching `pred`. Non-matching deliveries stay for
+    /// other in-flight processes.
+    pub(crate) fn claim_deliveries(
+        &mut self,
+        mut pred: impl FnMut(&OutboundDelivery) -> bool,
+    ) -> Vec<OutboundDelivery> {
+        let fresh = self
+            .push_out
+            .drain(&self.chain, &mut self.net, &self.clock, &mut self.rng);
+        self.driver.inbox.extend(fresh);
+        let mut claimed = Vec::new();
+        let mut rest = Vec::new();
+        for d in self.driver.inbox.drain(..) {
+            if pred(&d) {
+                claimed.push(d);
+            } else {
+                rest.push(d);
+            }
+        }
+        self.driver.inbox = rest;
+        claimed
+    }
+}

@@ -1,0 +1,373 @@
+//! Process 5 — policy modification and push-out fan-out.
+
+use std::collections::{HashMap, VecDeque};
+
+use duc_blockchain::{Ledger, Receipt, TxId};
+use duc_contracts::topics;
+use duc_oracle::{InclusionStatus, OracleError, OutboundDelivery};
+use duc_policy::{Duty, Rule, UsagePolicy};
+use duc_sim::{EndpointId, SimTime};
+use duc_tee::EnforcementAction;
+
+use crate::process::{ProcessError, PropagationOutcome};
+use crate::world::World;
+
+use super::flow::{drive_flow, FlowPoll, TxFlow};
+use super::{receipt_ok, Machine, Outcome, Step, CONFIRM_TIMEOUT};
+
+/// Process 5 — policy modification and push-out fan-out.
+pub(crate) struct PolicyMod<L> {
+    webid: String,
+    path: String,
+    started: SimTime,
+    phase: PolicyModPhase<L>,
+}
+
+enum PolicyModPhase<L> {
+    Start {
+        rules: Vec<Rule>,
+        duties: Vec<Duty>,
+    },
+    Confirm {
+        flow: TxFlow<L>,
+        resource_iri: String,
+        version: u64,
+    },
+    Fanout(FanoutState),
+    ConfirmUnregisters(FanoutState),
+}
+
+/// Accumulated fan-out state shared by the last two phases of process 5.
+struct FanoutState {
+    resource_iri: String,
+    version: u64,
+    deliveries: VecDeque<(OutboundDelivery, UsagePolicy)>,
+    by_endpoint: HashMap<EndpointId, String>,
+    notified: usize,
+    enforcement: Vec<(String, EnforcementAction)>,
+    pending: VecDeque<TxId>,
+    current: Option<(TxId, SimTime)>,
+}
+
+impl<L: Ledger> PolicyMod<L> {
+    pub(super) fn new(
+        webid: String,
+        path: String,
+        rules: Vec<Rule>,
+        duties: Vec<Duty>,
+        started: SimTime,
+    ) -> Self {
+        PolicyMod {
+            webid,
+            path,
+            started,
+            phase: PolicyModPhase::Start { rules, duties },
+        }
+    }
+
+    pub(super) fn step(self, world: &mut World<L>) -> Step<L> {
+        let PolicyMod {
+            webid,
+            path,
+            started,
+            phase,
+        } = self;
+        let now = world.clock.now();
+        match phase {
+            PolicyModPhase::Start { rules, duties } => {
+                let Some(owner) = world.owners.get_mut(&webid) else {
+                    return Step::Done(Err(ProcessError::UnknownOwner(webid)));
+                };
+                let endpoint = owner.endpoint;
+                let owner_key = owner.key;
+                let amended = match owner
+                    .pod_manager
+                    .modify_policy(&webid, &path, rules, duties)
+                {
+                    Ok(amended) => amended,
+                    Err(status) => {
+                        return Step::Done(Err(ProcessError::Solid {
+                            status,
+                            detail: Some("policy modification refused".into()),
+                        }))
+                    }
+                };
+                let resource_iri = owner.pod_manager.pod().iri_of(&path);
+
+                let envelope = world.envelope(&amended);
+                let version = amended.version;
+                let build = {
+                    let iri = resource_iri.clone();
+                    move |w: &World<L>| {
+                        w.dex.update_policy_tx(
+                            &w.chain,
+                            &owner_key,
+                            &iri,
+                            envelope.clone(),
+                            version,
+                        )
+                    }
+                };
+                let (flow, poll) = TxFlow::start(world, endpoint, build);
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(
+                        Machine::PolicyMod(Box::new(PolicyMod {
+                            webid,
+                            path,
+                            started,
+                            phase: PolicyModPhase::Confirm {
+                                flow,
+                                resource_iri,
+                                version,
+                            },
+                        })),
+                        at,
+                    ),
+                    FlowPoll::Done(res) => {
+                        Self::after_confirm(world, webid, path, started, resource_iri, version, res)
+                    }
+                }
+            }
+            PolicyModPhase::Confirm {
+                flow,
+                resource_iri,
+                version,
+            } => drive_flow!(
+                world,
+                flow,
+                |flow| Machine::PolicyMod(Box::new(PolicyMod {
+                    webid: webid.clone(),
+                    path: path.clone(),
+                    started,
+                    phase: PolicyModPhase::Confirm {
+                        flow,
+                        resource_iri: resource_iri.clone(),
+                        version,
+                    },
+                })),
+                |world: &mut World<L>, res| Self::after_confirm(
+                    world,
+                    webid.clone(),
+                    path.clone(),
+                    started,
+                    resource_iri.clone(),
+                    version,
+                    res
+                )
+            ),
+            PolicyModPhase::Fanout(mut state) => {
+                // Apply every delivery that has arrived by now.
+                while state
+                    .deliveries
+                    .front()
+                    .is_some_and(|(d, _)| d.arrives_at <= now)
+                {
+                    let (delivery, policy) = state.deliveries.pop_front().expect("peeked");
+                    let Some(device_name) = state.by_endpoint.get(&delivery.recipient).cloned()
+                    else {
+                        continue;
+                    };
+                    let device = world
+                        .devices
+                        .get_mut(&device_name)
+                        .expect("endpoint map is fresh");
+                    if !device.tee.has_copy(&state.resource_iri) {
+                        continue;
+                    }
+                    let actions = device.tee.apply_policy_update(
+                        &state.resource_iri,
+                        policy,
+                        delivery.arrives_at,
+                    );
+                    let device_key = device.key;
+                    // The device recompiled its program against the new
+                    // version: re-arm its obligation wakeup mid-flight
+                    // (ongoing authorization on policy change).
+                    world.schedule_obligation(&device_name, &state.resource_iri);
+                    world.metrics.record(
+                        "process.policy_mod.propagation",
+                        delivery.arrives_at - started,
+                    );
+                    state.notified += 1;
+                    for action in actions {
+                        if let EnforcementAction::Deleted { .. } = &action {
+                            world.metrics.incr("enforcement.deletions");
+                            // The copy registry is updated so future rounds
+                            // skip this device.
+                            let tx = world.dex.unregister_copy_tx(
+                                &world.chain,
+                                &device_key,
+                                &state.resource_iri,
+                                &device_name,
+                                delivery.arrives_at,
+                            );
+                            if let Ok(id) = world.chain.submit(tx) {
+                                state.pending.push_back(id);
+                            }
+                        }
+                        state.enforcement.push((device_name.clone(), action));
+                    }
+                }
+                match state.deliveries.front() {
+                    Some((d, _)) => {
+                        let at = d.arrives_at;
+                        Step::Sleep(
+                            Machine::PolicyMod(Box::new(PolicyMod {
+                                webid,
+                                path,
+                                started,
+                                phase: PolicyModPhase::Fanout(state),
+                            })),
+                            at,
+                        )
+                    }
+                    None => PolicyMod {
+                        webid,
+                        path,
+                        started,
+                        phase: PolicyModPhase::ConfirmUnregisters(state),
+                    }
+                    .step(world),
+                }
+            }
+            PolicyModPhase::ConfirmUnregisters(mut state) => {
+                // Await inclusion of *every* pending unregistration so an
+                // earlier deletion cannot race a later monitoring round.
+                loop {
+                    if let Some((id, deadline)) = state.current.take() {
+                        match duc_oracle::poll_inclusion(&mut world.chain, now, &id, deadline) {
+                            InclusionStatus::Included(_) | InclusionStatus::TimedOut { .. } => {}
+                            InclusionStatus::Pending { retry_at } => {
+                                state.current = Some((id, deadline));
+                                return Step::Sleep(
+                                    Machine::PolicyMod(Box::new(PolicyMod {
+                                        webid,
+                                        path,
+                                        started,
+                                        phase: PolicyModPhase::ConfirmUnregisters(state),
+                                    })),
+                                    retry_at,
+                                );
+                            }
+                        }
+                    } else if let Some(id) = state.pending.pop_front() {
+                        state.current = Some((id, now + CONFIRM_TIMEOUT));
+                    } else {
+                        break;
+                    }
+                }
+                world.sync_chain();
+
+                let e2e = now - started;
+                world.metrics.record("process.policy_mod.e2e", e2e);
+                world.trace.record(
+                    now,
+                    format!("pm:{webid}"),
+                    "policy.updated",
+                    format!("{} v{}", state.resource_iri, state.version),
+                );
+                Step::Done(Ok(Outcome::PolicyPropagated(PropagationOutcome {
+                    version: state.version,
+                    devices_notified: state.notified,
+                    enforcement: state.enforcement,
+                    e2e,
+                })))
+            }
+        }
+    }
+
+    /// Transition out of the confirm phase: record gas, claim this
+    /// resource's push-out deliveries and start the fan-out.
+    fn after_confirm(
+        world: &mut World<L>,
+        webid: String,
+        path: String,
+        started: SimTime,
+        resource_iri: String,
+        version: u64,
+        res: Result<Receipt, OracleError>,
+    ) -> Step<L> {
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        world
+            .metrics
+            .add("process.policy_mod.gas", receipt.gas_used);
+
+        // Push-out fan-out to subscribed devices: claim the deliveries that
+        // belong to *this* resource; others stay in the shared inbox for
+        // their own in-flight processes.
+        let iri = resource_iri.clone();
+        let claimed = world.claim_deliveries(|d| {
+            d.event.topic == topics::POLICY_UPDATED
+                && decode_policy_update(&d.event.data)
+                    .is_some_and(|(res, v, _, _)| res == iri && v == version)
+        });
+        // Integrity gate: read the policy hash the contract anchored in
+        // the *on-chain record* (not the hash travelling inside the pushed
+        // event, which a tampered relay could rewrite alongside the
+        // envelope). Devices only recompile against bytes matching the
+        // chain-side anchor; superseded envelopes (an even newer update
+        // already landed) are dropped the same way — their own fan-out
+        // delivers the newer policy.
+        let anchored_hash = match world.dex.lookup_resource(&world.chain, &resource_iri) {
+            Ok(Some(record)) => record.policy_hash,
+            Ok(None) => return Step::Done(Err(ProcessError::UnknownResource(resource_iri))),
+            Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+        };
+        let mut deliveries: Vec<(OutboundDelivery, UsagePolicy)> = Vec::new();
+        for delivery in claimed {
+            let Some((_, _, policy_env, _)) = decode_policy_update(&delivery.event.data) else {
+                continue;
+            };
+            if policy_env.digest() != anchored_hash {
+                world.metrics.incr("driver.policy_update.hash_mismatch");
+                continue;
+            }
+            let policy = match world.open_envelope(&policy_env) {
+                Ok(policy) => policy,
+                Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+            };
+            deliveries.push((delivery, policy));
+        }
+        deliveries.sort_by_key(|(d, _)| d.arrives_at);
+
+        let by_endpoint: HashMap<EndpointId, String> = world
+            .devices
+            .iter()
+            .map(|(name, d)| (d.endpoint, name.clone()))
+            .collect();
+        PolicyMod {
+            webid,
+            path,
+            started,
+            phase: PolicyModPhase::Fanout(FanoutState {
+                resource_iri,
+                version,
+                deliveries: deliveries.into(),
+                by_endpoint,
+                notified: 0,
+                enforcement: Vec::new(),
+                pending: VecDeque::new(),
+                current: None,
+            }),
+        }
+        .step(world)
+    }
+}
+
+/// Decodes a `PolicyUpdated` event payload: `(resource, version,
+/// envelope, policy_hash)` — the hash anchors the exact policy bytes
+/// on-chain, and devices verify the pushed envelope against it before
+/// recompiling their local program.
+fn decode_policy_update(
+    data: &[u8],
+) -> Option<(
+    String,
+    u64,
+    duc_contracts::PolicyEnvelope,
+    duc_crypto::Digest,
+)> {
+    duc_codec::decode_from_slice(data).ok()
+}

@@ -1,0 +1,189 @@
+//! Process 2 — resource initiation.
+
+use duc_blockchain::{Ledger, Receipt};
+use duc_oracle::OracleError;
+use duc_policy::{AclMode, AgentSpec, Authorization, UsagePolicy};
+use duc_sim::SimTime;
+use duc_solid::{Body, SolidRequest};
+
+use crate::process::ProcessError;
+use crate::world::World;
+
+use super::flow::{drive_flow, FlowPoll, TxFlow};
+use super::{receipt_ok, Machine, Outcome, Step};
+
+/// Process 2 — resource initiation.
+pub(crate) struct ResInit<L> {
+    webid: String,
+    path: String,
+    body: Option<Body>,
+    policy: Option<UsagePolicy>,
+    metadata: Vec<(String, String)>,
+    resource_iri: String,
+    started: SimTime,
+    phase: ResInitPhase<L>,
+}
+
+enum ResInitPhase<L> {
+    Start,
+    Confirm(TxFlow<L>),
+}
+
+impl<L: Ledger> ResInit<L> {
+    pub(super) fn new(
+        webid: String,
+        path: String,
+        body: Body,
+        policy: UsagePolicy,
+        metadata: Vec<(String, String)>,
+        started: SimTime,
+    ) -> Self {
+        ResInit {
+            webid,
+            path,
+            body: Some(body),
+            policy: Some(policy),
+            metadata,
+            resource_iri: String::new(),
+            started,
+            phase: ResInitPhase::Start,
+        }
+    }
+
+    pub(super) fn step(self, world: &mut World<L>) -> Step<L> {
+        let ResInit {
+            webid,
+            path,
+            body,
+            policy,
+            metadata,
+            resource_iri,
+            started,
+            phase,
+        } = self;
+        match phase {
+            ResInitPhase::Start => {
+                let Some(owner) = world.owners.get_mut(&webid) else {
+                    return Step::Done(Err(ProcessError::UnknownOwner(webid)));
+                };
+                if !owner.pod_registered {
+                    return Step::Done(Err(ProcessError::PodNotRegistered(webid)));
+                }
+                let endpoint = owner.endpoint;
+                let owner_key = owner.key;
+                let body = body.expect("body present in Start phase");
+                let policy = policy.expect("policy present in Start phase");
+
+                // Upload via the Solid protocol (the pod manager checks the
+                // ACL).
+                let put = SolidRequest::put(webid.clone(), path.clone()).with_body(body);
+                let resp = owner.pod_manager.handle(&put);
+                if !resp.status.is_success() {
+                    return Step::Done(Err(ProcessError::Solid {
+                        status: resp.status,
+                        detail: resp.detail,
+                    }));
+                }
+                owner.pod_manager.set_policy(&path, policy.clone());
+                // Market terms: authenticated subscribers may read this
+                // resource (certificate-gated), cf. §II "only subscribed
+                // users have access".
+                let resource_iri = owner.pod_manager.pod().iri_of(&path);
+                let mut acl = owner.pod_manager.acl().clone();
+                acl.push(Authorization::for_resource(
+                    format!("market-readers-{path}"),
+                    resource_iri.clone(),
+                    vec![AgentSpec::AuthenticatedAgent],
+                    vec![AclMode::Read],
+                ));
+                owner.pod_manager.set_acl(acl);
+                owner.pod_manager.set_require_certificate(true);
+
+                // Push-in oracle: index the resource + publish the policy.
+                let envelope = world.envelope(&policy);
+                let build = {
+                    let iri = resource_iri.clone();
+                    let webid = webid.clone();
+                    move |w: &World<L>| {
+                        w.dex.register_resource_tx(
+                            &w.chain,
+                            &owner_key,
+                            &iri,
+                            &iri,
+                            &webid,
+                            metadata.clone(),
+                            envelope.clone(),
+                        )
+                    }
+                };
+                let (flow, poll) = TxFlow::start(world, endpoint, build);
+                let next = ResInit {
+                    webid,
+                    path,
+                    body: None,
+                    policy: None,
+                    metadata: Vec::new(),
+                    resource_iri,
+                    started,
+                    phase: ResInitPhase::Confirm(flow),
+                };
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(Machine::ResInit(Box::new(next)), at),
+                    FlowPoll::Done(res) => {
+                        Self::finish(world, next.webid, next.resource_iri, started, res)
+                    }
+                }
+            }
+            ResInitPhase::Confirm(flow) => drive_flow!(
+                world,
+                flow,
+                |flow| Machine::ResInit(Box::new(ResInit {
+                    webid: webid.clone(),
+                    path: path.clone(),
+                    body: None,
+                    policy: None,
+                    metadata: Vec::new(),
+                    resource_iri: resource_iri.clone(),
+                    started,
+                    phase: ResInitPhase::Confirm(flow),
+                })),
+                |world: &mut World<L>, res| Self::finish(
+                    world,
+                    webid.clone(),
+                    resource_iri.clone(),
+                    started,
+                    res
+                )
+            ),
+        }
+    }
+
+    fn finish(
+        world: &mut World<L>,
+        webid: String,
+        resource_iri: String,
+        started: SimTime,
+        res: Result<Receipt, OracleError>,
+    ) -> Step<L> {
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        let now = world.clock.now();
+        world
+            .metrics
+            .record("process.resource_init.e2e", now - started);
+        world
+            .metrics
+            .add("process.resource_init.gas", receipt.gas_used);
+        world.trace.record(
+            now,
+            format!("pm:{webid}"),
+            "resource.registered",
+            resource_iri.clone(),
+        );
+        Step::Done(Ok(Outcome::ResourceInitiated {
+            resource: resource_iri,
+        }))
+    }
+}

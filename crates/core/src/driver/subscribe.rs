@@ -1,0 +1,100 @@
+//! Market subscription — the certificate prerequisite of process 4 (§II).
+
+use duc_blockchain::{Ledger, Receipt};
+use duc_contracts::DistExchangeClient;
+use duc_oracle::OracleError;
+use duc_sim::SimTime;
+
+use crate::process::ProcessError;
+use crate::world::World;
+
+use super::flow::{drive_flow, FlowPoll, TxFlow};
+use super::{receipt_ok, Machine, Outcome, Step};
+
+/// Market subscription (prerequisite of process 4, cf. §II).
+pub(crate) struct Subscribe<L> {
+    device: String,
+    started: SimTime,
+    phase: SubscribePhase<L>,
+}
+
+enum SubscribePhase<L> {
+    Start,
+    Confirm(TxFlow<L>),
+}
+
+impl<L: Ledger> Subscribe<L> {
+    pub(super) fn new(device: String, started: SimTime) -> Self {
+        Subscribe {
+            device,
+            started,
+            phase: SubscribePhase::Start,
+        }
+    }
+
+    pub(super) fn step(self, world: &mut World<L>) -> Step<L> {
+        let Subscribe {
+            device,
+            started,
+            phase,
+        } = self;
+        match phase {
+            SubscribePhase::Start => {
+                let Some(dev) = world.try_device(&device) else {
+                    return Step::Done(Err(ProcessError::UnknownDevice(device)));
+                };
+                let endpoint = dev.endpoint;
+                let key = dev.key;
+                let webid = dev.webid.clone();
+                let build = move |w: &World<L>| w.dex.subscribe_tx(&w.chain, &key, &webid);
+                let (flow, poll) = TxFlow::start(world, endpoint, build);
+                match poll {
+                    FlowPoll::Sleep(at) => Step::Sleep(
+                        Machine::Subscribe(Subscribe {
+                            device,
+                            started,
+                            phase: SubscribePhase::Confirm(flow),
+                        }),
+                        at,
+                    ),
+                    FlowPoll::Done(res) => Self::finish(world, device, started, res),
+                }
+            }
+            SubscribePhase::Confirm(flow) => drive_flow!(
+                world,
+                flow,
+                |flow| Machine::Subscribe(Subscribe {
+                    device: device.clone(),
+                    started,
+                    phase: SubscribePhase::Confirm(flow),
+                }),
+                |world: &mut World<L>, res| Self::finish(world, device.clone(), started, res)
+            ),
+        }
+    }
+
+    fn finish(
+        world: &mut World<L>,
+        device: String,
+        started: SimTime,
+        res: Result<Receipt, OracleError>,
+    ) -> Step<L> {
+        let receipt = match res.map_err(ProcessError::from).and_then(receipt_ok) {
+            Ok(receipt) => receipt,
+            Err(e) => return Step::Done(Err(e)),
+        };
+        let cert = match DistExchangeClient::decode_certificate(&receipt.return_data) {
+            Ok(cert) => cert,
+            Err(e) => return Step::Done(Err(ProcessError::Policy(e.to_string()))),
+        };
+        world
+            .devices
+            .get_mut(&device)
+            .expect("validated at submit")
+            .certificate = Some(cert);
+        let now = world.clock.now();
+        world.metrics.record("process.subscribe.e2e", now - started);
+        world.metrics.add("process.subscribe.gas", receipt.gas_used);
+        Step::Done(Ok(Outcome::Subscribed { certificate: cert }))
+    }
+}

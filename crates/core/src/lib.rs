@@ -49,7 +49,7 @@ pub mod world;
 
 pub use driver::{Outcome, Request, Ticket};
 pub use process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
-pub use world::{World, WorldConfig};
+pub use world::{EnforcementMode, World, WorldConfig};
 
 /// Common imports.
 pub mod prelude {
@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::driver::{Outcome, Request, Ticket};
     pub use crate::process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
     pub use crate::scenario;
-    pub use crate::world::{World, WorldConfig};
+    pub use crate::world::{EnforcementMode, World, WorldConfig};
     pub use duc_policy::prelude::*;
     pub use duc_sim::{SimDuration, SimTime};
 }

@@ -14,7 +14,7 @@ use duc_oracle::OracleError;
 use duc_policy::{AclMode, AgentSpec, Authorization, Duty, Rule, UsagePolicy};
 use duc_sim::SimDuration;
 use duc_solid::{Body, Status};
-use duc_tee::EnforcementAction;
+use duc_tee::{EnforcementAction, TeeError};
 
 use crate::driver::{Outcome, Request};
 use crate::world::{IndexEntry, World};
@@ -54,6 +54,10 @@ pub enum ProcessError {
     NoCertificate(String),
     /// The enclave could not be attested.
     Attestation(String),
+    /// The device's trusted application reported a damaged internal state
+    /// (see [`TeeError`]). Permanent: retrying cannot heal a broken
+    /// enclave, so [`ProcessError::is_transient`] is `false`.
+    Tee(TeeError),
 }
 
 impl ProcessError {
@@ -84,6 +88,7 @@ impl std::fmt::Display for ProcessError {
             ProcessError::Policy(msg) => write!(f, "policy error: {msg}"),
             ProcessError::NoCertificate(w) => write!(f, "no market certificate for {w}"),
             ProcessError::Attestation(msg) => write!(f, "attestation failure: {msg}"),
+            ProcessError::Tee(e) => write!(f, "trusted application fault: {e}"),
         }
     }
 }
@@ -93,6 +98,12 @@ impl std::error::Error for ProcessError {}
 impl From<OracleError> for ProcessError {
     fn from(e: OracleError) -> Self {
         ProcessError::Oracle(e)
+    }
+}
+
+impl From<TeeError> for ProcessError {
+    fn from(e: TeeError) -> Self {
+        ProcessError::Tee(e)
     }
 }
 

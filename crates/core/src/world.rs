@@ -14,6 +14,21 @@ use duc_sim::{
 use duc_solid::PodManager;
 use duc_tee::{AttestationAuthority, Enclave, TrustedApplication};
 
+/// How TEE obligations (retention/expiry deletion, notification) are
+/// driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnforcementMode {
+    /// Deadline-driven (the default): the driver's obligation scheduler
+    /// registers a wakeup at each copy's exact `next_transition` /
+    /// deadline instant, so enforcement fires the moment a decision can
+    /// flip — no polling.
+    Deadline,
+    /// Round-based baseline (experiment E14): obligations are only
+    /// checked on a fixed-period grid, so a violation waits for the next
+    /// sweep — the behaviour the paper's round-based monitoring implies.
+    Periodic(SimDuration),
+}
+
 /// Configuration for one simulated deployment.
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
@@ -38,6 +53,8 @@ pub struct WorldConfig {
     /// Shard count for multi-chain backends ([`World::new_sharded`]);
     /// single-chain worlds ignore it.
     pub shards: usize,
+    /// Obligation-enforcement mode (see [`EnforcementMode`]).
+    pub enforcement: EnforcementMode,
 }
 
 impl Default for WorldConfig {
@@ -53,6 +70,7 @@ impl Default for WorldConfig {
             trace: false,
             initial_balance: 10_000_000_000,
             shards: 1,
+            enforcement: EnforcementMode::Deadline,
         }
     }
 }
@@ -158,6 +176,11 @@ pub struct World<L = Blockchain> {
     applied_faults: AppliedFaults,
     /// Devices whose hosts suppress enclave timers (fault injection).
     rogue_hosts: std::collections::HashSet<String>,
+    /// Devices whose trusted application reported a damaged state
+    /// ([`duc_tee::TeeError`]): excluded from the deadline poll so a
+    /// permanently faulted enclave cannot pin [`World::advance`] to the
+    /// same overdue instant forever.
+    tee_faulted: std::collections::HashSet<String>,
     /// Key material for encrypted policy envelopes (E9). In a production
     /// deployment this would come from a key-distribution service; the
     /// simulation provisions it to owners and TEEs out of band.
@@ -246,6 +269,7 @@ impl<L: Ledger> World<L> {
             trace,
             gateway,
             rogue_hosts: std::collections::HashSet::new(),
+            tee_faulted: std::collections::HashSet::new(),
             policy_key: ([0x42; 32], [0x17; 12]),
             engine: PolicyEngine::default(),
             config,
@@ -441,23 +465,40 @@ impl<L: Ledger> World<L> {
         }
     }
 
+    /// Whether a device's host currently suppresses its enclave timers.
+    pub fn is_rogue_host(&self, device: &str) -> bool {
+        self.rogue_hosts.contains(device)
+    }
+
     /// Advances simulated time. TEE obligation timers fire at their exact
     /// deadlines along the way (paper §III-C: "the TEE automatically
     /// deletes the resource ... after one week has passed, as per the
     /// policy"), in-flight driver requests progress through their scheduled
     /// continuations, and the chain catches up to the final instant.
+    ///
+    /// Copies that entered through the driver (process 4) are enforced by
+    /// the obligation scheduler's own wakeup events; the deadline poll
+    /// below is a fallback for copies stored directly into a TEE by test
+    /// or bench harnesses, and is disabled under
+    /// [`EnforcementMode::Periodic`] (where the grid wakeups are the whole
+    /// point).
     pub fn advance(&mut self, d: SimDuration) {
         let target = self.clock.now() + d;
         loop {
             // Driver work due at the current instant runs first.
             self.step_woken();
-            let next_deadline = self
-                .devices
-                .iter()
-                .filter(|(name, _)| !self.rogue_hosts.contains(*name))
-                .filter_map(|(_, dev)| dev.tee.next_obligation_deadline())
-                .min()
-                .filter(|at| *at <= target);
+            let next_deadline = match self.config.enforcement {
+                EnforcementMode::Periodic(_) => None,
+                EnforcementMode::Deadline => self
+                    .devices
+                    .iter()
+                    .filter(|(name, _)| {
+                        !self.rogue_hosts.contains(*name) && !self.tee_faulted.contains(*name)
+                    })
+                    .filter_map(|(_, dev)| dev.tee.next_obligation_deadline())
+                    .min(),
+            }
+            .filter(|at| *at <= target);
             let next_event = self.sched.next_event_at().filter(|at| *at <= target);
             match (next_event, next_deadline) {
                 (Some(event_at), deadline) if deadline.is_none_or(|dl| event_at <= dl) => {
@@ -497,7 +538,7 @@ impl<L: Ledger> World<L> {
         let mut names: Vec<String> = self
             .devices
             .keys()
-            .filter(|n| !self.rogue_hosts.contains(*n))
+            .filter(|n| !self.rogue_hosts.contains(*n) && !self.tee_faulted.contains(*n))
             .cloned()
             .collect();
         // Sorted: HashMap iteration order is per-process random, and the
@@ -506,12 +547,26 @@ impl<L: Ledger> World<L> {
         names.sort_unstable();
         for name in names {
             let device = self.devices.get_mut(&name).expect("key exists");
-            for action in device.tee.sweep(now) {
+            let actions = match device.tee.sweep(now) {
+                Ok(actions) => actions,
+                Err(e) => {
+                    // A damaged enclave state is permanent: record it and
+                    // quarantine the device from the deadline poll, so the
+                    // fault surfaces in metrics/trace instead of pinning
+                    // the advance loop to the same overdue instant.
+                    self.metrics.incr("enforcement.tee_faults");
+                    self.tee_faulted.insert(name.clone());
+                    self.trace
+                        .record(now, format!("tee:{name}"), "tee.fault", e.to_string());
+                    continue;
+                }
+            };
+            for action in actions {
                 if let duc_tee::EnforcementAction::Deleted { resource, .. } = &action {
                     self.metrics.incr("enforcement.deletions");
-                    let tx = self
-                        .dex
-                        .unregister_copy_tx(&self.chain, &device.key, resource, &name);
+                    let tx =
+                        self.dex
+                            .unregister_copy_tx(&self.chain, &device.key, resource, &name, now);
                     if let Ok(id) = self.chain.submit(tx) {
                         pending.push(id);
                     }

@@ -130,6 +130,39 @@ fn healing_faults_still_complete_some_work() {
     );
 }
 
+/// The policy-churn scenario class: a mid-flight policy modification
+/// (retention tightened to zero) racing re-accesses and monitoring rounds
+/// under a healing fault plan. Every ticket resolves, the shared
+/// invariants hold, and identically-seeded runs replay byte-identically.
+#[test]
+fn policy_churn_mid_flight_resolves_and_replays() {
+    let run = |seed: u64| {
+        let (mut world, resource) =
+            chaos::launch_pad_in(World::new(world_config(seed)), OWNER, PATH, 4);
+        let dev = world.device("device-0").endpoint;
+        let relay = world.push_in.relay;
+        let plan = chaos::healing_plan(world.clock.now(), dev, relay);
+        let batch = chaos::policy_churn_batch(OWNER, PATH, &resource, 4);
+        let requests = batch.len();
+        let run = chaos::run_chaos(&mut world, batch, plan).expect("invariants hold");
+        assert_eq!(run.outcomes.len(), requests, "every ticket resolves");
+        // The tightened policy reached at least one holder: either the
+        // fan-out deleted copies outright or the re-access re-registered
+        // them afterwards — in both cases the policy version advanced.
+        let record = world
+            .dex
+            .lookup_resource(&world.chain, &resource)
+            .expect("view")
+            .expect("registered");
+        assert_eq!(record.policy_version, 2, "the mid-flight update landed");
+        (chaos::fingerprint(&mut world), run.ok, run.failed)
+    };
+    let (fp1, ok, failed) = run(77);
+    let (fp2, ok2, failed2) = run(77);
+    assert_eq!((ok, failed), (ok2, failed2));
+    assert_eq!(fp1, fp2, "policy churn replays byte-identically");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 

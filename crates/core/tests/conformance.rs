@@ -151,6 +151,36 @@ fn chaos_plans_hold_invariants_on_both_backends() {
         .expect("shards validate after chaos");
 }
 
+/// The policy-churn scenario class (mid-flight modification racing
+/// accesses and monitoring) must resolve every ticket and hold the shared
+/// invariants on both ledger backends.
+#[test]
+fn policy_churn_holds_invariants_on_both_backends() {
+    fn churn<L: Ledger>(world: World<L>) -> (usize, usize, u64) {
+        let (mut world, resource) = chaos::launch_pad_in(world, OWNER, PATH, 4);
+        let batch = chaos::policy_churn_batch(OWNER, PATH, &resource, 4);
+        let requests = batch.len();
+        let plan = chaos::healing_plan(
+            world.clock.now(),
+            world.device("device-0").endpoint,
+            world.push_in.relay,
+        );
+        let run = chaos::run_chaos(&mut world, batch, plan).expect("churn invariants");
+        assert_eq!(run.outcomes.len(), requests);
+        let version = world
+            .dex
+            .lookup_resource(&world.chain, &resource)
+            .expect("view")
+            .expect("registered")
+            .policy_version;
+        (run.ok, run.failed, version)
+    }
+    let (_, _, v_single) = churn(World::new(config(33, 1)));
+    let (_, _, v_sharded) = churn(World::new_sharded(config(33, 4)));
+    assert_eq!(v_single, 2);
+    assert_eq!(v_sharded, 2);
+}
+
 #[test]
 fn sharded_runs_replay_byte_identically() {
     let run = |seed: u64| {

@@ -352,6 +352,63 @@ mod tests {
     }
 
     #[test]
+    fn time_window_edges_are_half_open() {
+        // The window is `[not_before, not_after)`: the start instant is
+        // included, the end instant excluded — checked to the nanosecond.
+        let not_before = SimTime::from_secs(900);
+        let not_after = SimTime::from_secs(1100);
+        let p = policy_with(
+            Rule::permit([Action::Use]).with_constraint(Constraint::TimeWindow {
+                not_before,
+                not_after,
+            }),
+        );
+        let e = engine();
+        let at = |now: SimTime| {
+            let mut c = ctx();
+            c.now = now;
+            e.evaluate(&p, &c)
+        };
+        // One nanosecond before the window opens: denied.
+        assert_eq!(
+            at(SimTime::from_nanos(not_before.as_nanos() - 1)).reasons(),
+            &[DenyReason::OutsideTimeWindow]
+        );
+        // Exactly at the opening instant: permitted (inclusive).
+        assert!(at(not_before).is_permit());
+        // One nanosecond before the window closes: still permitted.
+        assert!(at(SimTime::from_nanos(not_after.as_nanos() - 1)).is_permit());
+        // Exactly at the closing instant: denied (exclusive).
+        assert_eq!(at(not_after).reasons(), &[DenyReason::OutsideTimeWindow]);
+    }
+
+    #[test]
+    fn retention_and_expiry_edges_to_the_nanosecond() {
+        // Retention is inclusive at the bound (`elapsed > limit` denies);
+        // expiry is exclusive at the instant (`now >= at` denies).
+        let p = policy_with(
+            Rule::permit([Action::Use])
+                .with_constraint(Constraint::MaxRetention(SimDuration::from_secs(100)))
+                .with_constraint(Constraint::ExpiresAt(SimTime::from_secs(700))),
+        );
+        let e = engine();
+        let mut c = ctx();
+        c.acquired_at = SimTime::from_secs(500);
+        c.now = SimTime::from_secs(600); // exactly at the retention bound
+        assert!(e.evaluate(&p, &c).is_permit());
+        c.now = SimTime::from_nanos(SimTime::from_secs(600).as_nanos() + 1);
+        assert_eq!(
+            e.evaluate(&p, &c).reasons(),
+            &[DenyReason::RetentionExceeded]
+        );
+        c.acquired_at = SimTime::from_secs(650);
+        c.now = SimTime::from_nanos(SimTime::from_secs(700).as_nanos() - 1);
+        assert!(e.evaluate(&p, &c).is_permit());
+        c.now = SimTime::from_secs(700);
+        assert_eq!(e.evaluate(&p, &c).reasons(), &[DenyReason::Expired]);
+    }
+
+    #[test]
     fn alternative_permit_rules_are_tried() {
         // Rule 1 requires purpose marketing; rule 2 allows research reads.
         let p = UsagePolicy::builder("p", "urn:r", "urn:o")

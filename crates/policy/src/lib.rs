@@ -12,6 +12,9 @@
 //!   admits a request for `medical-research`.
 //! * [`engine`] — decision procedure: pre-authorization and *ongoing*
 //!   re-evaluation of a usage context against a policy.
+//! * [`compile`] — lowers a policy into a [`PolicyProgram`]: pre-resolved
+//!   decision tables plus `next_transition`, the instant the decision can
+//!   next change (what deadline-driven enforcement schedules on).
 //! * [`compliance`] — retrospective auditing of a copy's usage log against a
 //!   policy (what the DE App's monitoring process consumes).
 //! * [`dsl`] — a human-readable text syntax for policies.
@@ -45,6 +48,7 @@
 //! ```
 
 pub mod acl;
+pub mod compile;
 pub mod compliance;
 pub mod dsl;
 pub mod engine;
@@ -53,6 +57,7 @@ pub mod rdf_binding;
 pub mod taxonomy;
 
 pub use acl::{AclDocument, AclMode, AgentSpec, Authorization};
+pub use compile::{compile, PolicyProgram};
 pub use compliance::{AccessRecord, ComplianceReport, CopyState, Violation, ViolationKind};
 pub use engine::{Decision, DenyReason, PolicyEngine};
 pub use model::{Action, Constraint, Duty, Effect, Purpose, Rule, UsagePolicy};
@@ -61,6 +66,7 @@ pub use taxonomy::PurposeTaxonomy;
 /// Common imports for downstream crates.
 pub mod prelude {
     pub use crate::acl::{AclDocument, AclMode, AgentSpec, Authorization};
+    pub use crate::compile::{compile, PolicyProgram};
     pub use crate::compliance::{
         AccessRecord, ComplianceReport, CopyState, Violation, ViolationKind,
     };

@@ -91,6 +91,18 @@ impl PurposeTaxonomy {
         allowed.iter().any(|a| self.satisfies(declared, a))
     }
 
+    /// Every purpose the taxonomy mentions — children and parents — in
+    /// deterministic order. Policy compilation iterates this to bake the
+    /// reachability closure into a lookup table
+    /// ([`crate::compile::PolicyProgram`]).
+    pub fn purposes(&self) -> std::collections::BTreeSet<Purpose> {
+        let mut all: std::collections::BTreeSet<Purpose> = self.parents.keys().cloned().collect();
+        for parents in self.parents.values() {
+            all.extend(parents.iter().cloned());
+        }
+        all
+    }
+
     /// All ancestors of a purpose (not including itself).
     pub fn ancestors(&self, purpose: &Purpose) -> HashSet<Purpose> {
         let mut out = HashSet::new();

@@ -1,0 +1,137 @@
+//! DSL round-trip property: `parse(serialize(p)) == p` for arbitrary
+//! generated policies (satellite of the compiled-policy refactor; the
+//! workspace-level `tests/proptest_policy.rs` keeps the umbrella-crate
+//! variant).
+
+use duc_policy::dsl;
+use duc_policy::prelude::*;
+use duc_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Durations the DSL can express exactly (whole milliseconds).
+fn arb_duration() -> impl Strategy<Value = SimDuration> {
+    (1u64..100_000).prop_map(SimDuration::from_millis)
+}
+
+/// Instants the DSL can express exactly (whole-millisecond offsets from
+/// the epoch).
+fn arb_instant() -> impl Strategy<Value = SimTime> {
+    (0u64..100_000).prop_map(|ms| SimTime::ZERO + SimDuration::from_millis(ms))
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        Just(Action::Use),
+        Just(Action::Read),
+        Just(Action::Modify),
+        Just(Action::Delete),
+        Just(Action::Distribute),
+    ]
+}
+
+/// Purposes that tokenize as DSL identifiers.
+fn arb_purpose() -> impl Strategy<Value = Purpose> {
+    "[a-z][a-z0-9-]{0,12}".prop_map(Purpose::new)
+}
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        arb_duration().prop_map(Constraint::MaxRetention),
+        arb_instant().prop_map(Constraint::ExpiresAt),
+        proptest::collection::vec(arb_purpose(), 1..4).prop_map(Constraint::Purpose),
+        (0u64..10_000).prop_map(Constraint::MaxAccessCount),
+        proptest::collection::vec("[a-zA-Z0-9:/._-]{1,16}", 1..3).prop_map(|agents| {
+            Constraint::AllowedRecipients(agents.into_iter().map(|a| format!("urn:{a}")).collect())
+        }),
+        (arb_instant(), arb_duration()).prop_map(|(from, len)| Constraint::TimeWindow {
+            not_before: from,
+            not_after: from + len,
+        }),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(arb_action(), 1..5),
+        proptest::collection::vec(arb_constraint(), 0..5),
+    )
+        .prop_map(|(permit, actions, constraints)| {
+            let mut rule = if permit {
+                Rule::permit(actions)
+            } else {
+                Rule::prohibit(actions)
+            };
+            for c in constraints {
+                rule = rule.with_constraint(c);
+            }
+            rule
+        })
+}
+
+fn arb_duty() -> impl Strategy<Value = Duty> {
+    prop_oneof![
+        arb_duration().prop_map(Duty::DeleteWithin),
+        arb_duration().prop_map(Duty::NotifyOwnerWithin),
+        Just(Duty::LogAccesses),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = UsagePolicy> {
+    (
+        "[a-zA-Z0-9:/._#-]{1,24}",
+        "[a-zA-Z0-9:/._#-]{1,24}",
+        "[a-zA-Z0-9:/._#-]{1,24}",
+        proptest::collection::vec(arb_rule(), 0..6),
+        proptest::collection::vec(arb_duty(), 0..4),
+        1u64..1_000,
+    )
+        .prop_map(|(id, resource, owner, rules, duties, version)| {
+            let mut b = UsagePolicy::builder(id, resource, owner).version(version);
+            for r in rules {
+                b = b.rule(r);
+            }
+            for d in duties {
+                b = b.duty(d);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serializing any generated policy to the DSL and parsing it back is
+    /// the identity.
+    #[test]
+    fn parse_serialize_roundtrip(policy in arb_policy()) {
+        let text = dsl::serialize(&policy);
+        let reparsed = dsl::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(reparsed, policy, "\n{}", text);
+    }
+
+    /// The round trip also preserves engine decisions (a weaker property
+    /// that catches "equal but differently interpreted" regressions).
+    #[test]
+    fn roundtrip_preserves_decisions(
+        policy in arb_policy(),
+        action in arb_action(),
+        now in 0u64..200_000,
+    ) {
+        let engine = PolicyEngine::default();
+        let ctx = UsageContext {
+            consumer: "urn:consumer".into(),
+            action,
+            purpose: Purpose::new("medical"),
+            now: SimTime::ZERO + SimDuration::from_millis(now),
+            acquired_at: SimTime::ZERO,
+            access_count: 1,
+        };
+        let via_dsl = dsl::parse(&dsl::serialize(&policy)).expect("roundtrip");
+        prop_assert_eq!(
+            engine.evaluate(&via_dsl, &ctx),
+            engine.evaluate(&policy, &ctx)
+        );
+    }
+}

@@ -5,12 +5,46 @@ use std::collections::BTreeMap;
 use duc_crypto::{hash_parts, Digest};
 use duc_policy::compliance::{AccessRecord, CopyState};
 use duc_policy::{
-    Action, Decision, DenyReason, Duty, PolicyEngine, Purpose, UsageContext, UsagePolicy,
+    compile, Action, Decision, DenyReason, Duty, PolicyEngine, PolicyProgram, Purpose,
+    UsageContext, UsagePolicy,
 };
 use duc_sim::SimTime;
 
 use crate::enclave::Enclave;
 use crate::storage::TrustedDataStorage;
+
+/// An internal trusted-application invariant failure: the copy table and
+/// the sealed storage disagree. These are *permanent* faults (a damaged
+/// enclave state cannot heal by retrying), so the driver's
+/// `is_transient()` classification reports them as not-retryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeeError {
+    /// A live copy's sealed bytes vanished from trusted storage.
+    SealedCopyMissing {
+        /// The affected resource.
+        resource: String,
+    },
+    /// A copy listed in the table has no entry when re-read.
+    CopyStateMissing {
+        /// The affected resource.
+        resource: String,
+    },
+}
+
+impl std::fmt::Display for TeeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeeError::SealedCopyMissing { resource } => {
+                write!(f, "sealed bytes missing for live copy of {resource}")
+            }
+            TeeError::CopyStateMissing { resource } => {
+                write!(f, "copy state missing for {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TeeError {}
 
 /// Why a local access failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +53,8 @@ pub enum AccessError {
     NoCopy,
     /// The policy engine denied the use.
     Denied(Vec<DenyReason>),
+    /// The trusted application's own state is damaged.
+    Tee(TeeError),
 }
 
 impl std::fmt::Display for AccessError {
@@ -32,11 +68,18 @@ impl std::fmt::Display for AccessError {
                 }
                 Ok(())
             }
+            AccessError::Tee(e) => write!(f, "trusted application fault: {e}"),
         }
     }
 }
 
 impl std::error::Error for AccessError {}
+
+impl From<TeeError> for AccessError {
+    fn from(e: TeeError) -> Self {
+        AccessError::Tee(e)
+    }
+}
 
 /// An obligation the trusted application executed autonomously.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,9 +124,43 @@ pub struct UsageReport {
     pub copy_alive: bool,
 }
 
+/// A memoized decision for one `(action, purpose[, access_count])`
+/// request shape, valid until the program's next transition instant.
+#[derive(Debug, Clone)]
+struct CachedDecision {
+    action: Action,
+    purpose: Purpose,
+    /// The access count the decision was computed for — compared only
+    /// when the program is count-sensitive.
+    access_count: u64,
+    decision: Decision,
+    /// First instant at which the decision can differ (`None` = never).
+    valid_until: Option<SimTime>,
+}
+
+/// What this device last recorded on-chain for a resource (monitoring
+/// evidence), so an unchanged copy can *reaffirm* instead of resubmitting
+/// the full evidence in later rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportedEvidence {
+    /// The round the evidence answered.
+    pub round: u64,
+    /// The usage-log digest it carried.
+    pub digest: Digest,
+    /// The verdict it carried.
+    pub compliant: bool,
+}
+
 #[derive(Debug, Clone)]
 struct CopyEntry {
     policy: UsagePolicy,
+    /// The policy compiled against the engine's taxonomy — recompiled on
+    /// every policy update, serving the access hot path.
+    program: PolicyProgram,
+    /// The decision served to repeated identical requests until the
+    /// program's next transition (or an access-count change when the
+    /// program is count-sensitive).
+    cached: Option<CachedDecision>,
     state: CopyState,
     /// When the currently-enforced policy version was applied locally
     /// (the retention deadline can never precede this instant).
@@ -94,6 +171,8 @@ struct CopyEntry {
     /// incriminate past, then-legal uses).
     history: Vec<(SimTime, UsagePolicy)>,
     access_count: u64,
+    /// The evidence last recorded on-chain for this copy, if any.
+    last_reported: Option<ReportedEvidence>,
 }
 
 impl CopyEntry {
@@ -115,6 +194,10 @@ pub struct TrustedApplication {
     engine: PolicyEngine,
     holder_webid: String,
     copies: BTreeMap<String, CopyEntry>,
+    /// Accesses served from the per-copy decision cache.
+    cache_hits: u64,
+    /// Accesses that recompiled or re-evaluated the decision.
+    cache_misses: u64,
 }
 
 impl TrustedApplication {
@@ -126,13 +209,26 @@ impl TrustedApplication {
             engine: PolicyEngine::default(),
             holder_webid: holder_webid.into(),
             copies: BTreeMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
-    /// Replaces the policy engine (custom purpose taxonomies).
+    /// Replaces the policy engine (custom purpose taxonomies). Compiled
+    /// programs of existing copies are rebuilt against the new taxonomy.
     pub fn with_engine(mut self, engine: PolicyEngine) -> TrustedApplication {
         self.engine = engine;
+        for entry in self.copies.values_mut() {
+            entry.program = compile(&entry.policy, self.engine.taxonomy());
+            entry.cached = None;
+        }
         self
+    }
+
+    /// Decisions served from the per-copy cache vs re-evaluated
+    /// (observability for the deadline-enforcement experiments).
+    pub fn decision_cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 
     /// The enclave identity.
@@ -161,14 +257,18 @@ impl TrustedApplication {
     ) {
         let resource = resource.into();
         self.storage.seal(&self.enclave, &resource, bytes);
+        let program = compile(&policy, self.engine.taxonomy());
         self.copies.insert(
             resource.clone(),
             CopyEntry {
                 state: CopyState::new(resource.clone(), self.holder_webid.clone(), now),
                 history: vec![(now, policy.clone())],
                 policy,
+                program,
+                cached: None,
                 policy_applied_at: now,
                 access_count: 0,
+                last_reported: None,
             },
         );
     }
@@ -193,7 +293,7 @@ impl TrustedApplication {
 
     fn effective_due(entry: &CopyEntry) -> Option<SimTime> {
         entry
-            .policy
+            .program
             .retention_bound()
             .map(|b| (entry.state.acquired_at + b).max(entry.policy_applied_at))
     }
@@ -261,7 +361,35 @@ impl TrustedApplication {
             acquired_at: entry.state.acquired_at,
             access_count: entry.access_count + 1,
         };
-        match self.engine.evaluate(&entry.policy, &ctx) {
+        // Serve the request off the cached decision when the request shape
+        // matches and no transition instant has passed; otherwise evaluate
+        // the compiled program and memoize the result together with the
+        // next instant it can change.
+        let cached = entry.cached.as_ref().filter(|c| {
+            c.action == ctx.action
+                && c.purpose == ctx.purpose
+                && (!entry.program.count_sensitive() || c.access_count == ctx.access_count)
+                && c.valid_until.is_none_or(|until| now < until)
+        });
+        let decision = match cached {
+            Some(hit) => {
+                self.cache_hits += 1;
+                hit.decision.clone()
+            }
+            None => {
+                self.cache_misses += 1;
+                let decision = entry.program.decide(&ctx);
+                entry.cached = Some(CachedDecision {
+                    action: ctx.action,
+                    purpose: ctx.purpose.clone(),
+                    access_count: ctx.access_count,
+                    decision: decision.clone(),
+                    valid_until: entry.program.next_transition(&ctx),
+                });
+                decision
+            }
+        };
+        match decision {
             Decision::Permit => {
                 entry.access_count += 1;
                 entry.state.log.push(AccessRecord {
@@ -273,7 +401,9 @@ impl TrustedApplication {
                 let bytes = self
                     .storage
                     .unseal(&self.enclave, resource)
-                    .expect("live copy has sealed bytes");
+                    .ok_or_else(|| TeeError::SealedCopyMissing {
+                        resource: resource.to_string(),
+                    })?;
                 Ok(bytes)
             }
             Decision::Deny(reasons) => Err(AccessError::Denied(reasons)),
@@ -301,6 +431,8 @@ impl TrustedApplication {
             return actions;
         }
         entry.history.push((now, new_policy.clone()));
+        entry.program = compile(&new_policy, self.engine.taxonomy());
+        entry.cached = None;
         entry.policy = new_policy;
         entry.policy_applied_at = now;
         Self::enforce_entry(resource, entry, &mut self.storage, now, &mut actions);
@@ -318,14 +450,73 @@ impl TrustedApplication {
 
     /// Sweeps every copy's obligations (the TEE's periodic timer; also what
     /// a polling-based enforcement baseline calls — ablation E11).
-    pub fn sweep(&mut self, now: SimTime) -> Vec<EnforcementAction> {
+    ///
+    /// # Errors
+    /// [`TeeError::CopyStateMissing`] when the copy table is damaged (an
+    /// entry listed by key lookup has vanished on re-read) — a permanent
+    /// fault the driver classifies as non-transient.
+    pub fn sweep(&mut self, now: SimTime) -> Result<Vec<EnforcementAction>, TeeError> {
         let mut actions = Vec::new();
         let resources: Vec<String> = self.copies.keys().cloned().collect();
         for resource in resources {
-            let entry = self.copies.get_mut(&resource).expect("key exists");
+            let entry =
+                self.copies
+                    .get_mut(&resource)
+                    .ok_or_else(|| TeeError::CopyStateMissing {
+                        resource: resource.clone(),
+                    })?;
             Self::enforce_entry(&resource, entry, &mut self.storage, now, &mut actions);
         }
-        actions
+        Ok(actions)
+    }
+
+    /// Enforces the obligations of a *single* copy at `now` — what the
+    /// driver's obligation scheduler calls at each registered deadline,
+    /// instead of sweeping every copy.
+    ///
+    /// # Errors
+    /// [`TeeError::CopyStateMissing`] for an unknown resource.
+    pub fn enforce_due(
+        &mut self,
+        resource: &str,
+        now: SimTime,
+    ) -> Result<Vec<EnforcementAction>, TeeError> {
+        let entry = self
+            .copies
+            .get_mut(resource)
+            .ok_or_else(|| TeeError::CopyStateMissing {
+                resource: resource.to_string(),
+            })?;
+        let mut actions = Vec::new();
+        Self::enforce_entry(resource, entry, &mut self.storage, now, &mut actions);
+        Ok(actions)
+    }
+
+    /// The next retention/expiry deadline of one live copy (`None` when
+    /// the copy is gone or unconstrained) — what the obligation scheduler
+    /// registers wakeups at.
+    pub fn next_deadline_for(&self, resource: &str) -> Option<SimTime> {
+        let entry = self.copies.get(resource)?;
+        if entry.state.deleted_at.is_some() {
+            return None;
+        }
+        entry
+            .program
+            .next_deadline(entry.state.acquired_at, entry.policy_applied_at)
+    }
+
+    /// The evidence this device last recorded on-chain for `resource`.
+    pub fn last_reported(&self, resource: &str) -> Option<&ReportedEvidence> {
+        self.copies.get(resource)?.last_reported.as_ref()
+    }
+
+    /// Remembers the evidence just recorded on-chain for `resource`, so a
+    /// later round with an unchanged usage log can reaffirm it instead of
+    /// resubmitting.
+    pub fn note_reported(&mut self, resource: &str, reported: ReportedEvidence) {
+        if let Some(entry) = self.copies.get_mut(resource) {
+            entry.last_reported = Some(reported);
+        }
     }
 
     /// Deletes a copy voluntarily.
@@ -347,14 +538,8 @@ impl TrustedApplication {
             .values()
             .filter(|e| e.state.deleted_at.is_none())
             .filter_map(|e| {
-                let due = Self::effective_due(e);
-                let expiry = e.policy.expiry_bound().map(|x| x.max(e.policy_applied_at));
-                match (due, expiry) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (Some(a), None) => Some(a),
-                    (None, Some(b)) => Some(b),
-                    (None, None) => None,
-                }
+                e.program
+                    .next_deadline(e.state.acquired_at, e.policy_applied_at)
             })
             .min()
     }
@@ -531,7 +716,7 @@ mod tests {
         let mut app = app();
         app.store_resource(RES, b"a", retention_policy(7), t(0));
         app.store_resource("urn:other", b"b", retention_policy(30), t(0));
-        let actions = app.sweep(t(10));
+        let actions = app.sweep(t(10)).expect("sweep");
         assert_eq!(actions.len(), 1, "only the 7-day copy is overdue");
         match &actions[0] {
             EnforcementAction::Deleted {
@@ -642,11 +827,104 @@ mod tests {
         let mut app = app();
         app.store_resource(RES, b"x", policy, t(0));
         assert!(app.access(RES, Action::Read, Purpose::any(), t(4)).is_ok());
-        let actions = app.sweep(t(5));
+        let actions = app.sweep(t(5)).expect("sweep");
         assert!(matches!(
             &actions[0],
             EnforcementAction::Deleted { reason, .. } if reason.contains("expiry")
         ));
+    }
+
+    #[test]
+    fn decision_cache_serves_repeated_accesses() {
+        let mut app = app();
+        app.store_resource(RES, b"data", medical_policy(), t(0));
+        for day in 1..=5 {
+            app.access(RES, Action::Read, Purpose::new("medical"), t(day))
+                .expect("permitted");
+        }
+        let (hits, misses) = app.decision_cache_stats();
+        assert_eq!(misses, 1, "only the first access evaluates the program");
+        assert_eq!(hits, 4, "the rest are cache-served");
+    }
+
+    #[test]
+    fn decision_cache_invalidates_at_the_transition_instant() {
+        let policy = UsagePolicy::builder(format!("{RES}#p"), RES, "urn:o")
+            .permit(Rule::permit([Action::Use]).with_constraint(Constraint::ExpiresAt(t(5))))
+            .build();
+        let mut app = app();
+        app.store_resource(RES, b"x", policy, t(0));
+        assert!(app.access(RES, Action::Read, Purpose::any(), t(1)).is_ok());
+        assert!(app.access(RES, Action::Read, Purpose::any(), t(4)).is_ok());
+        let (hits, _) = app.decision_cache_stats();
+        assert_eq!(hits, 1, "within the validity window the cache serves");
+        // At the expiry instant the cached permit is stale: the program
+        // re-evaluates (and the sweep deletes the copy first, so the
+        // access reports NoCopy).
+        assert_eq!(
+            app.access(RES, Action::Read, Purpose::any(), t(5))
+                .unwrap_err(),
+            AccessError::NoCopy
+        );
+    }
+
+    #[test]
+    fn decision_cache_respects_count_sensitivity_and_updates() {
+        let counted = UsagePolicy::builder(format!("{RES}#p"), RES, "urn:o")
+            .permit(Rule::permit([Action::Use]).with_constraint(Constraint::MaxAccessCount(2)))
+            .build();
+        let mut app = app();
+        app.store_resource(RES, b"x", counted, t(0));
+        assert!(app.access(RES, Action::Read, Purpose::any(), t(1)).is_ok());
+        assert!(app.access(RES, Action::Read, Purpose::any(), t(1)).is_ok());
+        let (hits, misses) = app.decision_cache_stats();
+        assert_eq!(
+            (hits, misses),
+            (0, 2),
+            "count-sensitive programs re-evaluate per access"
+        );
+        let err = app
+            .access(RES, Action::Read, Purpose::any(), t(1))
+            .unwrap_err();
+        assert!(matches!(err, AccessError::Denied(ref rs)
+            if rs == &[DenyReason::AccessCountExhausted { limit: 2 }]));
+        // A policy update drops the cached decision outright.
+        let mut app = self::app();
+        app.store_resource(RES, b"x", medical_policy(), t(0));
+        app.access(RES, Action::Read, Purpose::new("medical"), t(1))
+            .unwrap();
+        app.access(RES, Action::Read, Purpose::new("medical"), t(1))
+            .unwrap();
+        let (hits_before, _) = app.decision_cache_stats();
+        assert_eq!(hits_before, 1);
+        let narrowed = medical_policy().amended(
+            vec![Rule::permit([Action::Use])
+                .with_constraint(Constraint::Purpose(vec![Purpose::new("academic")]))],
+            vec![],
+        );
+        app.apply_policy_update(RES, narrowed, t(2));
+        let err = app
+            .access(RES, Action::Read, Purpose::new("medical"), t(3))
+            .unwrap_err();
+        assert!(
+            matches!(err, AccessError::Denied(_)),
+            "recompiled program applies"
+        );
+    }
+
+    #[test]
+    fn tee_error_display_and_conversion() {
+        let e = TeeError::SealedCopyMissing {
+            resource: "urn:r".into(),
+        };
+        assert!(e.to_string().contains("sealed bytes"));
+        let e2 = TeeError::CopyStateMissing {
+            resource: "urn:r".into(),
+        };
+        assert!(e2.to_string().contains("copy state"));
+        let access: AccessError = e.into();
+        assert!(matches!(access, AccessError::Tee(_)));
+        assert!(access.to_string().contains("trusted application fault"));
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub mod attestation;
 pub mod enclave;
 pub mod storage;
 
-pub use app::{AccessError, EnforcementAction, TrustedApplication, UsageReport};
+pub use app::{
+    AccessError, EnforcementAction, ReportedEvidence, TeeError, TrustedApplication, UsageReport,
+};
 pub use attestation::{AttestationAuthority, Quote};
 pub use enclave::Enclave;
 pub use storage::TrustedDataStorage;
