@@ -13,7 +13,10 @@ use duc_solid::Body;
 
 fn chain_with_dex() -> (Blockchain, duc_crypto::KeyPair, DistExchangeClient) {
     let mut chain = Blockchain::builder().validators(4).build();
-    chain.deploy(ContractId::new(DEX_CONTRACT_ID), Box::new(DistExchange));
+    chain.deploy(
+        ContractId::new(DEX_CONTRACT_ID),
+        Box::new(DistExchange::default()),
+    );
     let admin = chain.create_funded_account(b"admin", u64::MAX as u128);
     let dex = DistExchangeClient::new();
     let init = dex.init_tx(

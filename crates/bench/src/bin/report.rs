@@ -38,6 +38,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e12", experiments::e12_chain_scale),
     ("e13", experiments::e13_backends),
     ("e14", experiments::e14_deadline_enforcement),
+    ("e15", experiments::e15_population),
 ];
 
 /// Runs experiment `index` on first use, then serves the cached tables.
@@ -109,6 +110,9 @@ fn json_document(cache: &mut [Option<Vec<Table>>]) -> String {
             let mut rows = backend_rows(table);
             if rows.is_empty() {
                 rows = mode_rows(table);
+            }
+            if rows.is_empty() {
+                rows = population_rows(table);
             }
             let median = |needle| {
                 if rows.is_empty() {
@@ -203,6 +207,44 @@ fn mode_rows(table: &Table) -> String {
             numeric(row, Some(mean)),
             numeric(row, col("max lag")),
             numeric(row, col("deletions")),
+            if i + 1 < table.rows().len() { "," } else { "" },
+        ));
+    }
+    out.push_str("        ]");
+    out
+}
+
+/// For the population-scale table (an `owners` plus a `req/s` column,
+/// e.g. E15): one JSON record per row, so BENCH_*.json tracks throughput,
+/// tail latency and peak memory across population sizes and PRs. Empty
+/// for every other table. Wall-clock req/s is host-dependent; the JSON
+/// records it for trend context, while the in-run superlinearity gate is
+/// what CI enforces.
+fn population_rows(table: &Table) -> String {
+    let col = |needle: &str| {
+        table
+            .columns()
+            .iter()
+            .position(|c| c.to_lowercase().contains(needle))
+    };
+    let (Some(owners), Some(req_s)) = (col("owners"), col("req/s")) else {
+        return String::new();
+    };
+    let numeric = |row: &[String], idx: Option<usize>| -> String {
+        json_number(
+            idx.and_then(|i| row.get(i))
+                .and_then(|c| c.trim().parse().ok()),
+        )
+    };
+    let mut out = String::from(",\n        \"population\": [\n");
+    for (i, row) in table.rows().iter().enumerate() {
+        out.push_str(&format!(
+            "          {{\"owners\": {}, \"requests\": {}, \"req_per_s\": {}, \"p99_ms\": {}, \"peak_rss_mib\": {}}}{}\n",
+            numeric(row, Some(owners)),
+            numeric(row, col("requests")),
+            numeric(row, Some(req_s)),
+            numeric(row, col("p99")),
+            numeric(row, col("rss")),
             if i + 1 < table.rows().len() { "," } else { "" },
         ));
     }

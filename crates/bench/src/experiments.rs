@@ -1424,6 +1424,93 @@ pub fn e14_deadline_enforcement() -> Vec<Table> {
     vec![latency, monitoring, cache]
 }
 
+// --------------------------------------------------------------------- E15
+
+/// The E15 population sweep, capped by `DUC_E15_MAX_OWNERS` (default
+/// 10 000 — the acceptance point; CI runs the 1 000-owner point).
+fn e15_points() -> Vec<usize> {
+    let cap = std::env::var("DUC_E15_MAX_OWNERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000usize);
+    [100usize, 1_000, 10_000, 100_000]
+        .into_iter()
+        .filter(|n| *n <= cap.max(100))
+        .collect()
+}
+
+/// E15 — population scale: synthetic market populations from 10² to 10⁵
+/// owners (one resource each, Zipf-skewed popularity, bursty access
+/// waves, device churn between waves). The wave workload is fixed across
+/// rows, so req/s isolates how the *population size* taxes the
+/// architecture; the run asserts wall-clock throughput does not degrade
+/// superlinearly in the population.
+pub fn e15_population() -> Vec<Table> {
+    let mut table = Table::new(
+        "E15 · population scale — Zipf market, bursty waves, device churn (3 × 128-access waves)",
+        &[
+            "owners",
+            "devices",
+            "requests",
+            "ok",
+            "churned",
+            "sim makespan ms",
+            "access p99 ms",
+            "wall ms",
+            "req/s (wall)",
+            "peak RSS MiB",
+        ],
+    );
+    let mut baseline: Option<(usize, f64)> = None;
+    for owners in e15_points() {
+        let spec = scenario::PopulationSpec {
+            owners,
+            ..scenario::PopulationSpec::default()
+        };
+        let mut world = World::new(WorldConfig {
+            seed: 150,
+            link: fixed_link(10),
+            ..WorldConfig::default()
+        });
+        let mut pop = scenario::populate_population(&mut world, &spec);
+        let devices = spec.owners * spec.devices_per_owner;
+        let wall0 = std::time::Instant::now();
+        let run = scenario::run_population(&mut world, &mut pop, &spec);
+        let wall = wall0.elapsed();
+        assert_eq!(run.requests, run.ok, "every population access succeeds");
+        let req_s = run.requests as f64 / wall.as_secs_f64().max(1e-9);
+        let p99 = world.metrics.histogram_mut("process.access.e2e").p99();
+        let rss = crate::rss::peak_rss_mib().map_or("n/a".into(), |mib| format!("{mib:.1}"));
+        table.row(vec![
+            owners.to_string(),
+            devices.to_string(),
+            run.requests.to_string(),
+            run.ok.to_string(),
+            run.churned.to_string(),
+            ms(run.makespan),
+            ms(p99),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{req_s:.0}"),
+            rss,
+        ]);
+        // The superlinearity gate: growing the population k× may cost at
+        // most k× of the fixed workload's wall-clock throughput.
+        match baseline {
+            None => baseline = Some((owners, req_s)),
+            Some((first_owners, first_req_s)) => {
+                let scale = owners as f64 / first_owners as f64;
+                let slowdown = first_req_s / req_s.max(1e-9);
+                assert!(
+                    slowdown <= scale,
+                    "E15 gate: {first_owners}→{owners} owners is a {scale:.0}× population, \
+                     but wall-clock req/s degraded {slowdown:.1}× (superlinear)"
+                );
+            }
+        }
+    }
+    vec![table]
+}
+
 /// Runs every experiment in order.
 pub fn all() -> Vec<Table> {
     let mut tables = Vec::new();
@@ -1441,6 +1528,7 @@ pub fn all() -> Vec<Table> {
     tables.extend(e12_chain_scale());
     tables.extend(e13_backends());
     tables.extend(e14_deadline_enforcement());
+    tables.extend(e15_population());
     tables
 }
 
@@ -1579,6 +1667,32 @@ mod tests {
         let reaffirmed = gas(&mut world);
         assert_eq!(world.metrics.counter("process.monitoring.reaffirmed"), 3);
         assert!(reaffirmed < full, "reaffirm {reaffirmed} vs full {full}");
+    }
+
+    #[test]
+    fn e15_population_smoke_run_completes() {
+        // Small-n replica of the E15 harness (the full sweep and its
+        // superlinearity gate run through the report binary): a tiny
+        // population builds, every wave access succeeds, and churn keeps
+        // the fleet size constant.
+        let spec = scenario::PopulationSpec {
+            owners: 4,
+            devices_per_owner: 2,
+            waves: 2,
+            accesses_per_wave: 6,
+            churn_per_wave: 1,
+            ..scenario::PopulationSpec::default()
+        };
+        let mut world = World::new(WorldConfig {
+            seed: 151,
+            link: fixed_link(10),
+            ..WorldConfig::default()
+        });
+        let mut pop = scenario::populate_population(&mut world, &spec);
+        let run = scenario::run_population(&mut world, &mut pop, &spec);
+        assert_eq!(run.requests, run.ok);
+        assert_eq!(run.churned, 1);
+        assert!(!world.metrics.histogram_mut("process.access.e2e").is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! # duc-bench — the experiment harness
 //!
-//! One function per experiment of EXPERIMENTS.md (E1–E14). Each builds a
+//! One function per experiment of EXPERIMENTS.md (E1–E15). Each builds a
 //! fresh deterministic [`duc_core::World`], drives a workload, and returns
 //! printable rows; the `report` binary renders them as the tables in
 //! EXPERIMENTS.md:
@@ -14,6 +14,7 @@
 //! codec, policy engine, Turtle, chain throughput) live under `benches/`.
 
 pub mod experiments;
+pub mod rss;
 pub mod table;
 
 pub use experiments::*;

@@ -7,8 +7,10 @@
 //! the robustness experiment (E8) measures.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
 
 use duc_crypto::{Digest, KeyPair};
+use duc_intern::{Interner, Sym};
 use duc_sim::{SimDuration, SimTime};
 
 use crate::block::{Block, BlockValidationError};
@@ -56,12 +58,16 @@ impl std::error::Error for SubmitError {}
 
 /// One row of the gas ledger (who spent what on which method) — the raw
 /// data behind the affordability table (E7).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Labels are interned [`Sym`]s into the chain's label table (resolve via
+/// [`Blockchain::gas_label`]); a record is three words instead of two
+/// heap-owned strings, and aggregation compares `u32`s instead of URLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GasRecord {
     /// The called contract (`None` for plain transfers).
-    pub contract: Option<ContractId>,
-    /// The method name (`"transfer"` for transfers).
-    pub method: String,
+    pub contract: Option<Sym>,
+    /// The method label (`"transfer"` for transfers).
+    pub method: Sym,
     /// Gas consumed.
     pub gas_used: u64,
     /// Whether execution succeeded.
@@ -154,6 +160,7 @@ impl BlockchainBuilder {
             max_block_gas: self.max_block_gas,
             mempool_capacity: self.mempool_capacity,
             gas_ledger: Vec::new(),
+            labels: Interner::new(),
             slots_missed: 0,
         }
     }
@@ -174,13 +181,16 @@ pub struct Blockchain {
     blocks: Vec<Block>,
     mempool: BTreeMap<(Address, u64), SignedTransaction>,
     receipts: HashMap<TxId, Receipt>,
-    event_log: Vec<(u64, Event)>,
+    event_log: Vec<(u64, Rc<Event>)>,
     contracts: HashMap<ContractId, Box<dyn Contract>>,
     gas_schedule: GasSchedule,
     gas_price: Amount,
     max_block_gas: u64,
     mempool_capacity: usize,
     gas_ledger: Vec<GasRecord>,
+    /// Gas-ledger label table: contract ids and method names interned once
+    /// per distinct label instead of cloned per record.
+    labels: Interner,
     slots_missed: u64,
 }
 
@@ -396,7 +406,10 @@ impl Blockchain {
             block_gas += tx.tx.gas_limit;
             let receipt = self.execute(tx.clone(), height, timestamp, proposer_idx);
             for ev in &receipt.events {
-                self.event_log.push((height, ev.clone()));
+                // One Rc per event: every downstream consumer (push-out
+                // fan-out, pull-in polls, sharded merge) clones the pointer,
+                // not the payload.
+                self.event_log.push((height, Rc::new(ev.clone())));
             }
             receipts.push(receipt.clone());
             self.receipts.insert(receipt.tx_id, receipt);
@@ -461,7 +474,7 @@ impl Blockchain {
                     TxStatus::OutOfGas,
                     Vec::new(),
                     Vec::new(),
-                    "intrinsic".to_string(),
+                    self.labels.intern("intrinsic"),
                     None,
                 )
             } else {
@@ -474,51 +487,60 @@ impl Blockchain {
                             }
                             Err(e) => TxStatus::Reverted(e.to_string()),
                         };
-                        (status, Vec::new(), Vec::new(), "transfer".to_string(), None)
+                        (
+                            status,
+                            Vec::new(),
+                            Vec::new(),
+                            self.labels.intern("transfer"),
+                            None,
+                        )
                     }
                     TxKind::Call {
                         contract,
                         method,
                         args,
                     } => {
+                        let method_sym = self.labels.intern(&method);
+                        let contract_sym = self.labels.intern(contract.as_str());
                         match self.contracts.get(&contract) {
                             None => (
                                 TxStatus::Reverted(format!("no contract {contract}")),
                                 Vec::new(),
                                 Vec::new(),
-                                method,
-                                Some(contract),
+                                method_sym,
+                                Some(contract_sym),
                             ),
                             Some(code) => {
-                                // Execute on a scratch copy; commit only on success.
-                                let mut scratch = self.state.clone();
+                                // Execute against the canonical state through
+                                // a write overlay; apply the buffered effects
+                                // only on success. A revert drops them — no
+                                // full-state scratch copy per call.
                                 let mut ctx = CallCtx::new(
                                     from,
                                     height,
                                     timestamp,
                                     contract.clone(),
-                                    &mut scratch,
+                                    &self.state,
                                     &mut meter,
                                 );
                                 match code.call(&mut ctx, &method, &args) {
                                     Ok(ret) => {
-                                        let events = ctx.into_events();
-                                        self.state = scratch;
-                                        (TxStatus::Ok, events, ret, method, Some(contract))
+                                        let events = ctx.into_effects().apply(&mut self.state);
+                                        (TxStatus::Ok, events, ret, method_sym, Some(contract_sym))
                                     }
                                     Err(ContractError::OutOfGas) => (
                                         TxStatus::OutOfGas,
                                         Vec::new(),
                                         Vec::new(),
-                                        method,
-                                        Some(contract),
+                                        method_sym,
+                                        Some(contract_sym),
                                     ),
                                     Err(e) => (
                                         TxStatus::Reverted(e.to_string()),
                                         Vec::new(),
                                         Vec::new(),
-                                        method,
-                                        Some(contract),
+                                        method_sym,
+                                        Some(contract_sym),
                                     ),
                                 }
                             }
@@ -580,14 +602,15 @@ impl Blockchain {
     /// instead of filtering the whole log — oracle polls (pull-in,
     /// push-out) hit this on every round, and an idle poll is O(log n)
     /// instead of O(n).
-    pub fn events_since(&self, height: u64) -> impl Iterator<Item = &(u64, Event)> {
+    pub fn events_since(&self, height: u64) -> impl Iterator<Item = &(u64, Rc<Event>)> {
         self.events_slice_since(height).iter()
     }
 
     /// The height-sorted tail of the event log strictly above `height`
     /// (the zero-copy form behind [`Blockchain::events_since`] and the
-    /// `Ledger` impl).
-    pub fn events_slice_since(&self, height: u64) -> &[(u64, Event)] {
+    /// `Ledger` impl). Events are `Rc`-shared: consumers that keep one
+    /// clone the pointer, not the payload.
+    pub fn events_slice_since(&self, height: u64) -> &[(u64, Rc<Event>)] {
         let start = self.event_log.partition_point(|(h, _)| *h <= height);
         &self.event_log[start..]
     }
@@ -607,7 +630,6 @@ impl Blockchain {
             .contracts
             .get(contract)
             .ok_or_else(|| ContractError::Reverted(format!("no contract {contract}")))?;
-        let mut scratch = self.state.clone();
         let mut meter = GasMeter::unmetered();
         let now = self.current_time.max(
             self.blocks
@@ -615,12 +637,14 @@ impl Blockchain {
                 .map(|b| b.header.timestamp)
                 .unwrap_or(SimTime::ZERO),
         );
+        // Read-only: the context's write overlay is simply dropped, so the
+        // canonical state is never copied or touched.
         let mut ctx = CallCtx::new(
             Address::from_seed(b"duc/view"),
             self.height(),
             now,
             contract.clone(),
-            &mut scratch,
+            &self.state,
             &mut meter,
         );
         code.call(&mut ctx, method, args)
@@ -680,26 +704,38 @@ impl Blockchain {
         &self.gas_ledger
     }
 
+    /// Resolves a gas-ledger label symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this chain's gas ledger.
+    pub fn gas_label(&self, sym: Sym) -> &str {
+        self.labels.resolve(sym)
+    }
+
     /// Aggregates the gas ledger by `(contract, method)`:
     /// `(calls, total gas, mean gas)`.
+    ///
+    /// Aggregation runs entirely on interned label ids (`u32` compares, no
+    /// allocation per record); strings materialize once per distinct label
+    /// at the report boundary.
     pub fn gas_by_method(&self) -> BTreeMap<(String, String), (u64, u64, u64)> {
-        let mut out: BTreeMap<(String, String), (u64, u64, u64)> = BTreeMap::new();
+        let mut agg: HashMap<(Option<Sym>, Sym), (u64, u64)> = HashMap::new();
         for rec in &self.gas_ledger {
-            let key = (
-                rec.contract
-                    .as_ref()
-                    .map(|c| c.as_str().to_string())
-                    .unwrap_or_else(|| "native".to_string()),
-                rec.method.clone(),
-            );
-            let entry = out.entry(key).or_insert((0, 0, 0));
+            let entry = agg.entry((rec.contract, rec.method)).or_insert((0, 0));
             entry.0 += 1;
             entry.1 += rec.gas_used;
         }
-        for (_, v) in out.iter_mut() {
-            v.2 = v.1.checked_div(v.0).unwrap_or(0);
-        }
-        out
+        agg.into_iter()
+            .map(|((contract, method), (calls, total))| {
+                let key = (
+                    contract
+                        .map(|c| self.labels.resolve(c).to_string())
+                        .unwrap_or_else(|| "native".to_string()),
+                    self.labels.resolve(method).to_string(),
+                );
+                (key, (calls, total, total.checked_div(calls).unwrap_or(0)))
+            })
+            .collect()
     }
 
     /// Storage growth metrics: `(slots, bytes)` (experiment E12).

@@ -7,12 +7,14 @@
 //! deterministic and replayable — the property the blockchain's consensus
 //! relies on.
 
+use std::collections::BTreeMap;
+
 use duc_codec::{decode_from_slice, encode_to_vec, Decode, Encode};
 use duc_sim::SimTime;
 
 use crate::gas::{GasMeter, OutOfGas};
-use crate::state::WorldState;
-use crate::types::{Address, ContractId};
+use crate::state::{InsufficientFunds, WorldState};
+use crate::types::{Address, Amount, ContractId};
 
 /// An event emitted during contract execution, recorded in the receipt and
 /// the chain's event log (the on-chain half of push-out/pull-in oracles
@@ -67,9 +69,13 @@ impl std::error::Error for ContractError {}
 
 /// Execution context passed to a contract call.
 ///
-/// All state access is gas-metered; the underlying [`WorldState`] is the
-/// *scratch copy* for the current transaction — the chain discards it if the
-/// call reverts.
+/// All state access is gas-metered. Reads see the canonical [`WorldState`]
+/// through a private write overlay; writes are buffered in that overlay and
+/// only reach the canonical state when the chain applies the call's
+/// [`CallEffects`] after a successful return. A revert simply drops the
+/// context — nothing to undo, and nothing was copied up front (the previous
+/// design cloned the entire state per call, which made execution cost scale
+/// with total state size).
 pub struct CallCtx<'a> {
     /// The calling account.
     pub caller: Address,
@@ -78,7 +84,11 @@ pub struct CallCtx<'a> {
     /// Timestamp of the block being built.
     pub block_time: SimTime,
     contract: ContractId,
-    state: &'a mut WorldState,
+    base: &'a WorldState,
+    /// Buffered storage writes for this contract; `None` marks a deletion.
+    writes: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Buffered native-token movements from [`CallCtx::transfer_from_caller`].
+    balance_deltas: BTreeMap<Address, i128>,
     meter: &'a mut GasMeter,
     events: Vec<Event>,
 }
@@ -90,7 +100,7 @@ impl<'a> CallCtx<'a> {
         block_height: u64,
         block_time: SimTime,
         contract: ContractId,
-        state: &'a mut WorldState,
+        state: &'a WorldState,
         meter: &'a mut GasMeter,
     ) -> Self {
         CallCtx {
@@ -98,7 +108,9 @@ impl<'a> CallCtx<'a> {
             block_height,
             block_time,
             contract,
-            state,
+            base: state,
+            writes: BTreeMap::new(),
+            balance_deltas: BTreeMap::new(),
             meter,
             events: Vec::new(),
         }
@@ -114,7 +126,10 @@ impl<'a> CallCtx<'a> {
     /// # Errors
     /// [`ContractError::OutOfGas`] when the read exhausts the budget.
     pub fn get_raw(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ContractError> {
-        let value = self.state.storage_get(&self.contract, key).cloned();
+        let value = match self.writes.get(key) {
+            Some(slot) => slot.clone(),
+            None => self.base.storage_get(&self.contract, key).cloned(),
+        };
         self.meter
             .charge_storage_read(value.as_ref().map(Vec::len).unwrap_or(0) + key.len())?;
         Ok(value)
@@ -123,14 +138,18 @@ impl<'a> CallCtx<'a> {
     /// Writes a raw storage slot (gas-metered).
     pub fn set_raw(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), ContractError> {
         self.meter.charge_storage_write(key.len() + value.len())?;
-        self.state.storage_set(&self.contract, key, value);
+        self.writes.insert(key, Some(value));
         Ok(())
     }
 
     /// Deletes a storage slot (gas-metered); returns whether it existed.
     pub fn remove_raw(&mut self, key: &[u8]) -> Result<bool, ContractError> {
         self.meter.charge_storage_write(key.len())?;
-        Ok(self.state.storage_remove(&self.contract, key))
+        let existed = match self.writes.insert(key.to_vec(), None) {
+            Some(prior) => prior.is_some(),
+            None => self.base.storage_get(&self.contract, key).is_some(),
+        };
+        Ok(existed)
     }
 
     /// Reads and decodes a typed value.
@@ -150,11 +169,24 @@ impl<'a> CallCtx<'a> {
 
     /// Lists all keys under a prefix (gas: one access per key).
     pub fn keys_with_prefix(&mut self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, ContractError> {
-        let keys: Vec<Vec<u8>> = self
-            .state
+        // Base keys not shadowed by the overlay, plus live overlay keys;
+        // sorting restores the order a direct scan of the merged state
+        // would produce.
+        let mut keys: Vec<Vec<u8>> = self
+            .base
             .storage_prefix(&self.contract, prefix)
             .map(|(k, _)| k.to_vec())
+            .filter(|k| !self.writes.contains_key(k))
             .collect();
+        for (k, slot) in self.writes.range(prefix.to_vec()..) {
+            if !k.starts_with(prefix) {
+                break;
+            }
+            if slot.is_some() {
+                keys.push(k.clone());
+            }
+        }
+        keys.sort();
         self.meter.charge_compute(keys.len() as u64 + 1)?;
         Ok(keys)
     }
@@ -176,8 +208,17 @@ impl<'a> CallCtx<'a> {
     }
 
     /// The caller's native-token balance.
-    pub fn caller_balance(&self) -> crate::types::Amount {
-        self.state.balance(&self.caller)
+    pub fn caller_balance(&self) -> Amount {
+        self.effective_balance(&self.caller)
+    }
+
+    /// An account balance as seen through the overlay.
+    fn effective_balance(&self, addr: &Address) -> Amount {
+        let base = self.base.balance(addr);
+        match self.balance_deltas.get(addr) {
+            Some(delta) => (base as i128 + delta) as Amount,
+            None => base,
+        }
     }
 
     /// Moves native tokens from the caller to `to` (market payments).
@@ -187,13 +228,19 @@ impl<'a> CallCtx<'a> {
     pub fn transfer_from_caller(
         &mut self,
         to: Address,
-        amount: crate::types::Amount,
+        amount: Amount,
     ) -> Result<(), ContractError> {
         self.meter.charge_compute(10)?;
-        self.state
-            .debit(&self.caller, amount)
-            .map_err(|e| ContractError::Reverted(e.to_string()))?;
-        self.state.credit(to, amount);
+        let available = self.effective_balance(&self.caller);
+        if available < amount {
+            let err = InsufficientFunds {
+                needed: amount,
+                available,
+            };
+            return Err(ContractError::Reverted(err.to_string()));
+        }
+        *self.balance_deltas.entry(self.caller).or_insert(0) -= amount as i128;
+        *self.balance_deltas.entry(to).or_insert(0) += amount as i128;
         Ok(())
     }
 
@@ -202,8 +249,51 @@ impl<'a> CallCtx<'a> {
         &self.events
     }
 
-    /// Consumes the context, returning emitted events (chain-internal).
-    pub fn into_events(self) -> Vec<Event> {
+    /// Consumes the context, returning the buffered effects of the call
+    /// (chain-internal; a revert drops the context instead).
+    pub fn into_effects(self) -> CallEffects {
+        CallEffects {
+            contract: self.contract,
+            writes: self.writes,
+            balance_deltas: self.balance_deltas,
+            events: self.events,
+        }
+    }
+}
+
+/// The buffered outcome of a successful contract call: storage writes,
+/// balance movements, and emitted events. The chain applies it to the
+/// canonical state on success; reverted calls never produce one.
+pub struct CallEffects {
+    contract: ContractId,
+    writes: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    balance_deltas: BTreeMap<Address, i128>,
+    events: Vec<Event>,
+}
+
+impl CallEffects {
+    /// Applies the buffered writes to `state`, returning the emitted events.
+    ///
+    /// Balance deltas cannot fail here: every debit was checked against the
+    /// overlay-effective balance when the transfer was buffered.
+    pub fn apply(self, state: &mut WorldState) -> Vec<Event> {
+        for (key, slot) in self.writes {
+            match slot {
+                Some(value) => state.storage_set(&self.contract, key, value),
+                None => {
+                    state.storage_remove(&self.contract, &key);
+                }
+            }
+        }
+        for (addr, delta) in self.balance_deltas {
+            match delta.cmp(&0) {
+                std::cmp::Ordering::Greater => state.credit(addr, delta as Amount),
+                std::cmp::Ordering::Less => state
+                    .debit(&addr, delta.unsigned_abs())
+                    .expect("buffered debit was balance-checked"),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
         self.events
     }
 }
@@ -261,7 +351,7 @@ mod tests {
         }
     }
 
-    fn ctx_on<'a>(state: &'a mut WorldState, meter: &'a mut GasMeter) -> CallCtx<'a> {
+    fn ctx_on<'a>(state: &'a WorldState, meter: &'a mut GasMeter) -> CallCtx<'a> {
         CallCtx::new(
             Address::from_seed(b"caller"),
             1,
@@ -276,7 +366,7 @@ mod tests {
     fn call_reads_and_writes_storage() {
         let mut state = WorldState::new();
         let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
-        let mut ctx = ctx_on(&mut state, &mut meter);
+        let mut ctx = ctx_on(&state, &mut meter);
         let out = Counter
             .call(&mut ctx, "incr", &encode_to_vec(&(5u64,)))
             .unwrap();
@@ -284,20 +374,80 @@ mod tests {
         assert_eq!(value, 5);
         assert_eq!(ctx.events().len(), 1);
         assert_eq!(ctx.events()[0].topic, "Incremented");
-        drop(ctx);
-        // State persisted.
+        // Applying the effects persists the write.
+        let events = ctx.into_effects().apply(&mut state);
+        assert_eq!(events.len(), 1);
         let mut meter2 = GasMeter::new(1_000_000, GasSchedule::default());
-        let mut ctx2 = ctx_on(&mut state, &mut meter2);
+        let mut ctx2 = ctx_on(&state, &mut meter2);
         let out = Counter.call(&mut ctx2, "get", &[]).unwrap();
         let (value,): (u64,) = decode_from_slice(&out).unwrap();
         assert_eq!(value, 5);
     }
 
     #[test]
-    fn unknown_method_and_bad_args() {
-        let mut state = WorldState::new();
+    fn reverted_calls_leave_no_trace_without_apply() {
+        let state = WorldState::new();
         let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
-        let mut ctx = ctx_on(&mut state, &mut meter);
+        let mut ctx = ctx_on(&state, &mut meter);
+        // Write, then pretend the call reverted: dropping the context must
+        // leave the canonical state untouched.
+        ctx.set_raw(b"count".to_vec(), vec![9]).unwrap();
+        assert_eq!(ctx.get_raw(b"count").unwrap(), Some(vec![9]));
+        drop(ctx);
+        assert!(state
+            .storage_get(&ContractId::new("counter"), b"count")
+            .is_none());
+    }
+
+    #[test]
+    fn overlay_shadows_base_for_reads_removals_and_prefix_scans() {
+        let mut state = WorldState::new();
+        let cid = ContractId::new("counter");
+        state.storage_set(&cid, b"idx/1".to_vec(), vec![1]);
+        state.storage_set(&cid, b"idx/2".to_vec(), vec![2]);
+        let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
+        let mut ctx = ctx_on(&state, &mut meter);
+        // Overwrite one base key, delete the other, add a fresh one.
+        ctx.set_raw(b"idx/1".to_vec(), vec![9]).unwrap();
+        assert!(ctx.remove_raw(b"idx/2").unwrap());
+        assert!(!ctx.remove_raw(b"idx/2").unwrap()); // already gone
+        ctx.set_raw(b"idx/0".to_vec(), vec![0]).unwrap();
+        assert_eq!(ctx.get_raw(b"idx/1").unwrap(), Some(vec![9]));
+        assert_eq!(ctx.get_raw(b"idx/2").unwrap(), None);
+        assert_eq!(
+            ctx.keys_with_prefix(b"idx/").unwrap(),
+            vec![b"idx/0".to_vec(), b"idx/1".to_vec()]
+        );
+        ctx.into_effects().apply(&mut state);
+        assert_eq!(state.storage_get(&cid, b"idx/1"), Some(&vec![9]));
+        assert_eq!(state.storage_get(&cid, b"idx/2"), None);
+        assert_eq!(state.storage_get(&cid, b"idx/0"), Some(&vec![0]));
+    }
+
+    #[test]
+    fn transfer_from_caller_buffers_and_applies_balance_moves() {
+        let mut state = WorldState::new();
+        let caller = Address::from_seed(b"caller");
+        let payee = Address::from_seed(b"payee");
+        state.credit(caller, 100);
+        let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
+        let mut ctx = ctx_on(&state, &mut meter);
+        ctx.transfer_from_caller(payee, 60).unwrap();
+        assert_eq!(ctx.caller_balance(), 40);
+        // A second transfer sees the buffered debit, not the base balance.
+        let err = ctx.transfer_from_caller(payee, 50).unwrap_err();
+        assert!(matches!(err, ContractError::Reverted(ref why)
+            if why.contains("need 50, have 40")));
+        ctx.into_effects().apply(&mut state);
+        assert_eq!(state.balance(&caller), 40);
+        assert_eq!(state.balance(&payee), 60);
+    }
+
+    #[test]
+    fn unknown_method_and_bad_args() {
+        let state = WorldState::new();
+        let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
+        let mut ctx = ctx_on(&state, &mut meter);
         assert!(matches!(
             Counter.call(&mut ctx, "nope", &[]),
             Err(ContractError::UnknownMethod(_))
@@ -310,9 +460,9 @@ mod tests {
 
     #[test]
     fn gas_exhaustion_surfaces_as_out_of_gas() {
-        let mut state = WorldState::new();
+        let state = WorldState::new();
         let mut meter = GasMeter::new(10, GasSchedule::default()); // hopeless budget
-        let mut ctx = ctx_on(&mut state, &mut meter);
+        let mut ctx = ctx_on(&state, &mut meter);
         assert_eq!(
             Counter.call(&mut ctx, "incr", &encode_to_vec(&(1u64,))),
             Err(ContractError::OutOfGas)
@@ -328,7 +478,7 @@ mod tests {
             vec![1, 2, 3],
         );
         let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
-        let mut ctx = ctx_on(&mut state, &mut meter);
+        let mut ctx = ctx_on(&state, &mut meter);
         let res: Result<Option<u64>, _> = ctx.get(b"count");
         assert!(matches!(res, Err(ContractError::Reverted(_))));
     }
@@ -341,7 +491,7 @@ mod tests {
         state.storage_set(&cid, b"idx/1".to_vec(), vec![]);
         state.storage_set(&cid, b"other".to_vec(), vec![]);
         let mut meter = GasMeter::new(1_000_000, GasSchedule::default());
-        let mut ctx = ctx_on(&mut state, &mut meter);
+        let mut ctx = ctx_on(&state, &mut meter);
         let keys = ctx.keys_with_prefix(b"idx/").unwrap();
         assert_eq!(keys, vec![b"idx/1".to_vec(), b"idx/2".to_vec()]);
     }

@@ -27,9 +27,12 @@
 //! on one shard; subscriptions and certificates live on the shard of the
 //! consumer's WebID. Plain transfers route by sender address.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use duc_crypto::KeyPair;
+use duc_intern::{Interner, SymMap};
 use duc_sim::{SimDuration, SimTime};
 
 use crate::block::BlockValidationError;
@@ -151,9 +154,10 @@ pub trait Ledger {
     }
 
     /// Events from ledger blocks strictly above `height`, height-interleaved
-    /// across shards, paired with their (global) block number. Borrowed —
-    /// oracle polls hit this every round and only clone what they deliver.
-    fn events_since(&self, height: u64) -> &[(u64, Event)];
+    /// across shards, paired with their (global) block number. Borrowed and
+    /// `Rc`-shared — oracle polls hit this every round, and a consumer that
+    /// keeps an event clones the pointer, not the payload.
+    fn events_since(&self, height: u64) -> &[(u64, Rc<Event>)];
 
     /// Executes a read-only contract call on the routed shard.
     ///
@@ -301,7 +305,7 @@ impl Ledger for Blockchain {
         Blockchain::height(self)
     }
 
-    fn events_since(&self, height: u64) -> &[(u64, Event)] {
+    fn events_since(&self, height: u64) -> &[(u64, Rc<Event>)] {
         self.events_slice_since(height)
     }
 
@@ -386,9 +390,14 @@ pub struct ShardedLedger {
     aliases: Vec<(String, String)>,
     /// The merged event log: `(global block number, event)`, global block
     /// numbers nondecreasing (see [`ShardedLedger::advance_to`]).
-    merged_log: Vec<(u64, Event)>,
+    merged_log: Vec<(u64, Rc<Event>)>,
     /// Blocks sealed across every shard (assigns global block numbers).
     global_blocks: u64,
+    /// Route-key memo: interned key → shard. Every submit walks the alias
+    /// table and hashes otherwise; with 10⁵ owners that scan dominates, so
+    /// resolved placements are memoized per distinct key. Invalidated when
+    /// the alias table changes (aliases alter resolution).
+    route_cache: RefCell<(Interner, SymMap<u32>)>,
 }
 
 impl std::fmt::Debug for ShardedLedger {
@@ -422,6 +431,7 @@ impl ShardedLedger {
             aliases: Vec::new(),
             merged_log: Vec::new(),
             global_blocks: 0,
+            route_cache: RefCell::new((Interner::new(), SymMap::new())),
         }
     }
 
@@ -435,13 +445,23 @@ impl ShardedLedger {
 
     /// Resolves a route key to a shard index: longest alias prefix first
     /// (resource IRI → owner WebID), then FNV-1a over the resolved key.
+    /// Placements are memoized per distinct key (interned), so repeat
+    /// submissions skip the alias scan and the hash.
     pub fn shard_of_key(&self, key: &str) -> usize {
+        let mut cache = self.route_cache.borrow_mut();
+        let (ids, memo) = &mut *cache;
+        let sym = ids.intern(key);
+        if let Some(&shard) = memo.get(sym) {
+            return shard as usize;
+        }
         let resolved = self
             .aliases
             .iter()
             .find(|(prefix, _)| key.starts_with(prefix.as_str()))
             .map_or(key, |(_, target)| target.as_str());
-        (fnv1a(resolved.as_bytes()) % self.shards.len() as u64) as usize
+        let shard = (fnv1a(resolved.as_bytes()) % self.shards.len() as u64) as usize;
+        memo.insert(sym, shard as u32);
+        shard
     }
 
     /// The shard a contract call routes to.
@@ -487,6 +507,8 @@ impl Ledger for ShardedLedger {
         // must not depend on registration order.
         self.aliases
             .sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
+        // A new alias can change where an already-seen key resolves.
+        self.route_cache.borrow_mut().1.clear();
     }
 
     fn create_funded_account(&mut self, seed: &[u8], amount: Amount) -> KeyPair {
@@ -581,7 +603,7 @@ impl Ledger for ShardedLedger {
                 shard
                     .events_since(h - 1)
                     .take_while(|(hh, _)| *hh == h)
-                    .map(|(_, ev)| (global, ev.clone())),
+                    .map(|(_, ev)| (global, Rc::clone(ev))),
             );
         }
         produced
@@ -599,7 +621,7 @@ impl Ledger for ShardedLedger {
         self.global_blocks
     }
 
-    fn events_since(&self, height: u64) -> &[(u64, Event)] {
+    fn events_since(&self, height: u64) -> &[(u64, Rc<Event>)] {
         let start = self.merged_log.partition_point(|(h, _)| *h <= height);
         &self.merged_log[start..]
     }

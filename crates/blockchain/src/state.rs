@@ -18,12 +18,44 @@ pub struct AccountState {
 /// The replicated state machine's state: account balances/nonces plus a
 /// key/value store per contract.
 ///
-/// `BTreeMap`s keep iteration deterministic so the [`WorldState::commitment`]
-/// digest is stable across runs — block state roots depend on it.
+/// `BTreeMap`s keep iteration deterministic, and every mutator keeps the
+/// commitment accumulator in sync so [`WorldState::commitment`] — which
+/// block state roots depend on — stays O(1) in the state size.
 #[derive(Debug, Clone, Default)]
 pub struct WorldState {
     accounts: BTreeMap<Address, AccountState>,
     storage: BTreeMap<(ContractId, Vec<u8>), Vec<u8>>,
+    /// XOR multiset of per-row digests (one row per account, one per
+    /// storage slot). XOR is commutative and self-inverse, so replacing a
+    /// row is "XOR out the old, XOR in the new" and the accumulator always
+    /// equals the XOR over the *current* rows, independent of history —
+    /// which is exactly what a state commitment must hash. Maintaining it
+    /// incrementally keeps block sealing from walking the full state
+    /// (population-scale chains produce thousands of blocks over
+    /// hundreds of thousands of slots).
+    acc: [u8; 32],
+}
+
+/// Folds one row digest into (or out of) the accumulator.
+fn xor_row(acc: &mut [u8; 32], row: &Digest) {
+    for (a, b) in acc.iter_mut().zip(row.as_bytes()) {
+        *a ^= b;
+    }
+}
+
+/// The commitment row for one account (domain-separated from slot rows).
+fn account_row(addr: &Address, acct: &AccountState) -> Digest {
+    hash_parts(&[
+        b"duc/state/acct",
+        addr.0.as_bytes(),
+        &acct.balance.to_le_bytes(),
+        &acct.nonce.to_le_bytes(),
+    ])
+}
+
+/// The commitment row for one storage slot.
+fn storage_row(contract: &ContractId, key: &[u8], value: &[u8]) -> Digest {
+    hash_parts(&[b"duc/state/slot", contract.0.as_bytes(), key, value])
 }
 
 impl WorldState {
@@ -47,9 +79,22 @@ impl WorldState {
         self.account(addr).nonce
     }
 
+    /// Applies `mutate` to `addr`'s account entry (created on first touch),
+    /// keeping the commitment accumulator in sync.
+    fn with_account(&mut self, addr: &Address, mutate: impl FnOnce(&mut AccountState)) {
+        if let Some(prev) = self.accounts.get(addr) {
+            let old = account_row(addr, prev);
+            xor_row(&mut self.acc, &old);
+        }
+        let entry = self.accounts.entry(*addr).or_default();
+        mutate(entry);
+        let new = account_row(addr, entry);
+        xor_row(&mut self.acc, &new);
+    }
+
     /// Credits an account (used by genesis funding and fee redistribution).
     pub fn credit(&mut self, addr: Address, amount: Amount) {
-        self.accounts.entry(addr).or_default().balance += amount;
+        self.with_account(&addr, |a| a.balance += amount);
     }
 
     /// Debits an account.
@@ -57,20 +102,20 @@ impl WorldState {
     /// # Errors
     /// Returns `Err(())` without mutating on insufficient balance.
     pub fn debit(&mut self, addr: &Address, amount: Amount) -> Result<(), InsufficientFunds> {
-        let entry = self.accounts.entry(*addr).or_default();
-        if entry.balance < amount {
+        let available = self.balance(addr);
+        if available < amount {
             return Err(InsufficientFunds {
                 needed: amount,
-                available: entry.balance,
+                available,
             });
         }
-        entry.balance -= amount;
+        self.with_account(addr, |a| a.balance -= amount);
         Ok(())
     }
 
     /// Increments an account's nonce.
     pub fn bump_nonce(&mut self, addr: &Address) {
-        self.accounts.entry(*addr).or_default().nonce += 1;
+        self.with_account(addr, |a| a.nonce += 1);
     }
 
     /// Reads a contract storage slot.
@@ -80,14 +125,25 @@ impl WorldState {
 
     /// Writes a contract storage slot.
     pub fn storage_set(&mut self, contract: &ContractId, key: Vec<u8>, value: Vec<u8>) {
+        if let Some(prev) = self.storage.get(&(contract.clone(), key.clone())) {
+            let old = storage_row(contract, &key, prev);
+            xor_row(&mut self.acc, &old);
+        }
+        let new = storage_row(contract, &key, &value);
+        xor_row(&mut self.acc, &new);
         self.storage.insert((contract.clone(), key), value);
     }
 
     /// Deletes a contract storage slot; returns whether it existed.
     pub fn storage_remove(&mut self, contract: &ContractId, key: &[u8]) -> bool {
-        self.storage
-            .remove(&(contract.clone(), key.to_vec()))
-            .is_some()
+        match self.storage.remove(&(contract.clone(), key.to_vec())) {
+            Some(prev) => {
+                let old = storage_row(contract, key, &prev);
+                xor_row(&mut self.acc, &old);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Iterates a contract's slots whose keys start with `prefix`, in key
@@ -116,28 +172,18 @@ impl WorldState {
     }
 
     /// A digest committing to the entire state (accounts + storage).
+    ///
+    /// Reads the incrementally-maintained accumulator, so sealing a block
+    /// costs O(1) regardless of how many accounts and slots exist. The
+    /// entry counts are folded in so states whose accumulators collide by
+    /// row-set size manipulation still separate on cardinality.
     pub fn commitment(&self) -> Digest {
-        let mut parts_owned: Vec<Vec<u8>> = Vec::new();
-        for (addr, acct) in &self.accounts {
-            let mut row = Vec::new();
-            row.extend_from_slice(addr.0.as_bytes());
-            row.extend_from_slice(&acct.balance.to_le_bytes());
-            row.extend_from_slice(&acct.nonce.to_le_bytes());
-            parts_owned.push(row);
-        }
-        for ((contract, key), value) in &self.storage {
-            let mut row = Vec::new();
-            row.extend_from_slice(contract.0.as_bytes());
-            row.push(0);
-            row.extend_from_slice(key);
-            row.push(0);
-            row.extend_from_slice(value);
-            parts_owned.push(row);
-        }
-        let parts: Vec<&[u8]> = std::iter::once(&b"duc/state"[..])
-            .chain(parts_owned.iter().map(Vec::as_slice))
-            .collect();
-        hash_parts(&parts)
+        hash_parts(&[
+            b"duc/state",
+            &self.acc,
+            &(self.accounts.len() as u64).to_le_bytes(),
+            &(self.storage.len() as u64).to_le_bytes(),
+        ])
     }
 }
 
@@ -266,5 +312,35 @@ mod tests {
         t.credit(Address::from_seed(b"a"), 1);
         t.storage_set(&cid(), b"k".to_vec(), b"v".to_vec());
         assert_eq!(t.commitment(), c2);
+    }
+
+    #[test]
+    fn commitment_is_content_addressed_not_history_addressed() {
+        // The incremental accumulator must converge to the same digest as a
+        // state built directly with the final content, whatever the
+        // mutation order and however many overwrites/removals happened on
+        // the way there.
+        let a = Address::from_seed(b"a");
+        let b = Address::from_seed(b"b");
+        let mut s = WorldState::new();
+        s.credit(a, 5);
+        s.credit(b, 7);
+        s.storage_set(&cid(), b"k".to_vec(), b"old".to_vec());
+        s.storage_set(&cid(), b"k".to_vec(), b"new".to_vec());
+        s.storage_set(&cid(), b"gone".to_vec(), b"x".to_vec());
+        assert!(s.storage_remove(&cid(), b"gone"));
+
+        let mut t = WorldState::new();
+        t.storage_set(&cid(), b"k".to_vec(), b"new".to_vec());
+        t.credit(b, 7);
+        t.credit(a, 2);
+        t.credit(a, 3);
+        assert_eq!(s.commitment(), t.commitment());
+
+        // A clone diverges once either side mutates.
+        let u = s.clone();
+        assert_eq!(u.commitment(), s.commitment());
+        s.bump_nonce(&a);
+        assert_ne!(u.commitment(), s.commitment());
     }
 }

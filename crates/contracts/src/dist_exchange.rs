@@ -13,9 +13,12 @@
 //! cert/{digest}              → webid owning that certificate
 //! ```
 
+use std::cell::RefCell;
+
 use duc_blockchain::{Address, CallCtx, Contract, ContractError};
 use duc_codec::{decode_from_slice, encode_to_vec};
 use duc_crypto::{hash_parts, Digest};
+use duc_intern::{Interner, SymMap};
 use duc_sim::SimDuration;
 
 use crate::abi::{
@@ -28,43 +31,92 @@ use crate::topics;
 pub const DEX_CONTRACT_ID: &str = "dist-exchange";
 
 /// The DistExchange application contract.
+///
+/// The contract logic itself is stateless; `keys` is a purely off-chain
+/// memo of composed storage keys (interned identity → formatted key
+/// bytes), so repeat calls for the same pod/resource/webid skip the
+/// `format!` machinery. The wire format — storage keys, events, gas — is
+/// byte-identical with or without the cache.
 #[derive(Debug, Default)]
-pub struct DistExchange;
-
-fn pod_key(owner_webid: &str) -> Vec<u8> {
-    format!("pod/{owner_webid}").into_bytes()
+pub struct DistExchange {
+    keys: RefCell<KeyCache>,
 }
 
-fn res_key(resource: &str) -> Vec<u8> {
-    format!("res/{resource}").into_bytes()
+/// Composed-storage-key memo: one symbol per identity string, one cached
+/// key byte-vector per `(table, identity)` pair.
+#[derive(Debug, Default)]
+struct KeyCache {
+    ids: Interner,
+    pod: SymMap<Vec<u8>>,
+    res: SymMap<Vec<u8>>,
+    sub: SymMap<Vec<u8>>,
+    round_counter: SymMap<Vec<u8>>,
+    copy_prefix: SymMap<Vec<u8>>,
+    round_prefix: SymMap<Vec<u8>>,
 }
 
-fn copy_key(resource: &str, device: &str) -> Vec<u8> {
-    let mut k = format!("copy/{resource}").into_bytes();
-    k.push(0);
-    k.extend_from_slice(device.as_bytes());
-    k
+macro_rules! cached_key {
+    ($self:ident, $table:ident, $name:expr, $build:expr) => {{
+        let sym = $self.ids.intern($name);
+        if $self.$table.get(sym).is_none() {
+            $self.$table.insert(sym, $build);
+        }
+        $self.$table.get(sym).expect("just inserted").as_slice()
+    }};
 }
 
-fn copy_prefix(resource: &str) -> Vec<u8> {
-    let mut k = format!("copy/{resource}").into_bytes();
-    k.push(0);
-    k
-}
+impl KeyCache {
+    fn pod(&mut self, owner_webid: &str) -> &[u8] {
+        cached_key!(
+            self,
+            pod,
+            owner_webid,
+            format!("pod/{owner_webid}").into_bytes()
+        )
+    }
 
-fn round_counter_key(resource: &str) -> Vec<u8> {
-    format!("roundctr/{resource}").into_bytes()
-}
+    fn res(&mut self, resource: &str) -> &[u8] {
+        cached_key!(self, res, resource, format!("res/{resource}").into_bytes())
+    }
 
-fn round_key(resource: &str, round: u64) -> Vec<u8> {
-    let mut k = format!("round/{resource}").into_bytes();
-    k.push(0);
-    k.extend_from_slice(format!("{round:020}").as_bytes());
-    k
-}
+    fn sub(&mut self, webid: &str) -> &[u8] {
+        cached_key!(self, sub, webid, format!("sub/{webid}").into_bytes())
+    }
 
-fn sub_key(webid: &str) -> Vec<u8> {
-    format!("sub/{webid}").into_bytes()
+    fn round_counter(&mut self, resource: &str) -> &[u8] {
+        cached_key!(
+            self,
+            round_counter,
+            resource,
+            format!("roundctr/{resource}").into_bytes()
+        )
+    }
+
+    /// `copy/{resource}\0` — the per-resource scan prefix.
+    fn copy_prefix(&mut self, resource: &str) -> &[u8] {
+        cached_key!(self, copy_prefix, resource, {
+            let mut k = format!("copy/{resource}").into_bytes();
+            k.push(0);
+            k
+        })
+    }
+
+    fn copy(&mut self, resource: &str, device: &str) -> Vec<u8> {
+        let mut k = self.copy_prefix(resource).to_vec();
+        k.extend_from_slice(device.as_bytes());
+        k
+    }
+
+    fn round(&mut self, resource: &str, round: u64) -> Vec<u8> {
+        let prefix = cached_key!(self, round_prefix, resource, {
+            let mut k = format!("round/{resource}").into_bytes();
+            k.push(0);
+            k
+        });
+        let mut k = prefix.to_vec();
+        k.extend_from_slice(format!("{round:020}").as_bytes());
+        k
+    }
 }
 
 fn cert_key(cert: &Digest) -> Vec<u8> {
@@ -92,7 +144,7 @@ impl DistExchange {
     fn register_pod(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (owner_webid, web_ref, default_policy): (String, String, PolicyEnvelope) =
             decode_from_slice(args)?;
-        let key = pod_key(&owner_webid);
+        let key = self.keys.borrow_mut().pod(&owner_webid).to_vec();
         if ctx.get_raw(&key)?.is_some() {
             return Err(revert(format!("pod already registered for {owner_webid}")));
         }
@@ -110,7 +162,7 @@ impl DistExchange {
 
     fn get_pod(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (owner_webid,): (String,) = decode_from_slice(args)?;
-        let record: Option<PodRecord> = ctx.get(&pod_key(&owner_webid))?;
+        let record: Option<PodRecord> = ctx.get(self.keys.borrow_mut().pod(&owner_webid))?;
         Ok(encode_to_vec(&record))
     }
 
@@ -127,12 +179,12 @@ impl DistExchange {
             PolicyEnvelope,
         ) = decode_from_slice(args)?;
         let pod: PodRecord = ctx
-            .get(&pod_key(&owner_webid))?
+            .get(self.keys.borrow_mut().pod(&owner_webid))?
             .ok_or_else(|| revert(format!("no pod registered for {owner_webid}")))?;
         if pod.owner_addr != ctx.caller {
             return Err(revert("caller does not own the pod"));
         }
-        let key = res_key(&resource);
+        let key = self.keys.borrow_mut().res(&resource).to_vec();
         if ctx.get_raw(&key)?.is_some() {
             return Err(revert(format!("resource already registered: {resource}")));
         }
@@ -158,7 +210,7 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (resource,): (String,) = decode_from_slice(args)?;
-        let record: Option<ResourceRecord> = ctx.get(&res_key(&resource))?;
+        let record: Option<ResourceRecord> = ctx.get(self.keys.borrow_mut().res(&resource))?;
         Ok(encode_to_vec(&record))
     }
 
@@ -174,7 +226,7 @@ impl DistExchange {
     fn update_policy(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (resource, policy, new_version): (String, PolicyEnvelope, u64) =
             decode_from_slice(args)?;
-        let key = res_key(&resource);
+        let key = self.keys.borrow_mut().res(&resource).to_vec();
         let mut record: ResourceRecord = ctx
             .get(&key)?
             .ok_or_else(|| revert(format!("unknown resource {resource}")))?;
@@ -209,10 +261,13 @@ impl DistExchange {
             String,
             duc_crypto::PublicKey,
         ) = decode_from_slice(args)?;
-        if ctx.get_raw(&res_key(&resource))?.is_none() {
+        if ctx
+            .get_raw(self.keys.borrow_mut().res(&resource))?
+            .is_none()
+        {
             return Err(revert(format!("unknown resource {resource}")));
         }
-        let key = copy_key(&resource, &device);
+        let key = self.keys.borrow_mut().copy(&resource, &device);
         let record = CopyRecord {
             device: device.clone(),
             holder_webid,
@@ -234,7 +289,7 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (resource, device, as_of_nanos): (String, String, u64) = decode_from_slice(args)?;
-        let key = copy_key(&resource, &device);
+        let key = self.keys.borrow_mut().copy(&resource, &device);
         let Some(record) = ctx.get::<CopyRecord>(&key)? else {
             return Err(revert("no such copy"));
         };
@@ -257,7 +312,7 @@ impl DistExchange {
         ctx: &mut CallCtx<'_>,
         resource: &str,
     ) -> Result<Vec<CopyRecord>, ContractError> {
-        let keys = ctx.keys_with_prefix(&copy_prefix(resource))?;
+        let keys = ctx.keys_with_prefix(self.keys.borrow_mut().copy_prefix(resource))?;
         let mut copies = Vec::with_capacity(keys.len());
         for k in keys {
             if let Some(copy) = ctx.get::<CopyRecord>(&k)? {
@@ -274,12 +329,12 @@ impl DistExchange {
     ) -> Result<Vec<u8>, ContractError> {
         let (resource,): (String,) = decode_from_slice(args)?;
         let record: ResourceRecord = ctx
-            .get(&res_key(&resource))?
+            .get(self.keys.borrow_mut().res(&resource))?
             .ok_or_else(|| revert(format!("unknown resource {resource}")))?;
         if record.owner_addr != ctx.caller {
             return Err(revert("only the owner may start monitoring"));
         }
-        let counter_key = round_counter_key(&resource);
+        let counter_key = self.keys.borrow_mut().round_counter(&resource).to_vec();
         let round: u64 = ctx.get(&counter_key)?.unwrap_or(0) + 1;
         ctx.set(counter_key, &round)?;
         let expected: Vec<String> = self
@@ -297,7 +352,10 @@ impl DistExchange {
             reaffirmed: Vec::new(),
             closed: expected.is_empty(),
         };
-        ctx.set(round_key(&resource, round), &round_record)?;
+        ctx.set(
+            self.keys.borrow_mut().round(&resource, round),
+            &round_record,
+        )?;
         ctx.emit(
             topics::MONITORING_REQUESTED,
             encode_to_vec(&(resource.clone(), round, expected)),
@@ -342,7 +400,10 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let submission: EvidenceSubmission = decode_from_slice(args)?;
-        let rkey = round_key(&submission.resource, submission.round);
+        let rkey = self
+            .keys
+            .borrow_mut()
+            .round(&submission.resource, submission.round);
         let mut round: MonitoringRound = ctx
             .get(&rkey)?
             .ok_or_else(|| revert("unknown monitoring round"))?;
@@ -366,7 +427,12 @@ impl DistExchange {
         // Verify the enclave signature against the registered attestation
         // key: forged evidence cannot enter the ledger.
         let copy: CopyRecord = ctx
-            .get(&copy_key(&submission.resource, &submission.device))?
+            .get(
+                &self
+                    .keys
+                    .borrow_mut()
+                    .copy(&submission.resource, &submission.device),
+            )?
             .ok_or_else(|| revert("copy no longer registered"))?;
         if copy
             .attestation_key
@@ -400,7 +466,7 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let reaff: EvidenceReaffirmation = decode_from_slice(args)?;
-        let rkey = round_key(&reaff.resource, reaff.round);
+        let rkey = self.keys.borrow_mut().round(&reaff.resource, reaff.round);
         let mut round: MonitoringRound = ctx
             .get(&rkey)?
             .ok_or_else(|| revert("unknown monitoring round"))?;
@@ -419,7 +485,7 @@ impl DistExchange {
             return Err(revert("duplicate evidence for device"));
         }
         let copy: CopyRecord = ctx
-            .get(&copy_key(&reaff.resource, &reaff.device))?
+            .get(&self.keys.borrow_mut().copy(&reaff.resource, &reaff.device))?
             .ok_or_else(|| revert("copy no longer registered"))?;
         if copy
             .attestation_key
@@ -431,7 +497,12 @@ impl DistExchange {
         // The prior evidence must exist, be compliant, and carry the very
         // same digest — anything else requires a full resubmission.
         let prev: MonitoringRound = ctx
-            .get(&round_key(&reaff.resource, reaff.prev_round))?
+            .get(
+                &self
+                    .keys
+                    .borrow_mut()
+                    .round(&reaff.resource, reaff.prev_round),
+            )?
             .ok_or_else(|| revert("unknown prior round"))?;
         // `prev_round` must hold *full* evidence (devices always point
         // their reaffirmations at the round of their last full
@@ -459,7 +530,8 @@ impl DistExchange {
 
     fn get_round(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (resource, round): (String, u64) = decode_from_slice(args)?;
-        let record: Option<MonitoringRound> = ctx.get(&round_key(&resource, round))?;
+        let record: Option<MonitoringRound> =
+            ctx.get(&self.keys.borrow_mut().round(&resource, round))?;
         Ok(encode_to_vec(&record))
     }
 
@@ -486,7 +558,7 @@ impl DistExchange {
             paid_at: ctx.block_time,
             valid_until: ctx.block_time + SimDuration::from_nanos(validity),
         };
-        ctx.set(sub_key(&webid), &sub)?;
+        ctx.set(self.keys.borrow_mut().sub(&webid).to_vec(), &sub)?;
         ctx.set(cert_key(&certificate), &webid)?;
         ctx.emit(
             topics::CERTIFICATE_ISSUED,
@@ -503,7 +575,7 @@ impl DistExchange {
         let (certificate, webid): (Digest, String) = decode_from_slice(args)?;
         let valid = match ctx.get::<String>(&cert_key(&certificate))? {
             Some(owner) if owner == webid => {
-                let sub: Option<Subscription> = ctx.get(&sub_key(&webid))?;
+                let sub: Option<Subscription> = ctx.get(self.keys.borrow_mut().sub(&webid))?;
                 sub.map(|s| s.certificate == certificate && s.valid_at(ctx.block_time))
                     .unwrap_or(false)
             }
@@ -518,7 +590,7 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (webid,): (String,) = decode_from_slice(args)?;
-        let sub: Option<Subscription> = ctx.get(&sub_key(&webid))?;
+        let sub: Option<Subscription> = ctx.get(self.keys.borrow_mut().sub(&webid))?;
         Ok(encode_to_vec(&sub))
     }
 }

@@ -27,7 +27,10 @@ impl World {
             .validators(4)
             .block_interval(SimDuration::from_secs(2))
             .build();
-        chain.deploy(ContractId::new(DEX_CONTRACT_ID), Box::new(DistExchange));
+        chain.deploy(
+            ContractId::new(DEX_CONTRACT_ID),
+            Box::new(DistExchange::default()),
+        );
         let admin = chain.create_funded_account(b"admin", 1_000_000_000);
         let alice = chain.create_funded_account(b"alice", 1_000_000_000);
         let bob = chain.create_funded_account(b"bob", 1_000_000_000);

@@ -158,8 +158,8 @@ pub fn check_invariants<L: Ledger>(world: &World<L>) -> Result<(), String> {
     }
 
     // No lost certificates: everything a device holds verifies on-chain.
-    let mut devices: Vec<(&String, &crate::world::Device)> = world.devices.iter().collect();
-    devices.sort_by_key(|(name, _)| name.as_str());
+    let mut devices: Vec<(&str, &crate::world::Device)> = world.devices.iter().collect();
+    devices.sort_by_key(|(name, _)| *name);
     for (name, device) in &devices {
         if let Some(cert) = device.certificate {
             match world
@@ -189,7 +189,7 @@ pub fn check_invariants<L: Ledger>(world: &World<L>) -> Result<(), String> {
                 .dex
                 .list_copies(&world.chain, resource)
                 .map_err(|e| format!("list_copies({resource}) failed: {e}"))?;
-            if !copies.iter().any(|c| &c.device == *name) {
+            if !copies.iter().any(|c| c.device == *name) {
                 return Err(format!(
                     "device {name} holds an unregistered copy of {resource}"
                 ));

@@ -154,7 +154,7 @@ impl Indexing {
                     policy,
                 };
                 let dev = world.devices.get_mut(&device).expect("validated at submit");
-                dev.indexed.insert(resource.clone(), entry.clone());
+                dev.indexed.insert(&resource, entry.clone());
 
                 world.metrics.record("process.indexing.e2e", now - started);
                 world

@@ -31,6 +31,7 @@ use std::rc::Rc;
 
 use duc_blockchain::{Event, Ledger, Receipt};
 use duc_crypto::Digest;
+use duc_intern::Sym;
 use duc_oracle::OutboundDelivery;
 use duc_policy::{Duty, Rule, UsagePolicy};
 use duc_sim::{EventId, SimDuration, SimTime};
@@ -254,16 +255,19 @@ pub(crate) struct DriverState<L> {
     woken: Rc<RefCell<VecDeque<u64>>>,
     completed: VecDeque<(Ticket, Result<Outcome, ProcessError>)>,
     pub(crate) inbox: Vec<OutboundDelivery>,
-    pub(crate) monitoring_inbox: Vec<(u64, Event)>,
+    pub(crate) monitoring_inbox: Vec<(u64, Rc<Event>)>,
     /// Machine ids spawned by the obligation scheduler: their outcomes are
     /// dropped on completion instead of surfacing through tickets.
     internal: HashSet<u64>,
     /// Obligation wakeups fired by the scheduler, waiting to materialize
-    /// as [`ObligationRun`] machines: `(device, resource)` pairs.
-    pub(crate) obligation_woken: Rc<RefCell<VecDeque<(String, String)>>>,
-    /// The wakeup currently registered per `(device, resource)`, so a
-    /// policy change re-arms (cancel + reschedule) instead of stacking.
-    pub(crate) scheduled_obligations: HashMap<(String, String), (SimTime, EventId)>,
+    /// as [`ObligationRun`] machines: interned `(device, resource)` pairs
+    /// in the world's shared symbol space.
+    pub(crate) obligation_woken: Rc<RefCell<VecDeque<(Sym, Sym)>>>,
+    /// The wakeup currently registered per interned `(device, resource)`,
+    /// so a policy change re-arms (cancel + reschedule) instead of
+    /// stacking. Keyed on two `u32` symbols — no string hashing or clones
+    /// on the re-arm hot path.
+    pub(crate) scheduled_obligations: HashMap<(Sym, Sym), (SimTime, EventId)>,
 }
 
 impl<L> DriverState<L> {
@@ -387,13 +391,12 @@ impl<L: Ledger> World<L> {
     /// machines (internal: their outcomes never surface through tickets).
     fn spawn_due_obligations(&mut self) {
         loop {
-            let Some((device, resource)) = self.driver.obligation_woken.borrow_mut().pop_front()
-            else {
+            let Some(key) = self.driver.obligation_woken.borrow_mut().pop_front() else {
                 break;
             };
-            self.driver
-                .scheduled_obligations
-                .remove(&(device.clone(), resource.clone()));
+            self.driver.scheduled_obligations.remove(&key);
+            let device = self.ids.resolve(key.0).to_string();
+            let resource = self.ids.resolve(key.1).to_string();
             let pid = self.driver.next_ticket;
             self.driver.next_ticket += 1;
             self.driver.internal.insert(pid);

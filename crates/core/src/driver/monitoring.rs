@@ -1,6 +1,7 @@
 //! Process 6 — policy monitoring round.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use duc_blockchain::{Event, Ledger, Receipt};
 use duc_contracts::{topics, DistExchangeClient, EvidenceReaffirmation, EvidenceSubmission};
@@ -61,13 +62,13 @@ enum MonPhase<L> {
     /// when the response actually arrives.
     PollReturn {
         ctx: MonCtx,
-        events: Vec<(u64, Event)>,
+        events: Vec<(u64, Rc<Event>)>,
         cursor_to: u64,
         hop: Hop,
     },
     PollArrived {
         ctx: MonCtx,
-        events: Vec<(u64, Event)>,
+        events: Vec<(u64, Rc<Event>)>,
         cursor_to: u64,
     },
     DeviceRequest(MonCtx),

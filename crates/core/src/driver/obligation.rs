@@ -261,7 +261,9 @@ impl<L: Ledger> World<L> {
     }
 
     fn arm_obligation(&mut self, device: &str, resource: &str, at: SimTime) {
-        let key = (device.to_string(), resource.to_string());
+        // Interned key: re-arming on every policy change costs two u32
+        // hashes, not two String allocations.
+        let key = (self.ids.intern(device), self.ids.intern(resource));
         if let Some((scheduled_at, id)) = self.driver.scheduled_obligations.get(&key) {
             if *scheduled_at == at {
                 return;
@@ -269,10 +271,9 @@ impl<L: Ledger> World<L> {
             self.sched.cancel(*id);
         }
         let queue = self.driver.obligation_woken.clone();
-        let wake_key = key.clone();
         let id = self
             .sched
-            .schedule_at(at, move |_| queue.borrow_mut().push_back(wake_key));
+            .schedule_at(at, move |_| queue.borrow_mut().push_back(key));
         self.driver.scheduled_obligations.insert(key, (at, id));
     }
 }

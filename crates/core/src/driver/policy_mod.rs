@@ -336,7 +336,7 @@ impl<L: Ledger> PolicyMod<L> {
         let by_endpoint: HashMap<EndpointId, String> = world
             .devices
             .iter()
-            .map(|(name, d)| (d.endpoint, name.clone()))
+            .map(|(name, d)| (d.endpoint, name.to_string()))
             .collect();
         PolicyMod {
             webid,

@@ -7,14 +7,20 @@
 //! university hospital — retains access to Bob's data when he narrows its
 //! purpose to academic pursuits.
 
-use duc_blockchain::Ledger;
-use duc_policy::{Action, Constraint, Duty, Purpose, Rule, UsagePolicy};
+use std::collections::BTreeSet;
+
+use duc_blockchain::{Ledger, TxId};
+use duc_contracts::{topics, DistExchangeClient};
+use duc_policy::{
+    AclMode, Action, AgentSpec, Authorization, Constraint, Duty, Purpose, Rule, UsagePolicy,
+};
 use duc_sim::SimDuration;
-use duc_solid::Body;
+use duc_solid::{Body, SolidRequest};
 use duc_tee::EnforcementAction;
 
+use crate::driver::Request;
 use crate::process::{MonitoringOutcome, ProcessError};
-use crate::world::{World, WorldConfig};
+use crate::world::{IndexEntry, World, WorldConfig};
 
 /// Alice's WebID.
 pub const ALICE: &str = "https://alice.id/me";
@@ -228,6 +234,359 @@ pub fn run<L: Ledger>(world: &mut World<L>) -> Result<ScenarioReport, ProcessErr
     })
 }
 
+// ------------------------------------------------------------- population
+
+/// Pod path of every population resource.
+pub const POPULATION_PATH: &str = "data/set.bin";
+
+/// Submission chunk for the bulk direct-transaction setup: comfortably
+/// below the chain's 10 000-entry mempool bound.
+const FLUSH_CHUNK: usize = 4_096;
+
+/// A synthetic market population (experiment E15): `owners` pods with one
+/// resource each, `devices_per_owner` subscribed consumer devices,
+/// Zipf-skewed resource popularity, bursty access waves and device churn
+/// between waves. All randomness comes from the world's seeded RNG, so a
+/// population run replays byte-identically.
+#[derive(Debug, Clone)]
+pub struct PopulationSpec {
+    /// Number of pod owners; each registers exactly one resource.
+    pub owners: usize,
+    /// Consumer devices enrolled per owner.
+    pub devices_per_owner: usize,
+    /// Body size of every resource, in bytes.
+    pub body_bytes: usize,
+    /// Retention bound of every policy, in days.
+    pub retention_days: u64,
+    /// Zipf exponent of resource popularity (rank 0 is the hottest).
+    pub zipf_s: f64,
+    /// Number of bursty access waves.
+    pub waves: usize,
+    /// Concurrent accesses submitted per wave.
+    pub accesses_per_wave: usize,
+    /// Devices retired and replaced between consecutive waves.
+    pub churn_per_wave: usize,
+    /// Mean think-time between waves (exponentially distributed).
+    pub mean_wave_gap: SimDuration,
+}
+
+impl Default for PopulationSpec {
+    fn default() -> Self {
+        PopulationSpec {
+            owners: 100,
+            devices_per_owner: 1,
+            body_bytes: 256,
+            retention_days: 30,
+            zipf_s: 1.1,
+            waves: 3,
+            accesses_per_wave: 128,
+            churn_per_wave: 4,
+            mean_wave_gap: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// A generated population: owner WebIDs and resource IRIs are
+/// index-aligned (index = popularity rank), `devices` is the live consumer
+/// fleet (churn retires from the front, enrolls at the back).
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Owner WebIDs by popularity rank.
+    pub owners: Vec<String>,
+    /// Resource IRIs by popularity rank.
+    pub resources: Vec<String>,
+    /// Live consumer devices.
+    pub devices: Vec<String>,
+    /// Devices ever enrolled (names stay unique across churn).
+    spawned: usize,
+}
+
+/// What the wave-driven workload did (E15 reports these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationRunReport {
+    /// Access requests submitted across every wave.
+    pub requests: usize,
+    /// Requests that completed successfully.
+    pub ok: usize,
+    /// Devices retired and replaced between waves.
+    pub churned: usize,
+    /// Simulated time from first wave to last completion.
+    pub makespan: SimDuration,
+}
+
+/// The population's per-resource policy: use permitted under a
+/// `retention_days` retention bound, deletion owed at the deadline.
+pub fn population_policy(resource_iri: &str, owner: &str, retention_days: u64) -> UsagePolicy {
+    UsagePolicy::builder(format!("{resource_iri}#policy"), resource_iri, owner)
+        .permit(
+            Rule::permit([Action::Use]).with_constraint(Constraint::MaxRetention(
+                SimDuration::from_days(retention_days),
+            )),
+        )
+        .duty(Duty::DeleteWithin(SimDuration::from_days(retention_days)))
+        .duty(Duty::LogAccesses)
+        .build()
+}
+
+/// Seals every block needed to drain the mempool.
+fn drain_mempool<L: Ledger>(world: &mut World<L>) {
+    while world.chain.pending_count() > 0 {
+        world.advance(SimDuration::from_secs(2));
+    }
+}
+
+/// Builds a population at market scale. Pods, resources and subscriptions
+/// are registered through *direct* transactions (the driver's processes 1,
+/// 2 and the subscription, minus their per-party network round-trips),
+/// chunk-flushed under the mempool bound — the measured workload is
+/// [`run_population`], not the bulk enrolment.
+pub fn populate_population<L: Ledger>(world: &mut World<L>, spec: &PopulationSpec) -> Population {
+    assert!(spec.owners > 0, "population needs at least one owner");
+    let owner_webid = |o: usize| format!("https://p{o}.id/me");
+    for o in 0..spec.owners {
+        world.add_owner(owner_webid(o), format!("https://p{o}.pod/"));
+    }
+
+    // Pass 1 — register every pod (process 1, direct).
+    for o in 0..spec.owners {
+        let webid = owner_webid(o);
+        let (root, key, endpoint) = {
+            let owner = world.owners.get(&webid).expect("just added");
+            (
+                owner.pod_manager.pod().root().to_string(),
+                owner.key,
+                owner.endpoint,
+            )
+        };
+        let default_policy = UsagePolicy::default_for(root.clone(), &webid);
+        world
+            .owners
+            .get_mut(&webid)
+            .expect("just added")
+            .pod_manager
+            .set_policy("", default_policy.clone());
+        let env = world.envelope(&default_policy);
+        let tx = world
+            .dex
+            .register_pod_tx(&world.chain, &key, &webid, &root, env);
+        world.chain.submit(tx).expect("pod tx fits the mempool");
+        world.push_out.subscribe(topics::ROUND_CLOSED, endpoint);
+        if (o + 1) % FLUSH_CHUNK == 0 {
+            drain_mempool(world);
+        }
+    }
+    drain_mempool(world);
+    for o in 0..spec.owners {
+        world
+            .owners
+            .get_mut(&owner_webid(o))
+            .expect("added")
+            .pod_registered = true;
+    }
+
+    // Pass 2 — upload every body, attach its policy, open the market ACL
+    // and register the resource (process 2, direct).
+    let mut resources = Vec::with_capacity(spec.owners);
+    for o in 0..spec.owners {
+        let webid = owner_webid(o);
+        let (iri, policy, key) = {
+            let owner = world.owners.get_mut(&webid).expect("added");
+            let put = SolidRequest::put(webid.clone(), POPULATION_PATH)
+                .with_body(Body::Binary(vec![0xA5; spec.body_bytes]));
+            let resp = owner.pod_manager.handle(&put);
+            assert!(resp.status.is_success(), "population PUT succeeds");
+            let iri = owner.pod_manager.pod().iri_of(POPULATION_PATH);
+            let policy = population_policy(&iri, &webid, spec.retention_days);
+            owner
+                .pod_manager
+                .set_policy(POPULATION_PATH, policy.clone());
+            let mut acl = owner.pod_manager.acl().clone();
+            acl.push(Authorization::for_resource(
+                format!("market-readers-{POPULATION_PATH}"),
+                iri.clone(),
+                vec![AgentSpec::AuthenticatedAgent],
+                vec![AclMode::Read],
+            ));
+            owner.pod_manager.set_acl(acl);
+            owner.pod_manager.set_require_certificate(true);
+            (iri, policy, owner.key)
+        };
+        let env = world.envelope(&policy);
+        let tx =
+            world
+                .dex
+                .register_resource_tx(&world.chain, &key, &iri, &iri, &webid, vec![], env);
+        world
+            .chain
+            .submit(tx)
+            .expect("resource tx fits the mempool");
+        resources.push(iri);
+        if (o + 1) % FLUSH_CHUNK == 0 {
+            drain_mempool(world);
+        }
+    }
+    drain_mempool(world);
+
+    let mut pop = Population {
+        owners: (0..spec.owners).map(owner_webid).collect(),
+        resources,
+        devices: Vec::with_capacity(spec.owners * spec.devices_per_owner),
+        spawned: 0,
+    };
+    enroll_devices(world, &mut pop, spec.owners * spec.devices_per_owner);
+
+    debug_assert!(
+        world
+            .dex
+            .get_pod(&world.chain, pop.owners.last().expect("nonempty"))
+            .expect("view")
+            .is_some(),
+        "last pod registered on-chain"
+    );
+    pop
+}
+
+/// Enrolls `count` fresh consumer devices: funded account, direct
+/// subscription transaction, market certificate installed from the
+/// receipt. Used by the initial build-out and by inter-wave churn.
+fn enroll_devices<L: Ledger>(world: &mut World<L>, pop: &mut Population, count: usize) {
+    let mut pending: Vec<(String, TxId)> = Vec::with_capacity(count.min(FLUSH_CHUNK));
+    for _ in 0..count {
+        let n = pop.spawned;
+        pop.spawned += 1;
+        let name = format!("pop-dev-{n}");
+        world.add_device(name.clone(), format!("https://pd{n}.id/me"));
+        let (key, webid) = {
+            let dev = world.device(&name);
+            (dev.key, dev.webid.clone())
+        };
+        let tx = world.dex.subscribe_tx(&world.chain, &key, &webid);
+        let id = world
+            .chain
+            .submit(tx)
+            .expect("subscribe tx fits the mempool");
+        pending.push((name, id));
+        if pending.len() == FLUSH_CHUNK {
+            certify_enrolled(world, pop, &mut pending);
+        }
+    }
+    certify_enrolled(world, pop, &mut pending);
+}
+
+/// Drains the mempool and installs the market certificate of every pending
+/// subscription, moving the devices into the live fleet.
+fn certify_enrolled<L: Ledger>(
+    world: &mut World<L>,
+    pop: &mut Population,
+    pending: &mut Vec<(String, TxId)>,
+) {
+    drain_mempool(world);
+    for (name, id) in pending.drain(..) {
+        let receipt = world.chain.receipt(&id).expect("subscription included");
+        let cert = DistExchangeClient::decode_certificate(&receipt.return_data)
+            .expect("subscription certificate");
+        world
+            .devices
+            .get_mut(&name)
+            .expect("just added")
+            .certificate = Some(cert);
+        pop.devices.push(name);
+    }
+}
+
+/// Hands `device` the pull-out oracle's answer for rank `rank` directly
+/// (the entry the driver's process 3 would fetch over two relay hops), so
+/// a wave can start from a cold index without serializing 10⁴ lookups.
+fn index_direct<L: Ledger>(world: &mut World<L>, pop: &Population, device: &str, rank: usize) {
+    let iri = &pop.resources[rank];
+    if world.device(device).indexed.contains_key(iri) {
+        return;
+    }
+    let webid = &pop.owners[rank];
+    let policy = world
+        .owner(webid)
+        .pod_manager
+        .policy_for(POPULATION_PATH)
+        .expect("population policy attached")
+        .clone();
+    let entry = IndexEntry {
+        location: iri.clone(),
+        owner_webid: webid.clone(),
+        policy,
+    };
+    world
+        .devices
+        .get_mut(device)
+        .expect("live device")
+        .indexed
+        .insert(iri, entry);
+}
+
+/// Drives the wave-based population workload: per wave, a burst of
+/// concurrent resource accesses with Zipf-ranked resource choice and
+/// uniformly drawn live devices; between waves, exponential think time and
+/// device churn (the oldest devices retire, replacements enroll and
+/// subscribe). Requests run through the concurrent driver.
+pub fn run_population<L: Ledger>(
+    world: &mut World<L>,
+    pop: &mut Population,
+    spec: &PopulationSpec,
+) -> PopulationRunReport {
+    let t0 = world.clock.now();
+    let (mut requests, mut ok, mut churned) = (0usize, 0usize, 0usize);
+    for wave in 0..spec.waves {
+        if wave > 0 {
+            // Bursty arrivals: exponentially distributed inter-wave gap.
+            let gap_ms = world
+                .rng
+                .gen_exponential(spec.mean_wave_gap.as_millis_f64());
+            world.advance(SimDuration::from_millis(gap_ms as u64 + 1));
+            // Churn: retire from the front, enroll fresh subscribers. The
+            // retired devices stay in the world (their TEE copies keep
+            // their obligations) but stop driving load.
+            let churn = spec.churn_per_wave.min(pop.devices.len().saturating_sub(1));
+            pop.devices.drain(..churn);
+            enroll_devices(world, pop, churn);
+            churned += churn;
+        }
+        // One burst: distinct (device, resource) pairs, Zipf-skewed over
+        // resource ranks, uniform over the live fleet.
+        let mut picks: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut attempts = 0;
+        while picks.len() < spec.accesses_per_wave && attempts < spec.accesses_per_wave * 8 {
+            attempts += 1;
+            let rank = world.rng.gen_zipf(pop.resources.len(), spec.zipf_s);
+            let dev = world.rng.gen_range(pop.devices.len() as u64) as usize;
+            picks.insert((dev, rank));
+        }
+        for (dev, rank) in &picks {
+            let device = pop.devices[*dev].clone();
+            index_direct(world, pop, &device, *rank);
+        }
+        let tickets: Vec<crate::Ticket> = picks
+            .iter()
+            .map(|(dev, rank)| {
+                world.submit(Request::ResourceAccess {
+                    device: pop.devices[*dev].clone(),
+                    resource: pop.resources[*rank].clone(),
+                })
+            })
+            .collect();
+        requests += tickets.len();
+        world.run_until_idle();
+        ok += tickets
+            .into_iter()
+            .filter(|t| matches!(t.poll(world), Some(Ok(_))))
+            .count();
+    }
+    PopulationRunReport {
+        requests,
+        ok,
+        churned,
+        makespan: world.clock.now() - t0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +634,56 @@ mod tests {
             )
         };
         assert_eq!(run_once(7), run_once(7), "same seed, same trajectory");
+    }
+
+    fn small_spec() -> PopulationSpec {
+        PopulationSpec {
+            owners: 6,
+            devices_per_owner: 2,
+            waves: 2,
+            accesses_per_wave: 8,
+            churn_per_wave: 2,
+            ..PopulationSpec::default()
+        }
+    }
+
+    #[test]
+    fn population_builds_and_every_access_succeeds() {
+        let spec = small_spec();
+        let mut world = World::new(WorldConfig {
+            seed: 15,
+            ..WorldConfig::default()
+        });
+        let mut pop = populate_population(&mut world, &spec);
+        assert_eq!(pop.resources.len(), 6);
+        assert_eq!(pop.devices.len(), 12);
+        for name in &pop.devices {
+            assert!(
+                world.device(name).certificate.is_some(),
+                "{name} holds a market certificate"
+            );
+        }
+        let report = run_population(&mut world, &mut pop, &spec);
+        assert_eq!(report.requests, report.ok, "every access succeeds");
+        assert_eq!(report.churned, 2, "one churn step between two waves");
+        assert_eq!(pop.devices.len(), 12, "churn replaces what it retires");
+        assert!(report.requests >= spec.accesses_per_wave);
+        assert!(report.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn population_replays_byte_identically() {
+        let run_once = || {
+            let spec = small_spec();
+            let mut world = World::new(WorldConfig {
+                seed: 16,
+                ..WorldConfig::default()
+            });
+            let mut pop = populate_population(&mut world, &spec);
+            let report = run_population(&mut world, &mut pop, &spec);
+            (report, world.chain.gas_used_total(), world.clock.now())
+        };
+        assert_eq!(run_once(), run_once(), "same seed, same trajectory");
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! The simulated deployment: all components of Fig. 1, wired together.
 
-use std::collections::HashMap;
-
 use duc_blockchain::{Address, Blockchain, ContractId, Ledger, ShardedLedger};
 use duc_contracts::{topics, DistExchange, DistExchangeClient, PolicyEnvelope, DEX_CONTRACT_ID};
 use duc_crypto::KeyPair;
+use duc_intern::{Registry, SharedInterner};
 use duc_oracle::{PullInOracle, PullOutOracle, PushInOracle, PushOutOracle};
 use duc_policy::{PolicyEngine, UsagePolicy};
 use duc_sim::{
@@ -122,8 +121,8 @@ pub struct Device {
     pub endpoint: EndpointId,
     /// Market certificate, once subscribed.
     pub certificate: Option<duc_crypto::Digest>,
-    /// Indexed resources by IRI.
-    pub indexed: HashMap<String, IndexEntry>,
+    /// Indexed resources by IRI (interned in the world's symbol space).
+    pub indexed: Registry<IndexEntry>,
 }
 
 /// One simulated deployment of the whole architecture, generic over the
@@ -153,10 +152,14 @@ pub struct World<L = Blockchain> {
     pub pull_in: PullInOracle,
     /// The attestation authority trusted by the DE App deployment.
     pub attestation: AttestationAuthority,
-    /// Data owners by WebID.
-    pub owners: HashMap<String, Owner>,
-    /// Consumer devices by device name.
-    pub devices: HashMap<String, Device>,
+    /// The world's shared identity table: WebIDs, device names, pod URLs
+    /// and resource IRIs all intern into one symbol space, so the hot-path
+    /// maps below key on `u32` symbols instead of re-hashing strings.
+    pub ids: SharedInterner,
+    /// Data owners by WebID (flat, interned; deterministic iteration).
+    pub owners: Registry<Owner>,
+    /// Consumer devices by device name (flat, interned).
+    pub devices: Registry<Device>,
     /// Collected measurements.
     pub metrics: MetricsRegistry,
     /// Structured event trace (enabled by [`WorldConfig::trace`]).
@@ -222,7 +225,9 @@ impl<L: Ledger> World<L> {
     /// and wires the oracles. For the single-chain backend this is
     /// step-for-step the pre-trait constructor (byte-identical runs).
     pub fn with_ledger(config: WorldConfig, mut chain: L) -> World<L> {
-        chain.deploy_with(ContractId::new(DEX_CONTRACT_ID), &|| Box::new(DistExchange));
+        chain.deploy_with(ContractId::new(DEX_CONTRACT_ID), &|| {
+            Box::new(DistExchange::default())
+        });
         let dex = DistExchangeClient::new();
 
         // Market initialization by a deployment admin, once per shard.
@@ -252,6 +257,7 @@ impl<L: Ledger> World<L> {
         } else {
             TraceRecorder::disabled()
         };
+        let ids = SharedInterner::new();
         World {
             rng: Rng::seed_from_u64(config.seed),
             sched: Scheduler::new(clock.clone()),
@@ -263,8 +269,9 @@ impl<L: Ledger> World<L> {
             pull_out: PullOutOracle::new(relay),
             pull_in: PullInOracle::new(relay, topics::MONITORING_REQUESTED),
             attestation: AttestationAuthority::new(b"duc/attestation-root"),
-            owners: HashMap::new(),
-            devices: HashMap::new(),
+            owners: Registry::new(ids.clone()),
+            devices: Registry::new(ids.clone()),
+            ids,
             metrics: MetricsRegistry::new(),
             trace,
             gateway,
@@ -297,15 +304,13 @@ impl<L: Ledger> World<L> {
         // IRIs under the pod root route to the owner's shard.
         self.chain.register_route_alias(&pod_root, &webid);
         let endpoint = self.net.add_endpoint(format!("pod-manager:{webid}"));
-        self.owners.insert(
-            webid.clone(),
-            Owner {
-                key,
-                pod_manager: PodManager::new(pod_root, webid),
-                endpoint,
-                pod_registered: false,
-            },
-        );
+        let owner = Owner {
+            key,
+            pod_manager: PodManager::new(pod_root, webid.clone()),
+            endpoint,
+            pod_registered: false,
+        };
+        self.owners.insert(&webid, owner);
     }
 
     /// Registers a consumer device operated by `webid`, running the
@@ -321,14 +326,14 @@ impl<L: Ledger> World<L> {
             .create_funded_account(device.as_bytes(), self.config.initial_balance);
         let endpoint = self.net.add_endpoint(format!("device:{device}"));
         self.devices.insert(
-            device,
+            &device,
             Device {
                 tee: TrustedApplication::new(enclave, webid.clone()),
                 webid,
                 key,
                 endpoint,
                 certificate: None,
-                indexed: HashMap::new(),
+                indexed: Registry::new(self.ids.clone()),
             },
         );
     }
@@ -539,7 +544,7 @@ impl<L: Ledger> World<L> {
             .devices
             .keys()
             .filter(|n| !self.rogue_hosts.contains(*n) && !self.tee_faulted.contains(*n))
-            .cloned()
+            .map(str::to_string)
             .collect();
         // Sorted: HashMap iteration order is per-process random, and the
         // unregister transactions below must land in the same order on

@@ -75,6 +75,82 @@ fn scenario_matrix_is_backend_agnostic() {
         .expect("every shard validates");
 }
 
+/// Absolute golden pin for the §II scenario: exact process outcomes and
+/// exact per-method gas on both backends. The relative matrix above proves
+/// the backends agree with *each other*; this test proves they agree with
+/// *history* — any refactor that drifts a single gas unit or flips one
+/// outcome fails here, even if it drifts both backends identically.
+#[test]
+fn golden_scenario_outcomes_and_gas_are_pinned() {
+    // (method, calls, total gas, mean gas) on the single-chain backend.
+    const GOLD: &[(&str, u64, u64, u64)] = &[
+        ("init", 1, 78_478, 78_478),
+        ("record_evidence", 1, 211_652, 211_652),
+        ("register_copy", 2, 205_927, 102_963),
+        ("register_pod", 2, 323_050, 161_525),
+        ("register_resource", 2, 569_345, 284_672),
+        ("start_monitoring", 2, 346_930, 173_465),
+        ("subscribe", 2, 281_942, 140_971),
+        ("unregister_copy", 1, 62_703, 62_703),
+        ("update_policy", 2, 577_631, 288_815),
+    ];
+    const TOTAL_GAS_SINGLE: u64 = 2_657_658;
+    // The sharded total differs only by genesis: four shards each run
+    // `init` once (4 × 78 478 instead of 1 × 78 478).
+    const TOTAL_GAS_SHARDED: u64 = 2_893_092;
+
+    fn outcomes(label: &str, report: &scenario::ScenarioReport) {
+        assert_eq!(report.alice_got_bytes, 152, "{label}: alice bytes");
+        assert_eq!(report.bob_got_bytes, 480, "{label}: bob bytes");
+        assert!(report.bob_copy_deleted, "{label}: bob deleted");
+        assert!(report.alice_still_permitted, "{label}: alice permitted");
+        assert_eq!(report.browsing_monitoring.expected, 0, "{label}");
+        assert_eq!(report.browsing_monitoring.evidence, 0, "{label}");
+        assert!(report.browsing_monitoring.violators.is_empty(), "{label}");
+        assert_eq!(report.medical_monitoring.expected, 1, "{label}");
+        assert_eq!(report.medical_monitoring.evidence, 1, "{label}");
+    }
+    fn gas_pinned(
+        label: &str,
+        gas: &std::collections::BTreeMap<(String, String), (u64, u64, u64)>,
+        gold: &[(&str, u64, u64, u64)],
+    ) {
+        assert_eq!(gas.len(), gold.len(), "{label}: unexpected methods {gas:?}");
+        for (method, calls, total, mean) in gold {
+            let key = ("dist-exchange".to_string(), method.to_string());
+            assert_eq!(
+                gas.get(&key),
+                Some(&(*calls, *total, *mean)),
+                "{label}: gas drifted for {method}"
+            );
+        }
+    }
+
+    let (single, single_world) = scenario_on(World::new(config(7, 1)));
+    outcomes("single", &single);
+    assert_eq!(single.total_gas, TOTAL_GAS_SINGLE, "single total gas");
+    gas_pinned("single", &single_world.chain.gas_by_method(), GOLD);
+
+    let (sharded, sharded_world) = scenario_on(World::new_sharded(config(7, 4)));
+    outcomes("sharded", &sharded);
+    assert_eq!(sharded.total_gas, TOTAL_GAS_SHARDED, "sharded total gas");
+    let gold_sharded: Vec<(&str, u64, u64, u64)> = GOLD
+        .iter()
+        .map(|&(m, calls, total, mean)| {
+            if m == "init" {
+                (m, 4, 4 * total, mean)
+            } else {
+                (m, calls, total, mean)
+            }
+        })
+        .collect();
+    gas_pinned(
+        "sharded",
+        &sharded_world.chain.gas_by_method(),
+        &gold_sharded,
+    );
+}
+
 #[test]
 fn sharded_world_routes_disjoint_owners_to_disjoint_shards() {
     let mut world = World::new_sharded(config(11, 4));

@@ -1,0 +1,73 @@
+//! Property tests for the interner: intern∘resolve is the identity, symbol
+//! assignment is replay-stable, and [`SymMap`] agrees with a reference
+//! `HashMap` under arbitrary operation sequences.
+
+use std::collections::HashMap;
+
+use duc_intern::{Interner, Sym, SymMap};
+use proptest::prelude::*;
+
+proptest! {
+    /// Resolving an interned string returns the original string, and
+    /// re-interning returns the original symbol (intern∘resolve = id in
+    /// both directions).
+    #[test]
+    fn intern_resolve_roundtrip(words in proptest::collection::vec(".*", 0..64)) {
+        let mut interner = Interner::new();
+        let syms: Vec<Sym> = words.iter().map(|w| interner.intern(w)).collect();
+        for (word, sym) in words.iter().zip(&syms) {
+            prop_assert_eq!(interner.resolve(*sym), word.as_str());
+            prop_assert_eq!(interner.intern(word), *sym);
+            prop_assert_eq!(interner.get(word), Some(*sym));
+            let arc = interner.resolve_arc(*sym);
+            prop_assert_eq!(arc.as_ref(), word.as_str());
+        }
+        // Dense: symbol indices cover exactly [0, distinct).
+        let distinct = words.iter().collect::<std::collections::HashSet<_>>().len();
+        prop_assert_eq!(interner.len(), distinct);
+        for sym in &syms {
+            prop_assert!(sym.index() < distinct);
+        }
+    }
+
+    /// Two interners fed the same word sequence assign identical symbols —
+    /// the replay-stability a deterministic re-run depends on.
+    #[test]
+    fn symbol_assignment_is_replay_stable(words in proptest::collection::vec(".*", 0..64)) {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        let syms_a: Vec<Sym> = words.iter().map(|w| a.intern(w)).collect();
+        let syms_b: Vec<Sym> = words.iter().map(|w| b.intern(w)).collect();
+        prop_assert_eq!(syms_a, syms_b);
+    }
+
+    /// `SymMap` agrees with a reference `HashMap` under arbitrary
+    /// insert/remove/get sequences (ops encoded as integers: even = insert
+    /// key, odd = remove key).
+    #[test]
+    fn symmap_matches_reference_map(ops in proptest::collection::vec(any::<u16>(), 0..256)) {
+        let mut interner = Interner::new();
+        let mut flat: SymMap<u16> = SymMap::new();
+        let mut reference: HashMap<usize, u16> = HashMap::new();
+        for (step, op) in ops.iter().enumerate() {
+            let key = (*op as usize) % 32;
+            let sym = interner.intern(&format!("key-{key}"));
+            if op % 2 == 0 {
+                let value = step as u16;
+                prop_assert_eq!(flat.insert(sym, value), reference.insert(key, value));
+            } else {
+                prop_assert_eq!(flat.remove(sym), reference.remove(&key));
+            }
+        }
+        prop_assert_eq!(flat.len(), reference.len());
+        for key in 0..32usize {
+            match interner.get(&format!("key-{key}")) {
+                Some(sym) => {
+                    prop_assert_eq!(flat.get(sym).copied(), reference.get(&key).copied());
+                    prop_assert_eq!(flat.contains(sym), reference.contains_key(&key));
+                }
+                None => prop_assert!(!reference.contains_key(&key)),
+            }
+        }
+    }
+}

@@ -1,5 +1,7 @@
 //! The four oracle patterns.
 
+use std::rc::Rc;
+
 use duc_blockchain::{ContractError, Event, Ledger, Receipt, SignedTransaction, SubmitError, TxId};
 use duc_codec::encode_to_vec;
 use duc_sim::{Clock, EndpointId, NetworkModel, Rng, SimDuration, SimTime};
@@ -289,8 +291,9 @@ impl PushInOracle {
 /// One event delivery computed by the push-out oracle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutboundDelivery {
-    /// The chain event.
-    pub event: Event,
+    /// The chain event (`Rc`-shared with the ledger's log — fan-out to N
+    /// subscribers clones N pointers, not N payloads).
+    pub event: Rc<Event>,
     /// Block height it was emitted at.
     pub height: u64,
     /// The subscribed recipient.
@@ -359,7 +362,7 @@ impl PushOutOracle {
                     Some(hop) => {
                         self.delivered += 1;
                         deliveries.push(OutboundDelivery {
-                            event: event.clone(),
+                            event: Rc::clone(event),
                             height: *height,
                             recipient: *recipient,
                             arrives_at: clock.now() + hop,
@@ -523,13 +526,13 @@ impl PullInOracle {
     /// advanced here — the caller commits it with
     /// [`PullInOracle::commit_cursor`] once the response hop actually
     /// arrives, so a lost response never strands events behind the cursor.
-    pub fn collect_requests<L: Ledger>(&self, chain: &L) -> (Vec<(u64, Event)>, u64, u64) {
+    pub fn collect_requests<L: Ledger>(&self, chain: &L) -> (Vec<(u64, Rc<Event>)>, u64, u64) {
         let fresh = chain.events_since(self.cursor);
         let cursor_to = fresh.iter().map(|(h, _)| *h).max().unwrap_or(self.cursor);
-        let events: Vec<(u64, Event)> = fresh
+        let events: Vec<(u64, Rc<Event>)> = fresh
             .iter()
             .filter(|(_, e)| e.topic == self.topic)
-            .cloned()
+            .map(|(h, e)| (*h, Rc::clone(e)))
             .collect();
         let response_size: u64 = events
             .iter()
@@ -571,7 +574,7 @@ impl PullInOracle {
         clock: &Clock,
         rng: &mut Rng,
         gateway_ep: EndpointId,
-    ) -> Result<Vec<(u64, Event)>, OracleError> {
+    ) -> Result<Vec<(u64, Rc<Event>)>, OracleError> {
         let hop = self
             .begin_poll(net, rng, gateway_ep)
             .ok_or(OracleError::NetworkDropped)?;

@@ -1,8 +1,7 @@
 //! The trusted application: policy-mediated access to sealed copies.
 
-use std::collections::BTreeMap;
-
 use duc_crypto::{hash_parts, Digest};
+use duc_intern::{Interner, Sym, SymMap};
 use duc_policy::compliance::{AccessRecord, CopyState};
 use duc_policy::{
     compile, Action, Decision, DenyReason, Duty, PolicyEngine, PolicyProgram, Purpose,
@@ -193,7 +192,11 @@ pub struct TrustedApplication {
     storage: TrustedDataStorage,
     engine: PolicyEngine,
     holder_webid: String,
-    copies: BTreeMap<String, CopyEntry>,
+    /// Resource-name table: each copy id is interned once; every lookup
+    /// after that compares a `u32` symbol instead of re-hashing an IRI.
+    names: Interner,
+    /// The flat copy registry, keyed by interned resource symbols.
+    copies: SymMap<CopyEntry>,
     /// Accesses served from the per-copy decision cache.
     cache_hits: u64,
     /// Accesses that recompiled or re-evaluated the decision.
@@ -208,7 +211,8 @@ impl TrustedApplication {
             storage: TrustedDataStorage::new(),
             engine: PolicyEngine::default(),
             holder_webid: holder_webid.into(),
-            copies: BTreeMap::new(),
+            names: Interner::new(),
+            copies: SymMap::new(),
             cache_hits: 0,
             cache_misses: 0,
         }
@@ -258,8 +262,9 @@ impl TrustedApplication {
         let resource = resource.into();
         self.storage.seal(&self.enclave, &resource, bytes);
         let program = compile(&policy, self.engine.taxonomy());
+        let sym = self.names.intern(&resource);
         self.copies.insert(
-            resource.clone(),
+            sym,
             CopyEntry {
                 state: CopyState::new(resource.clone(), self.holder_webid.clone(), now),
                 history: vec![(now, policy.clone())],
@@ -273,22 +278,27 @@ impl TrustedApplication {
         );
     }
 
+    /// Looks up the entry for an already-interned resource, if any.
+    fn entry(&self, resource: &str) -> Option<&CopyEntry> {
+        self.copies.get(self.names.get(resource)?)
+    }
+
     /// Whether a live copy of `resource` is held.
     pub fn has_copy(&self, resource: &str) -> bool {
-        self.copies
-            .get(resource)
+        self.entry(resource)
             .map(|e| e.state.deleted_at.is_none())
             .unwrap_or(false)
     }
 
     /// The locally enforced policy version for `resource`.
     pub fn policy_version(&self, resource: &str) -> Option<u64> {
-        self.copies.get(resource).map(|e| e.policy.version)
+        self.entry(resource).map(|e| e.policy.version)
     }
 
-    /// The resources with copies (live or audited-deleted).
+    /// The resources with copies (live or audited-deleted), in the order
+    /// they were first stored.
     pub fn resources(&self) -> impl Iterator<Item = &str> {
-        self.copies.keys().map(String::as_str)
+        self.copies.keys().map(|sym| self.names.resolve(sym))
     }
 
     fn effective_due(entry: &CopyEntry) -> Option<SimTime> {
@@ -346,10 +356,11 @@ impl TrustedApplication {
     ) -> Result<Vec<u8>, AccessError> {
         // Lazy obligation sweep on the touched entry first.
         let mut actions = Vec::new();
-        if let Some(entry) = self.copies.get_mut(resource) {
+        let sym = self.names.get(resource).ok_or(AccessError::NoCopy)?;
+        if let Some(entry) = self.copies.get_mut(sym) {
             Self::enforce_entry(resource, entry, &mut self.storage, now, &mut actions);
         }
-        let entry = self.copies.get_mut(resource).ok_or(AccessError::NoCopy)?;
+        let entry = self.copies.get_mut(sym).ok_or(AccessError::NoCopy)?;
         if entry.state.deleted_at.is_some() {
             return Err(AccessError::NoCopy);
         }
@@ -422,7 +433,11 @@ impl TrustedApplication {
         now: SimTime,
     ) -> Vec<EnforcementAction> {
         let mut actions = Vec::new();
-        let Some(entry) = self.copies.get_mut(resource) else {
+        let Some(entry) = self
+            .names
+            .get(resource)
+            .and_then(|s| self.copies.get_mut(s))
+        else {
             return actions;
         };
         if new_policy.resource != entry.policy.resource
@@ -457,14 +472,19 @@ impl TrustedApplication {
     /// fault the driver classifies as non-transient.
     pub fn sweep(&mut self, now: SimTime) -> Result<Vec<EnforcementAction>, TeeError> {
         let mut actions = Vec::new();
-        let resources: Vec<String> = self.copies.keys().cloned().collect();
-        for resource in resources {
-            let entry =
-                self.copies
-                    .get_mut(&resource)
-                    .ok_or_else(|| TeeError::CopyStateMissing {
-                        resource: resource.clone(),
-                    })?;
+        // Enforce in resource-name order: the downstream unregister_copy
+        // transactions must stay in the exact order the pre-interning
+        // (BTreeMap-keyed) registry produced.
+        let mut order: Vec<Sym> = self.copies.keys().collect();
+        order.sort_by(|a, b| self.names.resolve(*a).cmp(self.names.resolve(*b)));
+        for sym in order {
+            let resource = self.names.resolve_arc(sym);
+            let entry = self
+                .copies
+                .get_mut(sym)
+                .ok_or_else(|| TeeError::CopyStateMissing {
+                    resource: resource.to_string(),
+                })?;
             Self::enforce_entry(&resource, entry, &mut self.storage, now, &mut actions);
         }
         Ok(actions)
@@ -482,8 +502,9 @@ impl TrustedApplication {
         now: SimTime,
     ) -> Result<Vec<EnforcementAction>, TeeError> {
         let entry = self
-            .copies
-            .get_mut(resource)
+            .names
+            .get(resource)
+            .and_then(|s| self.copies.get_mut(s))
             .ok_or_else(|| TeeError::CopyStateMissing {
                 resource: resource.to_string(),
             })?;
@@ -496,7 +517,7 @@ impl TrustedApplication {
     /// the copy is gone or unconstrained) — what the obligation scheduler
     /// registers wakeups at.
     pub fn next_deadline_for(&self, resource: &str) -> Option<SimTime> {
-        let entry = self.copies.get(resource)?;
+        let entry = self.entry(resource)?;
         if entry.state.deleted_at.is_some() {
             return None;
         }
@@ -507,21 +528,29 @@ impl TrustedApplication {
 
     /// The evidence this device last recorded on-chain for `resource`.
     pub fn last_reported(&self, resource: &str) -> Option<&ReportedEvidence> {
-        self.copies.get(resource)?.last_reported.as_ref()
+        self.entry(resource)?.last_reported.as_ref()
     }
 
     /// Remembers the evidence just recorded on-chain for `resource`, so a
     /// later round with an unchanged usage log can reaffirm it instead of
     /// resubmitting.
     pub fn note_reported(&mut self, resource: &str, reported: ReportedEvidence) {
-        if let Some(entry) = self.copies.get_mut(resource) {
+        if let Some(entry) = self
+            .names
+            .get(resource)
+            .and_then(|s| self.copies.get_mut(s))
+        {
             entry.last_reported = Some(reported);
         }
     }
 
     /// Deletes a copy voluntarily.
     pub fn delete(&mut self, resource: &str, now: SimTime) -> bool {
-        match self.copies.get_mut(resource) {
+        match self
+            .names
+            .get(resource)
+            .and_then(|s| self.copies.get_mut(s))
+        {
             Some(entry) if entry.state.deleted_at.is_none() => {
                 self.storage.erase(resource);
                 entry.state.deleted_at = Some(now);
@@ -552,7 +581,7 @@ impl TrustedApplication {
     /// judged against the current policy's *effective* deadline (policy
     /// tightenings only bind from their local application time).
     pub fn report(&self, resource: &str, now: SimTime) -> Option<UsageReport> {
-        let entry = self.copies.get(resource)?;
+        let entry = self.entry(resource)?;
         let mut violations: Vec<String> = Vec::new();
         for (i, record) in entry.state.log.iter().enumerate() {
             let policy = entry.policy_in_force_at(record.at);
