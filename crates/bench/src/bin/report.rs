@@ -39,6 +39,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e13", experiments::e13_backends),
     ("e14", experiments::e14_deadline_enforcement),
     ("e15", experiments::e15_population),
+    ("e16", experiments::e16_storage),
 ];
 
 /// Runs experiment `index` on first use, then serves the cached tables.
@@ -113,6 +114,9 @@ fn json_document(cache: &mut [Option<Vec<Table>>]) -> String {
             }
             if rows.is_empty() {
                 rows = population_rows(table);
+            }
+            if rows.is_empty() {
+                rows = storage_rows(table);
             }
             let median = |needle| {
                 if rows.is_empty() {
@@ -247,6 +251,53 @@ fn population_rows(table: &Table) -> String {
             numeric(row, col("rss")),
             if i + 1 < table.rows().len() { "," } else { "" },
         ));
+    }
+    out.push_str("        ]");
+    out
+}
+
+/// For the storage sweep (a `waves` plus a `retained (prune)` column,
+/// e.g. E16): two JSON records per table row — one per storage
+/// configuration — so BENCH_*.json tracks retained blocks and peak memory
+/// for the pruned and the full run separately across PRs. Empty for every
+/// other table.
+fn storage_rows(table: &Table) -> String {
+    let col = |needle: &str| {
+        table
+            .columns()
+            .iter()
+            .position(|c| c.to_lowercase().contains(needle))
+    };
+    let (Some(waves), Some(_)) = (col("waves"), col("retained (prune)")) else {
+        return String::new();
+    };
+    let numeric = |row: &[String], idx: Option<usize>| -> Option<f64> {
+        idx.and_then(|i| row.get(i))
+            .and_then(|c| c.trim().parse().ok())
+    };
+    let rss_bytes = |row: &[String], idx: Option<usize>| -> String {
+        json_number(numeric(row, idx).map(|mib| mib * 1024.0 * 1024.0))
+    };
+    let mut out = String::from(",\n        \"storage\": [\n");
+    for (i, row) in table.rows().iter().enumerate() {
+        for (j, config) in ["pruned", "full"].iter().enumerate() {
+            let needle = if *config == "pruned" {
+                "(prune)"
+            } else {
+                "(full)"
+            };
+            out.push_str(&format!(
+                "          {{\"config\": {}, \"owners\": {}, \"waves\": {}, \"requests\": {}, \"blocks\": {}, \"retained_blocks\": {}, \"peak_rss_bytes\": {}}}{}\n",
+                json_string(config),
+                json_number(numeric(row, col("owners"))),
+                json_number(numeric(row, Some(waves))),
+                json_number(numeric(row, col("requests"))),
+                json_number(numeric(row, col("blocks"))),
+                json_number(numeric(row, col(&format!("retained {needle}")))),
+                rss_bytes(row, col(&format!("peak rss mib {needle}"))),
+                if i + 1 < table.rows().len() || j == 0 { "," } else { "" },
+            ));
+        }
     }
     out.push_str("        ]");
     out

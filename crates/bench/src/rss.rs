@@ -31,6 +31,17 @@ pub fn peak_rss_mib() -> Option<f64> {
     peak_rss_kib().map(|kib| kib as f64 / 1024.0)
 }
 
+/// Resets the kernel's peak-RSS high-water mark to the *current* resident
+/// set (`echo 5 > /proc/self/clear_refs`), so a multi-configuration sweep
+/// can attribute a peak to each configuration instead of reporting one
+/// process-monotone mark. Returns `false` where the knob is unavailable
+/// (non-Linux, restricted `/proc`) — callers should then skip per-config
+/// RSS comparisons. Note the reset floor is the current resident set: heap
+/// the allocator retains from a previous configuration stays in the mark.
+pub fn reset_peak() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -141,6 +141,18 @@ impl Block {
     }
 }
 
+impl duc_storage::ArchiveItem for Block {
+    /// The archived frame is the canonical header encoding followed by the
+    /// length-prefixed transaction list — the same bytes signatures and
+    /// Merkle roots commit to, so an archived block stays verifiable.
+    fn encode_frame(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.header.encode(&mut buf);
+        self.transactions[..].encode(&mut buf);
+        buf
+    }
+}
+
 /// Why a block failed validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockValidationError {

@@ -9,9 +9,10 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 
-use duc_crypto::{Digest, KeyPair};
+use duc_crypto::KeyPair;
 use duc_intern::{Interner, Sym};
 use duc_sim::{SimDuration, SimTime};
+use duc_storage::{BlockStore, Checkpoint, FileArchive, PrunedRange, StateStore, StorageConfig};
 
 use crate::block::{Block, BlockValidationError};
 use crate::contract::{CallCtx, Contract, ContractError, Event};
@@ -85,6 +86,7 @@ pub struct BlockchainBuilder {
     max_block_gas: u64,
     gas_price: Amount,
     mempool_capacity: usize,
+    storage: StorageConfig,
 }
 
 impl Default for BlockchainBuilder {
@@ -96,6 +98,7 @@ impl Default for BlockchainBuilder {
             max_block_gas: 30_000_000,
             gas_price: 1,
             mempool_capacity: 10_000,
+            storage: StorageConfig::disabled(),
         }
     }
 }
@@ -138,11 +141,25 @@ impl BlockchainBuilder {
         self
     }
 
+    /// Retention configuration (checkpoint interval, window, archive path).
+    /// Defaults to [`StorageConfig::disabled`]: infinite retention.
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
+        self
+    }
+
     /// Builds the chain (genesis at t = 0).
+    ///
+    /// # Panics
+    /// If an archive path is configured and the archive file cannot be
+    /// opened for appending.
     pub fn build(self) -> Blockchain {
         let validators: Vec<KeyPair> = (0..self.validator_count)
             .map(|i| KeyPair::from_seed(format!("duc/validator-{i}").as_bytes()))
             .collect();
+        let archive = self.storage.archive_path.as_ref().map(|path| {
+            FileArchive::open(path).unwrap_or_else(|e| panic!("open archive {path:?}: {e}"))
+        });
         Blockchain {
             validators,
             down_validators: HashSet::new(),
@@ -150,7 +167,9 @@ impl BlockchainBuilder {
             next_slot: 1,
             current_time: SimTime::ZERO,
             state: WorldState::new(),
-            blocks: Vec::new(),
+            blocks: BlockStore::new(archive),
+            storage: self.storage,
+            checkpoints: StateStore::new(),
             mempool: BTreeMap::new(),
             receipts: HashMap::new(),
             event_log: Vec::new(),
@@ -178,7 +197,11 @@ pub struct Blockchain {
     /// time-dependent logic against this).
     current_time: SimTime,
     state: WorldState,
-    blocks: Vec<Block>,
+    /// Windowed block storage: retained heights are
+    /// `prune_horizon + 1 ..= height` once pruning has run.
+    blocks: BlockStore<Block>,
+    storage: StorageConfig,
+    checkpoints: StateStore,
     mempool: BTreeMap<(Address, u64), SignedTransaction>,
     receipts: HashMap<TxId, Receipt>,
     event_log: Vec<(u64, Rc<Event>)>,
@@ -349,6 +372,7 @@ impl Blockchain {
     /// liveness behave like a fixed-cadence PoA network whenever there is
     /// work to include.
     pub fn advance_to(&mut self, now: SimTime) -> usize {
+        self.prune_due();
         let mut produced = 0;
         loop {
             let slot_time = SimTime::ZERO + self.block_interval.saturating_mul(self.next_slot);
@@ -383,7 +407,7 @@ impl Blockchain {
     }
 
     fn produce_block(&mut self, timestamp: SimTime, proposer_idx: usize) {
-        let height = self.blocks.len() as u64 + 1;
+        let height = self.blocks.height() + 1;
         // Select executable transactions in deterministic order, respecting
         // per-account nonce sequencing and the block gas ceiling.
         let mut included = Vec::new();
@@ -425,7 +449,11 @@ impl Blockchain {
         for key in stale {
             self.mempool.remove(&key);
         }
-        let parent = self.blocks.last().map(|b| b.hash()).unwrap_or(Digest::ZERO);
+        let parent = self
+            .blocks
+            .last()
+            .map(|b| b.hash())
+            .unwrap_or_else(|| self.blocks.base_parent());
         let block = Block::seal(
             height,
             parent,
@@ -435,6 +463,61 @@ impl Blockchain {
             &self.validators[proposer_idx],
         );
         self.blocks.push(block);
+        self.maybe_checkpoint(height);
+    }
+
+    /// Seals a checkpoint when the configured interval has elapsed since
+    /// the last one. Pruning itself is deferred to the *next*
+    /// [`Blockchain::advance_to`] call (see [`Blockchain::prune_due`]).
+    fn maybe_checkpoint(&mut self, height: u64) {
+        if !self.storage.is_enabled() {
+            return;
+        }
+        let last = self.checkpoints.last().map_or(0, |cp| cp.height);
+        if height - last < self.storage.checkpoint_interval {
+            return;
+        }
+        self.checkpoints.seal(Checkpoint {
+            height,
+            state_commitment: self.state.commitment(),
+            accumulator: self.state.accumulator(),
+            event_cursor_floor: self.storage.horizon_after_checkpoint(height, height),
+        });
+    }
+
+    /// Applies the pruning implied by the last sealed checkpoint: evicts
+    /// blocks, events and receipts at or below
+    /// `min(checkpoint_height - 1, tip - window)`, so the checkpoint's own
+    /// block and the most recent `window` blocks always stay resident.
+    ///
+    /// Runs at the *start* of `advance_to` — one call behind checkpoint
+    /// sealing — so every event sealed in a burst of blocks is readable by
+    /// consumers (the sharded merge, oracle polls between driver steps)
+    /// before it is evicted.
+    fn prune_due(&mut self) {
+        if !self.storage.is_enabled() {
+            return;
+        }
+        let Some(cp) = self.checkpoints.last() else {
+            return;
+        };
+        let horizon = self
+            .storage
+            .horizon_after_checkpoint(cp.height, self.blocks.height());
+        if horizon <= self.blocks.prune_horizon() {
+            return;
+        }
+        let evicted = self
+            .blocks
+            .prune_below(horizon, Block::hash)
+            .unwrap_or_else(|e| panic!("archive pruned blocks: {e}"));
+        if evicted == 0 {
+            return;
+        }
+        let horizon = self.blocks.prune_horizon();
+        let cut = self.event_log.partition_point(|(h, _)| *h <= horizon);
+        self.event_log.drain(..cut);
+        self.receipts.retain(|_, r| r.block_height > horizon);
     }
 
     fn execute(
@@ -577,17 +660,87 @@ impl Blockchain {
 
     // -------------------------------------------------------------- reads
 
-    /// Chain height (number of blocks).
+    /// Chain height (number of blocks ever produced; pruning does not
+    /// rewind it).
     pub fn height(&self) -> u64 {
-        self.blocks.len() as u64
+        self.blocks.height()
     }
 
-    /// A block by height (1-based).
+    /// A block by height (1-based). `None` for height 0, heights above the
+    /// tip, and pruned heights — use [`Blockchain::prune_horizon`] to
+    /// distinguish the last case.
     pub fn block(&self, height: u64) -> Option<&Block> {
-        if height == 0 {
-            return None;
+        self.blocks.get(height)
+    }
+
+    /// The prune horizon: highest pruned height (`0` = nothing pruned).
+    /// Every block and event at or below it has been evicted.
+    pub fn prune_horizon(&self) -> u64 {
+        self.blocks.prune_horizon()
+    }
+
+    /// Number of blocks currently resident in memory.
+    pub fn retained_blocks(&self) -> usize {
+        self.blocks.retained()
+    }
+
+    /// Blocks streamed to the archive so far.
+    pub fn archived_blocks(&self) -> u64 {
+        self.blocks.archived()
+    }
+
+    /// The most recently sealed checkpoint.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.checkpoints.last()
+    }
+
+    /// Every sealed checkpoint, oldest first.
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        self.checkpoints.all()
+    }
+
+    /// The retention configuration this chain runs with.
+    pub fn storage_config(&self) -> &StorageConfig {
+        &self.storage
+    }
+
+    /// Verifies every checkpoint whose block is still resident against the
+    /// block's sealed state root, and that the latest checkpoint's block is
+    /// resident at all (the prune horizon never evicts it). This is the
+    /// chaos invariant that a pruned-then-forged history cannot smuggle a
+    /// different state past a checkpoint.
+    ///
+    /// # Errors
+    /// A description of the first mismatching checkpoint.
+    pub fn verify_checkpoints(&self) -> Result<(), String> {
+        for cp in self.checkpoints.all() {
+            match self.blocks.get(cp.height) {
+                Some(block) => {
+                    if block.header.state_root != cp.state_commitment {
+                        return Err(format!(
+                            "checkpoint at height {} commits {:?} but the sealed block \
+                             carries state root {:?}",
+                            cp.height, cp.state_commitment, block.header.state_root
+                        ));
+                    }
+                }
+                None => {
+                    if Some(cp.height) == self.checkpoints.last().map(|c| c.height) {
+                        return Err(format!(
+                            "latest checkpoint block at height {} was pruned",
+                            cp.height
+                        ));
+                    }
+                }
+            }
         }
-        self.blocks.get(height as usize - 1)
+        Ok(())
+    }
+
+    /// Mutable block access for tamper-detection tests.
+    #[cfg(test)]
+    fn block_mut(&mut self, height: u64) -> Option<&mut Block> {
+        self.blocks.get_mut(height)
     }
 
     /// The receipt for a transaction, once included.
@@ -613,6 +766,26 @@ impl Blockchain {
     pub fn events_slice_since(&self, height: u64) -> &[(u64, Rc<Event>)] {
         let start = self.event_log.partition_point(|(h, _)| *h <= height);
         &self.event_log[start..]
+    }
+
+    /// Like [`Blockchain::events_slice_since`], but a cursor below the
+    /// prune horizon is a typed [`PrunedRange`] error instead of a
+    /// silently-incomplete slice: events in `(height, horizon]` are gone,
+    /// so the caller must resync from the last checkpoint's
+    /// `event_cursor_floor` rather than miss them. A cursor exactly at the
+    /// horizon is fine — everything it has yet to read is still resident.
+    ///
+    /// # Errors
+    /// [`PrunedRange`] when `height < prune_horizon`.
+    pub fn try_events_slice_since(&self, height: u64) -> Result<&[(u64, Rc<Event>)], PrunedRange> {
+        let horizon = self.blocks.prune_horizon();
+        if height < horizon {
+            return Err(PrunedRange {
+                requested: height,
+                horizon,
+            });
+        }
+        Ok(self.events_slice_since(height))
     }
 
     /// Executes a read-only contract call against current state
@@ -650,13 +823,16 @@ impl Blockchain {
         code.call(&mut ctx, method, args)
     }
 
-    /// Validates the entire chain structure (signatures, roots, links).
+    /// Validates the resident chain structure (signatures, roots, links).
+    /// After pruning, validation starts from the store's `base_parent` —
+    /// the hash of the last pruned block — so the link across the pruned
+    /// boundary is still checked.
     ///
     /// # Errors
     /// The first [`BlockValidationError`] found.
     pub fn validate_chain(&self) -> Result<(), BlockValidationError> {
-        let mut parent = Digest::ZERO;
-        for block in &self.blocks {
+        let mut parent = self.blocks.base_parent();
+        for (_, block) in self.blocks.iter() {
             block.validate()?;
             if block.header.parent != parent {
                 return Err(BlockValidationError::BrokenParentLink(block.header.height));
@@ -1038,8 +1214,8 @@ mod tests {
             chain.advance_to(SimTime::from_secs(2 * (i + 1)));
         }
         assert_eq!(chain.validate_chain(), Ok(()));
-        // Tamper with an old block.
-        chain.blocks[0].header.timestamp = SimTime::from_secs(999);
+        // Tamper with an old block (height-addressed; no raw indexing).
+        chain.block_mut(1).unwrap().header.timestamp = SimTime::from_secs(999);
         assert!(chain.validate_chain().is_err());
     }
 
@@ -1107,6 +1283,106 @@ mod tests {
         chain.advance_to(SimTime::from_secs(6));
         assert_eq!(chain.pending_count(), 0, "drained over later blocks");
     }
+
+    /// Produces `n` one-tx blocks at 2 s cadence on a chain with the given
+    /// storage config, returning the chain.
+    fn chain_with_blocks(storage: StorageConfig, n: u64) -> Blockchain {
+        let mut chain = Blockchain::builder()
+            .validators(3)
+            .block_interval(SimDuration::from_secs(2))
+            .storage(storage)
+            .build();
+        chain.deploy(ContractId::new("counter"), Box::new(Counter));
+        let alice = chain.create_funded_account(b"alice", 1_000_000_000);
+        for i in 1..=n {
+            let tx = chain.build_call(
+                &alice,
+                ContractId::new("counter"),
+                "incr",
+                encode_to_vec(&(i,)),
+                200_000,
+            );
+            chain.submit(tx).unwrap();
+            chain.advance_to(SimTime::from_secs(2 * i));
+        }
+        chain
+    }
+
+    #[test]
+    fn checkpoints_seal_on_interval_and_prune_behind() {
+        let chain = chain_with_blocks(StorageConfig::enabled(4, 2), 10);
+        assert_eq!(chain.height(), 10);
+        // Checkpoints seal at heights 4 and 8; pruning lags one advance by
+        // design, so the last applied horizon (at the advance that sealed
+        // block 10, tip 9 then) is min(8 - 1, 9 - 2) = 7.
+        let heights: Vec<u64> = chain.checkpoints().iter().map(|cp| cp.height).collect();
+        assert_eq!(heights, vec![4, 8]);
+        assert_eq!(chain.prune_horizon(), 7);
+        assert_eq!(chain.retained_blocks(), 3);
+        // Height addressing survives pruning.
+        assert!(chain.block(7).is_none());
+        assert_eq!(chain.block(8).unwrap().header.height, 8);
+        assert_eq!(chain.block(10).unwrap().header.height, 10);
+        // The resident suffix still validates across the pruned boundary.
+        assert_eq!(chain.validate_chain(), Ok(()));
+        chain.verify_checkpoints().expect("checkpoints consistent");
+        // The event log starts above the horizon, and stale cursors get a
+        // typed error instead of silently missing pruned events.
+        assert!(chain.events_since(0).count() < 10);
+        assert!(chain
+            .events_since(chain.prune_horizon())
+            .all(|(h, _)| *h > 7));
+        let err = chain.try_events_slice_since(3).unwrap_err();
+        assert_eq!(
+            err,
+            PrunedRange {
+                requested: 3,
+                horizon: 7
+            }
+        );
+        assert!(chain.try_events_slice_since(7).is_ok());
+        // Receipts for resident blocks survive pruning.
+        assert!(chain
+            .block(8)
+            .unwrap()
+            .transactions
+            .iter()
+            .all(|tx| chain.receipt(&tx.id()).is_some()));
+    }
+
+    #[test]
+    fn disabled_storage_retains_everything() {
+        let chain = chain_with_blocks(StorageConfig::disabled(), 10);
+        assert_eq!(chain.prune_horizon(), 0);
+        assert_eq!(chain.retained_blocks(), 10);
+        assert!(chain.checkpoints().is_empty());
+        assert_eq!(chain.events_since(0).count(), 10);
+    }
+
+    #[test]
+    fn pruned_blocks_stream_to_the_archive() {
+        let path = std::env::temp_dir().join(format!(
+            "duc-chain-archive-{}-{:p}.bin",
+            std::process::id(),
+            &SEAL_MARKER
+        ));
+        std::fs::remove_file(&path).ok();
+        let chain = chain_with_blocks(StorageConfig::enabled(4, 2).with_archive(&path), 10);
+        assert_eq!(chain.archived_blocks(), 7);
+        let frames = duc_storage::FileArchive::read_frames(&path).expect("read archive");
+        assert_eq!(frames.len(), 7);
+        // Frames decode back to the sealed headers, in height order.
+        use duc_codec::Decode as _;
+        for (i, frame) in frames.iter().enumerate() {
+            let mut r = duc_codec::Reader::new(frame);
+            let header = crate::block::BlockHeader::decode(&mut r).expect("header");
+            assert_eq!(header.height, i as u64 + 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Address anchor for unique temp paths (one per test binary load).
+    static SEAL_MARKER: u8 = 0;
 
     #[test]
     fn view_calls_do_not_mutate() {

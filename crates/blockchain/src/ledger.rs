@@ -28,12 +28,13 @@
 //! consumer's WebID. Plain transfers route by sender address.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use duc_crypto::KeyPair;
 use duc_intern::{Interner, SymMap};
 use duc_sim::{SimDuration, SimTime};
+use duc_storage::{PrunedRange, StorageConfig};
 
 use crate::block::BlockValidationError;
 use crate::chain::{Blockchain, SubmitError};
@@ -158,6 +159,53 @@ pub trait Ledger {
     /// `Rc`-shared — oracle polls hit this every round, and a consumer that
     /// keeps an event clones the pointer, not the payload.
     fn events_since(&self, height: u64) -> &[(u64, Rc<Event>)];
+
+    /// The ledger's prune horizon in the same units as
+    /// [`Ledger::events_since`] cursors (global block numbers): every event
+    /// at or below it has been evicted. `0` when nothing is pruned — the
+    /// default for backends without storage management.
+    fn prune_horizon(&self) -> u64 {
+        0
+    }
+
+    /// Like [`Ledger::events_since`], but a cursor strictly below the
+    /// prune horizon is a typed [`PrunedRange`] error instead of a
+    /// silently-incomplete slice: events in `(height, horizon]` are gone,
+    /// so the caller must resync (the error carries the horizon to resync
+    /// to) rather than miss them.
+    ///
+    /// # Errors
+    /// [`PrunedRange`] when `height < prune_horizon`.
+    fn try_events_since(&self, height: u64) -> Result<&[(u64, Rc<Event>)], PrunedRange> {
+        let horizon = self.prune_horizon();
+        if height < horizon {
+            return Err(PrunedRange {
+                requested: height,
+                horizon,
+            });
+        }
+        Ok(self.events_since(height))
+    }
+
+    /// Blocks currently resident in memory across every shard.
+    fn retained_blocks(&self) -> usize {
+        self.height() as usize
+    }
+
+    /// Blocks streamed to append-only archives across every shard.
+    fn archived_blocks(&self) -> u64 {
+        0
+    }
+
+    /// Verifies sealed checkpoints against resident block state roots on
+    /// every shard (see `Blockchain::verify_checkpoints`). Trivially `Ok`
+    /// for backends without storage management.
+    ///
+    /// # Errors
+    /// A description of the first inconsistent checkpoint.
+    fn verify_checkpoints(&self) -> Result<(), String> {
+        Ok(())
+    }
 
     /// Executes a read-only contract call on the routed shard.
     ///
@@ -309,6 +357,22 @@ impl Ledger for Blockchain {
         self.events_slice_since(height)
     }
 
+    fn prune_horizon(&self) -> u64 {
+        Blockchain::prune_horizon(self)
+    }
+
+    fn retained_blocks(&self) -> usize {
+        Blockchain::retained_blocks(self)
+    }
+
+    fn archived_blocks(&self) -> u64 {
+        Blockchain::archived_blocks(self)
+    }
+
+    fn verify_checkpoints(&self) -> Result<(), String> {
+        Blockchain::verify_checkpoints(self)
+    }
+
     fn call_view(
         &self,
         contract: &ContractId,
@@ -393,6 +457,13 @@ pub struct ShardedLedger {
     merged_log: Vec<(u64, Rc<Event>)>,
     /// Blocks sealed across every shard (assigns global block numbers).
     global_blocks: u64,
+    /// Provenance of merged blocks still tracked for pruning: entry `i`
+    /// describes global block `merged_base + i + 1` as
+    /// `(shard, shard height)`. Empty when storage management is off.
+    block_shards: VecDeque<(u32, u64)>,
+    /// Global block numbers `<= merged_base` are pruned from the merged
+    /// log (the merged view's prune horizon).
+    merged_base: u64,
     /// Route-key memo: interned key → shard. Every submit walks the alias
     /// table and hashes otherwise; with 10⁵ owners that scan dominates, so
     /// resolved placements are memoized per distinct key. Invalidated when
@@ -431,6 +502,8 @@ impl ShardedLedger {
             aliases: Vec::new(),
             merged_log: Vec::new(),
             global_blocks: 0,
+            block_shards: VecDeque::new(),
+            merged_base: 0,
             route_cache: RefCell::new((Interner::new(), SymMap::new())),
         }
     }
@@ -440,6 +513,42 @@ impl ShardedLedger {
     #[must_use]
     pub fn with_router(mut self, router: RouterFn) -> ShardedLedger {
         self.router = router;
+        self
+    }
+
+    /// Rebuilds every shard with the given retention configuration. When
+    /// an archive path is set, shard `i` archives to `<path>.shard<i>`
+    /// (one append-only stream per shard).
+    ///
+    /// Call straight after [`ShardedLedger::new`], before deploys or
+    /// funding: the shards are recreated from genesis.
+    ///
+    /// # Panics
+    /// If any shard has already sealed a block.
+    #[must_use]
+    pub fn with_storage(mut self, storage: StorageConfig) -> ShardedLedger {
+        assert!(
+            self.global_blocks == 0 && self.shards.iter().all(|s| s.height() == 0),
+            "with_storage must run before any block is sealed"
+        );
+        let validators = self.shards[0].validator_count();
+        let interval = self.shards[0].block_interval();
+        self.shards = (0..self.shards.len())
+            .map(|i| {
+                let mut cfg = storage.clone();
+                if let Some(path) = &storage.archive_path {
+                    cfg.archive_path = Some(std::path::PathBuf::from(format!(
+                        "{}.shard{i}",
+                        path.display()
+                    )));
+                }
+                Blockchain::builder()
+                    .validators(validators)
+                    .block_interval(interval)
+                    .storage(cfg)
+                    .build()
+            })
+            .collect();
         self
     }
 
@@ -482,6 +591,27 @@ impl ShardedLedger {
             TxKind::Transfer { .. } => {
                 (fnv1a(tx.tx.from.0.as_bytes()) % self.shards.len() as u64) as usize
             }
+        }
+    }
+
+    /// Evicts merged-log events whose source shard block has been pruned.
+    /// Walks the provenance queue from the oldest merged block and stops
+    /// at the first still-resident one, so the merged horizon only covers
+    /// a contiguous pruned prefix — `merged_base` stays a valid cursor
+    /// floor in global block numbers.
+    fn prune_merged_log(&mut self) {
+        let mut horizon = self.merged_base;
+        while let Some(&(shard, h)) = self.block_shards.front() {
+            if h > self.shards[shard as usize].prune_horizon() {
+                break;
+            }
+            self.block_shards.pop_front();
+            horizon += 1;
+        }
+        if horizon > self.merged_base {
+            self.merged_base = horizon;
+            let cut = self.merged_log.partition_point(|(g, _)| *g <= horizon);
+            self.merged_log.drain(..cut);
         }
     }
 
@@ -593,18 +723,28 @@ impl Ledger for ShardedLedger {
             }
         }
         fresh.sort_unstable_by_key(|(ts, idx, _)| (*ts, *idx));
+        let storage_on = self.shards[0].storage_config().is_enabled();
         for (_, idx, h) in fresh {
             self.global_blocks += 1;
             let global = self.global_blocks;
+            if storage_on {
+                self.block_shards.push_back((idx as u32, h));
+            }
             let shard = &self.shards[idx];
             // The tail is height-sorted, so block h's events are its
-            // contiguous prefix.
+            // contiguous prefix. Shard-level pruning is deferred to the
+            // start of the *next* `advance_to`, so every event sealed in
+            // this call — even in a multi-block burst — is still resident
+            // when this merge reads it.
             self.merged_log.extend(
                 shard
                     .events_since(h - 1)
                     .take_while(|(hh, _)| *hh == h)
                     .map(|(_, ev)| (global, Rc::clone(ev))),
             );
+        }
+        if storage_on {
+            self.prune_merged_log();
         }
         produced
     }
@@ -624,6 +764,27 @@ impl Ledger for ShardedLedger {
     fn events_since(&self, height: u64) -> &[(u64, Rc<Event>)] {
         let start = self.merged_log.partition_point(|(h, _)| *h <= height);
         &self.merged_log[start..]
+    }
+
+    fn prune_horizon(&self) -> u64 {
+        self.merged_base
+    }
+
+    fn retained_blocks(&self) -> usize {
+        self.shards.iter().map(Blockchain::retained_blocks).sum()
+    }
+
+    fn archived_blocks(&self) -> u64 {
+        self.shards.iter().map(Blockchain::archived_blocks).sum()
+    }
+
+    fn verify_checkpoints(&self) -> Result<(), String> {
+        for (idx, shard) in self.shards.iter().enumerate() {
+            shard
+                .verify_checkpoints()
+                .map_err(|e| format!("shard {idx}: {e}"))?;
+        }
+        Ok(())
     }
 
     fn call_view(
@@ -886,6 +1047,48 @@ mod tests {
         let (calls, total, mean) = agg[&("counter".to_string(), "incr".to_string())];
         assert_eq!(calls, 8);
         assert!(mean > 0 && mean <= total);
+    }
+
+    #[test]
+    fn merged_log_prunes_behind_shard_checkpoints() {
+        let mut ledger = ShardedLedger::new(3, 2, SimDuration::from_secs(2))
+            .with_storage(StorageConfig::enabled(2, 1))
+            .with_router(key_router());
+        ledger.deploy_with(ContractId::new("counter"), &|| Box::new(Counter));
+        let alice = ledger.create_funded_account(b"alice", 1_000_000_000);
+        for round in 0..12u64 {
+            for i in 0..6 {
+                let tx = ledger.build_call(
+                    &alice,
+                    ContractId::new("counter"),
+                    "incr",
+                    encode_to_vec(&(format!("key-{i}"), 1u64)),
+                    200_000,
+                );
+                ledger.submit(tx).expect("submit");
+            }
+            ledger.advance_to(SimTime::from_secs(2 * (round + 1)));
+        }
+        // Shards checkpointed and pruned, and the merged view exposes a
+        // horizon in global block numbers.
+        let horizon = Ledger::prune_horizon(&ledger);
+        assert!(horizon > 0, "merged view pruned a prefix");
+        assert!(Ledger::retained_blocks(&ledger) < ledger.height() as usize);
+        Ledger::verify_checkpoints(&ledger).expect("per-shard checkpoints consistent");
+        // Cursors below the horizon get a typed error carrying the resync
+        // floor; at or above, reads succeed and stay height-interleaved.
+        let err = ledger.try_events_since(horizon - 1).unwrap_err();
+        assert_eq!(err.horizon, horizon);
+        let tail = ledger.try_events_since(horizon).expect("valid cursor");
+        assert!(tail.iter().all(|(g, _)| *g > horizon));
+        let mut prev = 0;
+        for (g, _) in tail {
+            assert!(*g >= prev);
+            prev = *g;
+        }
+        ledger
+            .validate_chains()
+            .expect("resident suffixes validate");
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub use state::WorldState;
 pub use tx::{Receipt, SignedTransaction, Transaction, TxStatus};
 pub use types::{Address, Amount, ContractId, TxId};
 
+// Storage-layer types the chain API surfaces (checkpointing & pruning).
+pub use duc_storage::{Checkpoint, PrunedRange, StorageConfig};
+
 /// Common imports.
 pub mod prelude {
     pub use crate::block::{Block, BlockHeader};
@@ -78,4 +81,5 @@ pub mod prelude {
     pub use crate::state::WorldState;
     pub use crate::tx::{Receipt, SignedTransaction, Transaction, TxStatus};
     pub use crate::types::{Address, Amount, ContractId, TxId};
+    pub use duc_storage::{Checkpoint, PrunedRange, StorageConfig};
 }

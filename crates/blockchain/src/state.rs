@@ -185,6 +185,14 @@ impl WorldState {
             &(self.storage.len() as u64).to_le_bytes(),
         ])
     }
+
+    /// The raw XOR-multiset accumulator behind [`WorldState::commitment`].
+    ///
+    /// Checkpoints persist this so a restored store can resume incremental
+    /// maintenance without replaying history.
+    pub fn accumulator(&self) -> [u8; 32] {
+        self.acc
+    }
 }
 
 /// Debit failure.

@@ -18,8 +18,12 @@
 //!   fault can never mint an unregistered governed copy).
 //! - **Consistent gas accounting** — every unit of consumed gas was paid
 //!   out to a proposer, regardless of which fault windows hit.
-//! - **Cursors never stranded** — the pull-in/push-out oracle cursors never
-//!   run ahead of the chain.
+//! - **Cursors never stranded** — the pull-in/push-out oracle cursors stay
+//!   within `[prune_horizon, height]`: never ahead of the chain, never left
+//!   below the prune horizon.
+//! - **Checkpoint integrity** — every resident checkpoint block carries the
+//!   state commitment its checkpoint sealed, and the latest checkpoint's
+//!   block is never pruned.
 
 use duc_blockchain::Ledger;
 use duc_sim::{EndpointId, FaultPlan, LatencyModel, LinkConfig, Rng, SimDuration, SimTime};
@@ -212,8 +216,12 @@ pub fn check_invariants<L: Ledger>(world: &World<L>) -> Result<(), String> {
         ));
     }
 
-    // Oracle cursors never stranded past the chain.
+    // Oracle cursors never stranded: each cursor stays within
+    // `[prune_horizon, height]` — never ahead of the chain, and never left
+    // pointing into a pruned range after a quiesced run (the driver's
+    // checkpoint-resync path must have lifted it).
     let height = world.chain.height();
+    let horizon = world.chain.prune_horizon();
     if world.push_out.cursor() > height {
         return Err(format!(
             "push-out cursor {} ran ahead of height {height}",
@@ -226,6 +234,27 @@ pub fn check_invariants<L: Ledger>(world: &World<L>) -> Result<(), String> {
             world.pull_in.cursor()
         ));
     }
+    if world.push_out.cursor() < horizon {
+        return Err(format!(
+            "push-out cursor {} stranded below prune horizon {horizon}",
+            world.push_out.cursor()
+        ));
+    }
+    if world.pull_in.cursor() < horizon {
+        return Err(format!(
+            "pull-in cursor {} stranded below prune horizon {horizon}",
+            world.pull_in.cursor()
+        ));
+    }
+
+    // Checkpoint integrity: every resident checkpoint block's sealed state
+    // commitment matches the chain's recorded header, and the latest
+    // checkpoint's block is still resident — a fault can never prune (or
+    // forge) the block a finalized checkpoint anchors to.
+    world
+        .chain
+        .verify_checkpoints()
+        .map_err(|e| format!("checkpoint integrity violated: {e}"))?;
     Ok(())
 }
 

@@ -190,8 +190,25 @@ impl<L: Ledger> Monitoring<L> {
                 // At the gateway: collect the request events and ship them
                 // back to the relay. The cursor commits only when the
                 // response arrives, so a lost hop never strands events.
+                // A cursor stranded below the prune horizon (pruning ran
+                // while the poll was in flight) resyncs to the checkpoint's
+                // event-cursor floor instead of reading silently-empty
+                // ranges; rounds whose request events were evicted get
+                // re-opened by the scheduler, not replayed from the log.
                 let (events, response_size, cursor_to) =
-                    world.pull_in.collect_requests(&world.chain);
+                    match world.pull_in.try_collect_requests(&world.chain) {
+                        Ok(collected) => collected,
+                        Err(OracleError::Pruned(e)) => {
+                            world.pull_in.resync(e.horizon);
+                            world
+                                .pull_in
+                                .try_collect_requests(&world.chain)
+                                .expect("cursor at horizon is always valid")
+                        }
+                        Err(e) => {
+                            unreachable!("try_collect_requests only reports pruned ranges: {e}")
+                        }
+                    };
                 let hop = Hop::new(
                     world,
                     world.gateway,

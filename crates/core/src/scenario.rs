@@ -475,14 +475,36 @@ fn enroll_devices<L: Ledger>(world: &mut World<L>, pop: &mut Population, count: 
 
 /// Drains the mempool and installs the market certificate of every pending
 /// subscription, moving the devices into the live fleet.
+///
+/// Receipts are harvested *while* the chunk drains, not after: a pruning
+/// chain ([`crate::world::WorldConfig::storage`]) evicts receipts together
+/// with their blocks, and a chunk can span far more blocks than the
+/// resident window. Harvesting per block reads every receipt within one
+/// block interval of sealing; the certificates are then installed in the
+/// original submission order, so the fleet order — and everything drawn
+/// from it — is byte-identical to the drain-then-read path.
 fn certify_enrolled<L: Ledger>(
     world: &mut World<L>,
     pop: &mut Population,
     pending: &mut Vec<(String, TxId)>,
 ) {
-    drain_mempool(world);
+    let mut harvested: std::collections::HashMap<TxId, duc_blockchain::Receipt> =
+        std::collections::HashMap::with_capacity(pending.len());
+    loop {
+        for (_, id) in pending.iter() {
+            if !harvested.contains_key(id) {
+                if let Some(receipt) = world.chain.receipt(id) {
+                    harvested.insert(*id, receipt.clone());
+                }
+            }
+        }
+        if world.chain.pending_count() == 0 {
+            break;
+        }
+        world.advance(SimDuration::from_secs(2));
+    }
     for (name, id) in pending.drain(..) {
-        let receipt = world.chain.receipt(&id).expect("subscription included");
+        let receipt = harvested.get(&id).expect("subscription included");
         let cert = DistExchangeClient::decode_certificate(&receipt.return_data)
             .expect("subscription certificate");
         world

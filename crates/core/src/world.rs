@@ -1,6 +1,6 @@
 //! The simulated deployment: all components of Fig. 1, wired together.
 
-use duc_blockchain::{Address, Blockchain, ContractId, Ledger, ShardedLedger};
+use duc_blockchain::{Address, Blockchain, ContractId, Ledger, ShardedLedger, StorageConfig};
 use duc_contracts::{topics, DistExchange, DistExchangeClient, PolicyEnvelope, DEX_CONTRACT_ID};
 use duc_crypto::KeyPair;
 use duc_intern::{Registry, SharedInterner};
@@ -54,6 +54,10 @@ pub struct WorldConfig {
     pub shards: usize,
     /// Obligation-enforcement mode (see [`EnforcementMode`]).
     pub enforcement: EnforcementMode,
+    /// Block/state storage policy: checkpoint interval, retained block
+    /// window and optional archive path (disabled by default — every
+    /// block stays resident, the pre-storage behaviour).
+    pub storage: StorageConfig,
 }
 
 impl Default for WorldConfig {
@@ -70,6 +74,7 @@ impl Default for WorldConfig {
             initial_balance: 10_000_000_000,
             shards: 1,
             enforcement: EnforcementMode::Deadline,
+            storage: StorageConfig::disabled(),
         }
     }
 }
@@ -198,6 +203,7 @@ impl World {
         let chain = Blockchain::builder()
             .validators(config.validators)
             .block_interval(config.block_interval)
+            .storage(config.storage.clone())
             .build();
         World::with_ledger(config, chain)
     }
@@ -214,6 +220,7 @@ impl World<ShardedLedger> {
             config.validators,
             config.block_interval,
         )
+        .with_storage(config.storage.clone())
         .with_router(duc_contracts::routing::dex_router());
         World::with_ledger(config, chain)
     }
@@ -364,8 +371,20 @@ impl<L: Ledger> World<L> {
     }
 
     /// Produces blocks due at the current clock and returns the height.
+    ///
+    /// When the chain prunes behind a checkpoint, idle oracle cursors are
+    /// fast-forwarded to the new horizon (the relay observing the
+    /// checkpoint announcement): every event below it is evicted, so the
+    /// lift is exactly the resync the next poll would be forced into, and
+    /// cursors stay within `[prune_horizon, height]` at every quiescent
+    /// point (a chaos invariant).
     pub fn sync_chain(&mut self) -> u64 {
         self.chain.advance_to(self.clock.now());
+        let horizon = self.chain.prune_horizon();
+        if horizon > 0 {
+            self.push_out.resync(horizon);
+            self.pull_in.resync(horizon);
+        }
         self.chain.height()
     }
 

@@ -8,10 +8,10 @@
 //! `DUC_LEDGER_BACKEND=sharded` to run the identical matrix over the
 //! [`duc_blockchain::ShardedLedger`] backend (CI runs both).
 
-use duc_blockchain::Ledger;
+use duc_blockchain::{Ledger, StorageConfig};
 use duc_core::chaos::{self, fixed_link};
 use duc_core::prelude::*;
-use duc_sim::SimDuration;
+use duc_sim::{FaultPlan, SimDuration};
 use proptest::prelude::*;
 
 const OWNER: &str = "https://owner.id/me";
@@ -161,6 +161,81 @@ fn policy_churn_mid_flight_resolves_and_replays() {
     let (fp2, ok2, failed2) = run(77);
     assert_eq!((ok, failed), (ok2, failed2));
     assert_eq!(fp1, fp2, "policy churn replays byte-identically");
+}
+
+/// Pruning mid-flight: a world checkpointing every 2 blocks with a 2-block
+/// retained window runs the mixed batch under lossy drop windows over the
+/// relay's uplinks, so hops retry across block boundaries while the chain
+/// evicts history behind its checkpoints. Every ticket still resolves, the
+/// prune-aware invariants hold (cursors within `[prune_horizon, height]`,
+/// checkpoint commitments intact), and identically-seeded runs replay
+/// byte-identically. Runs on both ledger backends via
+/// `DUC_LEDGER_BACKEND`.
+#[test]
+fn pruning_mid_flight_under_drop_windows_resolves_and_replays() {
+    let run = |seed: u64| {
+        let config = WorldConfig {
+            storage: StorageConfig::enabled(2, 2),
+            ..world_config(seed)
+        };
+        if sharded_backend() {
+            let (mut world, resource) =
+                chaos::launch_pad_in(World::new_sharded(config), OWNER, PATH, 4);
+            run_pruned_batch(&mut world, &resource, seed)
+        } else {
+            let (mut world, resource) = chaos::launch_pad_in(World::new(config), OWNER, PATH, 4);
+            run_pruned_batch(&mut world, &resource, seed)
+        }
+    };
+    let (fp1, ok, failed) = run(31);
+    let (fp2, ok2, failed2) = run(31);
+    assert_eq!((ok, failed), (ok2, failed2));
+    assert_eq!(fp1, fp2, "mid-flight pruning replays byte-identically");
+}
+
+/// Shared body of the mid-flight pruning run: lossy drop windows over the
+/// batch's active phase, the mixed batch, and the post-run pruning
+/// assertions.
+fn run_pruned_batch<L: Ledger>(
+    world: &mut World<L>,
+    resource: &str,
+    seed: u64,
+) -> (String, usize, usize) {
+    let dev = world.device("device-0").endpoint;
+    let relay = world.push_in.relay;
+    let now = world.clock.now();
+    let plan = FaultPlan::none()
+        .drop_window(dev, relay, now, now + SimDuration::from_secs(10), 400)
+        .drop_window(
+            relay,
+            world.gateway,
+            now + SimDuration::from_secs(5),
+            now + SimDuration::from_secs(15),
+            300,
+        );
+    let batch = chaos::mixed_batch(OWNER, PATH, resource, 4);
+    let requests = batch.len();
+    let run = chaos::run_chaos(world, batch, plan).unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+    assert_eq!(
+        run.outcomes.len(),
+        requests,
+        "seed={seed}: every ticket resolves"
+    );
+    // The merged horizon of a sharded ledger is a contiguous-prefix bound:
+    // an idle shard whose only blocks head the merged log legitimately pins
+    // it at 0, so the horizon check is single-chain-only. Eviction itself
+    // shows on both backends as a resident window smaller than history.
+    if world.chain.shard_count() == 1 {
+        assert!(
+            world.chain.prune_horizon() > 0,
+            "seed={seed}: the run pruned history behind its checkpoints"
+        );
+    }
+    assert!(
+        (world.chain.retained_blocks() as u64) < world.chain.height(),
+        "seed={seed}: the resident window is a strict subset of history"
+    );
+    (chaos::fingerprint(world), run.ok, run.failed)
 }
 
 proptest! {

@@ -8,11 +8,13 @@
 //! suite compares *outcomes* — what happened — not fingerprints, which are
 //! only required to replay byte-identically within one backend.
 
-use duc_blockchain::Ledger;
+use duc_blockchain::{Checkpoint, Ledger, StorageConfig};
+use duc_codec::Encode;
 use duc_core::chaos::{self, fixed_link};
 use duc_core::prelude::*;
 use duc_core::scenario;
-use duc_sim::SimDuration;
+use duc_sim::{FaultPlan, SimDuration};
+use proptest::prelude::*;
 
 const OWNER: &str = "https://owner.id/me";
 const PATH: &str = "data/set.bin";
@@ -149,6 +151,43 @@ fn golden_scenario_outcomes_and_gas_are_pinned() {
         &sharded_world.chain.gas_by_method(),
         &gold_sharded,
     );
+
+    // The same scenario with pruning enabled (checkpoint every 4 blocks,
+    // 8-block resident window) must reproduce the pins to the gas unit:
+    // pruning may only change what stays resident, never what happened.
+    let pruned_single = WorldConfig {
+        storage: StorageConfig::enabled(4, 8),
+        ..config(7, 1)
+    };
+    let (pruned, pruned_world) = scenario_on(World::new(pruned_single));
+    outcomes("single+prune", &pruned);
+    assert_eq!(pruned.total_gas, TOTAL_GAS_SINGLE, "pruned total gas");
+    gas_pinned("single+prune", &pruned_world.chain.gas_by_method(), GOLD);
+    assert!(
+        pruned_world.chain.prune_horizon() > 0,
+        "the golden scenario is long enough to prune"
+    );
+    pruned_world
+        .chain
+        .verify_checkpoints()
+        .expect("pruned golden checkpoints");
+
+    let pruned_sharded = WorldConfig {
+        storage: StorageConfig::enabled(4, 8),
+        ..config(7, 4)
+    };
+    let (pruned, pruned_world) = scenario_on(World::new_sharded(pruned_sharded));
+    outcomes("sharded+prune", &pruned);
+    assert_eq!(pruned.total_gas, TOTAL_GAS_SHARDED, "pruned sharded gas");
+    gas_pinned(
+        "sharded+prune",
+        &pruned_world.chain.gas_by_method(),
+        &gold_sharded,
+    );
+    pruned_world
+        .chain
+        .verify_checkpoints()
+        .expect("pruned sharded golden checkpoints");
 }
 
 #[test]
@@ -255,6 +294,76 @@ fn policy_churn_holds_invariants_on_both_backends() {
     let (_, _, v_sharded) = churn(World::new_sharded(config(33, 4)));
     assert_eq!(v_single, 2);
     assert_eq!(v_sharded, 2);
+}
+
+/// One fault-free launch-pad + mixed-batch run, returning the fingerprint.
+/// Every ticket must succeed (no faults are installed), and the shared
+/// invariants — including the prune-aware cursor and checkpoint sweeps —
+/// are checked by `run_chaos`.
+fn fault_free_fingerprint<L: Ledger>(world: World<L>, seed: u64) -> String {
+    let (mut world, resource) = chaos::launch_pad_in(world, OWNER, PATH, 3);
+    let batch = chaos::mixed_batch(OWNER, PATH, &resource, 3);
+    let run = chaos::run_chaos(&mut world, batch, FaultPlan::none())
+        .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+    assert_eq!(
+        run.ok,
+        run.outcomes.len(),
+        "seed={seed}: fault-free runs succeed everywhere"
+    );
+    chaos::fingerprint(&mut world)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Checkpoint → prune → replay round-trip: for any seed, the pruned
+    /// run (checkpoint every 2 blocks, 2-block resident window) produces a
+    /// fingerprint byte-identical to the unpruned run of the same seed,
+    /// and re-running the pruned world replays byte-identically — on both
+    /// ledger backends. Pruning must be invisible to everything but
+    /// memory.
+    #[test]
+    fn pruned_runs_replay_byte_identically_on_both_backends(seed in 0u64..200) {
+        let pruned = StorageConfig::enabled(2, 2);
+        let plain = fault_free_fingerprint(World::new(config(seed, 1)), seed);
+        let cfg = || WorldConfig { storage: pruned.clone(), ..config(seed, 1) };
+        let p1 = fault_free_fingerprint(World::new(cfg()), seed);
+        let p2 = fault_free_fingerprint(World::new(cfg()), seed);
+        prop_assert_eq!(&plain, &p1, "pruning perturbed the single-chain run");
+        prop_assert_eq!(&p1, &p2, "pruned single-chain replay diverged");
+
+        let plain = fault_free_fingerprint(World::new_sharded(config(seed, 4)), seed);
+        let cfg = || WorldConfig { storage: pruned.clone(), ..config(seed, 4) };
+        let s1 = fault_free_fingerprint(World::new_sharded(cfg()), seed);
+        let s2 = fault_free_fingerprint(World::new_sharded(cfg()), seed);
+        prop_assert_eq!(&plain, &s1, "pruning perturbed the sharded run");
+        prop_assert_eq!(&s1, &s2, "pruned sharded replay diverged");
+    }
+}
+
+/// A sealed checkpoint survives a codec round-trip bit-for-bit, and the
+/// sealed state commitment stays verifiable against the chain's recorded
+/// headers after pruning (the restore anchor of the storage layer).
+#[test]
+fn checkpoints_roundtrip_and_stay_verifiable() {
+    let cfg = WorldConfig {
+        storage: StorageConfig::enabled(2, 2),
+        ..config(5, 1)
+    };
+    let (mut world, resource) = chaos::launch_pad_in(World::new(cfg), OWNER, PATH, 3);
+    let batch = chaos::mixed_batch(OWNER, PATH, &resource, 3);
+    chaos::run_chaos(&mut world, batch, FaultPlan::none()).expect("invariants");
+    assert!(world.chain.prune_horizon() > 0, "the run pruned");
+    let cp = world.chain.last_checkpoint().expect("sealed").clone();
+    let mut buf = Vec::new();
+    cp.encode(&mut buf);
+    let restored: Checkpoint = duc_codec::decode_from_slice(&buf).expect("decode");
+    assert_eq!(restored, cp, "checkpoint codec round-trip");
+    assert_eq!(restored.state_commitment, cp.state_commitment);
+    world
+        .chain
+        .verify_checkpoints()
+        .expect("sealed commitments match the recorded headers");
 }
 
 #[test]

@@ -2,7 +2,9 @@
 
 use std::rc::Rc;
 
-use duc_blockchain::{ContractError, Event, Ledger, Receipt, SignedTransaction, SubmitError, TxId};
+use duc_blockchain::{
+    ContractError, Event, Ledger, PrunedRange, Receipt, SignedTransaction, SubmitError, TxId,
+};
 use duc_codec::encode_to_vec;
 use duc_sim::{Clock, EndpointId, NetworkModel, Rng, SimDuration, SimTime};
 
@@ -68,13 +70,20 @@ pub enum OracleError {
     },
     /// A view call failed.
     View(ContractError),
+    /// The cursor fell below the chain's prune horizon: the requested
+    /// event range has been evicted behind a checkpoint. Blind retry can
+    /// never succeed — the holder must resync its cursor to the carried
+    /// horizon (see `PushOutOracle::resync` / `PullInOracle::resync`)
+    /// before polling again.
+    Pruned(PrunedRange),
 }
 
 impl OracleError {
     /// Whether the failure is *transient*: caused by the network or chain
     /// liveness, so re-issuing the whole operation later (after faults
     /// heal) can plausibly succeed. Permanent failures — contract
-    /// rejections and view errors — abort instead of retrying.
+    /// rejections, view errors, and pruned cursor ranges (which need an
+    /// explicit resync, not a retry) — abort instead of retrying.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -104,6 +113,7 @@ impl std::fmt::Display for OracleError {
                 write!(f, "transaction not included by {deadline}")
             }
             OracleError::View(e) => write!(f, "view call failed: {e}"),
+            OracleError::Pruned(e) => write!(f, "cursor below prune horizon: {e}"),
         }
     }
 }
@@ -312,6 +322,7 @@ pub struct PushOutOracle {
     subscriptions: Vec<(String, EndpointId)>,
     delivered: u64,
     dropped: u64,
+    resyncs: u64,
 }
 
 impl PushOutOracle {
@@ -323,6 +334,7 @@ impl PushOutOracle {
             subscriptions: Vec::new(),
             delivered: 0,
             dropped: 0,
+            resyncs: 0,
         }
     }
 
@@ -340,7 +352,10 @@ impl PushOutOracle {
     /// Drains new chain events and computes their deliveries. Lost
     /// messages are counted and omitted (at-most-once delivery, like a
     /// plain webhook relay — the monitoring process tolerates this by
-    /// re-polling).
+    /// re-polling). If the cursor has fallen below the chain's prune
+    /// horizon, the oracle resyncs to the horizon (counted in
+    /// [`PushOutOracle::resyncs`]) and drains from there — the behaviour
+    /// [`PushOutOracle::try_drain`] surfaces as a typed error instead.
     pub fn drain<L: Ledger>(
         &mut self,
         chain: &L,
@@ -348,9 +363,38 @@ impl PushOutOracle {
         clock: &Clock,
         rng: &mut Rng,
     ) -> Vec<OutboundDelivery> {
+        match self.try_drain(chain, net, clock, rng) {
+            Ok(deliveries) => deliveries,
+            Err(OracleError::Pruned(e)) => {
+                self.resync(e.horizon);
+                self.try_drain(chain, net, clock, rng)
+                    .expect("cursor at horizon is always valid")
+            }
+            Err(_) => unreachable!("try_drain only fails with Pruned"),
+        }
+    }
+
+    /// Like [`PushOutOracle::drain`], but a cursor below the prune horizon
+    /// is a typed [`OracleError::Pruned`] error: events in
+    /// `(cursor, horizon]` were evicted before this relay saw them, and the
+    /// caller decides how to recover (checkpoint-resync via
+    /// [`PushOutOracle::resync`], then drain again).
+    ///
+    /// # Errors
+    /// [`OracleError::Pruned`] when the cursor is below the horizon.
+    pub fn try_drain<L: Ledger>(
+        &mut self,
+        chain: &L,
+        net: &mut NetworkModel,
+        clock: &Clock,
+        rng: &mut Rng,
+    ) -> Result<Vec<OutboundDelivery>, OracleError> {
+        let fresh = chain
+            .try_events_since(self.cursor)
+            .map_err(OracleError::Pruned)?;
         let mut deliveries = Vec::new();
         let mut max_height = self.cursor;
-        for (height, event) in chain.events_since(self.cursor) {
+        for (height, event) in fresh {
             max_height = max_height.max(*height);
             for (topic, recipient) in &self.subscriptions {
                 if topic != &event.topic {
@@ -372,7 +416,23 @@ impl PushOutOracle {
             }
         }
         self.cursor = max_height;
-        deliveries
+        Ok(deliveries)
+    }
+
+    /// Checkpoint-resync: advances the cursor to `floor` (monotone) after
+    /// a [`OracleError::Pruned`] error. Events in the skipped range are
+    /// gone; subscribers recover the way they already tolerate at-most-once
+    /// delivery — by re-polling state.
+    pub fn resync(&mut self, floor: u64) {
+        if floor > self.cursor {
+            self.cursor = floor;
+            self.resyncs += 1;
+        }
+    }
+
+    /// How many times the cursor was resynced past a pruned range.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// `(delivered, dropped)` counters.
@@ -487,6 +547,11 @@ impl PullOutOracle {
     }
 }
 
+/// One pull-in poll: the topic-matching request events, the response
+/// payload size a gateway would ship back, and the cursor position the
+/// poll covers (committed separately via [`PullInOracle::commit_cursor`]).
+pub type PullInPoll = (Vec<(u64, Rc<Event>)>, u64, u64);
+
 /// **Pull-in**: the chain *requests* data from off-chain components — the
 /// DE App opens a monitoring round and this oracle's off-chain half watches
 /// for the request events, collects answers from devices, and pushes them
@@ -497,6 +562,7 @@ pub struct PullInOracle {
     pub relay: EndpointId,
     cursor: u64,
     topic: String,
+    resyncs: u64,
 }
 
 impl PullInOracle {
@@ -506,6 +572,7 @@ impl PullInOracle {
             relay,
             cursor: 0,
             topic: topic.into(),
+            resyncs: 0,
         }
     }
 
@@ -526,8 +593,26 @@ impl PullInOracle {
     /// advanced here — the caller commits it with
     /// [`PullInOracle::commit_cursor`] once the response hop actually
     /// arrives, so a lost response never strands events behind the cursor.
-    pub fn collect_requests<L: Ledger>(&self, chain: &L) -> (Vec<(u64, Rc<Event>)>, u64, u64) {
-        let fresh = chain.events_since(self.cursor);
+    pub fn collect_requests<L: Ledger>(&self, chain: &L) -> PullInPoll {
+        self.collect_from(chain.events_since(self.cursor))
+    }
+
+    /// Like [`PullInOracle::collect_requests`], but a cursor below the
+    /// chain's prune horizon is a typed [`OracleError::Pruned`] error —
+    /// request events in `(cursor, horizon]` were evicted before this poll
+    /// saw them, so the caller must checkpoint-resync
+    /// ([`PullInOracle::resync`]) instead of treating the poll as empty.
+    ///
+    /// # Errors
+    /// [`OracleError::Pruned`] when the cursor is below the horizon.
+    pub fn try_collect_requests<L: Ledger>(&self, chain: &L) -> Result<PullInPoll, OracleError> {
+        let fresh = chain
+            .try_events_since(self.cursor)
+            .map_err(OracleError::Pruned)?;
+        Ok(self.collect_from(fresh))
+    }
+
+    fn collect_from(&self, fresh: &[(u64, Rc<Event>)]) -> PullInPoll {
         let cursor_to = fresh.iter().map(|(h, _)| *h).max().unwrap_or(self.cursor);
         let events: Vec<(u64, Rc<Event>)> = fresh
             .iter()
@@ -546,6 +631,23 @@ impl PullInOracle {
     /// hop succeeded, acknowledging everything the poll served.
     pub fn commit_cursor(&mut self, height: u64) {
         self.cursor = self.cursor.max(height);
+    }
+
+    /// Checkpoint-resync: advances the cursor to `floor` (monotone) after
+    /// a [`OracleError::Pruned`] error, counted in
+    /// [`PullInOracle::resyncs`]. Monitoring recovers naturally: rounds
+    /// whose request events were pruned before any poll saw them are
+    /// re-opened by the round scheduler, not replayed from history.
+    pub fn resync(&mut self, floor: u64) {
+        if floor > self.cursor {
+            self.cursor = floor;
+            self.resyncs += 1;
+        }
+    }
+
+    /// How many times the cursor was resynced past a pruned range.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// Non-blocking second half of a poll: the response-hop delay (gateway
@@ -966,5 +1068,88 @@ mod tests {
             .poll_requests(&s.chain, &mut s.net, &s.clock, &mut s.rng, s.gateway)
             .unwrap();
         assert!(events.is_empty());
+    }
+
+    /// A chain aggressively pruning behind per-block checkpoints, with
+    /// enough sealed blocks that a genesis cursor is below the horizon.
+    fn pruning_setup() -> Setup {
+        let mut s = setup(fixed_link(10));
+        let mut chain = Blockchain::builder()
+            .validators(2)
+            .block_interval(SimDuration::from_secs(2))
+            .storage(duc_blockchain::StorageConfig::enabled(1, 1))
+            .build();
+        chain.deploy(ContractId::new("echo"), Box::new(Echo));
+        s.key = chain.create_funded_account(b"device-owner", 1_000_000_000);
+        for i in 1..=6u64 {
+            let tx = chain.build_call(
+                &s.key,
+                ContractId::new("echo"),
+                "store",
+                encode_to_vec(&(i,)),
+                1_000_000,
+            );
+            chain.submit(tx).unwrap();
+            chain.advance_to(SimTime::from_secs(2 * i));
+        }
+        assert!(chain.prune_horizon() > 0, "setup actually pruned");
+        s.chain = chain;
+        s
+    }
+
+    #[test]
+    fn push_out_stale_cursor_is_typed_and_resyncs() {
+        let mut s = pruning_setup();
+        let mut oracle = PushOutOracle::new(s.relay);
+        oracle.subscribe("Stored", s.device);
+        let horizon = s.chain.prune_horizon();
+        // try_drain surfaces the pruned range instead of silently serving
+        // only the resident tail.
+        let err = oracle
+            .try_drain(&s.chain, &mut s.net, &s.clock, &mut s.rng)
+            .unwrap_err();
+        match err {
+            OracleError::Pruned(e) => {
+                assert_eq!(e.requested, 0);
+                assert_eq!(e.horizon, horizon);
+                assert!(!err.is_transient(), "resync, not blind retry");
+            }
+            other => panic!("expected Pruned, got {other:?}"),
+        }
+        // Explicit resync, then the drain serves the resident tail.
+        oracle.resync(horizon);
+        assert_eq!(oracle.resyncs(), 1);
+        let deliveries = oracle
+            .try_drain(&s.chain, &mut s.net, &s.clock, &mut s.rng)
+            .expect("cursor at horizon");
+        assert!(!deliveries.is_empty());
+        assert!(deliveries.iter().all(|d| d.height > horizon));
+        // The blocking wrapper recovers on its own (auto-resync).
+        let mut auto = PushOutOracle::new(s.relay);
+        auto.subscribe("Stored", s.device);
+        let deliveries = auto.drain(&s.chain, &mut s.net, &s.clock, &mut s.rng);
+        assert!(!deliveries.is_empty());
+        assert_eq!(auto.resyncs(), 1);
+    }
+
+    #[test]
+    fn pull_in_stale_cursor_is_typed_and_resyncs() {
+        let s = pruning_setup();
+        let mut pull_in = PullInOracle::new(s.relay, "Stored");
+        let horizon = s.chain.prune_horizon();
+        let err = pull_in.try_collect_requests(&s.chain).unwrap_err();
+        assert!(matches!(err, OracleError::Pruned(e) if e.horizon == horizon));
+        pull_in.resync(horizon);
+        assert_eq!(pull_in.resyncs(), 1);
+        let (events, _, cursor_to) = pull_in
+            .try_collect_requests(&s.chain)
+            .expect("cursor at horizon");
+        assert!(events.iter().all(|(h, _)| *h > horizon));
+        pull_in.commit_cursor(cursor_to);
+        assert_eq!(pull_in.cursor(), s.chain.height());
+        // A resync never rewinds an up-to-date cursor.
+        pull_in.resync(horizon);
+        assert_eq!(pull_in.cursor(), s.chain.height());
+        assert_eq!(pull_in.resyncs(), 1);
     }
 }

@@ -1,0 +1,653 @@
+//! # duc-storage — bounded retention for the chain layer
+//!
+//! Every chain in the stack historically kept every block and every event
+//! forever, so memory grew linearly in request count. This crate supplies
+//! the storage primitives behind which [`duc_blockchain`]'s `Blockchain`
+//! keeps only a bounded in-memory *window* of recent blocks:
+//!
+//! * [`StorageConfig`] — the retention knobs (checkpoint interval, window
+//!   size, optional archive path). The default is *disabled*: infinite
+//!   retention, byte-identical to the pre-storage behaviour.
+//! * [`Checkpoint`] — a sealed summary of the world state at a height,
+//!   derived from the chain's XOR-multiset state accumulator. Checkpoints
+//!   are what make pruning safe: everything below the last finalized
+//!   checkpoint can be evicted while enforcement state survives.
+//! * [`BlockStore`] — a height-addressed windowed store. Retained heights
+//!   are `base + 1 ..= base + len`; pruned prefixes optionally stream into
+//!   an append-only [`FileArchive`].
+//! * [`StateStore`] — the sealed-checkpoint log.
+//! * [`PrunedRange`] — the typed error consumers receive when they ask for
+//!   history below the prune horizon, so cursor holders resync from the
+//!   last checkpoint instead of silently reading empty results.
+//!
+//! The crate deliberately depends only on `duc-crypto` and `duc-codec`;
+//! `duc-blockchain` implements [`ArchiveItem`] for its `Block` type.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use duc_codec::impl_codec_struct;
+use duc_crypto::Digest;
+
+// ------------------------------------------------------------------ config
+
+/// Retention configuration for a chain's block & state storage.
+///
+/// `checkpoint_interval == 0` disables checkpointing and pruning entirely
+/// (infinite retention — the historical behaviour). When enabled, a
+/// [`Checkpoint`] is sealed every `checkpoint_interval` blocks and the
+/// store prunes everything below
+/// `min(checkpoint_height - 1, tip - window)` — the checkpoint's own block
+/// and the last `window` blocks always stay resident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Seal a checkpoint every this many blocks; `0` disables storage
+    /// management entirely.
+    pub checkpoint_interval: u64,
+    /// Minimum number of recent blocks kept in memory regardless of
+    /// checkpoints (the tip itself is always retained).
+    pub window: u64,
+    /// When set, pruned blocks are appended to this file as
+    /// length-prefixed frames instead of being dropped.
+    pub archive_path: Option<PathBuf>,
+}
+
+impl StorageConfig {
+    /// Infinite retention; checkpointing and pruning off.
+    #[must_use]
+    pub fn disabled() -> Self {
+        StorageConfig {
+            checkpoint_interval: 0,
+            window: 0,
+            archive_path: None,
+        }
+    }
+
+    /// Checkpoint every `interval` blocks, keep at least `window` recent
+    /// blocks in memory.
+    #[must_use]
+    pub fn enabled(interval: u64, window: u64) -> Self {
+        StorageConfig {
+            checkpoint_interval: interval.max(1),
+            window,
+            archive_path: None,
+        }
+    }
+
+    /// Streams pruned blocks into an append-only archive at `path`.
+    #[must_use]
+    pub fn with_archive(mut self, path: impl Into<PathBuf>) -> Self {
+        self.archive_path = Some(path.into());
+        self
+    }
+
+    /// Whether checkpointing/pruning is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.checkpoint_interval > 0
+    }
+
+    /// The prune horizon implied by a checkpoint sealed at
+    /// `checkpoint_height` when the chain tip is `tip`: the highest height
+    /// that may be evicted. The checkpoint's own block and the last
+    /// `window` blocks are always retained.
+    #[must_use]
+    pub fn horizon_after_checkpoint(&self, checkpoint_height: u64, tip: u64) -> u64 {
+        checkpoint_height
+            .saturating_sub(1)
+            .min(tip.saturating_sub(self.window))
+    }
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig::disabled()
+    }
+}
+
+// -------------------------------------------------------------- checkpoint
+
+/// A sealed summary of the world state at a block height.
+///
+/// `state_commitment` is the chain's `WorldState::commitment()` at that
+/// height (what block headers pin as `state_root`); `accumulator` is the
+/// raw XOR-multiset accumulator it was derived from, so a restored store
+/// can resume incremental maintenance without replaying history.
+/// `event_cursor_floor` is the lowest event height a cursor may hold after
+/// resyncing to this checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Block height the checkpoint was sealed at.
+    pub height: u64,
+    /// `WorldState::commitment()` at `height`.
+    pub state_commitment: Digest,
+    /// The raw XOR-multiset accumulator behind the commitment.
+    pub accumulator: [u8; 32],
+    /// Lowest valid event-cursor height after a resync to this checkpoint.
+    pub event_cursor_floor: u64,
+}
+
+impl_codec_struct!(Checkpoint {
+    height,
+    state_commitment,
+    accumulator,
+    event_cursor_floor
+});
+
+// ------------------------------------------------------------ pruned range
+
+/// Typed error for reads below the prune horizon.
+///
+/// Returned instead of a silently-empty slice so cursor holders (oracles,
+/// drivers) know to resync from the last checkpoint's
+/// `event_cursor_floor` rather than miss history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrunedRange {
+    /// The height the caller asked to read from.
+    pub requested: u64,
+    /// The current prune horizon (highest pruned height).
+    pub horizon: u64,
+}
+
+impl fmt::Display for PrunedRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requested history from height {} but everything at or below {} is pruned",
+            self.requested, self.horizon
+        )
+    }
+}
+
+impl std::error::Error for PrunedRange {}
+
+// ----------------------------------------------------------------- archive
+
+/// An item that can be framed into the append-only archive.
+pub trait ArchiveItem {
+    /// The canonical byte encoding archived for this item.
+    fn encode_frame(&self) -> Vec<u8>;
+}
+
+/// Append-only file archive of length-prefixed frames.
+///
+/// Each frame is a `u32` little-endian byte length followed by the frame
+/// bytes. The format is deliberately trivial: the archive is cold storage
+/// for pruned blocks, read back only by offline tooling and tests.
+pub struct FileArchive {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    frames: u64,
+}
+
+impl fmt::Debug for FileArchive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileArchive")
+            .field("path", &self.path)
+            .field("frames", &self.frames)
+            .finish()
+    }
+}
+
+impl FileArchive {
+    /// Opens (creating if absent) an archive for appending.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-open failure.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<FileArchive> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FileArchive {
+            path,
+            writer: BufWriter::new(file),
+            frames: 0,
+        })
+    }
+
+    /// Appends one frame.
+    ///
+    /// # Errors
+    /// Propagates the underlying write failure.
+    pub fn append(&mut self, frame: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(frame.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(frame)?;
+        self.writer.flush()?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Number of frames appended through this handle.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// The archive's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads every frame back from an archive file (offline tooling/tests).
+    ///
+    /// # Errors
+    /// Propagates read failures; a truncated trailing frame is an
+    /// `UnexpectedEof` error.
+    pub fn read_frames(path: impl AsRef<Path>) -> io::Result<Vec<Vec<u8>>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let mut frames = Vec::new();
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let Some(header) = bytes.get(at..at + 4) else {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            };
+            let len = u32::from_le_bytes(header.try_into().expect("4-byte slice")) as usize;
+            at += 4;
+            let Some(frame) = bytes.get(at..at + len) else {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            };
+            frames.push(frame.to_vec());
+            at += len;
+        }
+        Ok(frames)
+    }
+}
+
+// --------------------------------------------------------------- blockstore
+
+/// A height-addressed block store retaining a window of recent blocks.
+///
+/// Retained heights are `base + 1 ..= base + len`; `base` is the number of
+/// pruned blocks (also the prune horizon: every height `<= base` is gone).
+/// `base_parent` carries the hash of the block at height `base` so chain
+/// validation can keep checking parent links across the pruned boundary.
+#[derive(Debug)]
+pub struct BlockStore<T> {
+    base: u64,
+    base_parent: Digest,
+    blocks: VecDeque<T>,
+    archive: Option<FileArchive>,
+    archived: u64,
+}
+
+impl<T> Default for BlockStore<T> {
+    fn default() -> Self {
+        BlockStore::new(None)
+    }
+}
+
+impl<T> BlockStore<T> {
+    /// An empty store, optionally archiving pruned blocks.
+    #[must_use]
+    pub fn new(archive: Option<FileArchive>) -> BlockStore<T> {
+        BlockStore {
+            base: 0,
+            base_parent: Digest::ZERO,
+            blocks: VecDeque::new(),
+            archive,
+            archived: 0,
+        }
+    }
+
+    /// Appends the next block (its height becomes `self.height() + 1`).
+    pub fn push(&mut self, block: T) {
+        self.blocks.push_back(block);
+    }
+
+    /// The chain tip height (`0` for an empty, never-pruned store).
+    #[must_use]
+    pub fn height(&self) -> u64 {
+        self.base + self.blocks.len() as u64
+    }
+
+    /// Number of blocks currently resident.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The prune horizon: highest pruned height (`0` = nothing pruned).
+    #[must_use]
+    pub fn prune_horizon(&self) -> u64 {
+        self.base
+    }
+
+    /// Hash of the block at height `base` (`Digest::ZERO` if unpruned), the
+    /// parent the oldest resident block must link to.
+    #[must_use]
+    pub fn base_parent(&self) -> Digest {
+        self.base_parent
+    }
+
+    /// The block at `height`, if resident. `None` for height 0, heights
+    /// above the tip, *and* pruned heights — callers distinguishing the
+    /// last case check [`BlockStore::prune_horizon`] or use
+    /// [`BlockStore::try_get`].
+    #[must_use]
+    pub fn get(&self, height: u64) -> Option<&T> {
+        if height <= self.base {
+            return None;
+        }
+        self.blocks.get((height - self.base - 1) as usize)
+    }
+
+    /// Mutable access to the block at `height`, if resident (test-side
+    /// tampering hooks; production code never rewrites sealed blocks).
+    #[must_use]
+    pub fn get_mut(&mut self, height: u64) -> Option<&mut T> {
+        if height <= self.base {
+            return None;
+        }
+        self.blocks.get_mut((height - self.base - 1) as usize)
+    }
+
+    /// Like [`BlockStore::get`], but a pruned height is a typed error
+    /// rather than `None`.
+    ///
+    /// # Errors
+    /// [`PrunedRange`] when `1 <= height <= prune_horizon`.
+    pub fn try_get(&self, height: u64) -> Result<Option<&T>, PrunedRange> {
+        if height >= 1 && height <= self.base {
+            return Err(PrunedRange {
+                requested: height,
+                horizon: self.base,
+            });
+        }
+        Ok(self.get(height))
+    }
+
+    /// The most recent resident block.
+    #[must_use]
+    pub fn last(&self) -> Option<&T> {
+        self.blocks.back()
+    }
+
+    /// The oldest resident block.
+    #[must_use]
+    pub fn first(&self) -> Option<&T> {
+        self.blocks.front()
+    }
+
+    /// Iterates resident blocks oldest-first, paired with their heights.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        let base = self.base;
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(move |(i, b)| (base + i as u64 + 1, b))
+    }
+
+    /// Total frames streamed to the archive so far.
+    #[must_use]
+    pub fn archived(&self) -> u64 {
+        self.archived
+    }
+}
+
+impl<T: ArchiveItem> BlockStore<T> {
+    /// Evicts every block with height `<= horizon`, archiving each evicted
+    /// block if an archive is attached. `hash_of` supplies the digest of
+    /// the last evicted block, which becomes the new `base_parent`. The
+    /// horizon is clamped so at least the tip stays resident; a horizon at
+    /// or below the current base is a no-op. Returns the number evicted.
+    ///
+    /// # Errors
+    /// Propagates archive write failures (no blocks are dropped on error).
+    pub fn prune_below(&mut self, horizon: u64, hash_of: impl Fn(&T) -> Digest) -> io::Result<u64> {
+        let horizon = horizon.min(self.height().saturating_sub(1));
+        if horizon <= self.base {
+            return Ok(0);
+        }
+        let evict = (horizon - self.base) as usize;
+        if let Some(archive) = self.archive.as_mut() {
+            for block in self.blocks.iter().take(evict) {
+                archive.append(&block.encode_frame())?;
+            }
+            self.archived += evict as u64;
+        }
+        let mut last_hash = self.base_parent;
+        for _ in 0..evict {
+            let block = self.blocks.pop_front().expect("evict <= len");
+            last_hash = hash_of(&block);
+        }
+        self.base = horizon;
+        self.base_parent = last_hash;
+        Ok(evict as u64)
+    }
+}
+
+// --------------------------------------------------------------- statestore
+
+/// The log of sealed checkpoints, newest last.
+#[derive(Debug, Default)]
+pub struct StateStore {
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl StateStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> StateStore {
+        StateStore::default()
+    }
+
+    /// Seals a checkpoint; heights must be strictly increasing.
+    ///
+    /// # Panics
+    /// If `cp.height` does not exceed the last sealed height.
+    pub fn seal(&mut self, cp: Checkpoint) {
+        if let Some(last) = self.checkpoints.last() {
+            assert!(
+                cp.height > last.height,
+                "checkpoint heights must be strictly increasing ({} after {})",
+                cp.height,
+                last.height
+            );
+        }
+        self.checkpoints.push(cp);
+    }
+
+    /// The most recently sealed checkpoint.
+    #[must_use]
+    pub fn last(&self) -> Option<&Checkpoint> {
+        self.checkpoints.last()
+    }
+
+    /// Every sealed checkpoint, oldest first.
+    #[must_use]
+    pub fn all(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
+    /// Number of sealed checkpoints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether no checkpoint has been sealed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// The newest checkpoint sealed at or below `height`.
+    #[must_use]
+    pub fn at_or_before(&self, height: u64) -> Option<&Checkpoint> {
+        let idx = self.checkpoints.partition_point(|cp| cp.height <= height);
+        idx.checked_sub(1).map(|i| &self.checkpoints[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duc_codec::{decode_from_slice, encode_to_vec};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug)]
+    struct Item(u64);
+
+    impl ArchiveItem for Item {
+        fn encode_frame(&self) -> Vec<u8> {
+            self.0.to_le_bytes().to_vec()
+        }
+    }
+
+    fn digest_of(item: &Item) -> Digest {
+        let mut d = [0u8; 32];
+        d[..8].copy_from_slice(&item.0.to_le_bytes());
+        Digest(d)
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "duc-storage-test-{}-{tag}-{n}.bin",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn config_default_is_disabled() {
+        let cfg = StorageConfig::default();
+        assert!(!cfg.is_enabled());
+        assert_eq!(cfg, StorageConfig::disabled());
+        assert!(StorageConfig::enabled(16, 8).is_enabled());
+        // interval 0 through `enabled` is clamped to 1, never silently off.
+        assert!(StorageConfig::enabled(0, 8).is_enabled());
+    }
+
+    #[test]
+    fn horizon_keeps_checkpoint_block_and_window() {
+        let cfg = StorageConfig::enabled(10, 4);
+        // Window binds: tip 12 with window 4 keeps 9..=12.
+        assert_eq!(cfg.horizon_after_checkpoint(10, 12), 8);
+        // Checkpoint binds: its own block (height 10) is always retained.
+        assert_eq!(cfg.horizon_after_checkpoint(10, 100), 9);
+        // Degenerate small chains never underflow.
+        assert_eq!(cfg.horizon_after_checkpoint(1, 1), 0);
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips() {
+        let cp = Checkpoint {
+            height: 42,
+            state_commitment: Digest([7u8; 32]),
+            accumulator: [9u8; 32],
+            event_cursor_floor: 41,
+        };
+        let bytes = encode_to_vec(&cp);
+        let back: Checkpoint = decode_from_slice(&bytes).expect("decode");
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn block_store_addresses_by_height_across_pruning() {
+        let mut store: BlockStore<Item> = BlockStore::default();
+        for i in 1..=10 {
+            store.push(Item(i));
+        }
+        assert_eq!(store.height(), 10);
+        assert_eq!(store.get(1).map(|b| b.0), Some(1));
+        assert_eq!(store.get(10).map(|b| b.0), Some(10));
+        assert!(store.get(0).is_none());
+        assert!(store.get(11).is_none());
+
+        let evicted = store.prune_below(6, digest_of).expect("prune");
+        assert_eq!(evicted, 6);
+        assert_eq!(store.prune_horizon(), 6);
+        assert_eq!(store.base_parent(), digest_of(&Item(6)));
+        assert_eq!(store.retained(), 4);
+        assert_eq!(store.height(), 10);
+        assert!(store.get(6).is_none());
+        assert_eq!(store.get(7).map(|b| b.0), Some(7));
+        assert_eq!(store.last().map(|b| b.0), Some(10));
+        assert_eq!(store.first().map(|b| b.0), Some(7));
+        assert_eq!(
+            store.iter().map(|(h, b)| (h, b.0)).collect::<Vec<_>>(),
+            vec![(7, 7), (8, 8), (9, 9), (10, 10)]
+        );
+
+        // Pruned heights are a typed error through try_get.
+        assert_eq!(
+            store.try_get(3).unwrap_err(),
+            PrunedRange {
+                requested: 3,
+                horizon: 6
+            }
+        );
+        assert!(store.try_get(8).expect("resident").is_some());
+        assert!(store.try_get(11).expect("above tip is None").is_none());
+
+        // Horizon is monotone; a stale lower horizon is a no-op.
+        assert_eq!(store.prune_below(4, digest_of).expect("noop"), 0);
+        // The tip is never evicted even by an over-eager horizon.
+        assert_eq!(store.prune_below(u64::MAX, digest_of).expect("clamp"), 3);
+        assert_eq!(store.retained(), 1);
+        assert_eq!(store.last().map(|b| b.0), Some(10));
+    }
+
+    #[test]
+    fn pruning_streams_frames_to_the_archive() {
+        let path = temp_path("archive");
+        let archive = FileArchive::open(&path).expect("open");
+        let mut store: BlockStore<Item> = BlockStore::new(Some(archive));
+        for i in 1..=5 {
+            store.push(Item(i));
+        }
+        store.prune_below(3, digest_of).expect("prune");
+        assert_eq!(store.archived(), 3);
+        let frames = FileArchive::read_frames(&path).expect("read back");
+        assert_eq!(
+            frames,
+            vec![
+                1u64.to_le_bytes().to_vec(),
+                2u64.to_le_bytes().to_vec(),
+                3u64.to_le_bytes().to_vec()
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_store_seals_monotonically_and_finds_by_height() {
+        let mut store = StateStore::new();
+        assert!(store.is_empty());
+        for h in [10u64, 20, 30] {
+            store.seal(Checkpoint {
+                height: h,
+                state_commitment: Digest::ZERO,
+                accumulator: [0u8; 32],
+                event_cursor_floor: h.saturating_sub(1),
+            });
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.last().map(|cp| cp.height), Some(30));
+        assert_eq!(store.at_or_before(9), None);
+        assert_eq!(store.at_or_before(10).map(|cp| cp.height), Some(10));
+        assert_eq!(store.at_or_before(29).map(|cp| cp.height), Some(20));
+        assert_eq!(store.at_or_before(99).map(|cp| cp.height), Some(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn state_store_rejects_non_monotone_seal() {
+        let mut store = StateStore::new();
+        let cp = Checkpoint {
+            height: 5,
+            state_commitment: Digest::ZERO,
+            accumulator: [0u8; 32],
+            event_cursor_floor: 0,
+        };
+        store.seal(cp.clone());
+        store.seal(cp);
+    }
+}
