@@ -14,6 +14,9 @@
 //!   dispatched by method name over [`duc_codec`]-encoded arguments, with a
 //!   [`contract::CallCtx`] exposing storage, events, caller identity and
 //!   block metadata.
+//! * [`exec`] — the deterministic parallel executor: access-set conflict
+//!   scheduling plus a seeded work-stealing pool (byte-identical outputs
+//!   to serial execution).
 //! * [`block`] — Merkle-committed blocks signed by their proposer.
 //! * [`chain`] — a proof-of-authority chain: round-robin validator
 //!   committee, mempool, block production clocked by the simulation,
@@ -53,6 +56,7 @@
 pub mod block;
 pub mod chain;
 pub mod contract;
+pub mod exec;
 pub mod gas;
 pub mod ledger;
 pub mod state;
@@ -62,6 +66,7 @@ pub mod types;
 pub use block::{Block, BlockHeader};
 pub use chain::{Blockchain, BlockchainBuilder, SubmitError};
 pub use contract::{CallCtx, Contract, ContractError, Event};
+pub use exec::{AccessFn, AccessKey, AccessParams, AccessSet, AccessSummary, ExecMode};
 pub use gas::{GasMeter, GasSchedule, OutOfGas};
 pub use ledger::{Ledger, RouteKey, RouterFn, ShardedLedger, SingleChain};
 pub use state::WorldState;
@@ -76,6 +81,7 @@ pub mod prelude {
     pub use crate::block::{Block, BlockHeader};
     pub use crate::chain::{Blockchain, BlockchainBuilder, SubmitError};
     pub use crate::contract::{CallCtx, Contract, ContractError, Event};
+    pub use crate::exec::{AccessFn, AccessKey, AccessParams, AccessSet, AccessSummary, ExecMode};
     pub use crate::gas::{GasMeter, GasSchedule};
     pub use crate::ledger::{Ledger, RouteKey, RouterFn, ShardedLedger, SingleChain};
     pub use crate::state::WorldState;

@@ -189,6 +189,12 @@ pub enum TxStatus {
     Reverted(String),
     /// The gas limit was exhausted (state rolled back, all gas charged).
     OutOfGas,
+    /// Never executed: a later transaction from the same sender was
+    /// included first and consumed the nonce, so this mempool entry was
+    /// evicted. Recorded so inclusion polls resolve immediately instead of
+    /// burning their full retry budget waiting for a receipt that would
+    /// never appear.
+    Superseded,
 }
 
 impl TxStatus {
@@ -209,8 +215,9 @@ pub struct Receipt {
     pub status: TxStatus,
     /// Gas consumed.
     pub gas_used: u64,
-    /// Events emitted (empty on revert).
-    pub events: Vec<Event>,
+    /// Events emitted (empty on revert). `Rc`-shared with the chain's
+    /// event log — one allocation per event, not one per consumer.
+    pub events: Vec<std::rc::Rc<Event>>,
     /// Return value of the contract call (empty for transfers/reverts).
     pub return_data: Vec<u8>,
 }
@@ -303,5 +310,6 @@ mod tests {
         assert!(TxStatus::Ok.is_ok());
         assert!(!TxStatus::Reverted("nope".into()).is_ok());
         assert!(!TxStatus::OutOfGas.is_ok());
+        assert!(!TxStatus::Superseded.is_ok());
     }
 }

@@ -13,7 +13,7 @@
 //! cert/{digest}              → webid owning that certificate
 //! ```
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use duc_blockchain::{Address, CallCtx, Contract, ContractError};
 use duc_codec::{decode_from_slice, encode_to_vec};
@@ -36,10 +36,11 @@ pub const DEX_CONTRACT_ID: &str = "dist-exchange";
 /// memo of composed storage keys (interned identity → formatted key
 /// bytes), so repeat calls for the same pod/resource/webid skip the
 /// `format!` machinery. The wire format — storage keys, events, gas — is
-/// byte-identical with or without the cache.
+/// byte-identical with or without the cache. A `Mutex` (not `RefCell`)
+/// because the parallel executor dispatches calls from a thread pool.
 #[derive(Debug, Default)]
 pub struct DistExchange {
-    keys: RefCell<KeyCache>,
+    keys: Mutex<KeyCache>,
 }
 
 /// Composed-storage-key memo: one symbol per identity string, one cached
@@ -144,7 +145,12 @@ impl DistExchange {
     fn register_pod(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (owner_webid, web_ref, default_policy): (String, String, PolicyEnvelope) =
             decode_from_slice(args)?;
-        let key = self.keys.borrow_mut().pod(&owner_webid).to_vec();
+        let key = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .pod(&owner_webid)
+            .to_vec();
         if ctx.get_raw(&key)?.is_some() {
             return Err(revert(format!("pod already registered for {owner_webid}")));
         }
@@ -162,7 +168,12 @@ impl DistExchange {
 
     fn get_pod(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (owner_webid,): (String,) = decode_from_slice(args)?;
-        let record: Option<PodRecord> = ctx.get(self.keys.borrow_mut().pod(&owner_webid))?;
+        let record: Option<PodRecord> = ctx.get(
+            self.keys
+                .lock()
+                .expect("key cache poisoned")
+                .pod(&owner_webid),
+        )?;
         Ok(encode_to_vec(&record))
     }
 
@@ -179,12 +190,22 @@ impl DistExchange {
             PolicyEnvelope,
         ) = decode_from_slice(args)?;
         let pod: PodRecord = ctx
-            .get(self.keys.borrow_mut().pod(&owner_webid))?
+            .get(
+                self.keys
+                    .lock()
+                    .expect("key cache poisoned")
+                    .pod(&owner_webid),
+            )?
             .ok_or_else(|| revert(format!("no pod registered for {owner_webid}")))?;
         if pod.owner_addr != ctx.caller {
             return Err(revert("caller does not own the pod"));
         }
-        let key = self.keys.borrow_mut().res(&resource).to_vec();
+        let key = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .res(&resource)
+            .to_vec();
         if ctx.get_raw(&key)?.is_some() {
             return Err(revert(format!("resource already registered: {resource}")));
         }
@@ -210,7 +231,8 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (resource,): (String,) = decode_from_slice(args)?;
-        let record: Option<ResourceRecord> = ctx.get(self.keys.borrow_mut().res(&resource))?;
+        let record: Option<ResourceRecord> =
+            ctx.get(self.keys.lock().expect("key cache poisoned").res(&resource))?;
         Ok(encode_to_vec(&record))
     }
 
@@ -226,7 +248,12 @@ impl DistExchange {
     fn update_policy(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (resource, policy, new_version): (String, PolicyEnvelope, u64) =
             decode_from_slice(args)?;
-        let key = self.keys.borrow_mut().res(&resource).to_vec();
+        let key = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .res(&resource)
+            .to_vec();
         let mut record: ResourceRecord = ctx
             .get(&key)?
             .ok_or_else(|| revert(format!("unknown resource {resource}")))?;
@@ -262,12 +289,16 @@ impl DistExchange {
             duc_crypto::PublicKey,
         ) = decode_from_slice(args)?;
         if ctx
-            .get_raw(self.keys.borrow_mut().res(&resource))?
+            .get_raw(self.keys.lock().expect("key cache poisoned").res(&resource))?
             .is_none()
         {
             return Err(revert(format!("unknown resource {resource}")));
         }
-        let key = self.keys.borrow_mut().copy(&resource, &device);
+        let key = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .copy(&resource, &device);
         let record = CopyRecord {
             device: device.clone(),
             holder_webid,
@@ -289,7 +320,11 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (resource, device, as_of_nanos): (String, String, u64) = decode_from_slice(args)?;
-        let key = self.keys.borrow_mut().copy(&resource, &device);
+        let key = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .copy(&resource, &device);
         let Some(record) = ctx.get::<CopyRecord>(&key)? else {
             return Err(revert("no such copy"));
         };
@@ -312,7 +347,12 @@ impl DistExchange {
         ctx: &mut CallCtx<'_>,
         resource: &str,
     ) -> Result<Vec<CopyRecord>, ContractError> {
-        let keys = ctx.keys_with_prefix(self.keys.borrow_mut().copy_prefix(resource))?;
+        let keys = ctx.keys_with_prefix(
+            self.keys
+                .lock()
+                .expect("key cache poisoned")
+                .copy_prefix(resource),
+        )?;
         let mut copies = Vec::with_capacity(keys.len());
         for k in keys {
             if let Some(copy) = ctx.get::<CopyRecord>(&k)? {
@@ -329,12 +369,17 @@ impl DistExchange {
     ) -> Result<Vec<u8>, ContractError> {
         let (resource,): (String,) = decode_from_slice(args)?;
         let record: ResourceRecord = ctx
-            .get(self.keys.borrow_mut().res(&resource))?
+            .get(self.keys.lock().expect("key cache poisoned").res(&resource))?
             .ok_or_else(|| revert(format!("unknown resource {resource}")))?;
         if record.owner_addr != ctx.caller {
             return Err(revert("only the owner may start monitoring"));
         }
-        let counter_key = self.keys.borrow_mut().round_counter(&resource).to_vec();
+        let counter_key = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .round_counter(&resource)
+            .to_vec();
         let round: u64 = ctx.get(&counter_key)?.unwrap_or(0) + 1;
         ctx.set(counter_key, &round)?;
         let expected: Vec<String> = self
@@ -353,7 +398,10 @@ impl DistExchange {
             closed: expected.is_empty(),
         };
         ctx.set(
-            self.keys.borrow_mut().round(&resource, round),
+            self.keys
+                .lock()
+                .expect("key cache poisoned")
+                .round(&resource, round),
             &round_record,
         )?;
         ctx.emit(
@@ -402,7 +450,8 @@ impl DistExchange {
         let submission: EvidenceSubmission = decode_from_slice(args)?;
         let rkey = self
             .keys
-            .borrow_mut()
+            .lock()
+            .expect("key cache poisoned")
             .round(&submission.resource, submission.round);
         let mut round: MonitoringRound = ctx
             .get(&rkey)?
@@ -430,7 +479,8 @@ impl DistExchange {
             .get(
                 &self
                     .keys
-                    .borrow_mut()
+                    .lock()
+                    .expect("key cache poisoned")
                     .copy(&submission.resource, &submission.device),
             )?
             .ok_or_else(|| revert("copy no longer registered"))?;
@@ -466,7 +516,11 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let reaff: EvidenceReaffirmation = decode_from_slice(args)?;
-        let rkey = self.keys.borrow_mut().round(&reaff.resource, reaff.round);
+        let rkey = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .round(&reaff.resource, reaff.round);
         let mut round: MonitoringRound = ctx
             .get(&rkey)?
             .ok_or_else(|| revert("unknown monitoring round"))?;
@@ -485,7 +539,13 @@ impl DistExchange {
             return Err(revert("duplicate evidence for device"));
         }
         let copy: CopyRecord = ctx
-            .get(&self.keys.borrow_mut().copy(&reaff.resource, &reaff.device))?
+            .get(
+                &self
+                    .keys
+                    .lock()
+                    .expect("key cache poisoned")
+                    .copy(&reaff.resource, &reaff.device),
+            )?
             .ok_or_else(|| revert("copy no longer registered"))?;
         if copy
             .attestation_key
@@ -500,7 +560,8 @@ impl DistExchange {
             .get(
                 &self
                     .keys
-                    .borrow_mut()
+                    .lock()
+                    .expect("key cache poisoned")
                     .round(&reaff.resource, reaff.prev_round),
             )?
             .ok_or_else(|| revert("unknown prior round"))?;
@@ -530,8 +591,13 @@ impl DistExchange {
 
     fn get_round(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (resource, round): (String, u64) = decode_from_slice(args)?;
-        let record: Option<MonitoringRound> =
-            ctx.get(&self.keys.borrow_mut().round(&resource, round))?;
+        let record: Option<MonitoringRound> = ctx.get(
+            &self
+                .keys
+                .lock()
+                .expect("key cache poisoned")
+                .round(&resource, round),
+        )?;
         Ok(encode_to_vec(&record))
     }
 
@@ -558,7 +624,14 @@ impl DistExchange {
             paid_at: ctx.block_time,
             valid_until: ctx.block_time + SimDuration::from_nanos(validity),
         };
-        ctx.set(self.keys.borrow_mut().sub(&webid).to_vec(), &sub)?;
+        ctx.set(
+            self.keys
+                .lock()
+                .expect("key cache poisoned")
+                .sub(&webid)
+                .to_vec(),
+            &sub,
+        )?;
         ctx.set(cert_key(&certificate), &webid)?;
         ctx.emit(
             topics::CERTIFICATE_ISSUED,
@@ -575,7 +648,8 @@ impl DistExchange {
         let (certificate, webid): (Digest, String) = decode_from_slice(args)?;
         let valid = match ctx.get::<String>(&cert_key(&certificate))? {
             Some(owner) if owner == webid => {
-                let sub: Option<Subscription> = ctx.get(self.keys.borrow_mut().sub(&webid))?;
+                let sub: Option<Subscription> =
+                    ctx.get(self.keys.lock().expect("key cache poisoned").sub(&webid))?;
                 sub.map(|s| s.certificate == certificate && s.valid_at(ctx.block_time))
                     .unwrap_or(false)
             }
@@ -590,7 +664,8 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (webid,): (String,) = decode_from_slice(args)?;
-        let sub: Option<Subscription> = ctx.get(self.keys.borrow_mut().sub(&webid))?;
+        let sub: Option<Subscription> =
+            ctx.get(self.keys.lock().expect("key cache poisoned").sub(&webid))?;
         Ok(encode_to_vec(&sub))
     }
 }

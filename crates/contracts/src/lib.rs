@@ -18,9 +18,11 @@
 //!
 //! All argument/return types live in [`abi`] and are encoded with
 //! [`duc_codec`]; [`client`] offers typed wrappers so callers never touch
-//! raw bytes.
+//! raw bytes. [`access`] declares the state footprint of each call so the
+//! parallel block executor can schedule non-conflicting calls concurrently.
 
 pub mod abi;
+pub mod access;
 pub mod client;
 pub mod dist_exchange;
 pub mod routing;
@@ -29,6 +31,7 @@ pub use abi::{
     CopyRecord, EvidenceReaffirmation, EvidenceSubmission, MonitoringRound, PodRecord,
     PolicyEnvelope, ResourceRecord, Subscription,
 };
+pub use access::{dex_access, dex_access_fn};
 pub use client::DistExchangeClient;
 pub use dist_exchange::{DistExchange, DEX_CONTRACT_ID};
 

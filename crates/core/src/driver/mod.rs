@@ -203,6 +203,9 @@ pub(crate) fn receipt_ok(receipt: Receipt) -> Result<Receipt, ProcessError> {
         duc_blockchain::TxStatus::Ok => Ok(receipt),
         duc_blockchain::TxStatus::Reverted(msg) => Err(ProcessError::Reverted(msg.clone())),
         duc_blockchain::TxStatus::OutOfGas => Err(ProcessError::Reverted("out of gas".into())),
+        duc_blockchain::TxStatus::Superseded => Err(ProcessError::Reverted(
+            "transaction superseded by a later nonce".into(),
+        )),
     }
 }
 

@@ -1,6 +1,8 @@
 //! The simulated deployment: all components of Fig. 1, wired together.
 
-use duc_blockchain::{Address, Blockchain, ContractId, Ledger, ShardedLedger, StorageConfig};
+use duc_blockchain::{
+    Address, Blockchain, ContractId, ExecMode, Ledger, ShardedLedger, StorageConfig,
+};
 use duc_contracts::{topics, DistExchange, DistExchangeClient, PolicyEnvelope, DEX_CONTRACT_ID};
 use duc_crypto::KeyPair;
 use duc_intern::{Registry, SharedInterner};
@@ -58,6 +60,10 @@ pub struct WorldConfig {
     /// window and optional archive path (disabled by default — every
     /// block stays resident, the pre-storage behaviour).
     pub storage: StorageConfig,
+    /// Block-execution mode: serial (the default) or the deterministic
+    /// parallel executor. Defaults from `DUC_EXEC_MODE`; both produce
+    /// byte-identical chains.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for WorldConfig {
@@ -75,6 +81,7 @@ impl Default for WorldConfig {
             shards: 1,
             enforcement: EnforcementMode::Deadline,
             storage: StorageConfig::disabled(),
+            exec_mode: ExecMode::from_env(),
         }
     }
 }
@@ -204,6 +211,7 @@ impl World {
             .validators(config.validators)
             .block_interval(config.block_interval)
             .storage(config.storage.clone())
+            .exec_mode(config.exec_mode)
             .build();
         World::with_ledger(config, chain)
     }
@@ -221,6 +229,7 @@ impl World<ShardedLedger> {
             config.block_interval,
         )
         .with_storage(config.storage.clone())
+        .with_exec_mode(config.exec_mode)
         .with_router(duc_contracts::routing::dex_router());
         World::with_ledger(config, chain)
     }
@@ -235,6 +244,7 @@ impl<L: Ledger> World<L> {
         chain.deploy_with(ContractId::new(DEX_CONTRACT_ID), &|| {
             Box::new(DistExchange::default())
         });
+        chain.install_access_fn(&duc_contracts::dex_access_fn);
         let dex = DistExchangeClient::new();
 
         // Market initialization by a deployment admin, once per shard.
