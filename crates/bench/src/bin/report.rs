@@ -41,6 +41,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e15", experiments::e15_population),
     ("e16", experiments::e16_storage),
     ("e17", experiments::e17_parallel_exec),
+    ("e18", experiments::e18_runtime),
 ];
 
 /// Runs experiment `index` on first use, then serves the cached tables.
@@ -121,6 +122,9 @@ fn json_document(cache: &mut [Option<Vec<Table>>]) -> String {
             }
             if rows.is_empty() {
                 rows = exec_rows(table);
+            }
+            if rows.is_empty() {
+                rows = runtime_rows(table);
             }
             let median = |needle| {
                 if rows.is_empty() {
@@ -336,6 +340,43 @@ fn exec_rows(table: &Table) -> String {
             numeric(row, col("block ms")),
             numeric(row, col("txs/s")),
             numeric(row, col("speedup")),
+            if i + 1 < table.rows().len() { "," } else { "" },
+        ));
+    }
+    out.push_str("        ]");
+    out
+}
+
+/// For the execution-runtime comparison (a `runtime mode` plus a `req/s`
+/// column, e.g. E18): one JSON record per row, so BENCH_*.json tracks
+/// sim-mode compute throughput and wall-mode paced throughput across PRs.
+/// Wall req/s is host- and compression-dependent; the JSON records it for
+/// trend context, while the outcome-set identity and scrape gates inside
+/// the experiment are what CI enforces. Empty for every other table.
+fn runtime_rows(table: &Table) -> String {
+    let col = |needle: &str| {
+        table
+            .columns()
+            .iter()
+            .position(|c| c.to_lowercase().contains(needle))
+    };
+    let (Some(mode), Some(req_s)) = (col("runtime mode"), col("req/s")) else {
+        return String::new();
+    };
+    let numeric = |row: &[String], idx: Option<usize>| -> String {
+        json_number(
+            idx.and_then(|i| row.get(i))
+                .and_then(|c| c.trim().parse().ok()),
+        )
+    };
+    let mut out = String::from(",\n        \"runtime_modes\": [\n");
+    for (i, row) in table.rows().iter().enumerate() {
+        out.push_str(&format!(
+            "          {{\"mode\": {}, \"requests\": {}, \"real_ms\": {}, \"req_per_s\": {}}}{}\n",
+            json_string(row.get(mode).map_or("", String::as_str)),
+            numeric(row, col("requests")),
+            numeric(row, col("real ms")),
+            numeric(row, Some(req_s)),
             if i + 1 < table.rows().len() { "," } else { "" },
         ));
     }

@@ -1,6 +1,6 @@
 //! # duc-bench — the experiment harness
 //!
-//! One function per experiment of EXPERIMENTS.md (E1–E15). Each builds a
+//! One function per experiment of EXPERIMENTS.md (E1–E18). Each builds a
 //! fresh deterministic [`duc_core::World`], drives a workload, and returns
 //! printable rows; the `report` binary renders them as the tables in
 //! EXPERIMENTS.md:

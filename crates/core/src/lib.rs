@@ -44,11 +44,16 @@ pub mod baseline;
 pub mod chaos;
 pub mod driver;
 pub mod process;
+pub mod runtime;
 pub mod scenario;
 pub mod world;
 
 pub use driver::{Outcome, Request, Ticket};
 pub use process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
+pub use runtime::{
+    market_world, outcome_key, outcome_set, run_scripted, run_wall, PacedWorld, RuntimeMode,
+    RuntimeRun,
+};
 pub use world::{EnforcementMode, World, WorldConfig};
 
 /// Common imports.
@@ -57,8 +62,10 @@ pub mod prelude {
     pub use crate::chaos;
     pub use crate::driver::{Outcome, Request, Ticket};
     pub use crate::process::{AccessOutcome, MonitoringOutcome, ProcessError, PropagationOutcome};
+    pub use crate::runtime::{outcome_set, run_scripted, RuntimeMode, RuntimeRun};
     pub use crate::scenario;
     pub use crate::world::{EnforcementMode, World, WorldConfig};
     pub use duc_policy::prelude::*;
+    pub use duc_runtime::{DriveConfig, MetricsHub, MetricsServer, ShutdownSignal};
     pub use duc_sim::{SimDuration, SimTime};
 }

@@ -521,18 +521,7 @@ impl<L: Ledger> World<L> {
         loop {
             // Driver work due at the current instant runs first.
             self.step_woken();
-            let next_deadline = match self.config.enforcement {
-                EnforcementMode::Periodic(_) => None,
-                EnforcementMode::Deadline => self
-                    .devices
-                    .iter()
-                    .filter(|(name, _)| {
-                        !self.rogue_hosts.contains(*name) && !self.tee_faulted.contains(*name)
-                    })
-                    .filter_map(|(_, dev)| dev.tee.next_obligation_deadline())
-                    .min(),
-            }
-            .filter(|at| *at <= target);
+            let next_deadline = self.next_obligation_deadline().filter(|at| *at <= target);
             let next_event = self.sched.next_event_at().filter(|at| *at <= target);
             match (next_event, next_deadline) {
                 (Some(event_at), deadline) if deadline.is_none_or(|dl| event_at <= dl) => {
@@ -555,6 +544,91 @@ impl<L: Ledger> World<L> {
         self.clock.advance_to(target);
         self.chain.advance_to(self.clock.now());
         self.apply_faults();
+    }
+
+    /// The earliest pending TEE obligation deadline across healthy
+    /// devices — the fallback poll [`World::advance`] honours. `None`
+    /// under [`EnforcementMode::Periodic`], where the grid wakeups are the
+    /// whole point.
+    pub fn next_obligation_deadline(&self) -> Option<duc_sim::SimTime> {
+        match self.config.enforcement {
+            EnforcementMode::Periodic(_) => None,
+            EnforcementMode::Deadline => self
+                .devices
+                .iter()
+                .filter(|(name, _)| {
+                    !self.rogue_hosts.contains(*name) && !self.tee_faulted.contains(*name)
+                })
+                .filter_map(|(_, dev)| dev.tee.next_obligation_deadline())
+                .min(),
+        }
+    }
+
+    /// The next logical instant at which this world has internal work: the
+    /// scheduler's next event or the next obligation deadline, whichever
+    /// comes first. The wall-clock pacing loop mirrors this instant into a
+    /// real timer (`duc-runtime`'s drive loop); sim-mode callers can keep
+    /// using [`World::advance`] / [`World::run_until_idle`] directly.
+    pub fn next_wakeup_at(&mut self) -> Option<duc_sim::SimTime> {
+        match (self.sched.next_event_at(), self.next_obligation_deadline()) {
+            (Some(event), Some(deadline)) => Some(event.min(deadline)),
+            (event, deadline) => event.or(deadline),
+        }
+    }
+
+    /// Mirrors every metric this world keeps — the sim registry's counters
+    /// and histograms, per-method gas from the ledger, the TEE decision
+    /// caches — into a shared [`duc_runtime::MetricsHub`], where the
+    /// Prometheus endpoint and the bench report read them.
+    ///
+    /// Counter families keep their dotted registry names, normalised
+    /// (`net.messages_sent` → `duc_net_messages_sent_total`); histograms
+    /// gain a `_seconds` suffix and are re-bucketed from raw nanosecond
+    /// samples. The mirror is idempotent: totals only ever rise
+    /// (`counter_raise_to`) and histogram cells are replaced, so periodic
+    /// exports and the final flush agree.
+    pub fn export_metrics(&mut self, hub: &duc_runtime::MetricsHub) {
+        // Network counters are delta-published into the registry on
+        // demand; flush them first so the mirror below sees them.
+        self.net.publish_metrics(&mut self.metrics);
+        for (name, value) in self.metrics.counters() {
+            hub.counter_raise_to(&duc_runtime::prom_name(name, "_total"), &[], value);
+        }
+        let names: Vec<String> = self.metrics.histogram_names().map(str::to_string).collect();
+        for name in &names {
+            if let Some(h) = self.metrics.histogram(name) {
+                hub.mirror_histogram_nanos(
+                    &duc_runtime::prom_name(name, "_seconds"),
+                    &[],
+                    h.samples(),
+                );
+            }
+        }
+        for ((contract, method), (calls, total, _max)) in self.chain.gas_by_method() {
+            let labels = [("contract", contract.as_str()), ("method", method.as_str())];
+            hub.counter_raise_to("duc_gas_calls_total", &labels, calls);
+            hub.counter_raise_to("duc_gas_used_total", &labels, total);
+        }
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (_, device) in self.devices.iter() {
+            let (h, m) = device.tee.decision_cache_stats();
+            hits += h;
+            misses += m;
+        }
+        hub.counter_raise_to("duc_tee_decision_cache_total", &[("result", "hit")], hits);
+        hub.counter_raise_to(
+            "duc_tee_decision_cache_total",
+            &[("result", "miss")],
+            misses,
+        );
+        hub.set_help(
+            "duc_tee_decision_cache_total",
+            "TEE usage-decision cache lookups by result.",
+        );
+        hub.set_help(
+            "duc_gas_used_total",
+            "Gas consumed by confirmed contract calls, by contract and method.",
+        );
     }
 
     /// Runs every device's obligation sweep at the current instant (the

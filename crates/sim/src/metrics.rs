@@ -70,6 +70,13 @@ impl Histogram {
         self.samples.len()
     }
 
+    /// The raw recorded samples in nanoseconds, in insertion order until
+    /// the first quantile query (which sorts in place). Exporters (the
+    /// runtime metrics hub) mirror these into bucketed histograms.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
     /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()

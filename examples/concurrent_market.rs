@@ -10,7 +10,13 @@
 //!
 //! ```sh
 //! cargo run --example concurrent_market
+//! cargo run --example concurrent_market -- --wall-clock
 //! ```
+//!
+//! With `--wall-clock` the scripted market runs on the real-time runtime
+//! instead: a `WallClock` timer thread paces admissions at their scripted
+//! instants (200× compressed), and a Prometheus-style `/metrics` endpoint
+//! serves the run's counters on a loopback socket while it executes.
 
 use solid_usage_control::prelude::*;
 use solid_usage_control::solid::Body;
@@ -18,7 +24,53 @@ use solid_usage_control::solid::Body;
 const OWNER: &str = "https://owner.id/me";
 const DEVICES: usize = 24;
 
+/// Drive the scripted market on the wall-clock runtime with a live
+/// `/metrics` endpoint, then print the scrape address and a summary.
+fn wall_clock_market() -> Result<(), ProcessError> {
+    const SCALE: u64 = 200; // 200 logical seconds ≈ 1 real second
+    let (mut world, script) = solid_usage_control::core::market_world(8, 42);
+    let hub = MetricsHub::new();
+    let server =
+        MetricsServer::serve(hub.clone(), "127.0.0.1:0").expect("bind loopback metrics socket");
+    println!(
+        "wall-clock mode ({SCALE}× compression); scrape {} while it runs",
+        server.url()
+    );
+
+    let requests = script.len();
+    let started = std::time::Instant::now();
+    let run = run_scripted(
+        &mut world,
+        script,
+        RuntimeMode::Wall { scale: SCALE },
+        Some(hub.clone()),
+        &ShutdownSignal::new(),
+        &DriveConfig::default(),
+    );
+    let elapsed = started.elapsed();
+    for (_, outcome) in &run.outcomes {
+        outcome.as_ref().map_err(|e| e.clone())?;
+    }
+    println!(
+        "{requests} requests → {} outcomes in {:.2} real s ({:.1} req/s), drained: {}",
+        run.outcomes.len(),
+        elapsed.as_secs_f64(),
+        run.report.admitted as f64 / elapsed.as_secs_f64(),
+        run.report.drained,
+    );
+    let scrape = hub.render();
+    let families = scrape.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    println!(
+        "final scrape: {families} metric families, {} bytes",
+        scrape.len()
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), ProcessError> {
+    if std::env::args().any(|arg| arg == "--wall-clock") {
+        return wall_clock_market();
+    }
     let mut world = World::new(WorldConfig::default());
 
     // One data owner, two datasets, two dozen consumer devices.

@@ -11,6 +11,7 @@ pub use duc_crypto as crypto;
 pub use duc_oracle as oracle;
 pub use duc_policy as policy;
 pub use duc_rdf as rdf;
+pub use duc_runtime as runtime;
 pub use duc_sim as sim;
 pub use duc_solid as solid;
 pub use duc_tee as tee;
