@@ -42,6 +42,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e16", experiments::e16_storage),
     ("e17", experiments::e17_parallel_exec),
     ("e18", experiments::e18_runtime),
+    ("e19", experiments::e19_paged_state),
 ];
 
 /// Runs experiment `index` on first use, then serves the cached tables.
@@ -125,6 +126,12 @@ fn json_document(cache: &mut [Option<Vec<Table>>]) -> String {
             }
             if rows.is_empty() {
                 rows = runtime_rows(table);
+            }
+            if rows.is_empty() {
+                rows = paging_rows(table);
+            }
+            if rows.is_empty() {
+                rows = residency_rows(table);
             }
             let median = |needle| {
                 if rows.is_empty() {
@@ -377,6 +384,84 @@ fn runtime_rows(table: &Table) -> String {
             numeric(row, col("requests")),
             numeric(row, col("real ms")),
             numeric(row, Some(req_s)),
+            if i + 1 < table.rows().len() { "," } else { "" },
+        ));
+    }
+    out.push_str("        ]");
+    out
+}
+
+/// For the paging identity sweep (a `cache` plus a `fault-ins` column,
+/// e.g. E19a): one JSON record per cache size, so BENCH_*.json tracks
+/// eviction/fault-in pressure and resident footprint per cache
+/// configuration across PRs. The fingerprint-identity gates run inside
+/// the experiment; the JSON records the cost of each cache size. Empty
+/// for every other table.
+fn paging_rows(table: &Table) -> String {
+    let col = |needle: &str| {
+        table
+            .columns()
+            .iter()
+            .position(|c| c.to_lowercase().contains(needle))
+    };
+    let (Some(cache), Some(fault_ins)) = (col("cache"), col("fault-ins")) else {
+        return String::new();
+    };
+    let numeric = |row: &[String], idx: Option<usize>| -> String {
+        json_number(
+            idx.and_then(|i| row.get(i))
+                .and_then(|c| c.trim().parse().ok()),
+        )
+    };
+    let mut out = String::from(",\n        \"caches\": [\n");
+    for (i, row) in table.rows().iter().enumerate() {
+        out.push_str(&format!(
+            "          {{\"cache\": {}, \"requests\": {}, \"evictions\": {}, \"fault_ins\": {}, \"resident_pages\": {}, \"resident_kib\": {}, \"wall_ms\": {}}}{}\n",
+            json_string(row.get(cache).map_or("", String::as_str)),
+            numeric(row, col("requests")),
+            numeric(row, col("evictions")),
+            numeric(row, Some(fault_ins)),
+            numeric(row, col("resident pages")),
+            numeric(row, col("resident kib")),
+            numeric(row, col("wall ms")),
+            if i + 1 < table.rows().len() { "," } else { "" },
+        ));
+    }
+    out.push_str("        ]");
+    out
+}
+
+/// For the state-residency comparison (a `config` plus a `bytes/owner`
+/// column, e.g. E19b): one JSON record per row, so BENCH_*.json tracks
+/// the per-owner resident footprint of the paged and unpaged stores
+/// across PRs. Empty for every other table.
+fn residency_rows(table: &Table) -> String {
+    let col = |needle: &str| {
+        table
+            .columns()
+            .iter()
+            .position(|c| c.to_lowercase().contains(needle))
+    };
+    let (Some(config), Some(per_owner)) = (col("config"), col("bytes/owner")) else {
+        return String::new();
+    };
+    let numeric = |row: &[String], idx: Option<usize>| -> Option<f64> {
+        idx.and_then(|i| row.get(i))
+            .and_then(|c| c.trim().parse().ok())
+    };
+    let kib_bytes = |row: &[String], idx: Option<usize>| -> String {
+        json_number(numeric(row, idx).map(|kib| kib * 1024.0))
+    };
+    let mut out = String::from(",\n        \"residency\": [\n");
+    for (i, row) in table.rows().iter().enumerate() {
+        out.push_str(&format!(
+            "          {{\"config\": {}, \"owners\": {}, \"resident_bytes\": {}, \"bytes_per_owner\": {}, \"evictions\": {}, \"peak_rss_mib\": {}}}{}\n",
+            json_string(row.get(config).map_or("", String::as_str)),
+            json_number(numeric(row, col("owners"))),
+            kib_bytes(row, col("resident kib")),
+            json_number(numeric(row, Some(per_owner))),
+            json_number(numeric(row, col("evictions"))),
+            json_number(numeric(row, col("rss"))),
             if i + 1 < table.rows().len() { "," } else { "" },
         ));
     }

@@ -1912,6 +1912,225 @@ pub fn e18_runtime() -> Vec<Table> {
     vec![table]
 }
 
+// --------------------------------------------------------------------- E19
+
+/// One E15-style population run under `storage`, returning everything the
+/// E19 identity and residency gates compare: the outcome report, the
+/// replay fingerprint (which embeds the state commitment), the per-method
+/// gas ledger, the paging counters and the wall-clock spent.
+type E19Run = (
+    scenario::PopulationRunReport,
+    String,
+    std::collections::BTreeMap<(String, String), (u64, u64, u64)>,
+    duc_blockchain::PagingStats,
+    std::time::Duration,
+);
+
+fn e19_run(spec: &scenario::PopulationSpec, storage: StorageConfig) -> E19Run {
+    let mut world = World::new(WorldConfig {
+        seed: 190,
+        link: fixed_link(10),
+        storage,
+        ..WorldConfig::default()
+    });
+    let mut pop = scenario::populate_population(&mut world, spec);
+    let wall0 = std::time::Instant::now();
+    let report = scenario::run_population(&mut world, &mut pop, spec);
+    let wall = wall0.elapsed();
+    let fingerprint = chaos::fingerprint(&mut world);
+    (
+        report,
+        fingerprint,
+        world.chain.gas_by_method(),
+        world.chain.paging_stats(),
+        wall,
+    )
+}
+
+/// E19 — paged world state: the E15 population workload with the slot
+/// store paged down to a bounded cache and cold pages spilled through the
+/// duc-storage page store.
+///
+/// (a) Identity sweep at ≤ 1 000 owners: unpaged, unbounded cache, a
+/// 16-page cache, a pathological 0-page cache and a 16-page cache spilling
+/// to disk all produce byte-identical replay fingerprints (commitment
+/// included), per-method gas and outcomes. Paging must be invisible to
+/// everything but memory.
+///
+/// (b) Residency run at the `DUC_E15_MAX_OWNERS` cap (the E19 CI step
+/// raises it to 10⁵; set it to 10⁶ locally for the headline row): with a
+/// population-scaled page cache the accounted resident state bytes must
+/// come in at ≤ 0.4× the unpaged run's. The paged run goes first so each
+/// configuration's peak-RSS column starts from its own high-water mark.
+/// The gate runs on accounted state bytes, not raw RSS: at population
+/// scale the process high-water mark is dominated by the device fleet
+/// and the sealed blocks (E16's pruning bounds the latter), which paging
+/// cannot and should not touch.
+pub fn e19_paged_state() -> Vec<Table> {
+    let cap = *e15_points().last().expect("at least one E15 point");
+    // The residency cache scales with the population (1 page per 64
+    // owners, within [2, 64]) so the 0.4× gate stays meaningful at the
+    // small caps CI uses for the all-experiments run as well as at the
+    // 10⁵–10⁶ headline populations.
+    e19_paged_state_at(cap.min(1_000), cap, 64, (cap / 64).clamp(2, 64))
+}
+
+/// [`e19_paged_state`] at an explicit population and page geometry (the
+/// smoke test runs a tiny instance with small pages; the experiment runs
+/// the E15 cap with the default 64-slot pages).
+fn e19_paged_state_at(
+    identity_owners: usize,
+    residency_owners: usize,
+    page_capacity: usize,
+    residency_limit: usize,
+) -> Vec<Table> {
+    use duc_blockchain::PagingConfig;
+
+    // (a) The cache-size identity sweep.
+    let mut identity = Table::new(
+        format!(
+            "E19a · paging identity — {identity_owners} owners, \
+             cache sweep (fingerprints byte-identical by assertion)"
+        ),
+        &[
+            "cache",
+            "requests",
+            "ok",
+            "evictions",
+            "fault-ins",
+            "resident pages",
+            "resident KiB",
+            "wall ms",
+        ],
+    );
+    let spec = scenario::PopulationSpec {
+        owners: identity_owners,
+        ..scenario::PopulationSpec::default()
+    };
+    let spill_dir = std::env::temp_dir().join(format!("duc-e19-spill-{}", std::process::id()));
+    let paged = |p: PagingConfig| StorageConfig::disabled().with_paging(p);
+    let configs: Vec<(&str, StorageConfig)> = vec![
+        ("unpaged", StorageConfig::disabled()),
+        (
+            "unbounded",
+            paged(PagingConfig::in_memory(None).with_page_capacity(page_capacity)),
+        ),
+        (
+            "16 pages",
+            paged(PagingConfig::in_memory(Some(16)).with_page_capacity(page_capacity)),
+        ),
+        (
+            "0 pages",
+            paged(PagingConfig::in_memory(Some(0)).with_page_capacity(page_capacity)),
+        ),
+        (
+            "16 pages, disk",
+            paged(
+                PagingConfig::in_memory(Some(16))
+                    .with_page_capacity(page_capacity)
+                    .with_spill_dir(&spill_dir),
+            ),
+        ),
+    ];
+    let mut baseline: Option<(scenario::PopulationRunReport, String, _)> = None;
+    for (label, storage) in configs {
+        let (report, fingerprint, gas, stats, wall) = e19_run(&spec, storage);
+        assert_eq!(report.requests, report.ok, "E19a: every access succeeds");
+        match &baseline {
+            None => baseline = Some((report, fingerprint, gas)),
+            Some((rep0, fp0, gas0)) => {
+                assert_eq!(rep0, &report, "E19a: paging changed outcomes ({label})");
+                assert_eq!(gas0, &gas, "E19a: paging drifted per-method gas ({label})");
+                assert_eq!(
+                    fp0, &fingerprint,
+                    "E19a: paging perturbed the replay fingerprint ({label})"
+                );
+            }
+        }
+        identity.row(vec![
+            label.into(),
+            report.requests.to_string(),
+            report.ok.to_string(),
+            stats.evictions.to_string(),
+            stats.fault_ins.to_string(),
+            stats.resident_pages.to_string(),
+            format!("{:.1}", stats.resident_bytes as f64 / 1024.0),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    // (b) The residency gate at the population cap.
+    let mut residency = Table::new(
+        format!(
+            "E19b · state residency — {residency_owners} owners, \
+             {residency_limit}-page cache vs unpaged (accounted bytes ≤ 0.4×)"
+        ),
+        &[
+            "config",
+            "owners",
+            "resident pages",
+            "resident KiB",
+            "bytes/owner",
+            "spilled live KiB",
+            "evictions",
+            "peak RSS MiB",
+        ],
+    );
+    let spec = scenario::PopulationSpec {
+        owners: residency_owners,
+        ..scenario::PopulationSpec::default()
+    };
+    let residency_row = |table: &mut Table, label: &str, stats: &duc_blockchain::PagingStats| {
+        let rss = crate::rss::peak_rss_mib().map_or("n/a".into(), |mib| format!("{mib:.1}"));
+        table.row(vec![
+            label.into(),
+            residency_owners.to_string(),
+            stats.resident_pages.to_string(),
+            format!("{:.1}", stats.resident_bytes as f64 / 1024.0),
+            format!(
+                "{:.1}",
+                stats.resident_bytes as f64 / residency_owners as f64
+            ),
+            format!("{:.1}", stats.spilled_live_bytes as f64 / 1024.0),
+            stats.evictions.to_string(),
+            rss,
+        ]);
+    };
+    // Paged first: its high-water mark starts from the cleaner floor.
+    crate::rss::reset_peak();
+    let (rep_p, fp_p, gas_p, stats_p, _) = e19_run(
+        &spec,
+        paged(PagingConfig::in_memory(Some(residency_limit)).with_page_capacity(page_capacity)),
+    );
+    residency_row(
+        &mut residency,
+        &format!("{residency_limit}-page cache"),
+        &stats_p,
+    );
+    crate::rss::reset_peak();
+    let (rep_f, fp_f, gas_f, stats_f, _) = e19_run(&spec, StorageConfig::disabled());
+    residency_row(&mut residency, "unpaged", &stats_f);
+
+    assert_eq!(rep_p, rep_f, "E19b: paging changed population outcomes");
+    assert_eq!(gas_p, gas_f, "E19b: paging drifted per-method gas");
+    assert_eq!(fp_p, fp_f, "E19b: paging perturbed the replay fingerprint");
+    assert!(
+        stats_p.evictions > 0,
+        "E19b: the bounded cache must actually evict at {residency_owners} owners"
+    );
+    let ratio = stats_p.resident_bytes as f64 / (stats_f.resident_bytes as f64).max(1.0);
+    assert!(
+        ratio <= 0.4,
+        "E19b gate: paged resident state is {:.1}% of unpaged (> 40%): \
+         {} vs {} bytes",
+        ratio * 100.0,
+        stats_p.resident_bytes,
+        stats_f.resident_bytes
+    );
+    vec![identity, residency]
+}
+
 /// Runs every experiment in order.
 pub fn all() -> Vec<Table> {
     let mut tables = Vec::new();
@@ -1933,6 +2152,7 @@ pub fn all() -> Vec<Table> {
     tables.extend(e16_storage());
     tables.extend(e17_parallel_exec());
     tables.extend(e18_runtime());
+    tables.extend(e19_paged_state());
     tables
 }
 
@@ -2116,6 +2336,18 @@ mod tests {
         // inside the experiment; a panic-free run is the smoke test.
         let tables = e18_runtime();
         assert_eq!(tables[0].len(), 2, "one row per runtime mode");
+    }
+
+    #[test]
+    fn e19_paged_state_smoke_gates_hold() {
+        // Small-n replica of the E19 harness (the full sweep runs through
+        // the report binary): the cache-size identity assertions, the
+        // eviction-pressure check and the 0.4× residency gate all run
+        // inside `e19_paged_state_at`, so a passing call is the assertion.
+        let tables = e19_paged_state_at(6, 32, 8, 2);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows().len(), 5, "one row per cache config");
+        assert_eq!(tables[1].rows().len(), 2, "paged and unpaged rows");
     }
 
     #[test]

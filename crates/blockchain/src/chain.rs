@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 
-use duc_crypto::KeyPair;
+use duc_crypto::{Digest, KeyPair};
 use duc_intern::{Interner, Sym};
 use duc_sim::{SimDuration, SimTime};
 use duc_storage::{BlockStore, Checkpoint, FileArchive, PrunedRange, StateStore, StorageConfig};
@@ -18,7 +18,7 @@ use crate::block::{Block, BlockValidationError};
 use crate::contract::{CallCtx, CallEffects, Contract, ContractError, Event};
 use crate::exec::{self, AccessFn, AccessParams, AccessSet, ExecMode};
 use crate::gas::{GasMeter, GasSchedule};
-use crate::state::{InsufficientFunds, WorldState};
+use crate::state::{InsufficientFunds, PagingStats, WorldState};
 use crate::tx::{Receipt, SignedTransaction, Transaction, TxKind, TxStatus};
 use crate::types::{Address, Amount, ContractId, TxId};
 
@@ -193,7 +193,10 @@ impl BlockchainBuilder {
             block_interval: self.block_interval,
             next_slot: 1,
             current_time: SimTime::ZERO,
-            state: WorldState::new(),
+            state: match &self.storage.paging {
+                Some(paging) => WorldState::with_paging(paging),
+                None => WorldState::new(),
+            },
             blocks: BlockStore::new(archive),
             storage: self.storage,
             checkpoints: StateStore::new(),
@@ -1267,6 +1270,28 @@ impl Blockchain {
             self.state.storage_slot_count(),
             self.state.storage_byte_size(),
         )
+    }
+
+    /// Residency counters of the paged world state (observability only;
+    /// exported as `/metrics` gauges and E19 columns).
+    pub fn paging_stats(&self) -> PagingStats {
+        self.state.paging_stats()
+    }
+
+    /// Verifies paged-state integrity: every evicted page must read back
+    /// under its digest-verified handle and the decoded whole must
+    /// reproduce the commitment accumulator (chaos invariant).
+    ///
+    /// # Errors
+    /// A description of the first violation found.
+    pub fn verify_pages(&self) -> Result<(), String> {
+        self.state.verify_pages()
+    }
+
+    /// The current world-state commitment (what the next sealed block's
+    /// `state_root` would carry).
+    pub fn state_commitment(&self) -> Digest {
+        self.state.commitment()
     }
 
     /// The gas price.

@@ -144,7 +144,7 @@ impl<'a> CallCtx<'a> {
     pub fn get_raw(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ContractError> {
         let value = match self.writes.get(key) {
             Some(slot) => slot.clone(),
-            None => self.base.storage_get(&self.contract, key).cloned(),
+            None => self.base.storage_get(&self.contract, key),
         };
         self.meter
             .charge_storage_read(value.as_ref().map(Vec::len).unwrap_or(0) + key.len())?;
@@ -163,7 +163,7 @@ impl<'a> CallCtx<'a> {
         self.meter.charge_storage_write(key.len())?;
         let existed = match self.writes.insert(key.to_vec(), None) {
             Some(prior) => prior.is_some(),
-            None => self.base.storage_get(&self.contract, key).is_some(),
+            None => self.base.storage_contains(&self.contract, key),
         };
         Ok(existed)
     }
@@ -188,12 +188,13 @@ impl<'a> CallCtx<'a> {
         // Base keys not shadowed by the overlay, plus live overlay keys;
         // sorting restores the order a direct scan of the merged state
         // would produce.
-        let mut keys: Vec<Vec<u8>> = self
-            .base
-            .storage_prefix(&self.contract, prefix)
-            .map(|(k, _)| k.to_vec())
-            .filter(|k| !self.writes.contains_key(k))
-            .collect();
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        self.base
+            .storage_for_each_prefix(&self.contract, prefix, |k, _| {
+                if !self.writes.contains_key(k) {
+                    keys.push(k.to_vec());
+                }
+            });
         for (k, slot) in self.writes.range(prefix.to_vec()..) {
             if !k.starts_with(prefix) {
                 break;
@@ -442,9 +443,9 @@ mod tests {
             vec![b"idx/0".to_vec(), b"idx/1".to_vec()]
         );
         ctx.into_effects().apply(&mut state);
-        assert_eq!(state.storage_get(&cid, b"idx/1"), Some(&vec![9]));
+        assert_eq!(state.storage_get(&cid, b"idx/1"), Some(vec![9]));
         assert_eq!(state.storage_get(&cid, b"idx/2"), None);
-        assert_eq!(state.storage_get(&cid, b"idx/0"), Some(&vec![0]));
+        assert_eq!(state.storage_get(&cid, b"idx/0"), Some(vec![0]));
     }
 
     #[test]

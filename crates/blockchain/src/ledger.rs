@@ -31,7 +31,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use duc_crypto::KeyPair;
+use duc_crypto::{Digest, KeyPair};
 use duc_intern::{Interner, SymMap};
 use duc_sim::{SimDuration, SimTime};
 use duc_storage::{PrunedRange, StorageConfig};
@@ -40,6 +40,7 @@ use crate::block::BlockValidationError;
 use crate::chain::{Blockchain, SubmitError};
 use crate::contract::{Contract, ContractError, Event};
 use crate::exec::{AccessFn, ExecMode};
+use crate::state::PagingStats;
 use crate::tx::{Receipt, SignedTransaction, TxKind};
 use crate::types::{Address, Amount, ContractId, TxId};
 
@@ -281,6 +282,27 @@ pub trait Ledger {
 
     /// Storage growth `(slots, bytes)` summed across shards.
     fn state_size(&self) -> (usize, usize);
+
+    /// Paged world-state residency counters summed across shards
+    /// (observability only; never part of replay fingerprints).
+    fn paging_stats(&self) -> PagingStats {
+        PagingStats::default()
+    }
+
+    /// Verifies paged-state integrity on every shard: each evicted page
+    /// reads back under its digest-verified handle and the decoded whole
+    /// reproduces the commitment accumulator (chaos invariant).
+    ///
+    /// # Errors
+    /// A description of the first violation found.
+    fn verify_pages(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// The world-state commitment, folded across shards in shard order.
+    /// Byte-identical across cache sizes by construction: eviction moves
+    /// bytes, never rows, so the accumulator is untouched by paging.
+    fn state_commitment(&self) -> Digest;
 }
 
 /// The legacy single-chain backend (the concrete [`Blockchain`] behind the
@@ -450,6 +472,18 @@ impl Ledger for Blockchain {
 
     fn state_size(&self) -> (usize, usize) {
         Blockchain::state_size(self)
+    }
+
+    fn paging_stats(&self) -> PagingStats {
+        Blockchain::paging_stats(self)
+    }
+
+    fn verify_pages(&self) -> Result<(), String> {
+        Blockchain::verify_pages(self)
+    }
+
+    fn state_commitment(&self) -> Digest {
+        Blockchain::state_commitment(self)
     }
 }
 
@@ -913,6 +947,34 @@ impl Ledger for ShardedLedger {
             .iter()
             .map(Blockchain::state_size)
             .fold((0, 0), |(s, b), (ds, db)| (s + ds, b + db))
+    }
+
+    fn paging_stats(&self) -> PagingStats {
+        let mut out = PagingStats::default();
+        for shard in &self.shards {
+            out.merge(&shard.paging_stats());
+        }
+        out
+    }
+
+    fn verify_pages(&self) -> Result<(), String> {
+        for (idx, shard) in self.shards.iter().enumerate() {
+            shard
+                .verify_pages()
+                .map_err(|e| format!("shard {idx}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    fn state_commitment(&self) -> Digest {
+        let commitments: Vec<[u8; 32]> = self
+            .shards
+            .iter()
+            .map(|s| *s.state_commitment().as_bytes())
+            .collect();
+        let mut parts: Vec<&[u8]> = vec![b"duc/sharded-state"];
+        parts.extend(commitments.iter().map(|c| c.as_slice()));
+        duc_crypto::hash_parts(&parts)
     }
 }
 

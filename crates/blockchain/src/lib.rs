@@ -69,12 +69,13 @@ pub use contract::{CallCtx, Contract, ContractError, Event};
 pub use exec::{AccessFn, AccessKey, AccessParams, AccessSet, AccessSummary, ExecMode};
 pub use gas::{GasMeter, GasSchedule, OutOfGas};
 pub use ledger::{Ledger, RouteKey, RouterFn, ShardedLedger, SingleChain};
-pub use state::WorldState;
+pub use state::{AccountState, InlineKey, PagingStats, WorldState};
 pub use tx::{Receipt, SignedTransaction, Transaction, TxStatus};
 pub use types::{Address, Amount, ContractId, TxId};
 
-// Storage-layer types the chain API surfaces (checkpointing & pruning).
-pub use duc_storage::{Checkpoint, PrunedRange, StorageConfig};
+// Storage-layer types the chain API surfaces (checkpointing, pruning and
+// world-state paging).
+pub use duc_storage::{Checkpoint, PageCompacted, PagingConfig, PrunedRange, StorageConfig};
 
 /// Common imports.
 pub mod prelude {

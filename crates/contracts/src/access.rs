@@ -8,6 +8,7 @@
 //! ```text
 //! pod/{owner_webid}           one slot per owner
 //! res/{resource}              one slot per resource
+//! pol/{digest}                one slot per policy envelope (content-addressed)
 //! copy/{resource}\0{device}   one space per resource, one slot per device
 //! roundctr/{resource}         one slot per resource
 //! round/{resource}\0{round}   one space per resource, one slot per round
@@ -15,6 +16,14 @@
 //! cert/{digest}               one slot per certificate
 //! cfg/*                       market configuration
 //! ```
+//!
+//! `pol/` rows are content-addressed (key = digest of the value), so the
+//! registration paths declare them as *deltas*: two writers of the same
+//! envelope store identical bytes in either order, and distinct envelopes
+//! land in distinct slots — registrations keep commuting. View methods
+//! that materialize an envelope cannot know its digest before reading the
+//! row that names it, so they claim the whole `pol/` table as a read,
+//! which serializes them against same-block policy registrations only.
 //!
 //! — so calls anchored to different owners, resources, devices or
 //! consumers run concurrently, while calls that could collide serialize.
@@ -30,7 +39,7 @@ use duc_blockchain::{AccessFn, AccessKey, AccessParams, AccessSet, Address, Cont
 use duc_codec::{decode_from_slice, Decode, Reader};
 use duc_crypto::{hash_parts, Digest};
 
-use crate::abi::{EvidenceReaffirmation, EvidenceSubmission};
+use crate::abi::{EvidenceReaffirmation, EvidenceSubmission, PolicyEnvelope};
 use crate::dist_exchange::DEX_CONTRACT_ID;
 
 /// Decodes a prefix of `args` (derivation only needs the leading fields;
@@ -79,6 +88,20 @@ fn cert_slot(certificate: &Digest) -> AccessKey {
     }
 }
 
+/// One content-addressed policy slot (`pol/{digest}`).
+fn pol_slot(digest: &Digest) -> AccessKey {
+    AccessKey::Slot {
+        space: fnv1a(b"pol/"),
+        key: fnv1a(digest.as_bytes()),
+    }
+}
+
+/// The whole policy table — view methods resolve a digest they only learn
+/// mid-call.
+fn pol_table() -> AccessKey {
+    AccessKey::Table(fnv1a(b"pol/"))
+}
+
 fn cfg_slot(name: &str) -> AccessKey {
     slot(b"cfg/", name)
 }
@@ -91,29 +114,48 @@ pub fn dex_access(p: &AccessParams<'_>) -> AccessSet {
         // Writes the whole cfg table, once per deployment: not worth
         // declaring.
         "init" => AccessSet::Exclusive,
-        "register_pod" | "get_pod" => match decode_prefix::<String>(p.args) {
-            Some(owner) if p.method == "register_pod" => AccessSet::declared()
+        "register_pod" => match decode_prefix::<(String, String, PolicyEnvelope)>(p.args) {
+            Some((owner, _, policy)) => AccessSet::declared()
                 .read(slot(b"pod/", &owner))
-                .write(slot(b"pod/", &owner)),
-            Some(owner) => AccessSet::declared().read(slot(b"pod/", &owner)),
+                .write(slot(b"pod/", &owner))
+                .delta(pol_slot(&policy.digest())),
             None => AccessSet::Exclusive,
         },
-        "register_resource" => match decode_prefix::<(String, String, String)>(p.args) {
-            Some((resource, _, owner)) => AccessSet::declared()
+        "get_pod" => match decode_prefix::<String>(p.args) {
+            Some(owner) => AccessSet::declared()
                 .read(slot(b"pod/", &owner))
-                .read(slot(b"res/", &resource))
-                .write(slot(b"res/", &resource)),
+                .read(pol_table()),
             None => AccessSet::Exclusive,
         },
+        "register_resource" => {
+            type Args = (
+                String,
+                String,
+                String,
+                Vec<(String, String)>,
+                PolicyEnvelope,
+            );
+            match decode_prefix::<Args>(p.args) {
+                Some((resource, _, owner, _, policy)) => AccessSet::declared()
+                    .read(slot(b"pod/", &owner))
+                    .read(slot(b"res/", &resource))
+                    .write(slot(b"res/", &resource))
+                    .delta(pol_slot(&policy.digest())),
+                None => AccessSet::Exclusive,
+            }
+        }
         "lookup_resource" => match decode_prefix::<String>(p.args) {
-            Some(resource) => AccessSet::declared().read(slot(b"res/", &resource)),
+            Some(resource) => AccessSet::declared()
+                .read(slot(b"res/", &resource))
+                .read(pol_table()),
             None => AccessSet::Exclusive,
         },
         "list_resources" => AccessSet::declared().read(AccessKey::Table(fnv1a(b"res/"))),
-        "update_policy" => match decode_prefix::<String>(p.args) {
-            Some(resource) => AccessSet::declared()
+        "update_policy" => match decode_prefix::<(String, PolicyEnvelope)>(p.args) {
+            Some((resource, policy)) => AccessSet::declared()
                 .read(slot(b"res/", &resource))
-                .write(slot(b"res/", &resource)),
+                .write(slot(b"res/", &resource))
+                .delta(pol_slot(&policy.digest())),
             None => AccessSet::Exclusive,
         },
         "register_copy" => match decode_prefix::<(String, String)>(p.args) {
@@ -173,7 +215,7 @@ pub fn dex_access(p: &AccessParams<'_>) -> AccessSet {
                 let treasury: Option<Address> = p
                     .state
                     .storage_get(p.contract, b"cfg/treasury")
-                    .and_then(|bytes| decode_from_slice(bytes).ok());
+                    .and_then(|bytes| decode_from_slice(&bytes).ok());
                 let Some(treasury) = treasury else {
                     return AccessSet::Exclusive;
                 };
@@ -251,16 +293,52 @@ mod tests {
         assert!(!a.conflicts(b), "{a:?} should not conflict with {b:?}");
     }
 
+    fn pod_args(owner: &str) -> Vec<u8> {
+        let policy = PolicyEnvelope::plain(&duc_policy::UsagePolicy::default_for("urn:r", owner));
+        encode_to_vec(&(owner.to_string(), "https://pod/".to_string(), policy))
+    }
+
     #[test]
     fn distinct_owners_and_resources_commute() {
         let dex = ContractId::new(DEX_CONTRACT_ID);
         let state = WorldState::new();
-        let a = encode_to_vec(&("https://a.id/me".to_string(),));
-        let b = encode_to_vec(&("https://b.id/me".to_string(),));
+        let a = pod_args("https://a.id/me");
+        let b = pod_args("https://b.id/me");
         let pa = dex_access(&params(&dex, "register_pod", &a, &state));
         let pb = dex_access(&params(&dex, "register_pod", &b, &state));
         assert_disjoint(&pa, &pb);
         assert!(pa.conflicts(&pa), "same owner serializes");
+    }
+
+    #[test]
+    fn policy_table_claims() {
+        let dex = ContractId::new(DEX_CONTRACT_ID);
+        let state = WorldState::new();
+        // Two owners registering the *same* envelope: the shared pol slot
+        // is a delta on both sides, so they still commute.
+        let shared = PolicyEnvelope::plain(&duc_policy::UsagePolicy::default_for("urn:r", "x"));
+        let a = encode_to_vec(&(
+            "https://a.id/me".to_string(),
+            "https://pod/".to_string(),
+            shared.clone(),
+        ));
+        let b = encode_to_vec(&(
+            "https://b.id/me".to_string(),
+            "https://pod/".to_string(),
+            shared,
+        ));
+        let pa = dex_access(&params(&dex, "register_pod", &a, &state));
+        let pb = dex_access(&params(&dex, "register_pod", &b, &state));
+        assert_disjoint(&pa, &pb);
+        // A view method materializing an envelope claims the pol table and
+        // therefore serializes against any same-block registration...
+        let view = encode_to_vec(&("https://c.id/me".to_string(),));
+        let gp = dex_access(&params(&dex, "get_pod", &view, &state));
+        assert!(gp.conflicts(&pa), "pol table read vs pol slot delta");
+        // ... but two views of different pods commute (R–R).
+        let view2 = encode_to_vec(&("https://d.id/me".to_string(),));
+        let gp2 = dex_access(&params(&dex, "get_pod", &view2, &state));
+        assert_disjoint(&gp, &gp2);
     }
 
     #[test]

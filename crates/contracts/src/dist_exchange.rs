@@ -1,17 +1,27 @@
 //! The DistExchange contract implementation.
 //!
-//! Storage layout (all keys ASCII-prefixed, `\0`-separated composites):
+//! Storage layout (all keys ASCII-prefixed, `\0`-separated composites;
+//! rows are the compact encodings of [`crate::rows`] — identity strings
+//! live in the key, policies in the content-addressed `pol/` table):
 //!
 //! ```text
 //! cfg/*                      market configuration (set once by `init`)
-//! pod/{owner_webid}          → PodRecord
-//! res/{resource}             → ResourceRecord
-//! copy/{resource}\0{device}  → CopyRecord
+//! pol/{digest}               → PolicyEnvelope (content-addressed, shared)
+//! pod/{owner_webid}          → PodRow
+//! res/{resource}             → ResourceRow
+//! copy/{resource}\0{device}  → CopyRow
 //! roundctr/{resource}        → u64
 //! round/{resource}\0{round}  → MonitoringRound
-//! sub/{webid}                → Subscription
-//! cert/{digest}              → webid owning that certificate
+//! sub/{webid}                → SubRow
+//! cert/{digest}              → () existence marker
 //! ```
+//!
+//! View methods (`get_pod`, `lookup_resource`, `get_subscription`,
+//! `list_copies`) reconstruct the full ABI records of [`crate::abi`] from
+//! key + row + pol table, so callers see the exact same wire format as
+//! before the compaction. Hot mutation paths (`update_policy`,
+//! `start_monitoring`, `register_copy`) never materialize a policy
+//! envelope from storage.
 
 use std::sync::Mutex;
 
@@ -25,6 +35,7 @@ use crate::abi::{
     CopyRecord, EvidenceReaffirmation, EvidenceSubmission, MonitoringRound, PodRecord,
     PolicyEnvelope, ResourceRecord, Subscription,
 };
+use crate::rows::{pol_key, CopyRow, PodRow, ResourceRow, SubRow};
 use crate::topics;
 
 /// The conventional deployment id of the DE App.
@@ -130,6 +141,24 @@ fn revert(msg: impl Into<String>) -> ContractError {
     ContractError::Reverted(msg.into())
 }
 
+/// Writes the content-addressed pol-table row for `policy` and returns its
+/// digest. Unconditional and idempotent: the key is the digest of the
+/// exact bytes written, so every writer of a given envelope stores
+/// identical bytes — the access layer declares this slot as a *delta* —
+/// and skipping the existence probe keeps gas identical on every path,
+/// serial or parallel.
+fn put_policy(ctx: &mut CallCtx<'_>, policy: &PolicyEnvelope) -> Result<Digest, ContractError> {
+    let digest = policy.digest();
+    ctx.set(pol_key(&digest), policy)?;
+    Ok(digest)
+}
+
+/// Fetches an envelope from the pol table (view-method reconstruction).
+fn get_policy(ctx: &mut CallCtx<'_>, digest: &Digest) -> Result<PolicyEnvelope, ContractError> {
+    ctx.get(&pol_key(digest))?
+        .ok_or_else(|| revert("missing policy envelope"))
+}
+
 impl DistExchange {
     fn init(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (fee, validity_nanos, treasury): (u128, u64, Address) = decode_from_slice(args)?;
@@ -154,26 +183,33 @@ impl DistExchange {
         if ctx.get_raw(&key)?.is_some() {
             return Err(revert(format!("pod already registered for {owner_webid}")));
         }
-        let record = PodRecord {
-            owner_webid: owner_webid.clone(),
+        let policy = put_policy(ctx, &default_policy)?;
+        let row = PodRow {
             owner_addr: ctx.caller,
             web_ref,
-            default_policy,
+            policy,
             registered_at: ctx.block_time,
         };
-        ctx.set(key, &record)?;
+        ctx.set(key, &row)?;
         ctx.emit(topics::POD_REGISTERED, encode_to_vec(&(owner_webid,)))?;
         Ok(Vec::new())
     }
 
     fn get_pod(&self, ctx: &mut CallCtx<'_>, args: &[u8]) -> Result<Vec<u8>, ContractError> {
         let (owner_webid,): (String,) = decode_from_slice(args)?;
-        let record: Option<PodRecord> = ctx.get(
+        let row: Option<PodRow> = ctx.get(
             self.keys
                 .lock()
                 .expect("key cache poisoned")
                 .pod(&owner_webid),
         )?;
+        let record: Option<PodRecord> = match row {
+            None => None,
+            Some(row) => {
+                let policy = get_policy(ctx, &row.policy)?;
+                Some(row.into_record(owner_webid, policy))
+            }
+        };
         Ok(encode_to_vec(&record))
     }
 
@@ -189,7 +225,7 @@ impl DistExchange {
             Vec<(String, String)>,
             PolicyEnvelope,
         ) = decode_from_slice(args)?;
-        let pod: PodRecord = ctx
+        let pod: PodRow = ctx
             .get(
                 self.keys
                     .lock()
@@ -209,18 +245,17 @@ impl DistExchange {
         if ctx.get_raw(&key)?.is_some() {
             return Err(revert(format!("resource already registered: {resource}")));
         }
-        let record = ResourceRecord {
-            resource: resource.clone(),
-            location,
+        let digest = put_policy(ctx, &policy)?;
+        let row = ResourceRow {
+            location: ResourceRow::encode_location(&resource, location),
             owner_webid,
             owner_addr: ctx.caller,
             metadata,
-            policy_hash: policy.digest(),
-            policy,
+            policy: digest,
             policy_version: 1,
             registered_at: ctx.block_time,
         };
-        ctx.set(key, &record)?;
+        ctx.set(key, &row)?;
         ctx.emit(topics::RESOURCE_REGISTERED, encode_to_vec(&(resource,)))?;
         Ok(Vec::new())
     }
@@ -231,8 +266,15 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (resource,): (String,) = decode_from_slice(args)?;
-        let record: Option<ResourceRecord> =
+        let row: Option<ResourceRow> =
             ctx.get(self.keys.lock().expect("key cache poisoned").res(&resource))?;
+        let record: Option<ResourceRecord> = match row {
+            None => None,
+            Some(row) => {
+                let policy = get_policy(ctx, &row.policy)?;
+                Some(row.into_record(resource, policy))
+            }
+        };
         Ok(encode_to_vec(&record))
     }
 
@@ -254,23 +296,24 @@ impl DistExchange {
             .expect("key cache poisoned")
             .res(&resource)
             .to_vec();
-        let mut record: ResourceRecord = ctx
+        // The hot path: only the compact row round-trips storage — the
+        // superseded envelope is never read, the new one only written.
+        let mut row: ResourceRow = ctx
             .get(&key)?
             .ok_or_else(|| revert(format!("unknown resource {resource}")))?;
-        if record.owner_addr != ctx.caller {
+        if row.owner_addr != ctx.caller {
             return Err(revert("only the owner may update the policy"));
         }
-        if new_version != record.policy_version + 1 {
+        if new_version != row.policy_version + 1 {
             return Err(revert(format!(
                 "version must increment: current {}, got {new_version}",
-                record.policy_version
+                row.policy_version
             )));
         }
-        let policy_hash = policy.digest();
-        record.policy = policy.clone();
-        record.policy_hash = policy_hash;
-        record.policy_version = new_version;
-        ctx.set(key, &record)?;
+        let policy_hash = put_policy(ctx, &policy)?;
+        row.policy = policy_hash;
+        row.policy_version = new_version;
+        ctx.set(key, &row)?;
         // The event anchors the new policy *hash* alongside the envelope:
         // devices verify the pushed bytes against it before recompiling
         // their local program and re-scheduling obligations.
@@ -299,13 +342,12 @@ impl DistExchange {
             .lock()
             .expect("key cache poisoned")
             .copy(&resource, &device);
-        let record = CopyRecord {
-            device: device.clone(),
+        let row = CopyRow {
             holder_webid,
             attestation_key,
             registered_at: ctx.block_time,
         };
-        ctx.set(key, &record)?;
+        ctx.set(key, &row)?;
         ctx.emit(topics::COPY_REGISTERED, encode_to_vec(&(resource, device)))?;
         Ok(Vec::new())
     }
@@ -325,10 +367,10 @@ impl DistExchange {
             .lock()
             .expect("key cache poisoned")
             .copy(&resource, &device);
-        let Some(record) = ctx.get::<CopyRecord>(&key)? else {
+        let Some(row) = ctx.get::<CopyRow>(&key)? else {
             return Err(revert("no such copy"));
         };
-        if record.registered_at.as_nanos() >= as_of_nanos {
+        if row.registered_at.as_nanos() >= as_of_nanos {
             return Ok(encode_to_vec(&(false,)));
         }
         ctx.remove_raw(&key)?;
@@ -347,19 +389,45 @@ impl DistExchange {
         ctx: &mut CallCtx<'_>,
         resource: &str,
     ) -> Result<Vec<CopyRecord>, ContractError> {
-        let keys = ctx.keys_with_prefix(
-            self.keys
-                .lock()
-                .expect("key cache poisoned")
-                .copy_prefix(resource),
-        )?;
+        let prefix = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .copy_prefix(resource)
+            .to_vec();
+        let keys = ctx.keys_with_prefix(&prefix)?;
         let mut copies = Vec::with_capacity(keys.len());
         for k in keys {
-            if let Some(copy) = ctx.get::<CopyRecord>(&k)? {
-                copies.push(copy);
+            if let Some(row) = ctx.get::<CopyRow>(&k)? {
+                let device = String::from_utf8(k[prefix.len()..].to_vec())
+                    .map_err(|_| revert("non-utf8 device in copy key"))?;
+                copies.push(row.into_record(device));
             }
         }
         Ok(copies)
+    }
+
+    /// The devices currently holding copies of `resource` — read off the
+    /// key suffixes alone, with no row fetches (the compact layout keeps
+    /// the device name in the key).
+    fn copy_devices(
+        &self,
+        ctx: &mut CallCtx<'_>,
+        resource: &str,
+    ) -> Result<Vec<String>, ContractError> {
+        let prefix = self
+            .keys
+            .lock()
+            .expect("key cache poisoned")
+            .copy_prefix(resource)
+            .to_vec();
+        let keys = ctx.keys_with_prefix(&prefix)?;
+        keys.into_iter()
+            .map(|k| {
+                String::from_utf8(k[prefix.len()..].to_vec())
+                    .map_err(|_| revert("non-utf8 device in copy key"))
+            })
+            .collect()
     }
 
     fn start_monitoring(
@@ -368,10 +436,10 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (resource,): (String,) = decode_from_slice(args)?;
-        let record: ResourceRecord = ctx
+        let row: ResourceRow = ctx
             .get(self.keys.lock().expect("key cache poisoned").res(&resource))?
             .ok_or_else(|| revert(format!("unknown resource {resource}")))?;
-        if record.owner_addr != ctx.caller {
+        if row.owner_addr != ctx.caller {
             return Err(revert("only the owner may start monitoring"));
         }
         let counter_key = self
@@ -382,11 +450,7 @@ impl DistExchange {
             .to_vec();
         let round: u64 = ctx.get(&counter_key)?.unwrap_or(0) + 1;
         ctx.set(counter_key, &round)?;
-        let expected: Vec<String> = self
-            .copies_of(ctx, &resource)?
-            .into_iter()
-            .map(|c| c.device)
-            .collect();
+        let expected = self.copy_devices(ctx, &resource)?;
         let round_record = MonitoringRound {
             round,
             resource: resource.clone(),
@@ -475,7 +539,7 @@ impl DistExchange {
         }
         // Verify the enclave signature against the registered attestation
         // key: forged evidence cannot enter the ledger.
-        let copy: CopyRecord = ctx
+        let copy: CopyRow = ctx
             .get(
                 &self
                     .keys
@@ -538,7 +602,7 @@ impl DistExchange {
         {
             return Err(revert("duplicate evidence for device"));
         }
-        let copy: CopyRecord = ctx
+        let copy: CopyRow = ctx
             .get(
                 &self
                     .keys
@@ -617,8 +681,7 @@ impl DistExchange {
             &ctx.block_time.as_nanos().to_le_bytes(),
             ctx.caller.0.as_bytes(),
         ]);
-        let sub = Subscription {
-            webid: webid.clone(),
+        let sub = SubRow {
             addr: ctx.caller,
             certificate,
             paid_at: ctx.block_time,
@@ -632,7 +695,12 @@ impl DistExchange {
                 .to_vec(),
             &sub,
         )?;
-        ctx.set(cert_key(&certificate), &webid)?;
+        // Existence marker only: ownership of the certificate is implied —
+        // the sole writer of cert/{c} is the subscribe that minted c, and
+        // c commits to the subscriber's WebID (hash preimage above), so
+        // sub/{webid}.certificate == c already proves c was issued to
+        // webid. Storing the WebID again would duplicate the key material.
+        ctx.set_raw(cert_key(&certificate), Vec::new())?;
         ctx.emit(
             topics::CERTIFICATE_ISSUED,
             encode_to_vec(&(webid, certificate)),
@@ -646,14 +714,13 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (certificate, webid): (Digest, String) = decode_from_slice(args)?;
-        let valid = match ctx.get::<String>(&cert_key(&certificate))? {
-            Some(owner) if owner == webid => {
-                let sub: Option<Subscription> =
-                    ctx.get(self.keys.lock().expect("key cache poisoned").sub(&webid))?;
-                sub.map(|s| s.certificate == certificate && s.valid_at(ctx.block_time))
-                    .unwrap_or(false)
-            }
-            _ => false,
+        let valid = if ctx.get_raw(&cert_key(&certificate))?.is_some() {
+            let sub: Option<SubRow> =
+                ctx.get(self.keys.lock().expect("key cache poisoned").sub(&webid))?;
+            sub.map(|s| s.certificate == certificate && s.valid_at(ctx.block_time))
+                .unwrap_or(false)
+        } else {
+            false
         };
         Ok(encode_to_vec(&(valid,)))
     }
@@ -664,8 +731,9 @@ impl DistExchange {
         args: &[u8],
     ) -> Result<Vec<u8>, ContractError> {
         let (webid,): (String,) = decode_from_slice(args)?;
-        let sub: Option<Subscription> =
-            ctx.get(self.keys.lock().expect("key cache poisoned").sub(&webid))?;
+        let sub: Option<Subscription> = ctx
+            .get::<SubRow>(self.keys.lock().expect("key cache poisoned").sub(&webid))?
+            .map(|row| row.into_record(webid));
         Ok(encode_to_vec(&sub))
     }
 }

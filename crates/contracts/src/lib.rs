@@ -26,6 +26,7 @@ pub mod access;
 pub mod client;
 pub mod dist_exchange;
 pub mod routing;
+pub mod rows;
 
 pub use abi::{
     CopyRecord, EvidenceReaffirmation, EvidenceSubmission, MonitoringRound, PodRecord,
@@ -34,6 +35,7 @@ pub use abi::{
 pub use access::{dex_access, dex_access_fn};
 pub use client::DistExchangeClient;
 pub use dist_exchange::{DistExchange, DEX_CONTRACT_ID};
+pub use rows::{pol_key, CopyRow, PodRow, ResourceRow, SubRow};
 
 /// Event topics emitted by the DE App (oracle subscriptions filter on
 /// these).

@@ -255,6 +255,16 @@ pub fn check_invariants<L: Ledger>(world: &World<L>) -> Result<(), String> {
         .chain
         .verify_checkpoints()
         .map_err(|e| format!("checkpoint integrity violated: {e}"))?;
+
+    // Page-store integrity: every world-state page — resident or spilled —
+    // decodes, verifies its digest, covers its directory range, and the
+    // full slot multiset still reproduces the state commitment
+    // accumulator. No read can have observed a stale evicted page if this
+    // holds at quiescence, because fault-ins re-verify the same digests.
+    world
+        .chain
+        .verify_pages()
+        .map_err(|e| format!("page-store integrity violated: {e}"))?;
     Ok(())
 }
 
@@ -282,6 +292,10 @@ pub fn fingerprint<L: Ledger>(world: &mut World<L>) -> String {
     let _ = writeln!(out, "height {}", world.chain.height());
     let gas: u64 = world.chain.gas_used_total();
     let _ = writeln!(out, "gas {gas}");
+    // The state commitment covers every live slot regardless of where its
+    // page resides, so two fingerprint-equal runs hold identical world
+    // state — not merely identical observable traces.
+    let _ = writeln!(out, "commitment {}", world.chain.state_commitment());
     out
 }
 

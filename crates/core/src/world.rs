@@ -615,6 +615,48 @@ impl<L: Ledger> World<L> {
             hits += h;
             misses += m;
         }
+        // World-state paging residency: gauges for what is resident *now*,
+        // monotone counters for eviction/fault-in/compaction traffic. Read
+        // from `Ledger::paging_stats()` and only ever surfaced here —
+        // eviction order under the parallel executor is nondeterministic,
+        // so these numbers must never enter the sim registry (and hence
+        // the replay fingerprint).
+        let paging = self.chain.paging_stats();
+        hub.gauge_set(
+            "duc_state_resident_pages",
+            &[],
+            paging.resident_pages as f64,
+        );
+        hub.gauge_set("duc_state_total_pages", &[], paging.total_pages as f64);
+        hub.gauge_set(
+            "duc_state_resident_bytes",
+            &[],
+            paging.resident_bytes as f64,
+        );
+        hub.gauge_set(
+            "duc_state_spilled_live_bytes",
+            &[],
+            paging.spilled_live_bytes as f64,
+        );
+        hub.counter_raise_to("duc_state_evictions_total", &[], paging.evictions);
+        hub.counter_raise_to("duc_state_fault_ins_total", &[], paging.fault_ins);
+        hub.counter_raise_to("duc_state_page_compactions_total", &[], paging.compactions);
+        hub.set_help(
+            "duc_state_resident_pages",
+            "World-state pages currently resident in memory.",
+        );
+        hub.set_help(
+            "duc_state_resident_bytes",
+            "Bytes of world-state slot data held by resident pages.",
+        );
+        hub.set_help(
+            "duc_state_evictions_total",
+            "World-state pages evicted to the spill store.",
+        );
+        hub.set_help(
+            "duc_state_fault_ins_total",
+            "World-state pages faulted back in from the spill store.",
+        );
         hub.counter_raise_to("duc_tee_decision_cache_total", &[("result", "hit")], hits);
         hub.counter_raise_to(
             "duc_tee_decision_cache_total",

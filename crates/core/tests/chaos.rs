@@ -8,7 +8,7 @@
 //! `DUC_LEDGER_BACKEND=sharded` to run the identical matrix over the
 //! [`duc_blockchain::ShardedLedger`] backend (CI runs both).
 
-use duc_blockchain::{Ledger, StorageConfig};
+use duc_blockchain::{Ledger, PagingConfig, PagingStats, StorageConfig};
 use duc_core::chaos::{self, fixed_link};
 use duc_core::prelude::*;
 use duc_sim::{FaultPlan, SimDuration};
@@ -236,6 +236,80 @@ fn run_pruned_batch<L: Ledger>(
         "seed={seed}: the resident window is a strict subset of history"
     );
     (chaos::fingerprint(world), run.ok, run.failed)
+}
+
+/// The tentpole integrity case for the paged world state: the mixed batch
+/// under lossy drop windows, run once on the default unbounded store and
+/// once with a pathologically small resident budget (2 pages of 4 slots
+/// each), must produce byte-identical fingerprints — eviction and fault-in
+/// are pure residency moves, invisible to outcomes, gas, metrics and
+/// replay. The paged run must actually page (its eviction and fault-in
+/// counters both advance), and `check_invariants` inside `run_chaos`
+/// re-verifies every page digest and the commitment accumulator after the
+/// run. Runs on both ledger backends via `DUC_LEDGER_BACKEND`.
+#[test]
+fn paging_under_drop_windows_is_invisible_to_replay() {
+    fn run(seed: u64, paging: Option<PagingConfig>) -> (String, usize, usize, PagingStats) {
+        let config = WorldConfig {
+            storage: match paging {
+                Some(p) => StorageConfig::disabled().with_paging(p),
+                None => StorageConfig::disabled(),
+            },
+            ..world_config(seed)
+        };
+        if sharded_backend() {
+            run_dropped_batch(World::new_sharded(config), seed)
+        } else {
+            run_dropped_batch(World::new(config), seed)
+        }
+    }
+    fn run_dropped_batch<L: Ledger>(
+        world: World<L>,
+        seed: u64,
+    ) -> (String, usize, usize, PagingStats) {
+        let (mut world, resource) = chaos::launch_pad_in(world, OWNER, PATH, 4);
+        let dev = world.device("device-0").endpoint;
+        let relay = world.push_in.relay;
+        let now = world.clock.now();
+        let plan = FaultPlan::none()
+            .drop_window(dev, relay, now, now + SimDuration::from_secs(10), 400)
+            .drop_window(
+                relay,
+                world.gateway,
+                now + SimDuration::from_secs(5),
+                now + SimDuration::from_secs(15),
+                300,
+            );
+        let batch = chaos::mixed_batch(OWNER, PATH, &resource, 4);
+        let requests = batch.len();
+        let run = chaos::run_chaos(&mut world, batch, plan)
+            .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+        assert_eq!(
+            run.outcomes.len(),
+            requests,
+            "seed={seed}: every ticket resolves"
+        );
+        let stats = world.chain.paging_stats();
+        (chaos::fingerprint(&mut world), run.ok, run.failed, stats)
+    }
+
+    let tight = PagingConfig::in_memory(Some(2)).with_page_capacity(4);
+    let (fp_unpaged, ok, failed, base) = run(13, None);
+    let (fp_paged, ok2, failed2, stats) = run(13, Some(tight));
+    assert_eq!((ok, failed), (ok2, failed2));
+    assert_eq!(
+        fp_unpaged, fp_paged,
+        "a 2-page resident budget must be invisible to replay"
+    );
+    assert_eq!(base.evictions, 0, "the unbounded store never evicts");
+    assert!(
+        stats.evictions > 0,
+        "the tight budget actually paged: {stats:?}"
+    );
+    assert!(
+        stats.fault_ins > 0,
+        "evicted pages faulted back in: {stats:?}"
+    );
 }
 
 proptest! {

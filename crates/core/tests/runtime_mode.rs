@@ -159,6 +159,10 @@ fn metrics_endpoint_serves_migrated_families() {
         "# TYPE duc_enforcement_deletions_total counter",
         "# TYPE duc_enforcement_lag_seconds histogram",
         "# TYPE duc_process_access_e2e_seconds histogram",
+        "# TYPE duc_state_resident_pages gauge",
+        "# TYPE duc_state_resident_bytes gauge",
+        "# TYPE duc_state_evictions_total counter",
+        "# TYPE duc_state_fault_ins_total counter",
     ] {
         assert!(
             body.contains(family),
@@ -172,6 +176,18 @@ fn metrics_endpoint_serves_migrated_families() {
         body.contains("duc_tee_decision_cache_total{result=\"hit\"}"),
         "{body}"
     );
+    // The state-residency gauges carry live values: a populated market
+    // holds at least one resident page (the default paging config is
+    // unbounded, so nothing has been evicted).
+    let resident_pages: f64 = body
+        .lines()
+        .find(|l| l.starts_with("duc_state_resident_pages "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .expect("resident-pages sample")
+        .parse()
+        .expect("numeric gauge");
+    assert!(resident_pages >= 1.0, "{body}");
+    assert_eq!(hub.counter("duc_state_evictions_total", &[]), 0);
     // Mirrored totals agree with the sim registry they came from.
     assert_eq!(
         hub.counter("duc_net_messages_sent_total", &[]),

@@ -20,17 +20,29 @@
 //!   history below the prune horizon, so cursor holders resync from the
 //!   last checkpoint instead of silently reading empty results.
 //!
+//! Since the world state itself became the dominant linear term, the crate
+//! also supplies the primitives behind `WorldState`'s paged slot store:
+//!
+//! * [`PagingConfig`] — page capacity, resident-page limit, optional spill
+//!   directory (carried on [`StorageConfig::paging`]).
+//! * [`PageStore`] — an append-only page log (memory- or file-backed,
+//!   reusing the [`FileArchive`] framing idea) with per-page digests
+//!   verified on every read, amortized compaction over a logical offset
+//!   space, and a [`PageCompacted`] typed error for reads below the
+//!   compaction horizon (the [`PrunedRange`] pattern, applied to pages).
+//! * [`encode_page`]/[`decode_page`] — the canonical slot-page codec.
+//!
 //! The crate deliberately depends only on `duc-crypto` and `duc-codec`;
 //! `duc-blockchain` implements [`ArchiveItem`] for its `Block` type.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read as _, Write as _};
+use std::io::{self, BufWriter, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 use duc_codec::impl_codec_struct;
-use duc_crypto::Digest;
+use duc_crypto::{hash_parts, Digest};
 
 // ------------------------------------------------------------------ config
 
@@ -53,6 +65,9 @@ pub struct StorageConfig {
     /// When set, pruned blocks are appended to this file as
     /// length-prefixed frames instead of being dropped.
     pub archive_path: Option<PathBuf>,
+    /// World-state paging knobs; `None` keeps every slot page resident
+    /// (today's behaviour, with identical commitments either way).
+    pub paging: Option<PagingConfig>,
 }
 
 impl StorageConfig {
@@ -63,6 +78,7 @@ impl StorageConfig {
             checkpoint_interval: 0,
             window: 0,
             archive_path: None,
+            paging: None,
         }
     }
 
@@ -74,6 +90,7 @@ impl StorageConfig {
             checkpoint_interval: interval.max(1),
             window,
             archive_path: None,
+            paging: None,
         }
     }
 
@@ -81,6 +98,13 @@ impl StorageConfig {
     #[must_use]
     pub fn with_archive(mut self, path: impl Into<PathBuf>) -> Self {
         self.archive_path = Some(path.into());
+        self
+    }
+
+    /// Enables world-state paging with the given knobs.
+    #[must_use]
+    pub fn with_paging(mut self, paging: PagingConfig) -> Self {
+        self.paging = Some(paging);
         self
     }
 
@@ -163,6 +187,467 @@ impl fmt::Display for PrunedRange {
 }
 
 impl std::error::Error for PrunedRange {}
+
+// ------------------------------------------------------------------ paging
+
+/// Knobs for the paged world-state slot store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagingConfig {
+    /// Maximum slots per page before a median split (≥ 1).
+    pub page_capacity: usize,
+    /// Maximum resident (decoded) pages; `None` = unbounded residency.
+    /// `Some(0)` is legal: every page is spilled after every touch.
+    pub resident_limit: Option<usize>,
+    /// Directory for spill files; `None` spills into an in-memory log.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl PagingConfig {
+    /// In-memory paging with the default page capacity.
+    #[must_use]
+    pub fn in_memory(resident_limit: Option<usize>) -> Self {
+        PagingConfig {
+            page_capacity: 64,
+            resident_limit,
+            spill_dir: None,
+        }
+    }
+
+    /// Spills cold pages into files under `dir`.
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the page capacity (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_page_capacity(mut self, capacity: usize) -> Self {
+        self.page_capacity = capacity.max(1);
+        self
+    }
+}
+
+impl Default for PagingConfig {
+    fn default() -> Self {
+        PagingConfig::in_memory(None)
+    }
+}
+
+/// Handle to one spilled page in a [`PageStore`].
+///
+/// Offsets are *logical*: they survive compaction (which invalidates dead
+/// offsets rather than renumbering live ones), so a stale handle fails
+/// loudly with [`PageCompacted`] instead of silently reading shifted bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRef {
+    /// Logical byte offset of the page in the store.
+    pub offset: u64,
+    /// Encoded page length in bytes.
+    pub len: u32,
+    /// Digest of the encoded page bytes, verified on every read.
+    pub digest: Digest,
+}
+
+/// Typed error for page reads below the compaction horizon — the
+/// [`PrunedRange`] pattern applied to the page log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageCompacted {
+    /// The logical offset the caller asked to read.
+    pub requested: u64,
+    /// The current compaction horizon (lowest valid logical offset).
+    pub horizon: u64,
+}
+
+impl fmt::Display for PageCompacted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requested page at logical offset {} but everything below {} is compacted",
+            self.requested, self.horizon
+        )
+    }
+}
+
+impl std::error::Error for PageCompacted {}
+
+/// Failure reading a page back from a [`PageStore`].
+#[derive(Debug)]
+pub enum PageStoreError {
+    /// The page was dropped by compaction; the handle is stale.
+    Compacted(PageCompacted),
+    /// The stored bytes do not hash to the handle's digest.
+    Corrupt {
+        /// Logical offset of the corrupt page.
+        offset: u64,
+    },
+    /// Underlying file I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for PageStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageStoreError::Compacted(e) => e.fmt(f),
+            PageStoreError::Corrupt { offset } => {
+                write!(
+                    f,
+                    "page at logical offset {offset} fails digest verification"
+                )
+            }
+            PageStoreError::Io(e) => write!(f, "page store I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PageStoreError {}
+
+impl From<io::Error> for PageStoreError {
+    fn from(e: io::Error) -> Self {
+        PageStoreError::Io(e)
+    }
+}
+
+/// Encodes one slot page: `u32` slot count, then per slot a `u32`
+/// length-prefixed key and a `u32` length-prefixed value.
+#[must_use]
+pub fn encode_page<'a>(slots: impl ExactSizeIterator<Item = (&'a [u8], &'a [u8])>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + slots.len() * 16);
+    out.extend_from_slice(
+        &u32::try_from(slots.len())
+            .expect("page slot count fits u32")
+            .to_le_bytes(),
+    );
+    for (k, v) in slots {
+        out.extend_from_slice(&u32::try_from(k.len()).expect("key fits u32").to_le_bytes());
+        out.extend_from_slice(k);
+        out.extend_from_slice(
+            &u32::try_from(v.len())
+                .expect("value fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Decodes a page produced by [`encode_page`].
+///
+/// # Errors
+/// `InvalidData` on truncated or trailing bytes.
+pub fn decode_page(bytes: &[u8]) -> io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn take<'a>(bytes: &'a [u8], at: &mut usize, len: usize) -> io::Result<&'a [u8]> {
+        let slice = bytes
+            .get(*at..*at + len)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated page"))?;
+        *at += len;
+        Ok(slice)
+    }
+    fn take_u32(bytes: &[u8], at: &mut usize) -> io::Result<usize> {
+        let raw = take(bytes, at, 4)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4-byte slice")) as usize)
+    }
+    let mut at = 0usize;
+    let count = take_u32(bytes, &mut at)?;
+    let mut slots = Vec::with_capacity(count);
+    for _ in 0..count {
+        let klen = take_u32(bytes, &mut at)?;
+        let key = take(bytes, &mut at, klen)?.to_vec();
+        let vlen = take_u32(bytes, &mut at)?;
+        let value = take(bytes, &mut at, vlen)?.to_vec();
+        slots.push((key, value));
+    }
+    if at != bytes.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing page bytes",
+        ));
+    }
+    Ok(slots)
+}
+
+/// Digest of an encoded page (domain-separated).
+#[must_use]
+pub fn page_digest(bytes: &[u8]) -> Digest {
+    hash_parts(&[b"duc/page", bytes])
+}
+
+/// Where a [`PageStore`] keeps its spilled bytes.
+enum PageBackend {
+    Mem(Vec<u8>),
+    File {
+        dir: PathBuf,
+        path: PathBuf,
+        file: File,
+        /// Physical file length in bytes.
+        len: u64,
+    },
+}
+
+impl PageBackend {
+    fn reset(&mut self) -> io::Result<()> {
+        match self {
+            PageBackend::Mem(buf) => buf.clear(),
+            PageBackend::File { file, len, .. } => {
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                *len = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Append-only log of spilled slot pages behind the paged world state.
+///
+/// Offsets handed out in [`PageRef`]s are logical and monotone; compaction
+/// rewrites the live pages into a fresh physical region and advances a
+/// `base` horizon below which stale handles fail with [`PageCompacted`].
+/// Every read re-verifies the page digest, so a fault-in can never observe
+/// bytes that differ from what was spilled.
+pub struct PageStore {
+    backend: PageBackend,
+    /// Compaction horizon: lowest logical offset still readable.
+    base: u64,
+    /// Next logical offset to be handed out.
+    tail: u64,
+    /// Logical offset mapped to physical position 0 of the backend.
+    phys_base: u64,
+    /// Bytes of pages appended and not yet retired.
+    live_bytes: u64,
+    /// Bytes of pages retired (dead weight reclaimed by compaction).
+    dead_bytes: u64,
+    /// Total pages ever appended through this handle.
+    appended: u64,
+    /// Compactions performed.
+    compactions: u64,
+}
+
+impl fmt::Debug for PageStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PageStore")
+            .field(
+                "backend",
+                &match &self.backend {
+                    PageBackend::Mem(_) => "mem",
+                    PageBackend::File { .. } => "file",
+                },
+            )
+            .field("base", &self.base)
+            .field("tail", &self.tail)
+            .field("live_bytes", &self.live_bytes)
+            .field("dead_bytes", &self.dead_bytes)
+            .finish()
+    }
+}
+
+/// Compaction only pays off once this much dead weight accumulates.
+const COMPACT_MIN_DEAD_BYTES: u64 = 1 << 20;
+
+impl PageStore {
+    /// An in-memory page log.
+    #[must_use]
+    pub fn in_memory() -> PageStore {
+        PageStore::with_backend(PageBackend::Mem(Vec::new()))
+    }
+
+    /// A file-backed page log; the file is created under `dir` with a
+    /// process-unique name and removed on drop.
+    ///
+    /// # Errors
+    /// Propagates directory-creation and file-open failures.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> io::Result<PageStore> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("duc-pages-{}-{n}.bin", std::process::id()));
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        Ok(PageStore::with_backend(PageBackend::File {
+            dir,
+            path,
+            file,
+            len: 0,
+        }))
+    }
+
+    /// Opens a store of the same flavour as `self`, starting empty (used
+    /// when cloning a paged state: the clone gets its own spill log).
+    ///
+    /// # Errors
+    /// Propagates file creation failures for file-backed stores.
+    pub fn fresh_like(&self) -> io::Result<PageStore> {
+        match &self.backend {
+            PageBackend::Mem(_) => Ok(PageStore::in_memory()),
+            PageBackend::File { dir, .. } => PageStore::in_dir(dir.clone()),
+        }
+    }
+
+    fn with_backend(backend: PageBackend) -> PageStore {
+        PageStore {
+            backend,
+            base: 0,
+            tail: 0,
+            phys_base: 0,
+            live_bytes: 0,
+            dead_bytes: 0,
+            appended: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Appends one encoded page, returning its verified handle.
+    ///
+    /// # Errors
+    /// Propagates file write failures.
+    pub fn append(&mut self, bytes: &[u8]) -> io::Result<PageRef> {
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "page exceeds u32 length"))?;
+        let offset = self.tail;
+        match &mut self.backend {
+            PageBackend::Mem(buf) => buf.extend_from_slice(bytes),
+            PageBackend::File {
+                file, len: flen, ..
+            } => {
+                file.seek(SeekFrom::Start(*flen))?;
+                file.write_all(bytes)?;
+                *flen += bytes.len() as u64;
+            }
+        }
+        self.tail += u64::from(len);
+        self.live_bytes += u64::from(len);
+        self.appended += 1;
+        Ok(PageRef {
+            offset,
+            len,
+            digest: page_digest(bytes),
+        })
+    }
+
+    /// Reads one page back, verifying its digest.
+    ///
+    /// # Errors
+    /// [`PageStoreError::Compacted`] for handles below the compaction
+    /// horizon, [`PageStoreError::Corrupt`] on digest mismatch, and
+    /// [`PageStoreError::Io`] on underlying read failures.
+    pub fn read(&mut self, page: &PageRef) -> Result<Vec<u8>, PageStoreError> {
+        if page.offset < self.base {
+            return Err(PageStoreError::Compacted(PageCompacted {
+                requested: page.offset,
+                horizon: self.base,
+            }));
+        }
+        let phys = page.offset - self.phys_base;
+        let len = page.len as usize;
+        let bytes = match &mut self.backend {
+            PageBackend::Mem(buf) => {
+                let at = usize::try_from(phys)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "offset overflow"))?;
+                buf.get(at..at + len)
+                    .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?
+                    .to_vec()
+            }
+            PageBackend::File { file, .. } => {
+                let mut out = vec![0u8; len];
+                file.seek(SeekFrom::Start(phys))?;
+                file.read_exact(&mut out)?;
+                out
+            }
+        };
+        if page_digest(&bytes) != page.digest {
+            return Err(PageStoreError::Corrupt {
+                offset: page.offset,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Marks a previously appended page as dead weight (its owner replaced
+    /// or dropped it); compaction reclaims the bytes later.
+    pub fn retire(&mut self, page: &PageRef) {
+        self.live_bytes = self.live_bytes.saturating_sub(u64::from(page.len));
+        self.dead_bytes += u64::from(page.len);
+    }
+
+    /// Whether enough dead weight accumulated that a compaction pass
+    /// amortizes (dead bytes exceed both live bytes and a fixed floor).
+    #[must_use]
+    pub fn should_compact(&self) -> bool {
+        self.dead_bytes >= COMPACT_MIN_DEAD_BYTES && self.dead_bytes > self.live_bytes
+    }
+
+    /// Rewrites exactly the `live` pages into a fresh physical region and
+    /// drops everything else, returning the new handles aligned with the
+    /// input order. All pre-compaction handles become stale: reading them
+    /// afterwards yields [`PageCompacted`].
+    ///
+    /// # Errors
+    /// Read-side verification and write failures; on error the store is
+    /// left unchanged (reads happen before the rewrite).
+    pub fn compact(&mut self, live: &[PageRef]) -> Result<Vec<PageRef>, PageStoreError> {
+        let mut blobs = Vec::with_capacity(live.len());
+        for page in live {
+            blobs.push(self.read(page)?);
+        }
+        let new_base = self.tail;
+        self.backend.reset()?;
+        self.phys_base = new_base;
+        self.base = new_base;
+        self.live_bytes = 0;
+        self.dead_bytes = 0;
+        self.compactions += 1;
+        let mut refs = Vec::with_capacity(blobs.len());
+        for blob in &blobs {
+            refs.push(self.append(blob)?);
+        }
+        self.appended -= blobs.len() as u64; // rewrites are not fresh spills
+        Ok(refs)
+    }
+
+    /// Lowest logical offset still readable (compaction horizon).
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.base
+    }
+
+    /// Bytes of live (unretired) pages in the log.
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Bytes of retired pages awaiting compaction.
+    #[must_use]
+    pub fn dead_bytes(&self) -> u64 {
+        self.dead_bytes
+    }
+
+    /// Pages spilled through this handle (net of compaction rewrites).
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Compaction passes performed.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+}
+
+impl Drop for PageStore {
+    fn drop(&mut self) {
+        if let PageBackend::File { path, .. } = &self.backend {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}
 
 // ----------------------------------------------------------------- archive
 
@@ -635,6 +1120,107 @@ mod tests {
         assert_eq!(store.at_or_before(10).map(|cp| cp.height), Some(10));
         assert_eq!(store.at_or_before(29).map(|cp| cp.height), Some(20));
         assert_eq!(store.at_or_before(99).map(|cp| cp.height), Some(30));
+    }
+
+    fn sample_page(tag: u8) -> Vec<u8> {
+        encode_page(
+            vec![
+                (&[b'k', tag][..], &[tag; 7][..]),
+                (&[b'k', tag, b'2'][..], &[tag ^ 0xFF; 3][..]),
+            ]
+            .into_iter(),
+        )
+    }
+
+    #[test]
+    fn page_codec_round_trips_and_rejects_garbage() {
+        let page = sample_page(1);
+        let slots = decode_page(&page).expect("decode");
+        assert_eq!(
+            slots,
+            vec![
+                (vec![b'k', 1], vec![1u8; 7]),
+                (vec![b'k', 1, b'2'], vec![0xFE; 3]),
+            ]
+        );
+        assert_eq!(
+            decode_page(&encode_page(std::iter::empty())).expect("empty"),
+            vec![]
+        );
+        assert!(decode_page(&page[..page.len() - 1]).is_err(), "truncated");
+        let mut trailing = page.clone();
+        trailing.push(0);
+        assert!(decode_page(&trailing).is_err(), "trailing bytes");
+    }
+
+    fn exercise_page_store(mut store: PageStore) {
+        let a = store.append(&sample_page(1)).expect("append a");
+        let b = store.append(&sample_page(2)).expect("append b");
+        assert_eq!(a.offset, 0);
+        assert_eq!(u64::from(a.len), b.offset);
+        assert_eq!(store.read(&a).expect("read a"), sample_page(1));
+        assert_eq!(store.read(&b).expect("read b"), sample_page(2));
+
+        // A tampered digest is detected on read.
+        let mut bad = a;
+        bad.digest = Digest([0xAB; 32]);
+        assert!(matches!(
+            store.read(&bad),
+            Err(PageStoreError::Corrupt { offset: 0 })
+        ));
+
+        // Retiring and compacting invalidates stale handles with a typed
+        // error while live handles survive under new offsets.
+        store.retire(&a);
+        assert_eq!(store.dead_bytes(), u64::from(a.len));
+        let live = store.compact(&[b]).expect("compact");
+        assert_eq!(live.len(), 1);
+        assert_eq!(
+            store.read(&live[0]).expect("live after compact"),
+            sample_page(2)
+        );
+        let err = store.read(&a).expect_err("stale handle");
+        match err {
+            PageStoreError::Compacted(pc) => {
+                assert_eq!(pc.requested, 0);
+                assert_eq!(pc.horizon, store.horizon());
+            }
+            other => panic!("expected Compacted, got {other:?}"),
+        }
+        assert_eq!(store.dead_bytes(), 0);
+        assert_eq!(store.live_bytes(), u64::from(b.len));
+        assert_eq!(store.compactions(), 1);
+
+        // The log keeps appending past a compaction.
+        let c = store.append(&sample_page(3)).expect("append c");
+        assert_eq!(store.read(&c).expect("read c"), sample_page(3));
+    }
+
+    #[test]
+    fn mem_page_store_appends_verifies_and_compacts() {
+        exercise_page_store(PageStore::in_memory());
+    }
+
+    #[test]
+    fn file_page_store_appends_verifies_and_compacts() {
+        let dir = std::env::temp_dir().join(format!("duc-pagestore-{}", std::process::id()));
+        exercise_page_store(PageStore::in_dir(&dir).expect("open"));
+        // fresh_like produces an independent store of the same flavour.
+        let mut first = PageStore::in_dir(&dir).expect("open");
+        let r = first.append(&sample_page(9)).expect("append");
+        let mut second = first.fresh_like().expect("fresh");
+        assert!(second.read(&r).is_err(), "fresh store starts empty");
+        assert_eq!(second.live_bytes(), 0);
+    }
+
+    #[test]
+    fn compaction_trigger_needs_dead_weight_majority() {
+        let mut store = PageStore::in_memory();
+        let a = store.append(&vec![1u8; 1 << 20]).expect("append");
+        let _b = store.append(&[2u8; 8]).expect("append");
+        assert!(!store.should_compact(), "nothing retired yet");
+        store.retire(&a);
+        assert!(store.should_compact(), "dead majority over the floor");
     }
 
     #[test]
